@@ -1,0 +1,62 @@
+"""Fig. 9: relative forecast error after a biased split decays exponentially.
+
+The paper analyses the error a SPLIT operation injects into a node's
+EWMA-style forecast: if the forecast is biased by ξ at the split, the relative
+error after k further iterations is proportional to (1-α)^(k-1), i.e. it
+decays exponentially (the figure uses α = 0.5, T[i] = 1 and ξ ∈ {0.5F, F, 2F}).
+The benchmark regenerates the three curves and checks the exponential decay
+and the ordering by initial bias.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.forecasting.ewma import split_bias_relative_error
+
+from conftest import write_result
+
+ALPHA = 0.5
+HORIZON = 10
+#: Bias expressed as a multiple of the (unit) forecast, as in the figure.
+BIAS_FACTORS = (2.0, 1.0, 0.5)
+
+
+def compute_curves():
+    return {
+        factor: split_bias_relative_error(alpha=ALPHA, bias=factor, horizon=HORIZON)
+        for factor in BIAS_FACTORS
+    }
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_split_error_decay(benchmark):
+    curves = benchmark(compute_curves)
+
+    lines = ["Fig. 9 - relative error RE[t+k] after a biased split (alpha=0.5, T[i]=1)", ""]
+    header = f"{'k':>4}" + "".join(f"{'xi=' + str(f) + 'F':>14}" for f in BIAS_FACTORS)
+    lines.append(header)
+    for k in range(HORIZON):
+        row = f"{k + 1:>4}" + "".join(f"{curves[f][k]:>14.5f}" for f in BIAS_FACTORS)
+        lines.append(row)
+    write_result("fig9_split_error", "\n".join(lines))
+
+    for factor, errors in curves.items():
+        # Strictly decreasing, exponentially: each step multiplies by (1-alpha).
+        for k in range(1, len(errors)):
+            assert errors[k] == pytest.approx(errors[k - 1] * (1 - ALPHA), rel=1e-9)
+        # The initial error equals the bias factor itself (forecast is 1).
+        assert errors[0] == pytest.approx(factor, rel=1e-9)
+        # After 10 iterations the error has dropped by ~3 orders of magnitude,
+        # matching the figure's log-scale y axis span.
+        assert errors[-1] < errors[0] * 10 ** -2.5
+
+    # Larger bias -> uniformly larger error curve.
+    for k in range(HORIZON):
+        assert curves[2.0][k] > curves[1.0][k] > curves[0.5][k]
+
+    # The decay exponent matches (1 - alpha) on a log scale.
+    slope = (math.log(curves[1.0][-1]) - math.log(curves[1.0][0])) / (HORIZON - 1)
+    assert slope == pytest.approx(math.log(1 - ALPHA), rel=1e-6)

@@ -1,0 +1,48 @@
+"""Table I: distribution of customer tickets over first-level categories.
+
+The paper reports the share of CCD customer-care tickets per first-level
+trouble category (TV 39.59 %, All Products 26.71 %, ...).  The synthetic CCD
+generator is parameterized with exactly that mix; this benchmark regenerates
+the table from a generated trace and checks that the observed shares match
+the paper's within sampling noise.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.datagen.ccd import CCD_TICKET_MIX
+
+from conftest import write_result
+
+
+def observed_mix(records) -> dict[str, float]:
+    counts = Counter(
+        record.category[0]
+        for record in records
+        if not record.attributes.get("injected")
+    )
+    total = sum(counts.values())
+    return {label: 100.0 * count / total for label, count in counts.items()}
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_ticket_type_distribution(benchmark, ccd_trouble_dataset):
+    records = ccd_trouble_dataset.record_list()
+    mix = benchmark(observed_mix, records)
+
+    lines = ["Table I - CCD customer calls by first-level ticket type", ""]
+    lines.append(f"{'ticket type':<18}{'paper (%)':>12}{'reproduced (%)':>16}")
+    for label, paper_share in sorted(CCD_TICKET_MIX.items(), key=lambda kv: -kv[1]):
+        observed = mix.get(label, 0.0)
+        lines.append(f"{label:<18}{paper_share:>12.2f}{observed:>16.2f}")
+    write_result("table1_ticket_mix", "\n".join(lines))
+
+    # Shape checks: the ordering of the top categories and rough shares hold.
+    assert mix["TV"] == pytest.approx(CCD_TICKET_MIX["TV"], abs=6.0)
+    assert mix["All Products"] == pytest.approx(CCD_TICKET_MIX["All Products"], abs=6.0)
+    ordered = sorted(CCD_TICKET_MIX, key=lambda k: -CCD_TICKET_MIX[k])
+    assert mix[ordered[0]] > mix[ordered[-1]]
+    assert sum(mix.values()) == pytest.approx(100.0, abs=0.5)

@@ -1,0 +1,69 @@
+"""Table II: hierarchy properties (depth and typical degree per level).
+
+The paper summarizes the three hierarchical domains: the CCD trouble
+description tree (depth 5, degrees 9/6/3/5), the CCD network path tree
+(depth 5, degrees 61/5/6/24) and the SCD network path tree (depth 4, degrees
+2000/30/6).  The benchmark builds each hierarchy (the network trees at
+reduced scale) and reports depth plus per-level typical degrees, checking
+depth exactly and the degree *ratios* between adjacent levels approximately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hierarchy.builders import (
+    build_ccd_network_tree,
+    build_ccd_trouble_tree,
+    build_scd_network_tree,
+)
+from repro.hierarchy.domain import (
+    CCD_NETWORK_DOMAIN,
+    CCD_TROUBLE_DOMAIN,
+    SCD_NETWORK_DOMAIN,
+)
+
+from conftest import write_result
+
+
+def build_all():
+    return {
+        "CCD trouble description": (build_ccd_trouble_tree(seed=1), CCD_TROUBLE_DOMAIN, 1.0),
+        "CCD network path": (build_ccd_network_tree(seed=1, scale=0.2), CCD_NETWORK_DOMAIN, 0.2),
+        "SCD network path": (build_scd_network_tree(seed=1, scale=0.05), SCD_NETWORK_DOMAIN, 0.05),
+    }
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_hierarchy_properties(benchmark):
+    trees = benchmark(build_all)
+
+    lines = ["Table II - hierarchy properties (network trees built at reduced scale)", ""]
+    lines.append(
+        f"{'hierarchy':<26}{'depth':>6}{'paper degrees':>22}{'built degrees':>22}{'scale':>8}"
+    )
+    for name, (tree, spec, scale) in trees.items():
+        built = [round(tree.typical_degree_at_level(k), 1) for k in range(1, tree.depth - 1 + 1)]
+        built = [b for b in built if b > 0]
+        lines.append(
+            f"{name:<26}{tree.depth:>6}{str(spec.typical_degrees):>22}"
+            f"{str(built):>22}{scale:>8.2f}"
+        )
+    write_result("table2_hierarchy", "\n".join(lines))
+
+    # Depth matches the paper exactly.
+    assert trees["CCD trouble description"][0].depth == 5
+    assert trees["CCD network path"][0].depth == 5
+    assert trees["SCD network path"][0].depth == 4
+
+    # The trouble hierarchy is built at full scale: degrees match Table II.
+    trouble = trees["CCD trouble description"][0]
+    assert trouble.typical_degree_at_level(1) == 9
+    assert trouble.typical_degree_at_level(2) == pytest.approx(6, abs=2)
+
+    # For the scaled network hierarchies the *shape* holds: the first level is
+    # the widest for SCD, and the CCD DSLAM level is wider than the IO/CO levels.
+    scd = trees["SCD network path"][0]
+    assert scd.typical_degree_at_level(1) > scd.typical_degree_at_level(2)
+    ccd_net = trees["CCD network path"][0]
+    assert ccd_net.typical_degree_at_level(4) > ccd_net.typical_degree_at_level(2)

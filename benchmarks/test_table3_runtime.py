@@ -1,0 +1,113 @@
+"""Table III: running time of Tiresias with ADA vs STA, per stage, per Δ.
+
+The paper runs both algorithms over a month of CCD with 15-minute and 1-hour
+timeunits: ADA is 14.2x (5.4x) faster overall, ~50x faster once trace reading
+is excluded, and "Creating Time Series" dominates STA's cost (83-94 % of the
+algorithmic time) while it is cheap for ADA.  The benchmark reproduces the
+comparison on a week-long synthetic CCD trace at both timeunit sizes; the
+absolute seconds differ (Python vs C++), but the stage shares and the
+direction/magnitude ordering of the speedup are checked.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ada import ADAAlgorithm
+from repro.core.sta import STAAlgorithm
+from repro.datagen.ccd import CCDConfig, make_ccd_dataset
+from repro.datagen.generator import counts_per_timeunit
+from repro.evaluation.instrumentation import format_runtime_table, summarize_runtime
+
+from conftest import detector_config, write_result
+
+
+def build_units(delta_seconds: float):
+    dataset = make_ccd_dataset(
+        CCDConfig(
+            dimension="trouble",
+            duration_days=7.0,
+            delta_seconds=delta_seconds,
+            base_rate_per_hour=600.0,
+            num_anomalies=3,
+            anomaly_warmup_days=3.0,
+            zipf_exponent=1.4,
+            seed=909,
+        )
+    )
+    units = counts_per_timeunit(dataset.record_list(), dataset.clock, dataset.num_timeunits)
+    return dataset, units
+
+
+def run_algorithm(algorithm_cls, tree, config, units):
+    algorithm = algorithm_cls(tree, config)
+    for counts in units:
+        algorithm.process_timeunit(counts)
+    return algorithm
+
+
+@pytest.mark.benchmark(group="table3")
+@pytest.mark.parametrize("delta_minutes", [15, 60])
+def test_table3_runtime_ada_vs_sta(benchmark, delta_minutes):
+    delta_seconds = delta_minutes * 60.0
+    dataset, units = build_units(delta_seconds)
+    config = detector_config(delta_seconds, theta=6.0, window_days=6.0)
+
+    ada = benchmark.pedantic(
+        run_algorithm, args=(ADAAlgorithm, dataset.tree, config, units), rounds=1, iterations=1
+    )
+    sta = run_algorithm(STAAlgorithm, dataset.tree, config, units)
+
+    ada_summary = summarize_runtime("ADA", delta_seconds, ada.stage_seconds)
+    sta_summary = summarize_runtime("STA", delta_seconds, sta.stage_seconds)
+    table = format_runtime_table([ada_summary, sta_summary])
+    overall = sta_summary.total_seconds / max(ada_summary.total_seconds, 1e-9)
+    lines = [
+        f"Table III (delta = {delta_minutes} min, {len(units)} timeunits, "
+        f"{dataset.tree.num_nodes} tree nodes)",
+        "",
+        table,
+        "",
+        f"STA / ADA algorithmic-time ratio: {overall:.1f}x "
+        "(paper reports 5-14x including trace reading, ~40-50x excluding it)",
+    ]
+    write_result(f"table3_runtime_delta{delta_minutes}", "\n".join(lines))
+
+    # ADA must be substantially faster than STA overall.  The paper's factors
+    # (14.2x at 15 min, 5.4x at 60 min) are against a 12-week window; with the
+    # benchmark's shorter window the gap is smaller but must remain clearly in
+    # ADA's favour, and -- like in the paper -- it is wider at Δ=15 min.
+    assert overall > (1.5 if delta_minutes == 15 else 1.2)
+    # Creating Time Series dominates STA's algorithmic cost...
+    assert sta_summary.stage_share("creating_time_series") > 0.5
+    # ...while for ADA it is a much smaller share of a much smaller total.
+    assert (
+        ada_summary.stage_seconds["creating_time_series"]
+        < sta_summary.stage_seconds["creating_time_series"]
+    )
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_speedup_grows_with_smaller_timeunits(benchmark):
+    """The paper's gap (14.2x at 15 min vs 5.4x at 60 min) grows as Δ shrinks."""
+
+    def measure():
+        ratios = {}
+        for delta_minutes in (15, 60):
+            delta_seconds = delta_minutes * 60.0
+            dataset, units = build_units(delta_seconds)
+            config = detector_config(delta_seconds, theta=6.0, window_days=6.0)
+            ada = run_algorithm(ADAAlgorithm, dataset.tree, config, units)
+            sta = run_algorithm(STAAlgorithm, dataset.tree, config, units)
+            ada_total = sum(ada.stage_seconds.values())
+            sta_total = sum(sta.stage_seconds.values())
+            ratios[delta_minutes] = sta_total / max(ada_total, 1e-9)
+        return ratios
+
+    ratios = benchmark.pedantic(measure, rounds=1, iterations=1)
+    write_result(
+        "table3_speedup_vs_delta",
+        "STA/ADA total-time ratio by timeunit size\n\n"
+        + "\n".join(f"delta = {d:>3} min: {r:6.1f}x" for d, r in sorted(ratios.items())),
+    )
+    assert ratios[15] > ratios[60]

@@ -1,0 +1,70 @@
+"""Table IV: normalized memory costs of Tiresias with ADA vs STA.
+
+The paper reports the memory cost normalized by the average tree size and the
+per-node cost: STA (which keeps ℓ weighted trees alive) costs roughly
+2.3-2.8x ADA, and ADA's cost grows mildly as more reference levels ``h`` are
+maintained (h=2 costs ~43 % of STA for CCD).  The benchmark measures the same
+normalized quantity -- stored scalars per tree node -- for STA and for ADA
+with h ∈ {0, 1, 2}.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ada import ADAAlgorithm
+from repro.core.sta import STAAlgorithm
+from repro.evaluation.instrumentation import MemorySummary, format_memory_table
+
+from conftest import detector_config, write_result
+
+
+def run_and_measure(algorithm_cls, tree, config, units):
+    algorithm = algorithm_cls(tree, config)
+    for counts in units:
+        algorithm.process_timeunit(counts)
+    return algorithm.memory_units()
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_memory_costs(benchmark, ccd_trouble_dataset, ccd_trouble_units):
+    tree = ccd_trouble_dataset.tree
+    delta = ccd_trouble_dataset.config.delta_seconds
+    units = ccd_trouble_units
+
+    def measure_all():
+        summaries = []
+        sta_units = run_and_measure(
+            STAAlgorithm, tree, detector_config(delta, reference_levels=0), units
+        )
+        summaries.append(MemorySummary("STA", None, sta_units, tree.num_nodes))
+        for h in (0, 1, 2):
+            ada_units = run_and_measure(
+                ADAAlgorithm, tree, detector_config(delta, reference_levels=h), units
+            )
+            summaries.append(MemorySummary("ADA", h, ada_units, tree.num_nodes))
+        return summaries
+
+    summaries = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    sta_summary = summaries[0]
+    ada_by_h = {s.reference_levels: s for s in summaries[1:]}
+
+    lines = [
+        f"Table IV - normalized memory cost ({len(units)} timeunits, "
+        f"{tree.num_nodes} tree nodes, window = {detector_config(delta).window_units} units)",
+        "",
+        format_memory_table(summaries),
+        "",
+        "ADA / STA cost ratios: "
+        + ", ".join(
+            f"h={h}: {ada_by_h[h].ratio_to(sta_summary):.2f}" for h in sorted(ada_by_h)
+        )
+        + "  (paper: 0.36 at h=0 up to 0.43 at h=2)",
+    ]
+    write_result("table4_memory", "\n".join(lines))
+
+    # ADA uses less memory than STA at every h.
+    for h, summary in ada_by_h.items():
+        assert summary.ratio_to(sta_summary) < 1.0, f"ADA h={h} should beat STA"
+    # More reference levels cost more memory (monotone in h).
+    assert ada_by_h[0].memory_units <= ada_by_h[1].memory_units <= ada_by_h[2].memory_units

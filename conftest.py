@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make ``src/`` importable without an installed package.
+
+The library is normally installed with ``pip install -e .`` (or
+``python setup.py develop`` in offline environments without the ``wheel``
+package).  Adding ``src/`` to ``sys.path`` here lets the test and benchmark
+suites run straight from a source checkout as well.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

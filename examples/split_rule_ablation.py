@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Ablation: how the ADA split rule and reference levels affect accuracy.
+
+DESIGN.md calls out two design choices of ADA worth ablating: the split rule
+used to hand a heavy hitter's time series down to its children (Uniform /
+Last-Time-Unit / Long-Term-History / EWMA, §V-B4) and the number of reference
+levels h (§V-B5).  This example runs ADA and STA side by side on the same CCD
+trace for each configuration and prints the resulting time-series error and
+detection agreement -- the same quantities as the paper's Fig. 12 and
+Table V, at example scale.
+
+Run with::
+
+    python examples/split_rule_ablation.py
+"""
+
+from __future__ import annotations
+
+from repro import CCDConfig, ForecastConfig, TiresiasConfig, make_ccd_dataset
+from repro.datagen.generator import counts_per_timeunit
+from repro.evaluation.comparison import AlgorithmComparator
+
+CONFIGURATIONS = [
+    ("uniform", 0.4, 2),
+    ("last-time-unit", 0.4, 2),
+    ("ewma", 0.4, 2),
+    ("long-term-history", 0.4, 0),
+    ("long-term-history", 0.4, 1),
+    ("long-term-history", 0.4, 2),
+]
+
+
+def main() -> None:
+    dataset = make_ccd_dataset(
+        CCDConfig(
+            dimension="trouble",
+            duration_days=5.0,
+            base_rate_per_hour=300.0,
+            num_anomalies=3,
+            anomaly_warmup_days=2.0,
+            seed=99,
+        )
+    )
+    units_per_day = int(86400 / dataset.config.delta_seconds)
+    units = counts_per_timeunit(
+        dataset.record_list(), dataset.clock, dataset.num_timeunits
+    )
+    print(f"trace: {len(units)} timeunits over the "
+          f"{dataset.tree.num_nodes}-node trouble hierarchy\n")
+
+    header = (f"{'split rule':<20}{'h':>3}{'series err':>12}{'accuracy':>10}"
+              f"{'precision':>11}{'recall':>9}{'speedup':>9}")
+    print(header)
+    print("-" * len(header))
+    for split_rule, alpha, h in CONFIGURATIONS:
+        config = TiresiasConfig(
+            theta=10.0,
+            delta_seconds=dataset.config.delta_seconds,
+            window_units=3 * units_per_day,
+            reference_levels=h,
+            split_rule=split_rule,
+            split_ewma_alpha=alpha,
+            forecast=ForecastConfig(season_lengths=(units_per_day,)),
+        )
+        comparator = AlgorithmComparator(
+            dataset.tree, config, warmup_units=units_per_day
+        )
+        comparator.process_many(units)
+        report = comparator.report()
+        print(
+            f"{split_rule:<20}{h:>3}"
+            f"{report.series_errors.overall_mean():>11.2%}"
+            f"{report.detection.accuracy:>10.1%}"
+            f"{report.detection.precision:>11.1%}"
+            f"{report.detection.recall:>9.1%}"
+            f"{report.speedup:>8.1f}x"
+        )
+
+    print("\nReading the table: more reference levels shrink the error left "
+          "behind by split operations; Long-Term-History is the most accurate "
+          "rule overall, while Uniform trades precision for recall.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""repro: a reproduction of Tiresias (Hong et al., ICDCS 2012).
+
+Tiresias performs online anomaly detection over hierarchical operational
+network data (customer care call logs, set-top-box crash logs).  The library
+provides:
+
+* the hierarchical-domain and streaming substrates (``repro.hierarchy``,
+  ``repro.streaming``);
+* the forecasting and seasonality analysis toolkit (``repro.forecasting``,
+  ``repro.seasonality``);
+* the core contribution -- succinct hierarchical heavy hitters, the STA and
+  ADA tracking algorithms, the dual-threshold detector, and the end-to-end
+  pipeline (``repro.core``);
+* synthetic CCD/SCD dataset generators with ground-truth anomaly injection
+  (``repro.datagen``);
+* the baselines and evaluation harness used to regenerate the paper's tables
+  and figures (``repro.baselines``, ``repro.evaluation``).
+
+Quickstart::
+
+    from repro import Tiresias, TiresiasConfig, make_ccd_dataset
+
+    dataset = make_ccd_dataset()
+    config = TiresiasConfig(theta=12, window_units=672)
+    detector = Tiresias(dataset.tree, config, algorithm="ada")
+    detector.process_stream(dataset.records())
+    for anomaly in detector.anomalies:
+        print(anomaly.node_path, anomaly.timeunit, anomaly.ratio)
+"""
+
+from repro.core import (
+    ADAAlgorithm,
+    Anomaly,
+    AnomalyQuery,
+    AnomalyReportStore,
+    ForecastConfig,
+    STAAlgorithm,
+    ThresholdDetector,
+    TimeunitResult,
+    Tiresias,
+    TiresiasConfig,
+    compute_hhh,
+    compute_shhh,
+    derive_seasonal_config,
+)
+from repro.datagen import (
+    CCDConfig,
+    SCDConfig,
+    make_ccd_dataset,
+    make_scd_dataset,
+)
+from repro.hierarchy import (
+    HierarchyNode,
+    HierarchyTree,
+    build_ccd_network_tree,
+    build_ccd_trouble_tree,
+    build_scd_network_tree,
+)
+from repro.streaming import InputStream, OperationalRecord, SimulationClock, SlidingWindow
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Tiresias",
+    "TiresiasConfig",
+    "ForecastConfig",
+    "derive_seasonal_config",
+    "ADAAlgorithm",
+    "STAAlgorithm",
+    "ThresholdDetector",
+    "Anomaly",
+    "AnomalyReportStore",
+    "AnomalyQuery",
+    "TimeunitResult",
+    "compute_hhh",
+    "compute_shhh",
+    "HierarchyTree",
+    "HierarchyNode",
+    "build_ccd_trouble_tree",
+    "build_ccd_network_tree",
+    "build_scd_network_tree",
+    "OperationalRecord",
+    "InputStream",
+    "SimulationClock",
+    "SlidingWindow",
+    "CCDConfig",
+    "SCDConfig",
+    "make_ccd_dataset",
+    "make_scd_dataset",
+]

@@ -1,0 +1,32 @@
+"""Shared type aliases used across the repro library.
+
+Keeping the aliases in one private module avoids circular imports between the
+hierarchy, streaming and core packages while giving every signature a single
+vocabulary for the paper's concepts:
+
+* a *category path* is the tuple of labels from the hierarchy root (exclusive)
+  down to a leaf, e.g. ``("TV", "TV No Service", "No Pic No Sound")``;
+* a *timestamp* is seconds since an arbitrary epoch (floats so that synthetic
+  traces can use sub-second precision);
+* a *timeunit index* is the integer index of a fixed-size bucket of length
+  ``delta`` seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+#: A path of labels from the root (exclusive) to a node of the hierarchy.
+CategoryPath = tuple[str, ...]
+
+#: Anything accepted where a category path is expected.
+CategoryLike = Union[Sequence[str], CategoryPath]
+
+#: Seconds since the trace epoch.
+Timestamp = float
+
+#: Index of a timeunit bucket (0 is the first bucket of the trace).
+TimeunitIndex = int
+
+#: Weight (count of appearances) of a node in one timeunit.
+Weight = float

@@ -1,0 +1,83 @@
+"""Offline hierarchical heavy hitter detection (the HHD lineage, §VIII).
+
+The paper's strawman STA is described as "a natural extension of HHD where we
+apply HHD for every timeunit".  This module provides that offline building
+block directly: given a batch of records, compute the per-timeunit succinct
+heavy hitter sets and the long-term (whole-batch) heavy hitters over a
+coarser granularity.  It serves as an additional baseline and as a sanity
+check for the online algorithms (their per-unit heavy hitter sets must match
+this offline computation).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro._types import CategoryPath
+from repro.core.hhh import HeavyHitterResult, compute_shhh
+from repro.exceptions import ConfigurationError
+from repro.hierarchy.tree import HierarchyTree
+from repro.streaming.clock import SimulationClock
+from repro.streaming.record import OperationalRecord
+
+
+@dataclass(frozen=True)
+class OfflineHHDResult:
+    """Per-timeunit and whole-batch heavy hitter sets for a record batch."""
+
+    per_unit: tuple[HeavyHitterResult, ...]
+    long_term: HeavyHitterResult
+
+    @property
+    def num_units(self) -> int:
+        return len(self.per_unit)
+
+    def heavy_hitter_sets(self) -> list[frozenset[CategoryPath]]:
+        return [result.shhh for result in self.per_unit]
+
+
+def offline_hhd(
+    tree: HierarchyTree,
+    records: Sequence[OperationalRecord],
+    clock: SimulationClock,
+    theta: float,
+    long_term_theta: float | None = None,
+) -> OfflineHHDResult:
+    """Compute per-timeunit and long-term succinct heavy hitters offline.
+
+    Parameters
+    ----------
+    tree, records, clock:
+        The hierarchy, the record batch and the clock defining the timeunits.
+    theta:
+        Per-timeunit heavy hitter threshold.
+    long_term_theta:
+        Threshold for the whole-batch computation; defaults to ``theta``
+        scaled by the number of timeunits (so it represents the same average
+        per-unit volume).
+    """
+    if theta <= 0:
+        raise ConfigurationError("theta must be positive")
+    if not records:
+        raise ConfigurationError("offline_hhd needs at least one record")
+
+    per_unit_counts: dict[int, Counter] = {}
+    total_counts: Counter = Counter()
+    for record in records:
+        unit = clock.timeunit_of(record.timestamp)
+        per_unit_counts.setdefault(unit, Counter())[record.category] += 1
+        total_counts[record.category] += 1
+
+    first = min(per_unit_counts)
+    last = max(per_unit_counts)
+    per_unit: list[HeavyHitterResult] = []
+    for unit in range(first, last + 1):
+        counts = per_unit_counts.get(unit, Counter())
+        per_unit.append(compute_shhh(tree, counts, theta))
+
+    if long_term_theta is None:
+        long_term_theta = theta * len(per_unit)
+    long_term = compute_shhh(tree, total_counts, long_term_theta)
+    return OfflineHHDResult(per_unit=tuple(per_unit), long_term=long_term)

@@ -1,0 +1,362 @@
+"""ADA: the low-complexity adaptive heavy hitter tracking algorithm (§V-B).
+
+ADA keeps a *single* weighted tree plus one time series per current heavy
+hitter.  When the heavy hitter set changes between time instances, the
+existing time series are *adapted* instead of being reconstructed from ℓ
+stored timeunits:
+
+* **SPLIT** (Fig. 7): a heavy hitter whose weight moved down the hierarchy
+  hands (a share of) its time series to descendants, the share being chosen
+  by a split rule (Uniform / Last-Time-Unit / Long-Term-History / EWMA,
+  §V-B4).
+* **MERGE** (Fig. 8): nodes that stopped being heavy fold their time series
+  back into their nearest heavy ancestor.
+* **Reference time series** (§V-B5): nodes in the top ``h`` levels always keep
+  the time series of their *unmodified* weight ``A_n``; a node that just
+  received a split-derived (hence possibly biased) series replaces it with
+  ``reference − Σ(series of heavy descendants)``.
+
+The heavy hitter membership itself is recomputed exactly per Definition 2
+every timeunit with a single bottom-up pass (the same
+``Update-Ishh-and-Weight`` recursion as Fig. 6), so Lemma 1 -- ADA tracks the
+correct succinct heavy hitter set -- holds by construction; only the
+*historical* part of each adapted time series is approximate, which is the
+error Fig. 12 and Table V quantify.
+
+Implementation note: the paper's pseudocode drives the split/merge cascade
+with ``tosplit`` flags and level-order traversals over the mutated weights.
+We implement the same cascade by walking from each new heavy hitter up to its
+nearest series-holding ancestor (split, top-down) and from each stale series
+holder up to its nearest heavy ancestor (merge, bottom-up).  The two
+formulations visit the same nodes; ours avoids the corner-case ambiguities of
+the in-place weight mutations while preserving the split-rule approximation
+behaviour the paper evaluates.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Deque, Mapping
+
+from repro._types import CategoryPath, TimeunitIndex, Weight
+from repro.core.config import TiresiasConfig
+from repro.core.detector import ThresholdDetector
+from repro.core.hhh import accumulate_raw_weights, compute_shhh
+from repro.core.results import TimeunitResult
+from repro.core.split_rules import NodeUsageStats, make_split_rule
+from repro.core.timeseries import NodeTimeSeries
+from repro.hierarchy.node import HierarchyNode
+from repro.hierarchy.tree import HierarchyTree
+
+
+class ADAAlgorithm:
+    """Adaptive online heavy hitter tracking and time-series maintenance."""
+
+    name = "ADA"
+
+    def __init__(self, tree: HierarchyTree, config: TiresiasConfig):
+        self.tree = tree
+        self.config = config
+        self.detector = ThresholdDetector(config)
+        self.split_rule = make_split_rule(config)
+        #: Time series of the current heavy hitters, keyed by node path.
+        self.series: dict[CategoryPath, NodeTimeSeries] = {}
+        #: Reference (unmodified weight) series for nodes in the top h levels.
+        self.reference: dict[CategoryPath, Deque[float]] = {}
+        #: Split-rule statistics for every node seen so far.
+        self._stats: dict[CategoryPath, NodeUsageStats] = {}
+        self._stats_last_unit: dict[CategoryPath, int] = {}
+        self._timeunit: TimeunitIndex = -1
+        self.stage_seconds: dict[str, float] = {
+            "updating_hierarchies": 0.0,
+            "creating_time_series": 0.0,
+            "detecting_anomalies": 0.0,
+        }
+        self.split_operations = 0
+        self.merge_operations = 0
+        self.last_result: TimeunitResult | None = None
+        #: Nodes in the top h levels, cached once: these keep reference series.
+        self._reference_nodes: tuple[CategoryPath, ...] = tuple(
+            node.path
+            for depth in range(1, config.reference_levels + 1)
+            for node in tree.nodes_at_depth(depth)
+        )
+
+    # ------------------------------------------------------------------
+    # Online interface
+    # ------------------------------------------------------------------
+    def process_timeunit(
+        self, leaf_counts: Mapping[CategoryPath, Weight], timeunit: TimeunitIndex | None = None
+    ) -> TimeunitResult:
+        """Ingest one timeunit of data, adapt the heavy hitter series, detect."""
+        self._timeunit = self._timeunit + 1 if timeunit is None else timeunit
+
+        start = time.perf_counter()
+        raw = accumulate_raw_weights(self.tree, leaf_counts)
+        shhh_result = compute_shhh(self.tree, leaf_counts, self.config.theta, raw=raw)
+        heavy = set(shhh_result.shhh)
+        if self.config.track_root:
+            heavy.add(self.tree.root.path)
+        self.stage_seconds["updating_hierarchies"] += time.perf_counter() - start
+
+        start = time.perf_counter()
+        self._adapt(heavy)
+        self._update_reference(raw)
+        self._append_weights(heavy, shhh_result.modified_weights, raw)
+        self._update_stats(raw)
+        self.stage_seconds["creating_time_series"] += time.perf_counter() - start
+
+        start = time.perf_counter()
+        result = self._detect(heavy)
+        self.stage_seconds["detecting_anomalies"] += time.perf_counter() - start
+        self.last_result = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Heavy hitter adaptation (SPLIT / MERGE)
+    # ------------------------------------------------------------------
+    def _adapt(self, heavy: set[CategoryPath]) -> None:
+        """Move the existing time series to the new heavy hitter positions."""
+        # SPLIT phase, top-down: every new heavy hitter that lacks a series
+        # derives one from its nearest ancestor that currently holds a series.
+        new_paths = sorted((p for p in heavy if p not in self.series), key=len)
+        for path in new_paths:
+            if path in self.series:
+                continue  # created by a previous cascade in this phase
+            donor = self._nearest_series_ancestor(path)
+            if donor is None:
+                self.series[path] = NodeTimeSeries(
+                    self.config.window_units, self.config.forecast
+                )
+                continue
+            self._split_cascade(donor, path)
+
+        # MERGE phase, bottom-up: series whose node is no longer heavy fold
+        # into the nearest heavy ancestor (which now holds a series thanks to
+        # the split phase), or are dropped when no ancestor is heavy.
+        stale = sorted((p for p in self.series if p not in heavy), key=len, reverse=True)
+        for path in stale:
+            series = self.series.pop(path)
+            target = self._nearest_heavy_ancestor(path, heavy)
+            if target is None:
+                self.merge_operations += 1
+                continue
+            self.merge_operations += 1
+            existing = self.series.get(target)
+            if existing is None:
+                self.series[target] = series
+            else:
+                existing.merge_from(series)
+
+    def _nearest_series_ancestor(self, path: CategoryPath) -> CategoryPath | None:
+        """Closest strict ancestor of ``path`` currently holding a series."""
+        for depth in range(len(path) - 1, -1, -1):
+            candidate = path[:depth]
+            if candidate in self.series:
+                return candidate
+        return None
+
+    def _nearest_heavy_ancestor(
+        self, path: CategoryPath, heavy: set[CategoryPath]
+    ) -> CategoryPath | None:
+        """Closest strict ancestor of ``path`` in the new heavy hitter set."""
+        for depth in range(len(path) - 1, -1, -1):
+            candidate = path[:depth]
+            if candidate in heavy:
+                return candidate
+        return None
+
+    def _split_cascade(self, donor: CategoryPath, target: CategoryPath) -> None:
+        """Split the donor's series down the hierarchy until ``target`` has one.
+
+        At each level the receiving child's share is the split rule's ratio
+        among the donor's children that do not already hold a series (the
+        paper's ``Cn``); the donor keeps the complementary share.  If the
+        receiving child lies in the top ``h`` reference levels the biased
+        share is immediately replaced using the reference series (§V-B5).
+        """
+        current = donor
+        while current != target:
+            child = target[: len(current) + 1]
+            node = self.tree.node(current)
+            receivers = [
+                c.path for c in node.children.values() if c.path not in self.series
+            ]
+            if child not in receivers:
+                receivers.append(child)
+            ratios = self.split_rule.ratios(
+                {p: self._stats_view(p) for p in receivers}
+            )
+            ratio = ratios.get(child, 1.0 / max(len(receivers), 1))
+            parent_series = self.series[current]
+            child_series = parent_series.scaled(ratio)
+            self.series[current] = parent_series.scaled(1.0 - ratio)
+            self.series[child] = child_series
+            self.split_operations += 1
+            self._apply_reference_correction(child)
+            current = child
+
+    # ------------------------------------------------------------------
+    # Reference time series (§V-B5)
+    # ------------------------------------------------------------------
+    def _update_reference(self, raw: Mapping[CategoryPath, Weight]) -> None:
+        """Append the unmodified weight A_n for every reference-level node."""
+        if not self._reference_nodes:
+            return
+        maxlen = self.config.window_units
+        for path in self._reference_nodes:
+            buf = self.reference.get(path)
+            if buf is None:
+                buf = deque(maxlen=maxlen)
+                self.reference[path] = buf
+            buf.append(float(raw.get(path, 0.0)))
+
+    def _apply_reference_correction(self, path: CategoryPath) -> None:
+        """Replace a freshly split series with reference − Σ heavy descendants."""
+        buf = self.reference.get(path)
+        if buf is None:
+            return
+        node = self.tree.node(path)
+        corrected = list(buf)
+        for other_path, other_series in self.series.items():
+            if other_path == path or len(other_path) <= len(path):
+                continue
+            if other_path[: len(path)] != path:
+                continue
+            descendant = list(other_series.actual)
+            offset = len(corrected) - len(descendant)
+            for i, value in enumerate(descendant):
+                index = offset + i
+                if 0 <= index < len(corrected):
+                    corrected[index] -= value
+        del node  # structural lookup only validates the path
+        series = self.series.get(path)
+        if series is not None and corrected:
+            series.replace_actual(corrected)
+
+    # ------------------------------------------------------------------
+    # Per-timeunit bookkeeping
+    # ------------------------------------------------------------------
+    def _append_weights(
+        self,
+        heavy: set[CategoryPath],
+        modified_weights: Mapping[CategoryPath, Weight],
+        raw: Mapping[CategoryPath, Weight],
+    ) -> None:
+        """Append the Definition-2 modified weight to every heavy hitter series."""
+        for path in heavy:
+            series = self.series.get(path)
+            if series is None:
+                series = NodeTimeSeries(self.config.window_units, self.config.forecast)
+                self.series[path] = series
+            if path == self.tree.root.path and path not in modified_weights:
+                value = raw.get(path, 0.0)
+            else:
+                value = modified_weights.get(path, 0.0)
+            series.append(value)
+
+    def _update_stats(self, raw: Mapping[CategoryPath, Weight]) -> None:
+        """Record raw weights for the split rules (lazy for inactive nodes)."""
+        alpha = self.config.split_ewma_alpha
+        for path, weight in raw.items():
+            stats = self._stats.get(path)
+            if stats is None:
+                stats = NodeUsageStats()
+                self._stats[path] = stats
+            last = self._stats_last_unit.get(path)
+            if last is not None and self._timeunit - last > 1:
+                # Account the silent (zero-weight) timeunits in the EWMA.
+                gap = self._timeunit - last - 1
+                stats.ewma_weight *= (1 - alpha) ** gap
+                stats.last_weight = 0.0
+            stats.update(weight, alpha)
+            self._stats_last_unit[path] = self._timeunit
+
+    def _stats_view(self, path: CategoryPath) -> NodeUsageStats:
+        """Statistics for ``path`` adjusted for timeunits it was silent in."""
+        stats = self._stats.get(path)
+        if stats is None:
+            return NodeUsageStats()
+        last = self._stats_last_unit.get(path, -1)
+        gap = self._timeunit - last
+        if gap <= 0:
+            return stats
+        alpha = self.config.split_ewma_alpha
+        return NodeUsageStats(
+            last_weight=0.0 if gap > 1 else stats.last_weight,
+            cumulative_weight=stats.cumulative_weight,
+            ewma_weight=stats.ewma_weight * (1 - alpha) ** (gap - 1),
+            observations=stats.observations,
+        )
+
+    # ------------------------------------------------------------------
+    # Detection
+    # ------------------------------------------------------------------
+    def _detect(self, heavy: set[CategoryPath]) -> TimeunitResult:
+        actuals: dict[CategoryPath, Weight] = {}
+        forecasts: dict[CategoryPath, Weight] = {}
+        anomalies = []
+        for path in heavy:
+            series = self.series[path]
+            actual = series.latest_actual
+            forecast = series.latest_forecast
+            actuals[path] = actual
+            forecasts[path] = forecast
+            anomaly = self.detector.check(
+                path,
+                self._timeunit,
+                actual,
+                forecast,
+                depth=len(path),
+                algorithm=self.name,
+            )
+            if anomaly is not None:
+                anomalies.append(anomaly)
+        return TimeunitResult(
+            timeunit=self._timeunit,
+            heavy_hitters=frozenset(heavy),
+            actuals=actuals,
+            forecasts=forecasts,
+            anomalies=tuple(anomalies),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection used by the evaluation harness
+    # ------------------------------------------------------------------
+    def series_for(self, path: CategoryPath) -> list[float]:
+        """The adapted actual series currently held for ``path``."""
+        series = self.series.get(tuple(path))
+        return list(series.actual) if series is not None else []
+
+    def memory_units(self) -> int:
+        """Number of stored scalars (Table IV cost proxy): one tree + series."""
+        tree_cost = self.tree.num_nodes
+        series_cost = sum(len(s.actual) + len(s.forecast) for s in self.series.values())
+        reference_cost = sum(len(buf) for buf in self.reference.values())
+        return tree_cost + series_cost + reference_cost
+
+    @property
+    def current_timeunit(self) -> TimeunitIndex:
+        return self._timeunit
+
+    @property
+    def heavy_hitters(self) -> frozenset[CategoryPath]:
+        return self.last_result.heavy_hitters if self.last_result else frozenset()
+
+
+def nearest_tracked_node(
+    tree: HierarchyTree, path: CategoryPath, tracked: set[CategoryPath]
+) -> HierarchyNode | None:
+    """The deepest tracked node on the path from the root to ``path``.
+
+    Used by the evaluation to map a ground-truth anomaly location to the heavy
+    hitter that should report it (anomalies at untracked leaves surface at
+    their nearest tracked ancestor).
+    """
+    best: HierarchyNode | None = None
+    for depth in range(len(path) + 1):
+        candidate = path[:depth]
+        if candidate in tracked and candidate in tree:
+            best = tree.node(candidate)
+    return best

@@ -1,0 +1,142 @@
+"""Configuration objects for the Tiresias detector.
+
+The knobs mirror the paper's "System parameters" paragraph (Section VII):
+heavy hitter threshold θ, sensitivity thresholds RT and DT, the timeunit size
+Δ and window length ℓ, the split rule and number of reference levels h for
+ADA, and the Holt-Winters smoothing parameters / seasonal periods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ForecastConfig:
+    """Parameters of the per-heavy-hitter forecasting model.
+
+    ``season_lengths`` are in timeunits.  With more than one season the
+    multi-seasonal Holt-Winters model is used and ``season_weights`` follows
+    the paper's linear combination (``xi`` and ``1 - xi``).  An EWMA with rate
+    ``fallback_alpha`` is used until a node has accumulated enough history to
+    initialize the seasonal model.
+    """
+
+    alpha: float = 0.2
+    beta: float = 0.02
+    gamma: float = 0.2
+    season_lengths: tuple[int, ...] = (96,)
+    season_weights: tuple[float, ...] | None = None
+    fallback_alpha: float = 0.3
+
+    def __post_init__(self) -> None:
+        for name, value in (("alpha", self.alpha), ("beta", self.beta), ("gamma", self.gamma)):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+        if not self.season_lengths:
+            raise ConfigurationError("at least one seasonal period is required")
+        if any(p < 1 for p in self.season_lengths):
+            raise ConfigurationError("seasonal periods must be >= 1 timeunit")
+        if self.season_weights is not None:
+            if len(self.season_weights) != len(self.season_lengths):
+                raise ConfigurationError("season_weights must match season_lengths")
+            if abs(sum(self.season_weights) - 1.0) > 1e-9:
+                raise ConfigurationError("season_weights must sum to 1")
+        if not 0.0 < self.fallback_alpha <= 1.0:
+            raise ConfigurationError("fallback_alpha must be in (0, 1]")
+
+    @property
+    def min_history(self) -> int:
+        """History needed before the seasonal model can be initialized."""
+        return 2 * max(self.season_lengths)
+
+    def with_seasons(
+        self, season_lengths: Sequence[int], season_weights: Sequence[float] | None = None
+    ) -> "ForecastConfig":
+        """A copy with different seasonal periods (e.g. from the analyzer)."""
+        return replace(
+            self,
+            season_lengths=tuple(int(p) for p in season_lengths),
+            season_weights=tuple(season_weights) if season_weights is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class TiresiasConfig:
+    """Full configuration of a Tiresias detector instance.
+
+    Parameters
+    ----------
+    theta:
+        Heavy hitter threshold θ (Definition 1/2).  The paper chooses a small
+        value giving ~125 heavy hitters in busy CCD periods.
+    ratio_threshold:
+        RT in Definition 4 (the paper's sensitivity test picked 2.8).
+    difference_threshold:
+        DT in Definition 4 (the paper picked 8).
+    delta_seconds:
+        Timeunit size Δ (900 s = 15 minutes in the paper).
+    window_units:
+        ℓ, the number of timeunits in the sliding window (8,064 = 12 weeks of
+        15-minute units in the paper; far smaller values are fine for tests).
+    split_rule:
+        Name of the ADA split rule: ``"uniform"``, ``"last-time-unit"``,
+        ``"long-term-history"`` or ``"ewma"``.
+    split_ewma_alpha:
+        Smoothing rate when ``split_rule == "ewma"``.
+    reference_levels:
+        h, the number of top hierarchy levels that maintain reference time
+        series (§V-B5).  0 disables reference series.
+    forecast:
+        Forecasting model parameters.
+    track_root:
+        Whether the root aggregate is always tracked (the paper adds/removes
+        the root from SHHH purely by its weight; keeping it tracked gives the
+        national aggregate a continuous forecast).
+    """
+
+    theta: float = 10.0
+    ratio_threshold: float = 2.8
+    difference_threshold: float = 8.0
+    delta_seconds: float = 900.0
+    window_units: int = 8064
+    split_rule: str = "long-term-history"
+    split_ewma_alpha: float = 0.4
+    reference_levels: int = 2
+    forecast: ForecastConfig = field(default_factory=ForecastConfig)
+    track_root: bool = True
+
+    def __post_init__(self) -> None:
+        if self.theta <= 0:
+            raise ConfigurationError(f"theta must be positive, got {self.theta}")
+        if self.ratio_threshold < 1.0:
+            raise ConfigurationError("ratio_threshold must be >= 1")
+        if self.difference_threshold < 0:
+            raise ConfigurationError("difference_threshold must be >= 0")
+        if self.delta_seconds <= 0:
+            raise ConfigurationError("delta_seconds must be positive")
+        if self.window_units < 2:
+            raise ConfigurationError("window_units must be at least 2")
+        if self.split_rule not in SPLIT_RULE_NAMES:
+            raise ConfigurationError(
+                f"unknown split rule {self.split_rule!r}; expected one of "
+                f"{sorted(SPLIT_RULE_NAMES)}"
+            )
+        if not 0.0 < self.split_ewma_alpha <= 1.0:
+            raise ConfigurationError("split_ewma_alpha must be in (0, 1]")
+        if self.reference_levels < 0:
+            raise ConfigurationError("reference_levels must be >= 0")
+
+    @property
+    def history_units(self) -> int:
+        """Number of history timeunits (everything except the detection unit)."""
+        return self.window_units - 1
+
+
+#: Valid values for :attr:`TiresiasConfig.split_rule`.
+SPLIT_RULE_NAMES: frozenset[str] = frozenset(
+    {"uniform", "last-time-unit", "long-term-history", "ewma"}
+)

@@ -1,0 +1,117 @@
+"""Time-series based anomaly detection (Definition 4).
+
+An anomalous event occurs at a heavy hitter ``n`` in the latest timeunit iff
+both the relative and the absolute deviation of the actual value from the
+forecast exceed their thresholds::
+
+    T[n, 1] / F[n, 1] > RT   and   T[n, 1] - F[n, 1] > DT
+
+Using both conditions suppresses false detections at daily peaks (where a
+small relative error is a large absolute count) and at daily dips (where a
+tiny absolute excess is a large ratio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro._types import CategoryPath, TimeunitIndex
+from repro.core.config import TiresiasConfig
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One detected anomalous event.
+
+    Attributes
+    ----------
+    node_path:
+        Path of the heavy hitter node where the anomaly was located.
+    timeunit:
+        Index of the detection timeunit.
+    actual:
+        Observed (modified) weight ``T[n, 1]``.
+    forecast:
+        Forecast ``F[n, 1]``.
+    depth:
+        Depth of the node in the hierarchy (0 = root), used by the evaluation
+        to report where anomalies are localized (Table VI discussion).
+    metadata:
+        Free-form extra attributes (dataset name, wall-clock timestamp, ...).
+    """
+
+    node_path: CategoryPath
+    timeunit: TimeunitIndex
+    actual: float
+    forecast: float
+    depth: int = 0
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def ratio(self) -> float:
+        """Relative deviation ``T / F`` (``inf`` when the forecast is zero)."""
+        if self.forecast <= 0:
+            return float("inf") if self.actual > 0 else 0.0
+        return self.actual / self.forecast
+
+    @property
+    def excess(self) -> float:
+        """Absolute deviation ``T - F``."""
+        return self.actual - self.forecast
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "node_path": list(self.node_path),
+            "timeunit": self.timeunit,
+            "actual": self.actual,
+            "forecast": self.forecast,
+            "depth": self.depth,
+            "metadata": dict(self.metadata),
+        }
+
+
+class ThresholdDetector:
+    """Applies the paper's dual-threshold rule to (actual, forecast) pairs.
+
+    Parameters
+    ----------
+    config:
+        Provides ``ratio_threshold`` (RT) and ``difference_threshold`` (DT).
+    minimum_forecast:
+        Floor applied to the forecast before taking the ratio, so that a node
+        whose forecast is (near) zero does not alarm on a single stray record;
+        the absolute threshold DT remains the binding condition there.
+    """
+
+    def __init__(self, config: TiresiasConfig, minimum_forecast: float = 0.5):
+        self.config = config
+        self.minimum_forecast = minimum_forecast
+
+    def is_anomalous(self, actual: float, forecast: float) -> bool:
+        """Check Definition 4 for a single (actual, forecast) pair."""
+        floored = max(forecast, self.minimum_forecast)
+        ratio_exceeded = actual / floored > self.config.ratio_threshold
+        excess_exceeded = (actual - forecast) > self.config.difference_threshold
+        return ratio_exceeded and excess_exceeded
+
+    def check(
+        self,
+        node_path: CategoryPath,
+        timeunit: TimeunitIndex,
+        actual: float,
+        forecast: float,
+        depth: int = 0,
+        **metadata: Any,
+    ) -> Anomaly | None:
+        """Return an :class:`Anomaly` when the pair violates the thresholds."""
+        if not self.is_anomalous(actual, forecast):
+            return None
+        return Anomaly(
+            node_path=tuple(node_path),
+            timeunit=timeunit,
+            actual=float(actual),
+            forecast=float(forecast),
+            depth=depth,
+            metadata=metadata,
+        )

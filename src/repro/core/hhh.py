@@ -1,0 +1,166 @@
+"""Hierarchical heavy hitters: Definitions 1 and 2 of the paper.
+
+Given per-leaf counts for one timeunit, this module computes
+
+* the node weights ``A_n`` (each node's weight is the sum of its children's,
+  leaves carry the raw counts),
+* the plain hierarchical heavy hitter set ``HHH[θ] = {n : A_n >= θ}``
+  (Definition 1), and
+* the *succinct* hierarchical heavy hitter set and modified weights ``W_n``
+  (Definition 2), where an interior node only counts the weight of children
+  that are not themselves heavy hitters.
+
+These functions are the offline reference implementation.  STA applies them to
+every timeunit; ADA reproduces the same result incrementally and the property
+tests in ``tests/core`` check both against this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro._types import CategoryPath, Weight
+from repro.hierarchy.node import HierarchyNode
+from repro.hierarchy.tree import HierarchyTree
+
+
+@dataclass(frozen=True)
+class HeavyHitterResult:
+    """Result of a succinct heavy hitter computation for one timeunit.
+
+    Attributes
+    ----------
+    raw_weights:
+        ``A_n`` for every node with non-zero weight, keyed by node path.
+    modified_weights:
+        ``W_n`` (Definition 2) for every node with non-zero modified weight.
+    shhh:
+        Paths of the nodes in the succinct heavy hitter set.
+    theta:
+        The threshold the result was computed for.
+    """
+
+    raw_weights: dict[CategoryPath, Weight]
+    modified_weights: dict[CategoryPath, Weight]
+    shhh: frozenset[CategoryPath]
+    theta: float
+
+    def is_heavy(self, path: CategoryPath) -> bool:
+        return tuple(path) in self.shhh
+
+
+def accumulate_raw_weights(
+    tree: HierarchyTree, leaf_counts: Mapping[CategoryPath, Weight]
+) -> dict[CategoryPath, Weight]:
+    """Compute ``A_n`` for every node of ``tree`` from per-leaf counts.
+
+    Unknown leaf paths are ignored (they belong to records filtered out of the
+    hierarchy, e.g. non-performance-related calls); counts attached to
+    interior paths are treated as belonging to that aggregate directly, which
+    supports datasets where some records are only classified to an interior
+    category.
+    """
+    weights: dict[CategoryPath, Weight] = {}
+    for path, count in leaf_counts.items():
+        if count == 0:
+            continue
+        path = tuple(path)
+        if path not in tree:
+            continue
+        node = tree.node(path)
+        weights[node.path] = weights.get(node.path, 0.0) + float(count)
+        for ancestor in node.ancestors():
+            weights[ancestor.path] = weights.get(ancestor.path, 0.0) + float(count)
+    return weights
+
+
+def compute_hhh(
+    tree: HierarchyTree, leaf_counts: Mapping[CategoryPath, Weight], theta: float
+) -> set[CategoryPath]:
+    """Definition 1: nodes whose aggregated weight ``A_n`` reaches ``theta``."""
+    raw = accumulate_raw_weights(tree, leaf_counts)
+    return {path for path, weight in raw.items() if weight >= theta}
+
+
+def compute_shhh(
+    tree: HierarchyTree,
+    leaf_counts: Mapping[CategoryPath, Weight],
+    theta: float,
+    raw: dict[CategoryPath, Weight] | None = None,
+) -> HeavyHitterResult:
+    """Definition 2: succinct hierarchical heavy hitters and modified weights.
+
+    ``raw`` may be passed when the caller has already aggregated the leaf
+    counts with :func:`accumulate_raw_weights` (the online algorithms need the
+    raw weights anyway), avoiding a second aggregation pass.
+
+    A single bottom-up pass over the *active* nodes (those with non-zero
+    aggregated weight) yields the unique fixed point: each node's modified
+    weight sums only the modified weights of children that are not themselves
+    succinct heavy hitters; a node joins the set when its modified weight
+    reaches ``theta``.  Inactive nodes have zero weight, contribute nothing to
+    their parents and can never be heavy, so they are skipped entirely --
+    operational data is sparse (Fig. 1) and this keeps the per-timeunit cost
+    proportional to the data, not to the hierarchy size.
+    """
+    if raw is None:
+        raw = accumulate_raw_weights(tree, leaf_counts)
+    modified: dict[CategoryPath, Weight] = {}
+    shhh: set[CategoryPath] = set()
+
+    children_of: dict[CategoryPath, list[CategoryPath]] = {}
+    for path in raw:
+        if path:
+            children_of.setdefault(path[:-1], []).append(path)
+
+    for path in sorted(raw, key=len, reverse=True):
+        active_children = children_of.get(path, [])
+        # Counts attached directly to an interior aggregate (rare but
+        # supported) contribute to that aggregate's own weight.
+        own = raw[path] - sum(raw[child] for child in active_children)
+        weight = own + sum(
+            modified[child] for child in active_children if child not in shhh
+        )
+        if weight > 0:
+            modified[path] = weight
+        else:
+            modified[path] = 0.0
+        if weight >= theta:
+            shhh.add(path)
+
+    # Drop zero entries to keep the result sparse (parity with raw_weights).
+    modified = {path: weight for path, weight in modified.items() if weight > 0}
+    return HeavyHitterResult(
+        raw_weights=raw,
+        modified_weights=modified,
+        shhh=frozenset(shhh),
+        theta=theta,
+    )
+
+
+def discounted_series(
+    raw_series: Mapping[CategoryPath, list[float]],
+    node: HierarchyNode,
+    heavy_hitters: frozenset[CategoryPath],
+    length: int,
+) -> list[float]:
+    """Definition 3: a node's time series after discounting heavy hitter children.
+
+    ``raw_series`` maps node paths to their raw per-timeunit series ``A_n``;
+    the returned series subtracts, per timeunit, the raw series of children of
+    ``node`` that are themselves heavy hitters.
+    """
+    base = list(raw_series.get(node.path, [0.0] * length))
+    if len(base) < length:
+        base = [0.0] * (length - len(base)) + base
+    for child in node.children.values():
+        if child.path in heavy_hitters:
+            child_series = raw_series.get(child.path)
+            if not child_series:
+                continue
+            padded = list(child_series)
+            if len(padded) < length:
+                padded = [0.0] * (length - len(padded)) + padded
+            base = [b - c for b, c in zip(base, padded)]
+    return base

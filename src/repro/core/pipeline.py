@@ -1,0 +1,205 @@
+"""The end-to-end Tiresias system (Fig. 3, Steps 1-6).
+
+:class:`Tiresias` wires together the substrates:
+
+1. records are classified into timeunits (Step 1, :mod:`repro.streaming`);
+2. heavy hitters are detected and their time series maintained (Step 2,
+   :class:`~repro.core.ada.ADAAlgorithm` or
+   :class:`~repro.core.sta.STAAlgorithm`);
+3. seasonality analysis parameterizes the forecasting model (Step 3,
+   :func:`derive_seasonal_config`, run offline as in the paper);
+4. Holt-Winters forecasts feed the dual-threshold detector (Step 4,
+   Definition 4);
+5. anomalies are appended to the report store (Step 5,
+   :class:`~repro.core.reporting.AnomalyReportStore`);
+6. the pipeline keeps consuming new arrivals (Step 6).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from typing import Iterable, Literal, Sequence
+
+from repro._types import CategoryPath, TimeunitIndex, Weight
+from repro.core.ada import ADAAlgorithm
+from repro.core.config import TiresiasConfig
+from repro.core.reporting import AnomalyReportStore
+from repro.core.results import TimeunitResult
+from repro.core.sta import STAAlgorithm
+from repro.exceptions import ConfigurationError
+from repro.hierarchy.tree import HierarchyTree
+from repro.seasonality.analyzer import SeasonalityAnalyzer
+from repro.streaming.clock import SimulationClock
+from repro.streaming.record import OperationalRecord
+
+AlgorithmName = Literal["ada", "sta"]
+
+
+def derive_seasonal_config(
+    series: Sequence[float],
+    config: TiresiasConfig,
+    max_seasons: int = 2,
+) -> TiresiasConfig:
+    """Step 3: set the forecasting seasons from an offline seasonality analysis.
+
+    ``series`` is a per-timeunit count series (typically the root aggregate of
+    a historical trace).  The FFT + wavelet analyzer picks the significant
+    periods and their combination weights; the returned config carries them in
+    its :class:`~repro.core.config.ForecastConfig`.
+    """
+    analyzer = SeasonalityAnalyzer(
+        timeunit_seconds=config.delta_seconds, max_seasons=max_seasons
+    )
+    profile = analyzer.analyze(series)
+    forecast = config.forecast.with_seasons(profile.periods_timeunits, profile.weights)
+    return TiresiasConfig(
+        theta=config.theta,
+        ratio_threshold=config.ratio_threshold,
+        difference_threshold=config.difference_threshold,
+        delta_seconds=config.delta_seconds,
+        window_units=config.window_units,
+        split_rule=config.split_rule,
+        split_ewma_alpha=config.split_ewma_alpha,
+        reference_levels=config.reference_levels,
+        forecast=forecast,
+        track_root=config.track_root,
+    )
+
+
+class Tiresias:
+    """Online anomaly detector over hierarchical operational data.
+
+    Parameters
+    ----------
+    tree:
+        The hierarchical domain the record categories are drawn from.
+    config:
+        Detector configuration (θ, RT/DT, Δ, ℓ, split rule, ...).
+    algorithm:
+        ``"ada"`` (the paper's adaptive algorithm, default) or ``"sta"`` (the
+        strawman used as ground truth in the evaluation).
+    clock:
+        Simulation clock; defaults to one with Δ from the config and epoch 0.
+    warmup_units:
+        Number of initial timeunits during which anomalies are suppressed
+        while the forecasting models accumulate history.  Defaults to the
+        forecasting model's minimum history.
+    """
+
+    def __init__(
+        self,
+        tree: HierarchyTree,
+        config: TiresiasConfig,
+        algorithm: AlgorithmName = "ada",
+        clock: SimulationClock | None = None,
+        warmup_units: int | None = None,
+    ):
+        self.tree = tree
+        self.config = config
+        self.clock = clock or SimulationClock(delta=config.delta_seconds)
+        if abs(self.clock.delta - config.delta_seconds) > 1e-9:
+            raise ConfigurationError(
+                "the clock's timeunit width must match config.delta_seconds"
+            )
+        if algorithm == "ada":
+            self.algorithm: ADAAlgorithm | STAAlgorithm = ADAAlgorithm(tree, config)
+        elif algorithm == "sta":
+            self.algorithm = STAAlgorithm(tree, config)
+        else:
+            raise ConfigurationError(f"unknown algorithm {algorithm!r}")
+        self.algorithm_name = algorithm
+        self.warmup_units = (
+            config.forecast.min_history if warmup_units is None else warmup_units
+        )
+        if self.warmup_units < 0:
+            raise ConfigurationError("warmup_units must be >= 0")
+        self.reports = AnomalyReportStore()
+        self.results: list[TimeunitResult] = []
+        self._units_processed = 0
+        self._pending: Counter = Counter()
+        self._pending_unit: TimeunitIndex | None = None
+        self.reading_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Online ingestion
+    # ------------------------------------------------------------------
+    def process_stream(self, records: Iterable[OperationalRecord]) -> list[TimeunitResult]:
+        """Consume a time-ordered record stream; returns per-timeunit results."""
+        produced: list[TimeunitResult] = []
+        start = time.perf_counter()
+        for record in records:
+            self.reading_seconds += time.perf_counter() - start
+            produced.extend(self.ingest_record(record))
+            start = time.perf_counter()
+        self.reading_seconds += time.perf_counter() - start
+        produced.extend(self.flush())
+        return produced
+
+    def ingest_record(self, record: OperationalRecord) -> list[TimeunitResult]:
+        """Add one record; returns results for any timeunits that closed."""
+        unit = self.clock.timeunit_of(record.timestamp)
+        closed: list[TimeunitResult] = []
+        if self._pending_unit is None:
+            self._pending_unit = unit
+        while unit > self._pending_unit:
+            closed.append(self._close_pending())
+        self._pending[record.category] += 1
+        return closed
+
+    def flush(self) -> list[TimeunitResult]:
+        """Close the currently accumulating timeunit (end of stream)."""
+        if self._pending_unit is None:
+            return []
+        return [self._close_pending(final=True)]
+
+    def _close_pending(self, final: bool = False) -> TimeunitResult:
+        assert self._pending_unit is not None
+        counts = dict(self._pending)
+        unit = self._pending_unit
+        self._pending = Counter()
+        self._pending_unit = None if final else unit + 1
+        return self.process_timeunit_counts(counts, unit)
+
+    # ------------------------------------------------------------------
+    # Timeunit-level interface (used directly by benchmarks)
+    # ------------------------------------------------------------------
+    def process_timeunit_counts(
+        self, counts: dict[CategoryPath, Weight], timeunit: TimeunitIndex | None = None
+    ) -> TimeunitResult:
+        """Process one timeunit worth of per-leaf counts."""
+        result = self.algorithm.process_timeunit(counts, timeunit)
+        self._units_processed += 1
+        if self._units_processed <= self.warmup_units and result.anomalies:
+            result = TimeunitResult(
+                timeunit=result.timeunit,
+                heavy_hitters=result.heavy_hitters,
+                actuals=result.actuals,
+                forecasts=result.forecasts,
+                anomalies=(),
+            )
+        self.reports.add_many(result.anomalies)
+        self.results.append(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def units_processed(self) -> int:
+        return self._units_processed
+
+    @property
+    def anomalies(self) -> list:
+        """All anomalies reported so far (after warm-up)."""
+        return self.reports.query()
+
+    def stage_seconds(self) -> dict[str, float]:
+        """Per-stage running time, including trace reading (Table III stages)."""
+        stages = dict(self.algorithm.stage_seconds)
+        stages["reading_traces"] = self.reading_seconds
+        return stages
+
+    def memory_units(self) -> int:
+        """The algorithm's memory cost proxy (Table IV)."""
+        return self.algorithm.memory_units()

@@ -1,0 +1,44 @@
+"""Result objects shared by the STA and ADA algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._types import CategoryPath, TimeunitIndex, Weight
+from repro.core.detector import Anomaly
+
+
+@dataclass(frozen=True)
+class TimeunitResult:
+    """Outcome of processing one detection timeunit.
+
+    Attributes
+    ----------
+    timeunit:
+        Index of the detection timeunit.
+    heavy_hitters:
+        The succinct hierarchical heavy hitter set for this timeunit.
+    actuals:
+        Modified weight ``T[n, 1]`` for every tracked heavy hitter.
+    forecasts:
+        Forecast ``F[n, 1]`` for every tracked heavy hitter.
+    anomalies:
+        Anomalies detected in this timeunit (Definition 4).
+    """
+
+    timeunit: TimeunitIndex
+    heavy_hitters: frozenset[CategoryPath]
+    actuals: dict[CategoryPath, Weight] = field(default_factory=dict)
+    forecasts: dict[CategoryPath, Weight] = field(default_factory=dict)
+    anomalies: tuple[Anomaly, ...] = ()
+
+    @property
+    def num_heavy_hitters(self) -> int:
+        return len(self.heavy_hitters)
+
+    @property
+    def num_anomalies(self) -> int:
+        return len(self.anomalies)
+
+    def anomaly_paths(self) -> set[CategoryPath]:
+        return {a.node_path for a in self.anomalies}

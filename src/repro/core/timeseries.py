@@ -1,0 +1,360 @@
+"""Per-heavy-hitter time series state (Definition 3, Fig. 5 lines 26-29,
+and the multi-time-scale extension of Fig. 10).
+
+Each heavy hitter carries two aligned series of length at most ℓ: the actual
+(modified) weights ``n.actual`` and the one-step-ahead forecasts
+``n.forecast``.  The forecast state must support the two operations ADA's
+adaptation needs:
+
+* **scale** by a ratio (used by SPLIT), and
+* **add** another node's state (used by MERGE),
+
+which the additive Holt-Winters model supports exactly thanks to its
+linearity (Lemma 2).  Before a node has accumulated enough history for the
+seasonal model, an EWMA fallback provides the forecast; the EWMA level is
+linear as well, so scaling/merging remains exact throughout.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.forecasting.holt_winters import HoltWintersForecaster, MultiSeasonalHoltWinters
+from repro.core.config import ForecastConfig
+
+
+class SeriesForecaster:
+    """Linear, online forecaster attached to one heavy hitter's series.
+
+    Wraps an EWMA level (always available) and an additive Holt-Winters model
+    (activated once ``config.min_history`` observations have been seen).  All
+    internal state is linear in the observed series, so :meth:`scaled` and
+    :meth:`add_state` produce exactly the state that would have resulted from
+    observing the scaled / summed series.
+    """
+
+    def __init__(self, config: ForecastConfig):
+        self.config = config
+        self._ewma_level: float | None = None
+        self._seen = 0
+        self._history: list[float] = []
+        self._seasonal: HoltWintersForecaster | MultiSeasonalHoltWinters | None = None
+
+    # ------------------------------------------------------------------
+    # Construction of the seasonal model
+    # ------------------------------------------------------------------
+    def _build_seasonal(self) -> HoltWintersForecaster | MultiSeasonalHoltWinters:
+        cfg = self.config
+        if len(cfg.season_lengths) == 1:
+            return HoltWintersForecaster(
+                alpha=cfg.alpha,
+                beta=cfg.beta,
+                gamma=cfg.gamma,
+                season_length=cfg.season_lengths[0],
+            )
+        return MultiSeasonalHoltWinters(
+            alpha=cfg.alpha,
+            beta=cfg.beta,
+            gamma=cfg.gamma,
+            season_lengths=cfg.season_lengths,
+            season_weights=cfg.season_weights,
+        )
+
+    def _maybe_activate_seasonal(self) -> None:
+        if self._seasonal is None and len(self._history) >= self.config.min_history:
+            model = self._build_seasonal()
+            model.initialize(self._history)
+            self._seasonal = model
+            # The raw history is no longer needed once the seasonal state
+            # exists; keep memory bounded (the paper's "without requiring
+            # storage of older data").
+            self._history = []
+
+    # ------------------------------------------------------------------
+    # Forecaster protocol
+    # ------------------------------------------------------------------
+    @property
+    def is_seasonal(self) -> bool:
+        """Whether the Holt-Winters state is active (vs. the EWMA fallback)."""
+        return self._seasonal is not None
+
+    @property
+    def observations(self) -> int:
+        return self._seen
+
+    def forecast(self) -> float:
+        """One-step-ahead forecast for the next timeunit."""
+        if self._seasonal is not None:
+            return self._seasonal.forecast()
+        if self._ewma_level is None:
+            return 0.0
+        return self._ewma_level
+
+    def observe(self, value: float) -> float:
+        """Fold in the next actual value; return the forecast made for it."""
+        value = float(value)
+        predicted = self.forecast()
+        alpha = self.config.fallback_alpha
+        if self._ewma_level is None:
+            self._ewma_level = value
+        else:
+            self._ewma_level = alpha * value + (1 - alpha) * self._ewma_level
+        if self._seasonal is not None:
+            self._seasonal.update(value)
+        else:
+            self._history.append(value)
+            self._maybe_activate_seasonal()
+        self._seen += 1
+        return predicted
+
+    def seed_history(self, history: Sequence[float]) -> None:
+        """Initialize from a full history series (oldest first)."""
+        for value in history:
+            self.observe(value)
+
+    @classmethod
+    def from_history_fast(
+        cls, history: Sequence[float], config: ForecastConfig
+    ) -> "SeriesForecaster":
+        """Build a forecaster state from ``history`` without replaying it.
+
+        The seasonal model is initialized directly from the last
+        ``config.min_history`` values (its normal initialization path) and the
+        EWMA fallback level from an exponential smoothing of the recent tail.
+        This is what the reference-series correction uses after a split: it
+        costs O(seasonal period) instead of O(window) Holt-Winters updates and
+        yields the same forecasts going forward up to initialization
+        transients.
+        """
+        forecaster = cls(config)
+        values = [float(v) for v in history]
+        forecaster._seen = len(values)
+        if not values:
+            return forecaster
+        alpha = config.fallback_alpha
+        level = values[0] if len(values) <= 1 else values[-min(len(values), 64)]
+        for value in values[-min(len(values), 64):]:
+            level = alpha * value + (1 - alpha) * level
+        forecaster._ewma_level = level
+        if len(values) >= config.min_history:
+            model = forecaster._build_seasonal()
+            model.initialize(values[-config.min_history:])
+            forecaster._seasonal = model
+        else:
+            forecaster._history = values
+        return forecaster
+
+    # ------------------------------------------------------------------
+    # Linearity operations used by SPLIT / MERGE
+    # ------------------------------------------------------------------
+    def scaled(self, ratio: float) -> "SeriesForecaster":
+        """State of a forecaster that would have observed ``ratio * series``."""
+        clone = SeriesForecaster(self.config)
+        clone._seen = self._seen
+        clone._ewma_level = None if self._ewma_level is None else self._ewma_level * ratio
+        clone._history = [v * ratio for v in self._history]
+        clone._seasonal = None if self._seasonal is None else self._seasonal.scaled(ratio)
+        return clone
+
+    def add_state(self, other: "SeriesForecaster") -> None:
+        """Fold ``other``'s state into this forecaster (series addition)."""
+        if other._ewma_level is not None:
+            if self._ewma_level is None:
+                self._ewma_level = other._ewma_level
+            else:
+                self._ewma_level += other._ewma_level
+        self._seen = max(self._seen, other._seen)
+        if other._seasonal is not None:
+            if self._seasonal is None:
+                self._seasonal = other._seasonal.scaled(1.0)
+            else:
+                self._seasonal.add_state(other._seasonal)  # type: ignore[arg-type]
+        if other._history:
+            if not self._history:
+                self._history = list(other._history)
+            else:
+                length = max(len(self._history), len(other._history))
+                mine = [0.0] * (length - len(self._history)) + self._history
+                theirs = [0.0] * (length - len(other._history)) + list(other._history)
+                self._history = [a + b for a, b in zip(mine, theirs)]
+        self._maybe_activate_seasonal()
+
+    def copy(self) -> "SeriesForecaster":
+        return self.scaled(1.0)
+
+
+class NodeTimeSeries:
+    """Aligned actual / forecast series for one heavy hitter node.
+
+    Parameters
+    ----------
+    length:
+        ℓ, the maximum number of timeunits retained.
+    forecast_config:
+        Parameters of the forecasting model attached to the series.
+    """
+
+    def __init__(self, length: int, forecast_config: ForecastConfig):
+        if length < 1:
+            raise ConfigurationError(f"series length must be >= 1, got {length}")
+        self.length = length
+        self.forecast_config = forecast_config
+        self.actual: Deque[float] = deque(maxlen=length)
+        self.forecast: Deque[float] = deque(maxlen=length)
+        self.forecaster = SeriesForecaster(forecast_config)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_history(
+        cls, history: Sequence[float], length: int, forecast_config: ForecastConfig
+    ) -> "NodeTimeSeries":
+        """Build a series by replaying ``history`` (oldest first)."""
+        series = cls(length, forecast_config)
+        for value in history:
+            series.append(value)
+        return series
+
+    # ------------------------------------------------------------------
+    # Online updates
+    # ------------------------------------------------------------------
+    def append(self, value: float) -> float:
+        """Append the newest actual value; returns the forecast made for it."""
+        predicted = self.forecaster.observe(value)
+        self.actual.append(float(value))
+        self.forecast.append(predicted)
+        return predicted
+
+    @property
+    def latest_actual(self) -> float:
+        if not self.actual:
+            raise ConfigurationError("the series has no observations yet")
+        return self.actual[-1]
+
+    @property
+    def latest_forecast(self) -> float:
+        if not self.forecast:
+            raise ConfigurationError("the series has no observations yet")
+        return self.forecast[-1]
+
+    def next_forecast(self) -> float:
+        """Forecast for the not-yet-observed next timeunit."""
+        return self.forecaster.forecast()
+
+    def __len__(self) -> int:
+        return len(self.actual)
+
+    # ------------------------------------------------------------------
+    # SPLIT / MERGE support
+    # ------------------------------------------------------------------
+    def scaled(self, ratio: float) -> "NodeTimeSeries":
+        """A copy whose actual/forecast series and state are scaled by ``ratio``."""
+        clone = NodeTimeSeries(self.length, self.forecast_config)
+        clone.actual = deque((v * ratio for v in self.actual), maxlen=self.length)
+        clone.forecast = deque((v * ratio for v in self.forecast), maxlen=self.length)
+        clone.forecaster = self.forecaster.scaled(ratio)
+        return clone
+
+    def merge_from(self, other: "NodeTimeSeries") -> None:
+        """Add ``other``'s series into this one element-wise (newest aligned)."""
+        merged_actual = _aligned_sum(list(self.actual), list(other.actual))
+        merged_forecast = _aligned_sum(list(self.forecast), list(other.forecast))
+        self.actual = deque(merged_actual, maxlen=self.length)
+        self.forecast = deque(merged_forecast, maxlen=self.length)
+        self.forecaster.add_state(other.forecaster)
+
+    def replace_actual(self, values: Sequence[float]) -> None:
+        """Overwrite the actual series (used by the reference-series correction).
+
+        The forecaster state is rebuilt from the corrected history (via the
+        fast initialization path) so that future forecasts reflect the
+        corrected series.  The historical forecast column is reset to the
+        corrected actuals themselves -- only the forecast for the upcoming
+        timeunits matters for detection, and past forecasts of a re-derived
+        series are not well defined anyway.
+        """
+        trimmed = list(values)[-self.length:]
+        self.actual = deque(trimmed, maxlen=self.length)
+        self.forecaster = SeriesForecaster.from_history_fast(trimmed, self.forecast_config)
+        self.forecast = deque(trimmed, maxlen=self.length)
+
+
+def _aligned_sum(a: list[float], b: list[float]) -> list[float]:
+    """Element-wise sum of two series aligned on their newest element."""
+    length = max(len(a), len(b))
+    a_padded = [0.0] * (length - len(a)) + a
+    b_padded = [0.0] * (length - len(b)) + b
+    return [x + y for x, y in zip(a_padded, b_padded)]
+
+
+class MultiScaleTimeSeries:
+    """Time series maintained at several geometric time scales (Fig. 10).
+
+    The i-th scale aggregates ``lam**i`` base timeunits (0-indexed; the
+    paper's scale ``i`` is ``lam**(i-1) * delta``).  Appending a value to the
+    base scale cascades: whenever a scale has accumulated ``lam`` new values
+    they are summed and appended to the next coarser scale.  Each scale keeps
+    at most ``length`` values plus the ``lam - 1`` values awaiting promotion,
+    matching the paper's bounded-memory claim, and carries an EWMA forecast
+    series exactly as in the pseudocode.
+    """
+
+    def __init__(self, length: int, num_scales: int, lam: int, alpha: float = 0.3):
+        if length < 1:
+            raise ConfigurationError("length must be >= 1")
+        if num_scales < 1:
+            raise ConfigurationError("num_scales (eta) must be >= 1")
+        if lam < 2:
+            raise ConfigurationError("lam (lambda) must be >= 2")
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError("alpha must be in (0, 1]")
+        self.length = length
+        self.num_scales = num_scales
+        self.lam = lam
+        self.alpha = alpha
+        self.actual: list[list[float]] = [[] for _ in range(num_scales)]
+        self.forecast: list[list[float]] = [[] for _ in range(num_scales)]
+        self._update_calls = 0
+
+    @property
+    def update_calls(self) -> int:
+        """Total number of per-scale updates performed (for the Θ(1) amortized check)."""
+        return self._update_calls
+
+    def append(self, value: float) -> None:
+        """Append one base-timeunit value, cascading to coarser scales."""
+        self._update(float(value), 0)
+
+    def _update(self, value: float, scale: int) -> None:
+        self._update_calls += 1
+        forecasts = self.forecast[scale]
+        previous = forecasts[-1] if forecasts else value
+        forecasts.append(self.alpha * value + (1 - self.alpha) * previous)
+        actuals = self.actual[scale]
+        actuals.append(value)
+        size = len(actuals)
+        if scale + 1 < self.num_scales and size % self.lam == 0:
+            promoted = sum(actuals[-self.lam:])
+            self._update(promoted, scale + 1)
+        limit = self.length + self.lam
+        if size >= limit:
+            del actuals[: self.lam]
+            del forecasts[: self.lam]
+
+    def series_at_scale(self, scale: int) -> list[float]:
+        """The retained actual series at ``scale`` (0 = base timeunits)."""
+        if not 0 <= scale < self.num_scales:
+            raise ConfigurationError(
+                f"scale must be in [0, {self.num_scales}), got {scale}"
+            )
+        return list(self.actual[scale])
+
+    def forecast_at_scale(self, scale: int) -> list[float]:
+        if not 0 <= scale < self.num_scales:
+            raise ConfigurationError(
+                f"scale must be in [0, {self.num_scales}), got {scale}"
+            )
+        return list(self.forecast[scale])

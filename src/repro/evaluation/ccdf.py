@@ -1,0 +1,116 @@
+"""CCDF utilities for the sparsity characterization (Fig. 1).
+
+The paper plots, per hierarchy level, the complementary cumulative
+distribution function of the normalized per-(node, timeunit) count of
+appearances.  These helpers compute the same distributions from a record
+batch so the Fig. 1 benchmark can print comparable curves, and expose the
+"fraction of empty (node, timeunit) cells" sparsity statistic quoted in
+§II-B (≈93 % empty CO-level cells for CCD).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro._types import CategoryPath
+from repro.hierarchy.tree import HierarchyTree
+from repro.streaming.clock import SimulationClock
+from repro.streaming.record import OperationalRecord
+
+
+@dataclass(frozen=True)
+class LevelCCDF:
+    """CCDF of normalized per-(node, timeunit) counts for one hierarchy level."""
+
+    depth: int
+    points: tuple[tuple[float, float], ...]
+    """Sorted (normalized count, CCDF) pairs."""
+    empty_fraction: float
+    """Fraction of (node, timeunit) cells with zero count."""
+
+    def ccdf_at(self, normalized_count: float) -> float:
+        """Fraction of cells with normalized count >= ``normalized_count``."""
+        value = 0.0
+        for x, y in self.points:
+            if x >= normalized_count:
+                return y
+            value = y
+        return 0.0 if self.points else value
+
+
+def per_level_counts(
+    tree: HierarchyTree,
+    records: Sequence[OperationalRecord],
+    clock: SimulationClock,
+    num_units: int,
+) -> dict[int, dict[tuple[CategoryPath, int], int]]:
+    """Per-(node, timeunit) aggregated counts, grouped by hierarchy depth."""
+    counts: dict[int, dict[tuple[CategoryPath, int], int]] = {}
+    for record in records:
+        unit = clock.timeunit_of(record.timestamp)
+        if not 0 <= unit < num_units:
+            continue
+        if record.category not in tree:
+            continue
+        node = tree.node(record.category)
+        while node is not None:
+            level = counts.setdefault(node.depth, {})
+            key = (node.path, unit)
+            level[key] = level.get(key, 0) + 1
+            node = node.parent
+    return counts
+
+
+def level_ccdf(
+    tree: HierarchyTree,
+    records: Sequence[OperationalRecord],
+    clock: SimulationClock,
+    num_units: int,
+    depth: int,
+) -> LevelCCDF:
+    """The Fig. 1 curve for one hierarchy depth.
+
+    Counts are normalized by the maximum per-cell count observed across the
+    whole hierarchy and trace (the paper normalizes per dataset), and the
+    CCDF is taken over all (node, timeunit) cells of the level, including
+    empty ones.
+    """
+    all_counts = per_level_counts(tree, records, clock, num_units)
+    global_max = max(
+        (count for level in all_counts.values() for count in level.values()),
+        default=1,
+    )
+    level = all_counts.get(depth, {})
+    nodes = tree.nodes_at_depth(depth)
+    total_cells = max(len(nodes) * num_units, 1)
+    non_empty = Counter(level.values())
+    empty_cells = total_cells - sum(non_empty.values())
+
+    points: list[tuple[float, float]] = []
+    # CCDF over the distinct observed counts, largest first.
+    distinct = sorted(non_empty, reverse=True)
+    cumulative = 0
+    for count in distinct:
+        cumulative += non_empty[count]
+        points.append((count / global_max, cumulative / total_cells))
+    points.reverse()
+    return LevelCCDF(
+        depth=depth,
+        points=tuple(points),
+        empty_fraction=empty_cells / total_cells,
+    )
+
+
+def all_level_ccdfs(
+    tree: HierarchyTree,
+    records: Sequence[OperationalRecord],
+    clock: SimulationClock,
+    num_units: int,
+) -> dict[int, LevelCCDF]:
+    """Fig. 1 curves for every level of the hierarchy (depth 0 = root)."""
+    return {
+        depth: level_ccdf(tree, records, clock, num_units, depth)
+        for depth in range(tree.depth)
+    }

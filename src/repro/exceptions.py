@@ -1,0 +1,68 @@
+"""Exception hierarchy for the Tiresias reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration problems from data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object or parameter is invalid or inconsistent."""
+
+
+class HierarchyError(ReproError):
+    """A hierarchical domain or category path is malformed."""
+
+
+class UnknownCategoryError(HierarchyError):
+    """A record's category path does not map to any leaf in the hierarchy."""
+
+    def __init__(self, category: tuple[str, ...]):
+        super().__init__(f"category path {category!r} is not a leaf of the hierarchy")
+        self.category = tuple(category)
+
+
+class StreamError(ReproError):
+    """The input stream violates an ordering or format invariant."""
+
+
+class OutOfOrderRecordError(StreamError):
+    """A record arrived with a timestamp earlier than the current window start."""
+
+    def __init__(self, timestamp: float, window_start: float):
+        super().__init__(
+            f"record timestamp {timestamp} precedes the current window start "
+            f"{window_start}; streams must be (approximately) time ordered"
+        )
+        self.timestamp = timestamp
+        self.window_start = window_start
+
+
+class ForecastingError(ReproError):
+    """A forecasting model was used before initialization or with bad input."""
+
+
+class NotEnoughHistoryError(ForecastingError):
+    """The history series is too short to initialize the forecasting model."""
+
+    def __init__(self, needed: int, available: int):
+        super().__init__(
+            f"forecasting model requires at least {needed} history points, "
+            f"got {available}"
+        )
+        self.needed = needed
+        self.available = available
+
+
+class DetectionError(ReproError):
+    """The anomaly detector was invoked in an invalid state."""
+
+
+class DataGenerationError(ReproError):
+    """A synthetic dataset generator was configured inconsistently."""

@@ -1,0 +1,106 @@
+"""Forecast error metrics and offline parameter selection.
+
+The paper selects Holt-Winters smoothing parameters offline by minimizing the
+mean squared forecast error on a training window (Section VII, "System
+parameters").  This module provides the error metrics and a small grid-search
+helper used by the benchmarks and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Callable, Iterable, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.forecasting.base import Forecaster
+
+
+def mean_squared_error(actual: Sequence[float], forecast: Sequence[float]) -> float:
+    """Mean of squared forecast errors over aligned series."""
+    _check_aligned(actual, forecast)
+    if not actual:
+        return 0.0
+    return sum((a - f) ** 2 for a, f in zip(actual, forecast)) / len(actual)
+
+
+def mean_absolute_error(actual: Sequence[float], forecast: Sequence[float]) -> float:
+    """Mean of absolute forecast errors over aligned series."""
+    _check_aligned(actual, forecast)
+    if not actual:
+        return 0.0
+    return sum(abs(a - f) for a, f in zip(actual, forecast)) / len(actual)
+
+
+def mean_absolute_percentage_error(
+    actual: Sequence[float], forecast: Sequence[float], epsilon: float = 1e-9
+) -> float:
+    """MAPE with an epsilon floor to tolerate zero actual values."""
+    _check_aligned(actual, forecast)
+    if not actual:
+        return 0.0
+    return sum(
+        abs(a - f) / max(abs(a), epsilon) for a, f in zip(actual, forecast)
+    ) / len(actual)
+
+
+def _check_aligned(actual: Sequence[float], forecast: Sequence[float]) -> None:
+    if len(actual) != len(forecast):
+        raise ConfigurationError(
+            f"actual ({len(actual)}) and forecast ({len(forecast)}) series "
+            f"must have the same length"
+        )
+
+
+@dataclass(frozen=True)
+class GridSearchResult:
+    """Best parameter combination found by :func:`grid_search_parameters`."""
+
+    params: dict[str, float]
+    score: float
+    evaluated: int
+
+
+def grid_search_parameters(
+    series: Sequence[float],
+    factory: Callable[..., Forecaster],
+    grid: dict[str, Iterable[float]],
+    metric: Callable[[Sequence[float], Sequence[float]], float] = mean_squared_error,
+) -> GridSearchResult:
+    """Pick the forecaster parameters minimizing ``metric`` on ``series``.
+
+    Parameters
+    ----------
+    series:
+        Training series (oldest first).  Each candidate model is initialized
+        on its ``min_history`` prefix and evaluated on one-step-ahead
+        forecasts for the remainder.
+    factory:
+        Callable building a fresh forecaster from keyword parameters, e.g.
+        ``lambda alpha, gamma: HoltWintersForecaster(alpha=alpha, gamma=gamma,
+        season_length=96)``.
+    grid:
+        Mapping from parameter name to the candidate values to sweep.
+    metric:
+        Error metric to minimize.
+    """
+    if not grid:
+        raise ConfigurationError("grid_search_parameters needs at least one parameter")
+    names = sorted(grid)
+    best: GridSearchResult | None = None
+    evaluated = 0
+    for values in product(*(list(grid[name]) for name in names)):
+        params = dict(zip(names, values))
+        model = factory(**params)
+        if len(series) <= model.min_history:
+            raise ConfigurationError(
+                f"training series of length {len(series)} is too short for a "
+                f"model needing {model.min_history} history points"
+            )
+        forecasts = model.run(series)
+        score = metric(series[model.min_history:], forecasts)
+        evaluated += 1
+        if best is None or score < best.score:
+            best = GridSearchResult(params=params, score=score, evaluated=evaluated)
+    assert best is not None
+    return GridSearchResult(best.params, best.score, evaluated)

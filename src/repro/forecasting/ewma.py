@@ -1,0 +1,120 @@
+"""Exponentially weighted moving average forecaster.
+
+The paper uses EWMA twice: as the simple (non-seasonal) baseline forecaster
+discussed in Section VI, and as the smoothing behind the ``EWMA`` split rule
+and the split-error analysis of Fig. 9 (``F[t] = α T[t-1] + (1-α) F[t-1]``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError, NotEnoughHistoryError
+from repro.forecasting.base import Forecaster
+
+
+class EWMAForecaster(Forecaster):
+    """One-step-ahead EWMA forecast.
+
+    Parameters
+    ----------
+    alpha:
+        Smoothing rate in (0, 1].  Higher values weight recent observations
+        more heavily.
+    """
+
+    def __init__(self, alpha: float = 0.5):
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._level: float | None = None
+
+    @property
+    def min_history(self) -> int:
+        return 1
+
+    @property
+    def level(self) -> float | None:
+        """Current smoothed level (``None`` before initialization)."""
+        return self._level
+
+    def initialize(self, history: Sequence[float]) -> None:
+        if len(history) < self.min_history:
+            raise NotEnoughHistoryError(self.min_history, len(history))
+        self._level = float(history[0])
+        for value in history[1:]:
+            self.update(value)
+
+    def forecast(self) -> float:
+        if self._level is None:
+            raise NotEnoughHistoryError(self.min_history, 0)
+        return self._level
+
+    def update(self, value: float) -> float:
+        if self._level is None:
+            self._level = float(value)
+            return float(value)
+        predicted = self._level
+        self._level = self.alpha * float(value) + (1.0 - self.alpha) * self._level
+        return predicted
+
+
+def ewma_series(values: Sequence[float], alpha: float, initial: float | None = None) -> list[float]:
+    """Exponentially smoothed series of ``values``.
+
+    ``result[i]`` is the smoothed estimate after observing ``values[:i+1]``.
+    This is the quantity the ``EWMA`` split rule maintains per node.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+    smoothed: list[float] = []
+    level = initial
+    for value in values:
+        level = float(value) if level is None else alpha * float(value) + (1 - alpha) * level
+        smoothed.append(level)
+    return smoothed
+
+
+def split_bias_relative_error(
+    alpha: float, bias: float, horizon: int, actual: Sequence[float] | None = None
+) -> list[float]:
+    """Relative forecast error after a biased split, per the paper's Eq. (1)-(2).
+
+    A split at time ``t`` perturbs the forecast by ``bias`` (ξ).  With EWMA
+    smoothing the perturbation decays as ``(1-α)^(k-1)``, so the relative
+    error ``RE[t+k]`` decreases exponentially in ``k`` (Fig. 9).
+
+    Parameters
+    ----------
+    alpha:
+        EWMA smoothing rate.
+    bias:
+        Initial forecast bias ξ, in the same units as the series.
+    horizon:
+        Number of iterations k to evaluate (k = 1..horizon).
+    actual:
+        The true series ``T[t+1..t+horizon]``.  Defaults to a constant series
+        of ones, matching the figure's setting ``T[i] = 1``.
+
+    Returns
+    -------
+    list of ``RE[t+k]`` for k = 1..horizon.
+    """
+    if horizon < 1:
+        raise ConfigurationError(f"horizon must be >= 1, got {horizon}")
+    if actual is None:
+        actual = [1.0] * horizon
+    if len(actual) < horizon:
+        raise ConfigurationError("actual series shorter than the requested horizon")
+    # Unbiased and biased forecasts evolve with identical smoothing of the
+    # same actual values, so their difference is exactly (1-alpha)^(k-1) * bias.
+    errors: list[float] = []
+    true_forecast = float(actual[0])
+    biased_forecast = true_forecast + bias
+    for k in range(1, horizon + 1):
+        relative = abs(biased_forecast - true_forecast) / abs(true_forecast) if true_forecast else float("inf")
+        errors.append(relative)
+        value = float(actual[k - 1])
+        true_forecast = alpha * value + (1 - alpha) * true_forecast
+        biased_forecast = alpha * value + (1 - alpha) * biased_forecast
+    return errors

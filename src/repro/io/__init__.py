@@ -1,0 +1,11 @@
+"""Trace persistence: CSV and JSON Lines readers/writers for operational records."""
+
+from repro.io.csv_io import read_records_csv, write_records_csv
+from repro.io.jsonl_io import read_records_jsonl, write_records_jsonl
+
+__all__ = [
+    "read_records_csv",
+    "write_records_csv",
+    "read_records_jsonl",
+    "write_records_jsonl",
+]

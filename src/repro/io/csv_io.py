@@ -1,0 +1,72 @@
+"""CSV trace readers and writers.
+
+Operational records are persisted as flat CSV with a timestamp column and one
+column per hierarchy level (empty cells for levels deeper than the record's
+category).  This mirrors how care-call and crash-log exports typically look
+and keeps the traces diffable and spreadsheet-friendly.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.exceptions import StreamError
+from repro.streaming.record import OperationalRecord
+
+#: Column used for the record timestamp.
+TIMESTAMP_COLUMN = "timestamp"
+#: Prefix of the per-level category columns (level1, level2, ...).
+LEVEL_COLUMN_PREFIX = "level"
+
+
+def write_records_csv(
+    records: Iterable[OperationalRecord], path: str | Path, max_depth: int | None = None
+) -> int:
+    """Write ``records`` to ``path``; returns the number of rows written.
+
+    ``max_depth`` fixes the number of level columns; when omitted the records
+    are materialized first to find the deepest category.
+    """
+    records = list(records)
+    if max_depth is None:
+        max_depth = max((len(r.category) for r in records), default=1)
+    fieldnames = [TIMESTAMP_COLUMN] + [
+        f"{LEVEL_COLUMN_PREFIX}{i}" for i in range(1, max_depth + 1)
+    ]
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for record in records:
+            row = {TIMESTAMP_COLUMN: repr(record.timestamp)}
+            for i, label in enumerate(record.category, start=1):
+                if i > max_depth:
+                    break
+                row[f"{LEVEL_COLUMN_PREFIX}{i}"] = label
+            writer.writerow(row)
+    return len(records)
+
+
+def read_records_csv(path: str | Path) -> Iterator[OperationalRecord]:
+    """Yield records from a CSV written by :func:`write_records_csv`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or TIMESTAMP_COLUMN not in reader.fieldnames:
+            raise StreamError(f"{path} is missing the {TIMESTAMP_COLUMN!r} column")
+        level_columns = sorted(
+            (name for name in reader.fieldnames if name.startswith(LEVEL_COLUMN_PREFIX)),
+            key=lambda name: int(name[len(LEVEL_COLUMN_PREFIX):]),
+        )
+        for row in reader:
+            labels = []
+            for column in level_columns:
+                value = (row.get(column) or "").strip()
+                if not value:
+                    break
+                labels.append(value)
+            if not labels:
+                raise StreamError(f"{path}: row with no category labels: {row!r}")
+            yield OperationalRecord.create(float(row[TIMESTAMP_COLUMN]), labels)

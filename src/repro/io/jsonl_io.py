@@ -1,0 +1,41 @@
+"""JSON Lines trace readers and writers.
+
+JSONL keeps the record's free-form ``attributes`` mapping (customer index,
+injected-anomaly labels, ...) that the flat CSV format drops, so it is the
+format of choice for traces with ground-truth annotations.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.exceptions import StreamError
+from repro.streaming.record import OperationalRecord
+
+
+def write_records_jsonl(records: Iterable[OperationalRecord], path: str | Path) -> int:
+    """Write one JSON object per record; returns the number of rows written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_records_jsonl(path: str | Path) -> Iterator[OperationalRecord]:
+    """Yield records from a JSONL file written by :func:`write_records_jsonl`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise StreamError(f"{path}:{line_number}: invalid JSON: {exc}") from exc
+            yield OperationalRecord.from_dict(data)

@@ -1,0 +1,24 @@
+"""Streaming substrate: records, streams, clocks and the sliding window.
+
+Implements the paper's input abstraction (Section III) and Step 1 of the
+system overview (Fig. 3(a)-(b)): operational records ``(category, time)``
+arrive as a time-ordered stream and are classified into fixed-width timeunits
+inside a sliding window of ℓ units.
+"""
+
+from repro.streaming.clock import DAY, HOUR, MINUTE, WEEK, SimulationClock
+from repro.streaming.record import OperationalRecord
+from repro.streaming.stream import InputStream
+from repro.streaming.window import SlidingWindow, Timeunit
+
+__all__ = [
+    "OperationalRecord",
+    "InputStream",
+    "SimulationClock",
+    "SlidingWindow",
+    "Timeunit",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+]

@@ -1,0 +1,101 @@
+"""Input stream abstraction (the paper's ``S = s0, s1, ...``).
+
+Tiresias consumes operational data as an ordered stream of records.  This
+module provides a thin iterator wrapper that checks (approximate) time order,
+merges several sources, and batches records per time instance the way the
+online system receives "data lists" (Fig. 3(a)).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, Sequence
+
+from repro._types import Timestamp
+from repro.exceptions import StreamError
+from repro.streaming.record import OperationalRecord
+
+
+class InputStream:
+    """An ordered stream of :class:`OperationalRecord` items.
+
+    Parameters
+    ----------
+    records:
+        Iterable of records.  The stream validates non-decreasing timestamps
+        up to ``tolerance`` seconds of jitter (real operational feeds arrive
+        slightly out of order; the window assigns them to timeunits by
+        timestamp anyway).
+    tolerance:
+        Maximum allowed backwards jump in timestamps.
+    """
+
+    def __init__(self, records: Iterable[OperationalRecord], tolerance: float = 0.0):
+        self._records = iter(records)
+        self.tolerance = tolerance
+        self._last_ts: Timestamp | None = None
+        self._count = 0
+
+    def __iter__(self) -> Iterator[OperationalRecord]:
+        return self
+
+    def __next__(self) -> OperationalRecord:
+        record = next(self._records)
+        if self._last_ts is not None and record.timestamp < self._last_ts - self.tolerance:
+            raise StreamError(
+                f"stream went backwards in time: {record.timestamp} after "
+                f"{self._last_ts} (tolerance {self.tolerance}s)"
+            )
+        self._last_ts = max(self._last_ts or record.timestamp, record.timestamp)
+        self._count += 1
+        return record
+
+    @property
+    def records_seen(self) -> int:
+        """Number of records already consumed from the stream."""
+        return self._count
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sorted(cls, records: Sequence[OperationalRecord]) -> "InputStream":
+        """Stream over an already materialized list, sorting it by time."""
+        return cls(sorted(records))
+
+    @classmethod
+    def merge(cls, *streams: Iterable[OperationalRecord]) -> "InputStream":
+        """Merge several time-ordered sources into one ordered stream.
+
+        This mirrors combining the trouble-description feed and the network
+        path feed, or feeds from different VHO regions, into a single stream.
+        """
+        merged = heapq.merge(*streams, key=lambda r: r.timestamp)
+        return cls(merged)
+
+    # ------------------------------------------------------------------
+    # Batching
+    # ------------------------------------------------------------------
+    def batches(self, period: float, start: Timestamp | None = None) -> Iterator[
+        tuple[Timestamp, list[OperationalRecord]]
+    ]:
+        """Group the stream into consecutive arrival batches of ``period`` seconds.
+
+        Yields ``(batch_end_time, records)`` pairs, including empty batches, so
+        that the online pipeline advances its time instance even when no data
+        arrives (quiet periods are exactly when the forecast must keep moving).
+        """
+        if period <= 0:
+            raise StreamError(f"batch period must be positive, got {period}")
+        batch_start: Timestamp | None = start
+        batch: list[OperationalRecord] = []
+        for record in self:
+            if batch_start is None:
+                batch_start = record.timestamp
+            while record.timestamp >= batch_start + period:
+                yield batch_start + period, batch
+                batch = []
+                batch_start += period
+            batch.append(record)
+        if batch_start is not None:
+            yield batch_start + period, batch

@@ -1,0 +1,177 @@
+"""Sliding time window / timeunit classification (Step 1 of the system).
+
+The window groups arriving records into ``num_units`` (the paper's ℓ)
+consecutive timeunits of width ``delta`` (Δ).  The most recent unit is the
+*detection period*, the remaining units are the *history period* used for
+forecasting (Fig. 3(b)).  Shifting the window by the time increment ς drops
+the oldest unit(s) and opens new empty ones.
+
+The window only tracks per-leaf counts per timeunit; the hierarchy aggregation
+is done by the HHH algorithms in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, Iterator
+
+from repro._types import CategoryPath, Timestamp, TimeunitIndex
+from repro.exceptions import ConfigurationError, OutOfOrderRecordError
+from repro.streaming.clock import SimulationClock
+from repro.streaming.record import OperationalRecord
+
+
+@dataclass
+class Timeunit:
+    """Per-leaf counts for one timeunit."""
+
+    index: TimeunitIndex
+    counts: Counter
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def count(self, category: CategoryPath) -> int:
+        return self.counts.get(tuple(category), 0)
+
+
+class SlidingWindow:
+    """A window of ℓ timeunits over the record stream.
+
+    Parameters
+    ----------
+    clock:
+        The simulation clock defining the timeunit width Δ and epoch.
+    num_units:
+        ℓ, the number of timeunits kept in the window (history + detection).
+    allow_late:
+        When ``True`` (default), records that fall before the window's oldest
+        unit are silently dropped (they cannot influence detection anymore);
+        when ``False`` such records raise :class:`OutOfOrderRecordError`.
+    """
+
+    def __init__(self, clock: SimulationClock, num_units: int, allow_late: bool = True):
+        if num_units < 2:
+            raise ConfigurationError(
+                f"the window needs at least 2 timeunits (history + detection), "
+                f"got {num_units}"
+            )
+        self.clock = clock
+        self.num_units = num_units
+        self.allow_late = allow_late
+        self._units: Deque[Timeunit] = deque()
+        self._dropped_late = 0
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return not self._units
+
+    @property
+    def newest_index(self) -> TimeunitIndex:
+        if not self._units:
+            raise ConfigurationError("the window has not ingested any data yet")
+        return self._units[-1].index
+
+    @property
+    def oldest_index(self) -> TimeunitIndex:
+        if not self._units:
+            raise ConfigurationError("the window has not ingested any data yet")
+        return self._units[0].index
+
+    @property
+    def dropped_late_records(self) -> int:
+        """Number of records dropped because they fell before the window."""
+        return self._dropped_late
+
+    @property
+    def detection_unit(self) -> Timeunit:
+        """The most recent timeunit (the paper's detection period)."""
+        if not self._units:
+            raise ConfigurationError("the window has not ingested any data yet")
+        return self._units[-1]
+
+    def history_units(self) -> list[Timeunit]:
+        """All timeunits except the detection unit, oldest first."""
+        return list(self._units)[:-1]
+
+    def units(self) -> list[Timeunit]:
+        """All timeunits currently in the window, oldest first."""
+        return list(self._units)
+
+    def __len__(self) -> int:
+        return len(self._units)
+
+    def __iter__(self) -> Iterator[Timeunit]:
+        return iter(self._units)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def advance_to(self, timestamp: Timestamp) -> int:
+        """Open (empty) timeunits up to the one containing ``timestamp``.
+
+        Returns the number of new timeunits created.  Old units beyond ℓ are
+        evicted from the left.
+        """
+        target = self.clock.timeunit_of(timestamp)
+        created = 0
+        if not self._units:
+            self._units.append(Timeunit(target, Counter()))
+            created += 1
+        while self._units[-1].index < target:
+            self._units.append(Timeunit(self._units[-1].index + 1, Counter()))
+            created += 1
+            if len(self._units) > self.num_units:
+                self._units.popleft()
+        return created
+
+    def ingest(self, record: OperationalRecord) -> bool:
+        """Add one record to the timeunit containing its timestamp.
+
+        Returns ``True`` if the record was counted, ``False`` if it was late
+        and dropped.
+        """
+        self.advance_to(record.timestamp)
+        index = self.clock.timeunit_of(record.timestamp)
+        if index < self._units[0].index:
+            if self.allow_late:
+                self._dropped_late += 1
+                return False
+            raise OutOfOrderRecordError(
+                record.timestamp, self.clock.timeunit_start(self._units[0].index)
+            )
+        unit = self._units[index - self._units[0].index]
+        unit.counts[record.category] += 1
+        return True
+
+    def ingest_many(self, records: Iterable[OperationalRecord]) -> int:
+        """Ingest a batch; returns the number of records counted."""
+        counted = 0
+        for record in records:
+            if self.ingest(record):
+                counted += 1
+        return counted
+
+    # ------------------------------------------------------------------
+    # Views used by the detectors
+    # ------------------------------------------------------------------
+    def leaf_series(self, category: CategoryPath) -> list[int]:
+        """Counts of ``category`` across the window, oldest first."""
+        key = tuple(category)
+        return [unit.counts.get(key, 0) for unit in self._units]
+
+    def total_series(self) -> list[int]:
+        """Total record count per timeunit across the window, oldest first."""
+        return [unit.total for unit in self._units]
+
+    def active_categories(self) -> set[CategoryPath]:
+        """All leaf categories with at least one record in the window."""
+        active: set[CategoryPath] = set()
+        for unit in self._units:
+            active.update(unit.counts.keys())
+        return active

@@ -1,0 +1,69 @@
+"""Unit tests for :mod:`repro.baselines.offline_hhd`."""
+
+import pytest
+
+from repro.baselines.offline_hhd import offline_hhd
+from repro.core.hhh import compute_shhh
+from repro.exceptions import ConfigurationError
+from repro.hierarchy.tree import HierarchyTree
+from repro.streaming.clock import SimulationClock
+from repro.streaming.record import OperationalRecord
+
+
+@pytest.fixture
+def tree():
+    return HierarchyTree.from_leaf_paths([("a", "a1"), ("a", "a2"), ("b", "b1")])
+
+
+@pytest.fixture
+def clock():
+    return SimulationClock(delta=100.0)
+
+
+def burst(leaf, unit, count, delta=100.0):
+    return [
+        OperationalRecord.create(unit * delta + i * delta / (count + 1), leaf)
+        for i in range(count)
+    ]
+
+
+class TestOfflineHHD:
+    def test_per_unit_sets_match_direct_computation(self, tree, clock):
+        records = burst(("a", "a1"), 0, 8) + burst(("b", "b1"), 1, 6)
+        result = offline_hhd(tree, records, clock, theta=5.0)
+        assert result.num_units == 2
+        assert result.per_unit[0].shhh == compute_shhh(tree, {("a", "a1"): 8}, 5.0).shhh
+        assert result.per_unit[1].shhh == compute_shhh(tree, {("b", "b1"): 6}, 5.0).shhh
+
+    def test_empty_units_in_the_middle_are_included(self, tree, clock):
+        records = burst(("a", "a1"), 0, 8) + burst(("a", "a1"), 3, 8)
+        result = offline_hhd(tree, records, clock, theta=5.0)
+        assert result.num_units == 4
+        assert result.per_unit[1].shhh == frozenset()
+        assert result.per_unit[2].shhh == frozenset()
+
+    def test_long_term_threshold_defaults_to_scaled_theta(self, tree, clock):
+        # 6 records per unit over 4 units: per-unit heavy with theta=5, and the
+        # whole-batch total (24) exactly reaches the scaled threshold 5*4=20.
+        records = []
+        for unit in range(4):
+            records += burst(("a", "a1"), unit, 6)
+        result = offline_hhd(tree, records, clock, theta=5.0)
+        assert ("a", "a1") in result.long_term.shhh
+
+    def test_explicit_long_term_threshold(self, tree, clock):
+        records = burst(("a", "a1"), 0, 3) + burst(("a", "a2"), 1, 3)
+        result = offline_hhd(tree, records, clock, theta=5.0, long_term_theta=6.0)
+        # Neither leaf reaches 6 over the batch, so the parent aggregates them.
+        assert result.long_term.shhh == frozenset({("a",)})
+
+    def test_heavy_hitter_sets_helper(self, tree, clock):
+        records = burst(("a", "a1"), 0, 8)
+        result = offline_hhd(tree, records, clock, theta=5.0)
+        assert result.heavy_hitter_sets() == [frozenset({("a", "a1")})]
+
+    def test_validation(self, tree, clock):
+        with pytest.raises(ConfigurationError):
+            offline_hhd(tree, [], clock, theta=5.0)
+        with pytest.raises(ConfigurationError):
+            offline_hhd(tree, burst(("a", "a1"), 0, 2), clock, theta=0.0)

@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite.
+
+Most tests use a small, fully deterministic hierarchy (two levels below the
+root, twelve leaves) so that heavy hitter computations can be checked by
+hand, plus small Tiresias configurations with short windows and short
+seasonal periods that keep the online algorithms fast.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import ForecastConfig, TiresiasConfig
+from repro.hierarchy.tree import HierarchyTree
+from repro.streaming.clock import SimulationClock
+
+
+@pytest.fixture
+def small_tree() -> HierarchyTree:
+    """A 3-level hierarchy: root -> 3 regions -> 4 sites each (12 leaves)."""
+    paths = [
+        (f"region-{r}", f"site-{r}{s}")
+        for r in range(3)
+        for s in range(4)
+    ]
+    return HierarchyTree.from_leaf_paths(paths, root_label="All")
+
+
+@pytest.fixture
+def deep_tree() -> HierarchyTree:
+    """A 5-level hierarchy mirroring the CCD network path shape (small)."""
+    paths = []
+    for vho in range(2):
+        for io in range(2):
+            for co in range(3):
+                for dslam in range(2):
+                    paths.append(
+                        (f"vho-{vho}", f"io-{vho}{io}", f"co-{vho}{io}{co}", f"dslam-{vho}{io}{co}{dslam}")
+                    )
+    return HierarchyTree.from_leaf_paths(paths, root_label="SHO")
+
+
+@pytest.fixture
+def fast_config() -> TiresiasConfig:
+    """A small-window configuration for quick online runs in tests."""
+    return TiresiasConfig(
+        theta=5.0,
+        ratio_threshold=2.0,
+        difference_threshold=4.0,
+        delta_seconds=900.0,
+        window_units=48,
+        split_rule="long-term-history",
+        reference_levels=1,
+        forecast=ForecastConfig(season_lengths=(8,), fallback_alpha=0.3),
+    )
+
+
+@pytest.fixture
+def clock() -> SimulationClock:
+    return SimulationClock(delta=900.0, epoch=0.0, epoch_weekday=0, epoch_hour=0.0)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+def leaf_counts_for(tree: HierarchyTree, counts: dict[tuple[str, ...], int]):
+    """Helper: validate that the given paths are leaves and return the mapping."""
+    for path in counts:
+        assert tree.has_leaf(path), f"{path} is not a leaf of the test tree"
+    return counts

@@ -1,0 +1,202 @@
+"""Unit tests for :mod:`repro.core.ada` (the adaptive algorithm, §V-B)."""
+
+import pytest
+
+from repro.core.ada import ADAAlgorithm, nearest_tracked_node
+from repro.core.config import ForecastConfig, TiresiasConfig
+from repro.core.hhh import compute_shhh
+from repro.core.sta import STAAlgorithm
+from repro.hierarchy.tree import HierarchyTree
+
+
+@pytest.fixture
+def tree():
+    return HierarchyTree.from_leaf_paths(
+        [("a", "a1"), ("a", "a2"), ("b", "b1"), ("b", "b2")]
+    )
+
+
+def make_config(**overrides):
+    defaults = dict(
+        theta=5.0,
+        ratio_threshold=2.0,
+        difference_threshold=4.0,
+        window_units=16,
+        track_root=False,
+        reference_levels=1,
+        split_rule="long-term-history",
+        forecast=ForecastConfig(season_lengths=(4,), fallback_alpha=0.5),
+    )
+    defaults.update(overrides)
+    return TiresiasConfig(**defaults)
+
+
+class TestHeavyHitterCorrectness:
+    """Lemma 1: ADA tracks exactly the Definition-2 heavy hitter set."""
+
+    def test_heavy_hitters_match_definition_every_unit(self, tree):
+        ada = ADAAlgorithm(tree, make_config())
+        scenarios = [
+            {("a", "a1"): 8},
+            {("a", "a1"): 2, ("a", "a2"): 2, ("b", "b1"): 3},
+            {("b", "b1"): 9, ("b", "b2"): 6},
+            {},
+            {("a", "a1"): 3, ("a", "a2"): 3},
+            {("a", "a1"): 20, ("a", "a2"): 20, ("b", "b1"): 20},
+        ]
+        for counts in scenarios:
+            result = ada.process_timeunit(counts)
+            expected = compute_shhh(tree, counts, ada.config.theta).shhh
+            assert result.heavy_hitters == expected
+
+    def test_every_heavy_hitter_has_a_series(self, tree):
+        ada = ADAAlgorithm(tree, make_config())
+        for counts in ({("a", "a1"): 8}, {("a", "a1"): 3, ("a", "a2"): 3}, {("b", "b1"): 7}):
+            result = ada.process_timeunit(counts)
+            for path in result.heavy_hitters:
+                assert path in ada.series
+                assert len(ada.series[path]) >= 1
+
+    def test_track_root_keeps_root_series(self, tree):
+        ada = ADAAlgorithm(tree, make_config(theta=100.0, track_root=True))
+        result = ada.process_timeunit({("a", "a1"): 1})
+        assert () in result.heavy_hitters
+        assert () in ada.series
+
+
+class TestSplitAndMerge:
+    def test_split_moves_series_down_when_child_becomes_heavy(self, tree):
+        ada = ADAAlgorithm(tree, make_config())
+        # Parent 'a' is the heavy hitter while weight is spread over children.
+        for _ in range(5):
+            ada.process_timeunit({("a", "a1"): 3, ("a", "a2"): 3})
+        assert ("a",) in ada.series
+        # Now a1 alone becomes heavy: the series must move down to a1.
+        result = ada.process_timeunit({("a", "a1"): 9, ("a", "a2"): 1})
+        assert ("a", "a1") in result.heavy_hitters
+        assert ("a", "a1") in ada.series
+        assert ada.split_operations >= 1
+        # The child's adapted series has inherited history (not just one point).
+        assert len(ada.series[("a", "a1")]) > 1
+
+    def test_merge_moves_series_up_when_children_cool_down(self, tree):
+        ada = ADAAlgorithm(tree, make_config())
+        for _ in range(5):
+            ada.process_timeunit({("a", "a1"): 9, ("a", "a2"): 8})
+        assert ("a", "a1") in ada.series and ("a", "a2") in ada.series
+        # Activity collapses onto the parent (spread thin over both children).
+        result = ada.process_timeunit({("a", "a1"): 3, ("a", "a2"): 3})
+        assert result.heavy_hitters == frozenset({("a",)})
+        assert ("a",) in ada.series
+        assert ("a", "a1") not in ada.series
+        assert ada.merge_operations >= 1
+        # Merged history keeps the children's past mass.
+        assert len(ada.series[("a",)]) > 1
+
+    def test_series_dropped_when_no_heavy_ancestor(self, tree):
+        ada = ADAAlgorithm(tree, make_config())
+        for _ in range(3):
+            ada.process_timeunit({("a", "a1"): 9})
+        result = ada.process_timeunit({})
+        assert result.heavy_hitters == frozenset()
+        assert ada.series == {}
+
+    def test_split_conserves_total_history_mass(self, tree):
+        config = make_config(reference_levels=0)
+        ada = ADAAlgorithm(tree, config)
+        for _ in range(6):
+            ada.process_timeunit({("a", "a1"): 4, ("a", "a2"): 4})
+        parent_mass = sum(ada.series[("a",)].actual)
+        ada.process_timeunit({("a", "a1"): 12, ("a", "a2"): 12})
+        # Splitting distributes the parent's history among descendants; the
+        # total retained history mass (excluding the new appends) must equal
+        # the parent's prior mass.
+        total = sum(sum(list(s.actual)[:-1]) for s in ada.series.values())
+        assert total == pytest.approx(parent_mass, rel=1e-9)
+
+
+class TestReferenceSeries:
+    def test_reference_series_maintained_for_top_levels(self, tree):
+        ada = ADAAlgorithm(tree, make_config(reference_levels=1))
+        for _ in range(4):
+            ada.process_timeunit({("a", "a1"): 3, ("b", "b1"): 2})
+        assert ("a",) in ada.reference
+        assert ("b",) in ada.reference
+        assert list(ada.reference[("a",)]) == [3.0] * 4
+        # Reference series hold unmodified weights and exist regardless of
+        # heavy hitter status.
+        assert ("a", "a1") not in ada.reference
+
+    def test_reference_levels_zero_disables_reference(self, tree):
+        ada = ADAAlgorithm(tree, make_config(reference_levels=0))
+        ada.process_timeunit({("a", "a1"): 3})
+        assert ada.reference == {}
+
+    def test_reference_correction_improves_split_accuracy(self, tree):
+        """With h=1, a split onto a level-1 node snaps to its true history."""
+        counts_sequence = [{("a", "a1"): 2, ("b", "b1"): 6}] * 6 + [
+            {("a", "a1"): 7, ("b", "b1"): 6}
+        ]
+        errors = {}
+        for h in (0, 1):
+            ada = ADAAlgorithm(tree, make_config(reference_levels=h, theta=5.0))
+            sta = STAAlgorithm(tree, make_config(reference_levels=h, theta=5.0))
+            for counts in counts_sequence:
+                ada.process_timeunit(counts)
+                sta.process_timeunit(counts)
+            exact = sta.series_for(("a",)) if ("a",) in sta.last_result.heavy_hitters else None
+            approx = ada.series_for(("a",))
+            if exact and approx:
+                length = min(len(exact), len(approx))
+                errors[h] = sum(
+                    abs(x - y) for x, y in zip(exact[-length:], approx[-length:])
+                )
+        if 0 in errors and 1 in errors:
+            assert errors[1] <= errors[0] + 1e-9
+
+
+class TestDetectionAndIntrospection:
+    def test_spike_detected(self, tree):
+        ada = ADAAlgorithm(tree, make_config())
+        for _ in range(10):
+            ada.process_timeunit({("a", "a1"): 6})
+        result = ada.process_timeunit({("a", "a1"): 40})
+        assert any(a.node_path == ("a", "a1") for a in result.anomalies)
+
+    def test_memory_smaller_than_sta_after_long_run(self, tree):
+        # Activity is spread thinly over every leaf: STA stores per-unit
+        # weights for all touched nodes across the whole window, while ADA
+        # only keeps the (single) heavy hitter's series plus reference series.
+        config = make_config(window_units=32)
+        ada = ADAAlgorithm(tree, config)
+        sta = STAAlgorithm(tree, config)
+        counts = {("a", "a1"): 2, ("a", "a2"): 2, ("b", "b1"): 2, ("b", "b2"): 2}
+        for _ in range(40):
+            ada.process_timeunit(counts)
+            sta.process_timeunit(counts)
+        assert ada.memory_units() < sta.memory_units()
+
+    def test_stage_timers_populated(self, tree):
+        ada = ADAAlgorithm(tree, make_config())
+        ada.process_timeunit({("a", "a1"): 6})
+        assert ada.stage_seconds["updating_hierarchies"] >= 0.0
+        assert ada.stage_seconds["creating_time_series"] > 0.0
+
+    def test_series_for_unknown_path_is_empty(self, tree):
+        ada = ADAAlgorithm(tree, make_config())
+        assert ada.series_for(("nope",)) == []
+
+
+class TestNearestTrackedNode:
+    def test_finds_deepest_tracked_ancestor(self, tree):
+        tracked = {(), ("a",)}
+        node = nearest_tracked_node(tree, ("a", "a1"), tracked)
+        assert node.path == ("a",)
+
+    def test_returns_none_when_nothing_tracked(self, tree):
+        assert nearest_tracked_node(tree, ("a", "a1"), set()) is None
+
+    def test_exact_match_preferred(self, tree):
+        tracked = {("a",), ("a", "a1")}
+        node = nearest_tracked_node(tree, ("a", "a1"), tracked)
+        assert node.path == ("a", "a1")

@@ -1,0 +1,108 @@
+"""Unit tests for :mod:`repro.core.sta` (the strawman algorithm)."""
+
+import pytest
+
+from repro.core.config import ForecastConfig, TiresiasConfig
+from repro.core.hhh import compute_shhh
+from repro.core.sta import STAAlgorithm
+from repro.hierarchy.tree import HierarchyTree
+
+
+@pytest.fixture
+def tree():
+    return HierarchyTree.from_leaf_paths(
+        [("a", "a1"), ("a", "a2"), ("b", "b1"), ("b", "b2")]
+    )
+
+
+@pytest.fixture
+def config():
+    return TiresiasConfig(
+        theta=5.0,
+        ratio_threshold=2.0,
+        difference_threshold=4.0,
+        window_units=16,
+        track_root=False,
+        forecast=ForecastConfig(season_lengths=(4,), fallback_alpha=0.5),
+    )
+
+
+class TestHeavyHitterTracking:
+    def test_heavy_hitters_match_offline_definition(self, tree, config):
+        sta = STAAlgorithm(tree, config)
+        counts_sequence = [
+            {("a", "a1"): 8},
+            {("a", "a1"): 2, ("a", "a2"): 2, ("b", "b1"): 3},
+            {("b", "b1"): 9, ("b", "b2"): 6},
+        ]
+        for counts in counts_sequence:
+            result = sta.process_timeunit(counts)
+            expected = compute_shhh(tree, counts, config.theta).shhh
+            assert result.heavy_hitters == expected
+
+    def test_timeunit_counter_increments(self, tree, config):
+        sta = STAAlgorithm(tree, config)
+        sta.process_timeunit({("a", "a1"): 8})
+        result = sta.process_timeunit({("a", "a1"): 8})
+        assert result.timeunit == 1
+        assert sta.current_timeunit == 1
+
+    def test_track_root_forces_root_series(self, tree):
+        config = TiresiasConfig(
+            theta=50.0, window_units=8, track_root=True,
+            forecast=ForecastConfig(season_lengths=(4,)),
+        )
+        sta = STAAlgorithm(tree, config)
+        result = sta.process_timeunit({("a", "a1"): 1})
+        assert () in result.heavy_hitters
+
+
+class TestSeriesReconstruction:
+    def test_series_covers_window_history(self, tree, config):
+        sta = STAAlgorithm(tree, config)
+        for value in (6, 7, 8):
+            sta.process_timeunit({("a", "a1"): value})
+        series = sta.series_for(("a", "a1"))
+        assert series == [6.0, 7.0, 8.0]
+
+    def test_series_discounts_heavy_children(self, tree, config):
+        sta = STAAlgorithm(tree, config)
+        # a1 is heavy (8), a2 light (3): parent 'a' series must only count a2.
+        sta.process_timeunit({("a", "a1"): 8, ("a", "a2"): 3})
+        series_a = sta.series_for(("a",))
+        assert series_a == [3.0]
+
+    def test_window_truncates_to_ell(self, tree, config):
+        sta = STAAlgorithm(tree, config)
+        for i in range(config.window_units + 10):
+            sta.process_timeunit({("a", "a1"): 6})
+        assert len(sta.series_for(("a", "a1"))) == config.window_units
+
+
+class TestDetection:
+    def test_spike_detected_after_stable_history(self, tree, config):
+        sta = STAAlgorithm(tree, config)
+        for _ in range(10):
+            sta.process_timeunit({("a", "a1"): 6})
+        result = sta.process_timeunit({("a", "a1"): 40})
+        assert any(a.node_path == ("a", "a1") for a in result.anomalies)
+
+    def test_no_anomaly_for_stable_series(self, tree, config):
+        sta = STAAlgorithm(tree, config)
+        results = [sta.process_timeunit({("a", "a1"): 6}) for _ in range(10)]
+        assert all(not r.anomalies for r in results[2:])
+
+    def test_stage_timers_accumulate(self, tree, config):
+        sta = STAAlgorithm(tree, config)
+        for _ in range(3):
+            sta.process_timeunit({("a", "a1"): 6})
+        assert sta.stage_seconds["creating_time_series"] > 0.0
+        assert sta.stage_seconds["updating_hierarchies"] > 0.0
+
+    def test_memory_units_grow_with_window(self, tree, config):
+        sta = STAAlgorithm(tree, config)
+        sta.process_timeunit({("a", "a1"): 6})
+        early = sta.memory_units()
+        for _ in range(10):
+            sta.process_timeunit({("a", "a1"): 6})
+        assert sta.memory_units() > early

@@ -1,0 +1,107 @@
+"""Unit tests for :mod:`repro.datagen.anomalies`."""
+
+import pytest
+
+from repro.datagen.anomalies import AnomalyInjector, InjectedAnomaly, random_injection_plan
+from repro.exceptions import DataGenerationError
+from repro.hierarchy.tree import HierarchyTree
+from repro.streaming.clock import SimulationClock
+
+
+@pytest.fixture
+def tree():
+    return HierarchyTree.from_leaf_paths(
+        [("a", "a1"), ("a", "a2"), ("b", "b1"), ("b", "b2")]
+    )
+
+
+@pytest.fixture
+def clock():
+    return SimulationClock(delta=100.0)
+
+
+class TestInjectedAnomaly:
+    def test_validation(self):
+        with pytest.raises(DataGenerationError):
+            InjectedAnomaly(("a",), start=0.0, duration=0.0, extra_rate=1.0)
+        with pytest.raises(DataGenerationError):
+            InjectedAnomaly(("a",), start=0.0, duration=10.0, extra_rate=0.0)
+
+    def test_active_window(self):
+        anomaly = InjectedAnomaly(("a",), start=100.0, duration=50.0, extra_rate=1.0)
+        assert anomaly.end == 150.0
+        assert anomaly.active_at(100.0)
+        assert anomaly.active_at(149.0)
+        assert not anomaly.active_at(150.0)
+        assert not anomaly.active_at(99.0)
+
+    def test_timeunits_overlap(self, clock):
+        anomaly = InjectedAnomaly(("a",), start=150.0, duration=100.0, extra_rate=1.0)
+        assert list(anomaly.timeunits(clock)) == [1, 2]
+
+
+class TestAnomalyInjector:
+    def test_rejects_unknown_node(self, tree):
+        bad = InjectedAnomaly(("zzz",), start=0.0, duration=10.0, extra_rate=1.0)
+        with pytest.raises(DataGenerationError):
+            AnomalyInjector(tree, [bad])
+
+    def test_records_only_in_active_units(self, tree, clock):
+        anomaly = InjectedAnomaly(("a",), start=100.0, duration=100.0, extra_rate=0.5)
+        injector = AnomalyInjector(tree, [anomaly], seed=1)
+        before = injector.records_for_unit(0.0, clock)
+        during = injector.records_for_unit(100.0, clock)
+        after = injector.records_for_unit(300.0, clock)
+        assert before == []
+        assert after == []
+        assert len(during) == pytest.approx(50, abs=15)
+
+    def test_records_target_leaves_of_subtree(self, tree, clock):
+        anomaly = InjectedAnomaly(("a",), start=0.0, duration=100.0, extra_rate=0.3)
+        injector = AnomalyInjector(tree, [anomaly], seed=2)
+        records = injector.records_for_unit(0.0, clock)
+        assert records
+        assert all(r.category[0] == "a" for r in records)
+        assert all(r.attributes.get("injected") for r in records)
+
+    def test_ground_truth_pairs(self, tree, clock):
+        anomaly = InjectedAnomaly(("b", "b1"), start=150.0, duration=100.0, extra_rate=1.0)
+        injector = AnomalyInjector(tree, [anomaly], seed=3)
+        assert injector.ground_truth(clock) == {(("b", "b1"), 1), (("b", "b1"), 2)}
+
+    def test_add_validates_node(self, tree):
+        injector = AnomalyInjector(tree, [], seed=0)
+        with pytest.raises(DataGenerationError):
+            injector.add(InjectedAnomaly(("nope",), start=0.0, duration=1.0, extra_rate=1.0))
+
+
+class TestRandomPlan:
+    def test_plan_size_and_determinism(self, tree, clock):
+        plan_a = random_injection_plan(tree, clock, trace_duration=10000.0, count=5, seed=9)
+        plan_b = random_injection_plan(tree, clock, trace_duration=10000.0, count=5, seed=9)
+        assert len(plan_a) == 5
+        assert [(a.node_path, a.start) for a in plan_a] == [
+            (b.node_path, b.start) for b in plan_b
+        ]
+
+    def test_warmup_respected(self, tree, clock):
+        plan = random_injection_plan(
+            tree, clock, trace_duration=50000.0, count=8, warmup=20000.0, seed=4,
+            duration_range=(1000.0, 2000.0),
+        )
+        assert all(a.start >= 20000.0 for a in plan)
+
+    def test_depth_bounds_respected(self, tree, clock):
+        plan = random_injection_plan(
+            tree, clock, trace_duration=10000.0, count=6, min_depth=2, max_depth=2, seed=5
+        )
+        assert all(len(a.node_path) == 2 for a in plan)
+
+    def test_invalid_duration_rejected(self, tree, clock):
+        with pytest.raises(DataGenerationError):
+            random_injection_plan(tree, clock, trace_duration=100.0, count=1, warmup=200.0)
+
+    def test_plan_is_sorted_by_start(self, tree, clock):
+        plan = random_injection_plan(tree, clock, trace_duration=50000.0, count=10, seed=6)
+        starts = [a.start for a in plan]
+        assert starts == sorted(starts)

@@ -1,0 +1,70 @@
+"""Unit tests for :mod:`repro.forecasting.errors`."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.forecasting.errors import (
+    grid_search_parameters,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    mean_squared_error,
+)
+from repro.forecasting.ewma import EWMAForecaster
+
+
+class TestMetrics:
+    def test_mse(self):
+        assert mean_squared_error([1, 2, 3], [1, 2, 3]) == 0.0
+        assert mean_squared_error([0, 0], [2, 2]) == pytest.approx(4.0)
+
+    def test_mae(self):
+        assert mean_absolute_error([1, 5], [2, 3]) == pytest.approx(1.5)
+
+    def test_mape_handles_zero_actuals(self):
+        value = mean_absolute_percentage_error([0.0, 10.0], [1.0, 11.0])
+        assert value > 0
+        assert value != float("inf")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_squared_error([1, 2], [1])
+
+    def test_empty_series_is_zero(self):
+        assert mean_squared_error([], []) == 0.0
+        assert mean_absolute_error([], []) == 0.0
+
+
+class TestGridSearch:
+    def test_picks_best_alpha_for_noisy_constant(self):
+        # A constant series: every alpha is perfect, but the search must still
+        # return a valid result and evaluate every candidate.
+        series = [10.0] * 30
+        result = grid_search_parameters(
+            series,
+            factory=lambda alpha: EWMAForecaster(alpha=alpha),
+            grid={"alpha": [0.1, 0.5, 0.9]},
+        )
+        assert result.evaluated == 3
+        assert result.params["alpha"] in (0.1, 0.5, 0.9)
+        assert result.score == pytest.approx(0.0)
+
+    def test_prefers_responsive_alpha_for_trending_series(self):
+        series = [float(t) for t in range(40)]
+        result = grid_search_parameters(
+            series,
+            factory=lambda alpha: EWMAForecaster(alpha=alpha),
+            grid={"alpha": [0.05, 0.95]},
+        )
+        assert result.params["alpha"] == 0.95
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid_search_parameters([1.0] * 10, lambda: EWMAForecaster(), {})
+
+    def test_too_short_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid_search_parameters(
+                [1.0],
+                factory=lambda alpha: EWMAForecaster(alpha=alpha),
+                grid={"alpha": [0.5]},
+            )

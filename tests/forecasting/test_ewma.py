@@ -1,0 +1,90 @@
+"""Unit tests for :mod:`repro.forecasting.ewma`."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, NotEnoughHistoryError
+from repro.forecasting.ewma import EWMAForecaster, ewma_series, split_bias_relative_error
+
+
+class TestEWMAForecaster:
+    def test_alpha_validation(self):
+        with pytest.raises(ConfigurationError):
+            EWMAForecaster(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            EWMAForecaster(alpha=1.5)
+
+    def test_forecast_before_init_raises(self):
+        model = EWMAForecaster(0.5)
+        with pytest.raises(NotEnoughHistoryError):
+            model.forecast()
+
+    def test_constant_series_forecast_is_constant(self):
+        model = EWMAForecaster(0.4)
+        model.initialize([5.0])
+        for _ in range(10):
+            assert model.update(5.0) == pytest.approx(5.0)
+        assert model.forecast() == pytest.approx(5.0)
+
+    def test_update_returns_prior_forecast(self):
+        model = EWMAForecaster(0.5)
+        model.initialize([10.0])
+        predicted = model.update(20.0)
+        assert predicted == pytest.approx(10.0)
+        assert model.forecast() == pytest.approx(15.0)
+
+    def test_alpha_one_tracks_last_value(self):
+        model = EWMAForecaster(1.0)
+        model.initialize([1.0])
+        model.update(7.0)
+        assert model.forecast() == pytest.approx(7.0)
+
+    def test_run_helper_aligns_forecasts(self):
+        model = EWMAForecaster(0.5)
+        series = [2.0, 4.0, 6.0, 8.0]
+        forecasts = model.run(series)
+        assert len(forecasts) == len(series) - model.min_history
+        assert forecasts[0] == pytest.approx(2.0)
+
+
+class TestEwmaSeries:
+    def test_length_matches_input(self):
+        assert len(ewma_series([1, 2, 3], 0.5)) == 3
+
+    def test_first_value_seeds_level(self):
+        smoothed = ewma_series([10.0, 0.0], 0.5)
+        assert smoothed[0] == pytest.approx(10.0)
+        assert smoothed[1] == pytest.approx(5.0)
+
+    def test_initial_level_respected(self):
+        smoothed = ewma_series([10.0], 0.5, initial=0.0)
+        assert smoothed[0] == pytest.approx(5.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            ewma_series([1.0], 0.0)
+
+
+class TestSplitBiasRelativeError:
+    """Fig. 9: the split-induced forecast error decays exponentially."""
+
+    def test_monotone_decay(self):
+        errors = split_bias_relative_error(alpha=0.5, bias=1.0, horizon=10)
+        assert all(a >= b for a, b in zip(errors, errors[1:]))
+
+    def test_decay_rate_matches_one_minus_alpha(self):
+        errors = split_bias_relative_error(alpha=0.5, bias=1.0, horizon=6)
+        for k in range(1, len(errors)):
+            assert errors[k] == pytest.approx(errors[0] * 0.5 ** k)
+
+    def test_bias_scales_initial_error(self):
+        small = split_bias_relative_error(alpha=0.5, bias=0.5, horizon=3)
+        large = split_bias_relative_error(alpha=0.5, bias=2.0, horizon=3)
+        assert large[0] == pytest.approx(4 * small[0])
+
+    def test_horizon_validation(self):
+        with pytest.raises(ConfigurationError):
+            split_bias_relative_error(alpha=0.5, bias=1.0, horizon=0)
+
+    def test_short_actual_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            split_bias_relative_error(alpha=0.5, bias=1.0, horizon=5, actual=[1.0, 1.0])

@@ -1,0 +1,51 @@
+"""Unit tests for :mod:`repro.io.csv_io`."""
+
+import pytest
+
+from repro.exceptions import StreamError
+from repro.io.csv_io import read_records_csv, write_records_csv
+from repro.streaming.record import OperationalRecord
+
+
+def sample_records():
+    return [
+        OperationalRecord.create(10.0, ("tv", "no-service", "no-pic")),
+        OperationalRecord.create(20.5, ("internet",)),
+        OperationalRecord.create(30.25, ("tv", "pixelation")),
+    ]
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_time_and_category(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        written = write_records_csv(sample_records(), path)
+        assert written == 3
+        restored = list(read_records_csv(path))
+        assert [(r.timestamp, r.category) for r in restored] == [
+            (r.timestamp, r.category) for r in sample_records()
+        ]
+
+    def test_max_depth_truncates_categories(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_records_csv(sample_records(), path, max_depth=2)
+        restored = list(read_records_csv(path))
+        assert restored[0].category == ("tv", "no-service")
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        assert write_records_csv([], path) == 0
+        assert list(read_records_csv(path)) == []
+
+
+class TestErrors:
+    def test_missing_timestamp_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("foo,bar\n1,2\n")
+        with pytest.raises(StreamError):
+            list(read_records_csv(path))
+
+    def test_row_without_category_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("timestamp,level1\n5.0,\n")
+        with pytest.raises(StreamError):
+            list(read_records_csv(path))

@@ -1,0 +1,44 @@
+"""Unit tests for :mod:`repro.io.jsonl_io`."""
+
+import pytest
+
+from repro.exceptions import StreamError
+from repro.io.jsonl_io import read_records_jsonl, write_records_jsonl
+from repro.streaming.record import OperationalRecord
+
+
+def sample_records():
+    return [
+        OperationalRecord.create(1.5, ("a", "a1"), injected=True, label="x"),
+        OperationalRecord.create(2.5, ("b",), customer="c42"),
+    ]
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_attributes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        written = write_records_jsonl(sample_records(), path)
+        assert written == 2
+        restored = list(read_records_jsonl(path))
+        assert restored[0].attributes == {"injected": True, "label": "x"}
+        assert restored[1].attributes == {"customer": "c42"}
+        assert [r.category for r in restored] == [("a", "a1"), ("b",)]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_records_jsonl(sample_records(), path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(list(read_records_jsonl(path))) == 2
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        write_records_jsonl([], path)
+        assert list(read_records_jsonl(path)) == []
+
+
+class TestErrors:
+    def test_invalid_json_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"timestamp": 1, "category": ["a"]}\nnot-json\n')
+        with pytest.raises(StreamError, match="2"):
+            list(read_records_jsonl(path))

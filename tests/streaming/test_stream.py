@@ -1,0 +1,68 @@
+"""Unit tests for :mod:`repro.streaming.stream`."""
+
+import pytest
+
+from repro.exceptions import StreamError
+from repro.streaming.record import OperationalRecord
+from repro.streaming.stream import InputStream
+
+
+def records(*timestamps):
+    return [OperationalRecord.create(ts, ("leaf",)) for ts in timestamps]
+
+
+class TestOrdering:
+    def test_iterates_in_order(self):
+        stream = InputStream(records(1, 2, 3))
+        assert [r.timestamp for r in stream] == [1, 2, 3]
+        assert stream.records_seen == 3
+
+    def test_backwards_jump_raises(self):
+        stream = InputStream(records(5, 2))
+        next(stream)
+        with pytest.raises(StreamError):
+            next(stream)
+
+    def test_tolerance_allows_small_jitter(self):
+        stream = InputStream(records(5, 4.5, 6), tolerance=1.0)
+        assert [r.timestamp for r in stream] == [5, 4.5, 6]
+
+    def test_from_sorted_sorts_input(self):
+        stream = InputStream.from_sorted(records(3, 1, 2))
+        assert [r.timestamp for r in stream] == [1, 2, 3]
+
+
+class TestMerge:
+    def test_merge_preserves_global_order(self):
+        a = records(1, 4, 7)
+        b = records(2, 3, 8)
+        merged = InputStream.merge(a, b)
+        assert [r.timestamp for r in merged] == [1, 2, 3, 4, 7, 8]
+
+
+class TestBatches:
+    def test_batches_group_by_period(self):
+        stream = InputStream(records(0.5, 1.5, 2.5, 9.5))
+        batches = list(stream.batches(period=2.0, start=0.0))
+        sizes = [len(batch) for _, batch in batches]
+        # [0,2): 2 records, [2,4): 1 record, [4,6): 0, [6,8): 0, [8,10): 1
+        assert sizes == [2, 1, 0, 0, 1]
+
+    def test_batches_include_empty_periods(self):
+        stream = InputStream(records(0.0, 10.0))
+        batches = list(stream.batches(period=2.0, start=0.0))
+        assert len(batches) == 6
+        assert sum(len(b) for _, b in batches) == 2
+
+    def test_batch_end_times_are_monotone(self):
+        stream = InputStream(records(0.1, 3.3, 3.4, 7.9))
+        ends = [end for end, _ in stream.batches(period=1.0, start=0.0)]
+        assert ends == sorted(ends)
+
+    def test_invalid_period_raises(self):
+        stream = InputStream(records(1))
+        with pytest.raises(StreamError):
+            list(stream.batches(period=0.0))
+
+    def test_empty_stream_yields_nothing(self):
+        assert list(InputStream([]).batches(period=1.0)) == []

@@ -1,0 +1,105 @@
+"""Unit tests for :mod:`repro.streaming.window`."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, OutOfOrderRecordError
+from repro.streaming.clock import SimulationClock
+from repro.streaming.record import OperationalRecord
+from repro.streaming.window import SlidingWindow
+
+
+@pytest.fixture
+def clock():
+    return SimulationClock(delta=10.0)
+
+
+def rec(ts, label="leaf"):
+    return OperationalRecord.create(ts, (label,))
+
+
+class TestIngestion:
+    def test_records_land_in_their_timeunit(self, clock):
+        window = SlidingWindow(clock, num_units=4)
+        window.ingest(rec(1.0))
+        window.ingest(rec(12.0))
+        window.ingest(rec(13.0))
+        assert window.leaf_series(("leaf",)) == [1, 2]
+        assert window.detection_unit.total == 2
+
+    def test_advance_creates_empty_units(self, clock):
+        window = SlidingWindow(clock, num_units=5)
+        window.ingest(rec(1.0))
+        created = window.advance_to(41.0)
+        assert created == 4
+        assert len(window) == 5
+        assert window.total_series() == [1, 0, 0, 0, 0]
+
+    def test_window_evicts_old_units(self, clock):
+        window = SlidingWindow(clock, num_units=3)
+        for ts in (1.0, 11.0, 21.0, 31.0, 41.0):
+            window.ingest(rec(ts))
+        assert len(window) == 3
+        assert window.oldest_index == 2
+        assert window.newest_index == 4
+
+    def test_late_records_dropped_by_default(self, clock):
+        window = SlidingWindow(clock, num_units=2)
+        window.ingest(rec(25.0))
+        counted = window.ingest(rec(1.0))
+        assert counted is False
+        assert window.dropped_late_records == 1
+
+    def test_late_records_raise_when_strict(self, clock):
+        window = SlidingWindow(clock, num_units=2, allow_late=False)
+        window.ingest(rec(25.0))
+        with pytest.raises(OutOfOrderRecordError):
+            window.ingest(rec(1.0))
+
+    def test_ingest_many_counts(self, clock):
+        window = SlidingWindow(clock, num_units=4)
+        counted = window.ingest_many([rec(1.0), rec(2.0), rec(35.0)])
+        assert counted == 3
+
+    def test_needs_at_least_two_units(self, clock):
+        with pytest.raises(ConfigurationError):
+            SlidingWindow(clock, num_units=1)
+
+    def test_empty_window_properties_raise(self, clock):
+        window = SlidingWindow(clock, num_units=3)
+        assert window.is_empty
+        with pytest.raises(ConfigurationError):
+            _ = window.detection_unit
+        with pytest.raises(ConfigurationError):
+            _ = window.newest_index
+
+
+class TestViews:
+    def test_history_and_detection_split(self, clock):
+        window = SlidingWindow(clock, num_units=3)
+        for ts in (1.0, 11.0, 21.0):
+            window.ingest(rec(ts))
+        history = window.history_units()
+        assert len(history) == 2
+        assert window.detection_unit.index == 2
+
+    def test_leaf_series_for_missing_category_is_zero(self, clock):
+        window = SlidingWindow(clock, num_units=3)
+        window.ingest(rec(1.0, "a"))
+        window.ingest(rec(11.0, "a"))
+        assert window.leaf_series(("b",)) == [0, 0]
+
+    def test_active_categories(self, clock):
+        window = SlidingWindow(clock, num_units=3)
+        window.ingest(rec(1.0, "a"))
+        window.ingest(rec(11.0, "b"))
+        assert window.active_categories() == {("a",), ("b",)}
+
+    def test_counts_per_unit(self, clock):
+        window = SlidingWindow(clock, num_units=3)
+        window.ingest(rec(1.0, "a"))
+        window.ingest(rec(1.5, "a"))
+        window.ingest(rec(2.0, "b"))
+        unit = window.detection_unit
+        assert unit.count(("a",)) == 2
+        assert unit.count(("b",)) == 1
+        assert unit.count(("c",)) == 0
