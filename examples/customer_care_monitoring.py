@@ -22,7 +22,14 @@ Run with::
 
 from __future__ import annotations
 
-from repro import CCDConfig, ForecastConfig, Tiresias, TiresiasConfig, make_ccd_dataset
+from repro import (
+    CallbackObserver,
+    CCDConfig,
+    ForecastConfig,
+    Tiresias,
+    TiresiasConfig,
+    make_ccd_dataset,
+)
 from repro.baselines import ControlChartDetector
 from repro.datagen.generator import counts_per_timeunit
 from repro.evaluation.metrics import compare_with_reference, detection_rate
@@ -73,11 +80,16 @@ def main() -> None:
         seasonal_period=units_per_day,
     )
 
+    # The heavy hitter log feeds the Table-VI comparison; a lifecycle hook
+    # collects it as timeunits close instead of threading it through the loop.
     tracked = []
+    tiresias.subscribe(CallbackObserver(
+        on_timeunit_closed=lambda session, result: tracked.extend(
+            (path, result.timeunit) for path in result.heavy_hitters),
+    ))
     for unit, counts in enumerate(units):
-        result = tiresias.process_timeunit_counts(counts, unit)
+        tiresias.process_timeunit_counts(counts, unit)
         reference.process_timeunit(counts, unit)
-        tracked.extend((path, unit) for path in result.heavy_hitters)
 
     comparison = compare_with_reference(
         tiresias.anomalies, reference.anomalies, tracked, time_tolerance=4

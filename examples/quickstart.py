@@ -5,7 +5,9 @@ This is the smallest end-to-end use of the library:
 
 1. generate a synthetic CCD-like dataset (trouble-description hierarchy,
    diurnal/weekly seasonality, a few injected incidents with ground truth);
-2. run the online Tiresias detector (ADA algorithm) over the record stream;
+2. run the online Tiresias detector (ADA algorithm) over the record stream,
+   observing anomalies *as they are detected* through a lifecycle hook
+   instead of polling the report store afterwards;
 3. print the detected anomalies and check them against the injected events.
 
 Run with::
@@ -15,7 +17,14 @@ Run with::
 
 from __future__ import annotations
 
-from repro import CCDConfig, ForecastConfig, Tiresias, TiresiasConfig, make_ccd_dataset
+from repro import (
+    CallbackObserver,
+    CCDConfig,
+    ForecastConfig,
+    Tiresias,
+    TiresiasConfig,
+    make_ccd_dataset,
+)
 from repro.evaluation.metrics import detection_rate
 
 
@@ -59,13 +68,23 @@ def main() -> None:
         warmup_units=units_per_day,      # suppress alarms while models warm up
     )
 
+    # Lifecycle hooks: an alerting backend would push these somewhere; here we
+    # just collect the live anomaly feed and note when warm-up finishes.
+    live_anomalies = []
+    detector.subscribe(CallbackObserver(
+        on_anomaly=lambda session, anomaly: live_anomalies.append(anomaly),
+        on_warmup_complete=lambda session, unit: print(
+            f"[hook] warm-up complete at timeunit {unit}; alarms are live"),
+    ))
+
     detector.process_stream(dataset.records())
 
     # ------------------------------------------------------------------
     # 3. Results.
     # ------------------------------------------------------------------
+    assert live_anomalies == detector.anomalies  # the hook saw every report
     print(f"\nprocessed {detector.units_processed} timeunits; "
-          f"{len(detector.anomalies)} anomalies reported\n")
+          f"{len(live_anomalies)} anomalies reported\n")
     for anomaly in detector.reports.deduplicate_ancestors():
         location = " / ".join(anomaly.node_path) or "<root>"
         print(

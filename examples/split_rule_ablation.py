@@ -48,19 +48,23 @@ def main() -> None:
     print(f"trace: {len(units)} timeunits over the "
           f"{dataset.tree.num_nodes}-node trouble hierarchy\n")
 
+    # One base configuration; each ablation point is a targeted replace().
+    base_config = TiresiasConfig(
+        theta=10.0,
+        delta_seconds=dataset.config.delta_seconds,
+        window_units=3 * units_per_day,
+        forecast=ForecastConfig(season_lengths=(units_per_day,)),
+    )
+
     header = (f"{'split rule':<20}{'h':>3}{'series err':>12}{'accuracy':>10}"
               f"{'precision':>11}{'recall':>9}{'speedup':>9}")
     print(header)
     print("-" * len(header))
     for split_rule, alpha, h in CONFIGURATIONS:
-        config = TiresiasConfig(
-            theta=10.0,
-            delta_seconds=dataset.config.delta_seconds,
-            window_units=3 * units_per_day,
+        config = base_config.replace(
             reference_levels=h,
             split_rule=split_rule,
             split_ewma_alpha=alpha,
-            forecast=ForecastConfig(season_lengths=(units_per_day,)),
         )
         comparator = AlgorithmComparator(
             dataset.tree, config, warmup_units=units_per_day

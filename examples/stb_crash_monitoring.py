@@ -9,9 +9,11 @@ of the pipeline that the quickstart skips:
    periods and their combination weight;
 2. configure the forecasting model from that analysis
    (:func:`repro.derive_seasonal_config`);
-3. run the online detector over a fresh monitoring window, persist the
-   anomaly reports, and query them the way an operations engineer would
-   (by subtree, by time range, by magnitude).
+3. run the online detector over a fresh monitoring window — interrupting it
+   halfway through with a checkpoint/restore cycle, the way an always-on
+   monitoring process survives a restart — then persist the anomaly reports
+   and query them the way an operations engineer would (by subtree, by time
+   range, by magnitude).
 
 Run with::
 
@@ -84,9 +86,23 @@ def main() -> None:
         monitoring.tree, config, algorithm="ada", clock=monitoring.clock,
         warmup_units=units_per_day,
     )
-    detector.process_stream(monitoring.records())
 
-    print(f"\nprocessed {detector.units_processed} timeunits; "
+    # Simulate a process restart mid-stream: ingest half, checkpoint, restore
+    # into a fresh detector, and continue.  Detections are identical to an
+    # uninterrupted run (the sliding-window and forecaster state round-trip).
+    records = monitoring.record_list()
+    half = len(records) // 2
+    detector.ingest_batch(records[:half])
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint_path = Path(tmp) / "scd_detector.ckpt.json"
+        detector.save_checkpoint(checkpoint_path)
+        print(f"\ncheckpoint at record {half}/{len(records)} "
+              f"({checkpoint_path.stat().st_size} bytes); restoring...")
+        detector = Tiresias.load_checkpoint(checkpoint_path)
+    detector.ingest_batch(records[half:])
+    detector.flush()
+
+    print(f"processed {detector.units_processed} timeunits; "
           f"{len(detector.anomalies)} anomalies reported")
     rate = detection_rate(detector.anomalies, monitoring.ground_truth(), tolerance_units=2)
     print(f"injected crash storms detected: {rate:.0%}")

@@ -9,20 +9,44 @@ provides:
 * the forecasting and seasonality analysis toolkit (``repro.forecasting``,
   ``repro.seasonality``);
 * the core contribution -- succinct hierarchical heavy hitters, the STA and
-  ADA tracking algorithms, the dual-threshold detector, and the end-to-end
-  pipeline (``repro.core``);
+  ADA tracking algorithms, the dual-threshold detector (``repro.core``),
+  both resolvable by name through the pluggable registries
+  (``repro.core.registry``);
+* the engine layer -- multi-session detection over merged streams, lifecycle
+  hooks, and JSON checkpoint/restore (``repro.engine``, ``repro.io``);
 * synthetic CCD/SCD dataset generators with ground-truth anomaly injection
   (``repro.datagen``);
 * the baselines and evaluation harness used to regenerate the paper's tables
   and figures (``repro.baselines``, ``repro.evaluation``).
 
-Quickstart::
+Quickstart (single hierarchy, engine API)::
+
+    from repro import (
+        CallbackObserver, DetectionEngine, TiresiasConfig, make_ccd_dataset,
+    )
+
+    dataset = make_ccd_dataset()
+    engine = DetectionEngine()
+    engine.add_session(
+        "ccd",
+        dataset.tree,
+        TiresiasConfig(theta=12, window_units=672),
+        algorithm="ada",
+        clock=dataset.clock,
+    )
+    engine.subscribe(CallbackObserver(
+        on_anomaly=lambda session, a: print(session.name, a.node_path, a.ratio)
+    ))
+    engine.process_stream(dataset.records())
+    engine.save_checkpoint("ccd.ckpt.json")   # resume later with
+    # engine = DetectionEngine.load_checkpoint("ccd.ckpt.json")
+
+The legacy single-tree facade keeps working unchanged::
 
     from repro import Tiresias, TiresiasConfig, make_ccd_dataset
 
     dataset = make_ccd_dataset()
-    config = TiresiasConfig(theta=12, window_units=672)
-    detector = Tiresias(dataset.tree, config, algorithm="ada")
+    detector = Tiresias(dataset.tree, TiresiasConfig(theta=12, window_units=672))
     detector.process_stream(dataset.records())
     for anomaly in detector.anomalies:
         print(anomaly.node_path, anomaly.timeunit, anomaly.ratio)
@@ -39,15 +63,25 @@ from repro.core import (
     TimeunitResult,
     Tiresias,
     TiresiasConfig,
+    available_algorithms,
+    available_forecasters,
     compute_hhh,
     compute_shhh,
     derive_seasonal_config,
+    register_algorithm,
+    register_forecaster,
 )
 from repro.datagen import (
     CCDConfig,
     SCDConfig,
     make_ccd_dataset,
     make_scd_dataset,
+)
+from repro.engine import (
+    CallbackObserver,
+    DetectionEngine,
+    DetectionSession,
+    EngineObserver,
 )
 from repro.hierarchy import (
     HierarchyNode,
@@ -56,9 +90,10 @@ from repro.hierarchy import (
     build_ccd_trouble_tree,
     build_scd_network_tree,
 )
+from repro.io import load_checkpoint, save_checkpoint
 from repro.streaming import InputStream, OperationalRecord, SimulationClock, SlidingWindow
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -66,6 +101,16 @@ __all__ = [
     "TiresiasConfig",
     "ForecastConfig",
     "derive_seasonal_config",
+    "DetectionEngine",
+    "DetectionSession",
+    "EngineObserver",
+    "CallbackObserver",
+    "register_algorithm",
+    "register_forecaster",
+    "available_algorithms",
+    "available_forecasters",
+    "save_checkpoint",
+    "load_checkpoint",
     "ADAAlgorithm",
     "STAAlgorithm",
     "ThresholdDetector",

@@ -1,7 +1,12 @@
 """Core Tiresias algorithms: heavy hitters, STA/ADA, detection, pipeline."""
 
 from repro.core.ada import ADAAlgorithm, nearest_tracked_node
-from repro.core.config import SPLIT_RULE_NAMES, ForecastConfig, TiresiasConfig
+from repro.core.config import (
+    OUT_OF_ORDER_POLICIES,
+    SPLIT_RULE_NAMES,
+    ForecastConfig,
+    TiresiasConfig,
+)
 from repro.core.detector import Anomaly, ThresholdDetector
 from repro.core.hhh import (
     HeavyHitterResult,
@@ -11,6 +16,16 @@ from repro.core.hhh import (
     discounted_series,
 )
 from repro.core.pipeline import Tiresias, derive_seasonal_config
+from repro.core.registry import (
+    available_algorithms,
+    available_forecasters,
+    create_algorithm,
+    create_forecaster,
+    register_algorithm,
+    register_forecaster,
+    unregister_algorithm,
+    unregister_forecaster,
+)
 from repro.core.reporting import AnomalyQuery, AnomalyReportStore
 from repro.core.results import TimeunitResult
 from repro.core.split_rules import (
@@ -29,8 +44,17 @@ __all__ = [
     "TiresiasConfig",
     "ForecastConfig",
     "SPLIT_RULE_NAMES",
+    "OUT_OF_ORDER_POLICIES",
     "Tiresias",
     "derive_seasonal_config",
+    "register_algorithm",
+    "unregister_algorithm",
+    "create_algorithm",
+    "available_algorithms",
+    "register_forecaster",
+    "unregister_forecaster",
+    "create_forecaster",
+    "available_forecasters",
     "ADAAlgorithm",
     "STAAlgorithm",
     "nearest_tracked_node",

@@ -120,7 +120,10 @@ class ADAAlgorithm:
         """Move the existing time series to the new heavy hitter positions."""
         # SPLIT phase, top-down: every new heavy hitter that lacks a series
         # derives one from its nearest ancestor that currently holds a series.
-        new_paths = sorted((p for p in heavy if p not in self.series), key=len)
+        # Ties at the same depth break lexicographically so that the cascade
+        # order (and hence the split-rule arithmetic) is process-independent,
+        # which checkpoint/restore across restarts relies on.
+        new_paths = sorted((p for p in heavy if p not in self.series), key=lambda p: (len(p), p))
         for path in new_paths:
             if path in self.series:
                 continue  # created by a previous cascade in this phase
@@ -135,7 +138,11 @@ class ADAAlgorithm:
         # MERGE phase, bottom-up: series whose node is no longer heavy fold
         # into the nearest heavy ancestor (which now holds a series thanks to
         # the split phase), or are dropped when no ancestor is heavy.
-        stale = sorted((p for p in self.series if p not in heavy), key=len, reverse=True)
+        stale = sorted(
+            (p for p in self.series if p not in heavy),
+            key=lambda p: (len(p), p),
+            reverse=True,
+        )
         for path in stale:
             series = self.series.pop(path)
             target = self._nearest_heavy_ancestor(path, heavy)
@@ -245,7 +252,7 @@ class ADAAlgorithm:
         raw: Mapping[CategoryPath, Weight],
     ) -> None:
         """Append the Definition-2 modified weight to every heavy hitter series."""
-        for path in heavy:
+        for path in sorted(heavy):
             series = self.series.get(path)
             if series is None:
                 series = NodeTimeSeries(self.config.window_units, self.config.forecast)
@@ -297,7 +304,9 @@ class ADAAlgorithm:
         actuals: dict[CategoryPath, Weight] = {}
         forecasts: dict[CategoryPath, Weight] = {}
         anomalies = []
-        for path in heavy:
+        # Canonical (sorted) order so the anomaly sequence is identical across
+        # processes regardless of hash randomization.
+        for path in sorted(heavy):
             series = self.series[path]
             actual = series.latest_actual
             forecast = series.latest_forecast
@@ -343,6 +352,75 @@ class ADAAlgorithm:
     @property
     def heavy_hitters(self) -> frozenset[CategoryPath]:
         return self.last_result.heavy_hitters if self.last_result else frozenset()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of all mutable tracking state.
+
+        Category paths (tuples of labels) become lists; dicts keyed by paths
+        become ``[path, value]`` pairs so the snapshot survives JSON's
+        string-only object keys.
+        """
+        return {
+            "timeunit": self._timeunit,
+            "split_operations": self.split_operations,
+            "merge_operations": self.merge_operations,
+            "stage_seconds": dict(self.stage_seconds),
+            "series": [
+                [list(path), series.state_dict()]
+                for path, series in self.series.items()
+            ],
+            "reference": [
+                [list(path), list(buf)] for path, buf in self.reference.items()
+            ],
+            "stats": [
+                [
+                    list(path),
+                    {
+                        "last_weight": stats.last_weight,
+                        "cumulative_weight": stats.cumulative_weight,
+                        "ewma_weight": stats.ewma_weight,
+                        "observations": stats.observations,
+                    },
+                ]
+                for path, stats in self._stats.items()
+            ],
+            "stats_last_unit": [
+                [list(path), unit] for path, unit in self._stats_last_unit.items()
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict` (same tree/config)."""
+        forecast_config = self.config.forecast
+        maxlen = self.config.window_units
+        self._timeunit = int(state["timeunit"])
+        self.split_operations = int(state["split_operations"])
+        self.merge_operations = int(state["merge_operations"])
+        self.stage_seconds = {k: float(v) for k, v in state["stage_seconds"].items()}
+        self.series = {
+            tuple(path): NodeTimeSeries.from_state_dict(ts_state, forecast_config)
+            for path, ts_state in state["series"]
+        }
+        self.reference = {
+            tuple(path): deque((float(v) for v in values), maxlen=maxlen)
+            for path, values in state["reference"]
+        }
+        self._stats = {
+            tuple(path): NodeUsageStats(
+                last_weight=float(stats["last_weight"]),
+                cumulative_weight=float(stats["cumulative_weight"]),
+                ewma_weight=float(stats["ewma_weight"]),
+                observations=int(stats["observations"]),
+            )
+            for path, stats in state["stats"]
+        }
+        self._stats_last_unit = {
+            tuple(path): int(unit) for path, unit in state["stats_last_unit"]
+        }
+        self.last_result = None
 
 
 def nearest_tracked_node(

@@ -8,8 +8,9 @@ ADA, and the Holt-Winters smoothing parameters / seasonal periods.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field, replace
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.exceptions import ConfigurationError
 
@@ -23,6 +24,11 @@ class ForecastConfig:
     the paper's linear combination (``xi`` and ``1 - xi``).  An EWMA with rate
     ``fallback_alpha`` is used until a node has accumulated enough history to
     initialize the seasonal model.
+
+    ``model`` selects the seasonal forecasting model by registry name
+    (:func:`repro.core.registry.register_forecaster`).  The default ``"auto"``
+    picks the built-in single- or multi-seasonal Holt-Winters model based on
+    the number of seasonal periods.
     """
 
     alpha: float = 0.2
@@ -31,6 +37,7 @@ class ForecastConfig:
     season_lengths: tuple[int, ...] = (96,)
     season_weights: tuple[float, ...] | None = None
     fallback_alpha: float = 0.3
+    model: str = "auto"
 
     def __post_init__(self) -> None:
         for name, value in (("alpha", self.alpha), ("beta", self.beta), ("gamma", self.gamma)):
@@ -47,6 +54,15 @@ class ForecastConfig:
                 raise ConfigurationError("season_weights must sum to 1")
         if not 0.0 < self.fallback_alpha <= 1.0:
             raise ConfigurationError("fallback_alpha must be in (0, 1]")
+        if not self.model:
+            raise ConfigurationError("model must be a non-empty registry name or 'auto'")
+
+    def replace(self, **changes: Any) -> "ForecastConfig":
+        """A copy with ``changes`` applied (and re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    #: Alias for :meth:`replace` (attrs-style name).
+    evolve = replace
 
     @property
     def min_history(self) -> int:
@@ -96,6 +112,13 @@ class TiresiasConfig:
         Whether the root aggregate is always tracked (the paper adds/removes
         the root from SHHH purely by its weight; keeping it tracked gives the
         national aggregate a continuous forecast).
+    out_of_order_policy:
+        What to do with a record whose timeunit precedes the currently
+        accumulating one (it arrived after its timeunit already closed):
+        ``"raise"`` (default) rejects it with
+        :class:`~repro.exceptions.OutOfOrderRecordError`, ``"drop"`` discards
+        it silently, ``"clamp"`` counts it into the current timeunit (the
+        seed's silent behaviour, now opt-in).
     """
 
     theta: float = 10.0
@@ -108,6 +131,7 @@ class TiresiasConfig:
     reference_levels: int = 2
     forecast: ForecastConfig = field(default_factory=ForecastConfig)
     track_root: bool = True
+    out_of_order_policy: str = "raise"
 
     def __post_init__(self) -> None:
         if self.theta <= 0:
@@ -129,6 +153,24 @@ class TiresiasConfig:
             raise ConfigurationError("split_ewma_alpha must be in (0, 1]")
         if self.reference_levels < 0:
             raise ConfigurationError("reference_levels must be >= 0")
+        if self.out_of_order_policy not in OUT_OF_ORDER_POLICIES:
+            raise ConfigurationError(
+                f"unknown out_of_order_policy {self.out_of_order_policy!r}; "
+                f"expected one of {sorted(OUT_OF_ORDER_POLICIES)}"
+            )
+
+    def replace(self, **changes: Any) -> "TiresiasConfig":
+        """A copy with ``changes`` applied (and re-validated).
+
+        This is the general form of the field-by-field copies the seed needed
+        (e.g. :func:`~repro.core.pipeline.derive_seasonal_config`)::
+
+            seasonal = config.replace(forecast=config.forecast.with_seasons([96]))
+        """
+        return dataclasses.replace(self, **changes)
+
+    #: Alias for :meth:`replace` (attrs-style name).
+    evolve = replace
 
     @property
     def history_units(self) -> int:
@@ -140,3 +182,6 @@ class TiresiasConfig:
 SPLIT_RULE_NAMES: frozenset[str] = frozenset(
     {"uniform", "last-time-unit", "long-term-history", "ewma"}
 )
+
+#: Valid values for :attr:`TiresiasConfig.out_of_order_policy`.
+OUT_OF_ORDER_POLICIES: frozenset[str] = frozenset({"raise", "drop", "clamp"})

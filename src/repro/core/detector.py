@@ -70,6 +70,18 @@ class Anomaly:
             "metadata": dict(self.metadata),
         }
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Anomaly":
+        """Inverse of :meth:`to_dict` (used by the JSONL store and checkpoints)."""
+        return cls(
+            node_path=tuple(data["node_path"]),
+            timeunit=int(data["timeunit"]),
+            actual=float(data["actual"]),
+            forecast=float(data["forecast"]),
+            depth=int(data.get("depth", len(data["node_path"]))),
+            metadata=data.get("metadata", {}),
+        )
+
 
 class ThresholdDetector:
     """Applies the paper's dual-threshold rule to (actual, forecast) pairs.

@@ -1,39 +1,46 @@
 """The end-to-end Tiresias system (Fig. 3, Steps 1-6).
 
-:class:`Tiresias` wires together the substrates:
+:class:`Tiresias` is the backward-compatible single-hierarchy facade over the
+engine layer: it wraps exactly one
+:class:`~repro.engine.session.DetectionSession` and re-exports its interface,
+so existing call sites keep working while new code composes sessions inside a
+:class:`~repro.engine.engine.DetectionEngine`.
+
+The pipeline stages remain the paper's:
 
 1. records are classified into timeunits (Step 1, :mod:`repro.streaming`);
-2. heavy hitters are detected and their time series maintained (Step 2,
-   :class:`~repro.core.ada.ADAAlgorithm` or
-   :class:`~repro.core.sta.STAAlgorithm`);
+2. heavy hitters are detected and their time series maintained (Step 2, the
+   tracking algorithm resolved by name through :mod:`repro.core.registry` —
+   ``"ada"`` or ``"sta"`` built in);
 3. seasonality analysis parameterizes the forecasting model (Step 3,
    :func:`derive_seasonal_config`, run offline as in the paper);
 4. Holt-Winters forecasts feed the dual-threshold detector (Step 4,
    Definition 4);
-5. anomalies are appended to the report store (Step 5,
-   :class:`~repro.core.reporting.AnomalyReportStore`);
+5. anomalies are appended to the report store and pushed to subscribed
+   observers (Step 5, :class:`~repro.core.reporting.AnomalyReportStore`,
+   :mod:`repro.engine.hooks`);
 6. the pipeline keeps consuming new arrivals (Step 6).
 """
 
 from __future__ import annotations
 
-import time
-from collections import Counter
-from typing import Iterable, Literal, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro._types import CategoryPath, TimeunitIndex, Weight
-from repro.core.ada import ADAAlgorithm
 from repro.core.config import TiresiasConfig
+from repro.core.detector import Anomaly
 from repro.core.reporting import AnomalyReportStore
 from repro.core.results import TimeunitResult
-from repro.core.sta import STAAlgorithm
-from repro.exceptions import ConfigurationError
+from repro.engine.hooks import EngineObserver
+from repro.engine.session import DetectionSession
 from repro.hierarchy.tree import HierarchyTree
 from repro.seasonality.analyzer import SeasonalityAnalyzer
 from repro.streaming.clock import SimulationClock
 from repro.streaming.record import OperationalRecord
 
-AlgorithmName = Literal["ada", "sta"]
+#: Historical alias kept for import compatibility; any registered algorithm
+#: name (:func:`repro.core.registry.available_algorithms`) is accepted.
+AlgorithmName = str
 
 
 def derive_seasonal_config(
@@ -53,22 +60,15 @@ def derive_seasonal_config(
     )
     profile = analyzer.analyze(series)
     forecast = config.forecast.with_seasons(profile.periods_timeunits, profile.weights)
-    return TiresiasConfig(
-        theta=config.theta,
-        ratio_threshold=config.ratio_threshold,
-        difference_threshold=config.difference_threshold,
-        delta_seconds=config.delta_seconds,
-        window_units=config.window_units,
-        split_rule=config.split_rule,
-        split_ewma_alpha=config.split_ewma_alpha,
-        reference_levels=config.reference_levels,
-        forecast=forecast,
-        track_root=config.track_root,
-    )
+    return config.replace(forecast=forecast)
 
 
 class Tiresias:
-    """Online anomaly detector over hierarchical operational data.
+    """Online anomaly detector over one hierarchical domain (facade).
+
+    Thin wrapper around a single :class:`~repro.engine.session.DetectionSession`
+    kept for backward compatibility; the session is exposed as
+    :attr:`session` for code migrating to the engine API.
 
     Parameters
     ----------
@@ -77,8 +77,10 @@ class Tiresias:
     config:
         Detector configuration (θ, RT/DT, Δ, ℓ, split rule, ...).
     algorithm:
-        ``"ada"`` (the paper's adaptive algorithm, default) or ``"sta"`` (the
-        strawman used as ground truth in the evaluation).
+        Registry name of the tracking algorithm: ``"ada"`` (the paper's
+        adaptive algorithm, default), ``"sta"`` (the strawman used as ground
+        truth in the evaluation), or any name registered with
+        :func:`repro.core.registry.register_algorithm`.
     clock:
         Simulation clock; defaults to one with Δ from the config and epoch 0.
     warmup_units:
@@ -91,115 +93,140 @@ class Tiresias:
         self,
         tree: HierarchyTree,
         config: TiresiasConfig,
-        algorithm: AlgorithmName = "ada",
+        algorithm: str = "ada",
         clock: SimulationClock | None = None,
         warmup_units: int | None = None,
     ):
-        self.tree = tree
-        self.config = config
-        self.clock = clock or SimulationClock(delta=config.delta_seconds)
-        if abs(self.clock.delta - config.delta_seconds) > 1e-9:
-            raise ConfigurationError(
-                "the clock's timeunit width must match config.delta_seconds"
-            )
-        if algorithm == "ada":
-            self.algorithm: ADAAlgorithm | STAAlgorithm = ADAAlgorithm(tree, config)
-        elif algorithm == "sta":
-            self.algorithm = STAAlgorithm(tree, config)
-        else:
-            raise ConfigurationError(f"unknown algorithm {algorithm!r}")
-        self.algorithm_name = algorithm
-        self.warmup_units = (
-            config.forecast.min_history if warmup_units is None else warmup_units
+        self.session = DetectionSession(
+            tree,
+            config,
+            algorithm=algorithm,
+            clock=clock,
+            warmup_units=warmup_units,
+            name="tiresias",
         )
-        if self.warmup_units < 0:
-            raise ConfigurationError("warmup_units must be >= 0")
-        self.reports = AnomalyReportStore()
-        self.results: list[TimeunitResult] = []
-        self._units_processed = 0
-        self._pending: Counter = Counter()
-        self._pending_unit: TimeunitIndex | None = None
-        self.reading_seconds = 0.0
 
     # ------------------------------------------------------------------
-    # Online ingestion
+    # Online ingestion (delegated)
     # ------------------------------------------------------------------
-    def process_stream(self, records: Iterable[OperationalRecord]) -> list[TimeunitResult]:
+    def process_stream(
+        self, records: Iterable[OperationalRecord]
+    ) -> list[TimeunitResult]:
         """Consume a time-ordered record stream; returns per-timeunit results."""
-        produced: list[TimeunitResult] = []
-        start = time.perf_counter()
-        for record in records:
-            self.reading_seconds += time.perf_counter() - start
-            produced.extend(self.ingest_record(record))
-            start = time.perf_counter()
-        self.reading_seconds += time.perf_counter() - start
-        produced.extend(self.flush())
-        return produced
+        return self.session.process_stream(records)
 
     def ingest_record(self, record: OperationalRecord) -> list[TimeunitResult]:
         """Add one record; returns results for any timeunits that closed."""
-        unit = self.clock.timeunit_of(record.timestamp)
-        closed: list[TimeunitResult] = []
-        if self._pending_unit is None:
-            self._pending_unit = unit
-        while unit > self._pending_unit:
-            closed.append(self._close_pending())
-        self._pending[record.category] += 1
-        return closed
+        return self.session.ingest_record(record)
+
+    def ingest_batch(
+        self, records: Iterable[OperationalRecord]
+    ) -> list[TimeunitResult]:
+        """Add a batch of records; returns results of timeunits that closed."""
+        return self.session.ingest_batch(records)
 
     def flush(self) -> list[TimeunitResult]:
         """Close the currently accumulating timeunit (end of stream)."""
-        if self._pending_unit is None:
-            return []
-        return [self._close_pending(final=True)]
+        return self.session.flush()
 
-    def _close_pending(self, final: bool = False) -> TimeunitResult:
-        assert self._pending_unit is not None
-        counts = dict(self._pending)
-        unit = self._pending_unit
-        self._pending = Counter()
-        self._pending_unit = None if final else unit + 1
-        return self.process_timeunit_counts(counts, unit)
-
-    # ------------------------------------------------------------------
-    # Timeunit-level interface (used directly by benchmarks)
-    # ------------------------------------------------------------------
     def process_timeunit_counts(
         self, counts: dict[CategoryPath, Weight], timeunit: TimeunitIndex | None = None
     ) -> TimeunitResult:
         """Process one timeunit worth of per-leaf counts."""
-        result = self.algorithm.process_timeunit(counts, timeunit)
-        self._units_processed += 1
-        if self._units_processed <= self.warmup_units and result.anomalies:
-            result = TimeunitResult(
-                timeunit=result.timeunit,
-                heavy_hitters=result.heavy_hitters,
-                actuals=result.actuals,
-                forecasts=result.forecasts,
-                anomalies=(),
-            )
-        self.reports.add_many(result.anomalies)
-        self.results.append(result)
-        return result
+        return self.session.process_timeunit_counts(counts, timeunit)
 
     # ------------------------------------------------------------------
-    # Introspection
+    # Lifecycle hooks
     # ------------------------------------------------------------------
+    def subscribe(self, observer: EngineObserver) -> EngineObserver:
+        """Attach a lifecycle observer (see :mod:`repro.engine.hooks`)."""
+        return self.session.subscribe(observer)
+
+    def unsubscribe(self, observer: EngineObserver) -> None:
+        self.session.unsubscribe(observer)
+
+    # ------------------------------------------------------------------
+    # Introspection (delegated)
+    # ------------------------------------------------------------------
+    @property
+    def tree(self) -> HierarchyTree:
+        return self.session.tree
+
+    @property
+    def config(self) -> TiresiasConfig:
+        return self.session.config
+
+    @property
+    def clock(self) -> SimulationClock:
+        return self.session.clock
+
+    @property
+    def algorithm(self) -> Any:
+        """The underlying tracking-algorithm instance."""
+        return self.session.algorithm
+
+    @property
+    def algorithm_name(self) -> str:
+        return self.session.algorithm_name
+
+    @property
+    def warmup_units(self) -> int:
+        return self.session.warmup_units
+
+    @property
+    def reports(self) -> AnomalyReportStore:
+        return self.session.reports
+
+    @property
+    def results(self) -> list[TimeunitResult]:
+        return self.session.results
+
+    @property
+    def reading_seconds(self) -> float:
+        return self.session.reading_seconds
+
     @property
     def units_processed(self) -> int:
-        return self._units_processed
+        return self.session.units_processed
 
     @property
-    def anomalies(self) -> list:
+    def anomalies(self) -> list[Anomaly]:
         """All anomalies reported so far (after warm-up)."""
-        return self.reports.query()
+        return self.session.anomalies
 
     def stage_seconds(self) -> dict[str, float]:
         """Per-stage running time, including trace reading (Table III stages)."""
-        stages = dict(self.algorithm.stage_seconds)
-        stages["reading_traces"] = self.reading_seconds
-        return stages
+        return self.session.stage_seconds()
 
     def memory_units(self) -> int:
         """The algorithm's memory cost proxy (Table IV)."""
-        return self.algorithm.memory_units()
+        return self.session.memory_units()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def save_checkpoint(self, path: Any) -> None:
+        """Persist the detector state as a JSON checkpoint file."""
+        self.session.save_checkpoint(path)
+
+    @classmethod
+    def load_checkpoint(cls, path: Any) -> "Tiresias":
+        """Restore a detector from a file written by :meth:`save_checkpoint`."""
+        session = DetectionSession.load_checkpoint(path)
+        facade = cls.__new__(cls)
+        facade.session = session
+        return facade
+
+    @classmethod
+    def from_session(cls, session: DetectionSession) -> "Tiresias":
+        """Wrap an existing session in the facade interface."""
+        facade = cls.__new__(cls)
+        facade.session = session
+        return facade
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Tiresias(algorithm={self.algorithm_name!r}, "
+            f"units_processed={self.units_processed})"
+        )
+

@@ -149,15 +149,5 @@ class AnomalyReportStore:
                 line = line.strip()
                 if not line:
                     continue
-                data = json.loads(line)
-                store.add(
-                    Anomaly(
-                        node_path=tuple(data["node_path"]),
-                        timeunit=int(data["timeunit"]),
-                        actual=float(data["actual"]),
-                        forecast=float(data["forecast"]),
-                        depth=int(data.get("depth", len(data["node_path"]))),
-                        metadata=data.get("metadata", {}),
-                    )
-                )
+                store.add(Anomaly.from_dict(json.loads(line)))
         return store

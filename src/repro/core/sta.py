@@ -90,7 +90,7 @@ class STAAlgorithm:
     ) -> dict[CategoryPath, list[float]]:
         """Definition 3 time series for every heavy hitter over the window."""
         series: dict[CategoryPath, list[float]] = {}
-        for path in heavy:
+        for path in sorted(heavy):
             node = self.tree.node(path)
             heavy_children = [c.path for c in node.children.values() if c.path in heavy]
             values: list[float] = []
@@ -127,7 +127,9 @@ class STAAlgorithm:
     ) -> TimeunitResult:
         actuals: dict[CategoryPath, Weight] = {}
         anomalies = []
-        for path in heavy:
+        # Canonical (sorted) order so the anomaly sequence is identical across
+        # processes regardless of hash randomization.
+        for path in sorted(heavy):
             values = series[path]
             actual = values[-1] if values else 0.0
             forecast = forecasts.get(path, 0.0)
@@ -173,3 +175,30 @@ class STAAlgorithm:
     @property
     def current_timeunit(self) -> TimeunitIndex:
         return self._timeunit
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot: the retained per-timeunit weight tables."""
+        return {
+            "timeunit": self._timeunit,
+            "stage_seconds": dict(self.stage_seconds),
+            "unit_weights": [
+                [[list(path), weight] for path, weight in unit.items()]
+                for unit in self._unit_weights
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict` (same tree/config)."""
+        self._timeunit = int(state["timeunit"])
+        self.stage_seconds = {k: float(v) for k, v in state["stage_seconds"].items()}
+        self._unit_weights = deque(
+            (
+                {tuple(path): float(weight) for path, weight in unit}
+                for unit in state["unit_weights"]
+            ),
+            maxlen=self.config.window_units,
+        )
+        self.last_result = None

@@ -45,8 +45,12 @@ class SeriesForecaster:
     # ------------------------------------------------------------------
     # Construction of the seasonal model
     # ------------------------------------------------------------------
-    def _build_seasonal(self) -> HoltWintersForecaster | MultiSeasonalHoltWinters:
+    def _build_seasonal(self):
         cfg = self.config
+        if cfg.model != "auto":
+            from repro.core.registry import create_forecaster
+
+            return create_forecaster(cfg.model, cfg)
         if len(cfg.season_lengths) == 1:
             return HoltWintersForecaster(
                 alpha=cfg.alpha,
@@ -184,6 +188,33 @@ class SeriesForecaster:
     def copy(self) -> "SeriesForecaster":
         return self.scaled(1.0)
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot (the shared :class:`ForecastConfig` is stored
+        once at the session level, not per forecaster)."""
+        return {
+            "ewma_level": self._ewma_level,
+            "seen": self._seen,
+            "history": list(self._history),
+            "seasonal": None if self._seasonal is None else self._seasonal.state_dict(),
+        }
+
+    @classmethod
+    def from_state_dict(
+        cls, state: dict, config: ForecastConfig
+    ) -> "SeriesForecaster":
+        """Rebuild a forecaster from :meth:`state_dict` output."""
+        forecaster = cls(config)
+        level = state["ewma_level"]
+        forecaster._ewma_level = None if level is None else float(level)
+        forecaster._seen = int(state["seen"])
+        forecaster._history = [float(v) for v in state["history"]]
+        if state["seasonal"] is not None:
+            forecaster._seasonal = load_seasonal_state(state["seasonal"])
+        return forecaster
+
 
 class NodeTimeSeries:
     """Aligned actual / forecast series for one heavy hitter node.
@@ -280,6 +311,48 @@ class NodeTimeSeries:
         self.actual = deque(trimmed, maxlen=self.length)
         self.forecaster = SeriesForecaster.from_history_fast(trimmed, self.forecast_config)
         self.forecast = deque(trimmed, maxlen=self.length)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the series buffers and forecaster state."""
+        return {
+            "length": self.length,
+            "actual": list(self.actual),
+            "forecast": list(self.forecast),
+            "forecaster": self.forecaster.state_dict(),
+        }
+
+    @classmethod
+    def from_state_dict(
+        cls, state: dict, forecast_config: ForecastConfig
+    ) -> "NodeTimeSeries":
+        """Rebuild a node series from :meth:`state_dict` output."""
+        series = cls(int(state["length"]), forecast_config)
+        series.actual = deque(
+            (float(v) for v in state["actual"]), maxlen=series.length
+        )
+        series.forecast = deque(
+            (float(v) for v in state["forecast"]), maxlen=series.length
+        )
+        series.forecaster = SeriesForecaster.from_state_dict(
+            state["forecaster"], forecast_config
+        )
+        return series
+
+
+def load_seasonal_state(state: dict):
+    """Rebuild a seasonal forecasting model from its ``state_dict`` snapshot.
+
+    The loader is resolved by the snapshot's ``"kind"`` tag through the
+    forecaster-state-loader registry, so custom models registered with
+    :func:`repro.core.registry.register_forecaster` (plus a ``state_loader``)
+    restore from checkpoints just like the built-ins.
+    """
+    from repro.core.registry import forecaster_state_loader
+
+    return forecaster_state_loader(str(state.get("kind")))(state)
 
 
 def _aligned_sum(a: list[float], b: list[float]) -> list[float]:

@@ -1,0 +1,32 @@
+"""Composable detection engine: sessions, routing, lifecycle hooks.
+
+This package is the public API layer introduced on top of the core
+algorithms:
+
+* :class:`~repro.engine.session.DetectionSession` — one (tree, config,
+  algorithm) triple run online, with observer hooks and checkpointable state;
+* :class:`~repro.engine.engine.DetectionEngine` — N named sessions fed from
+  one merged record stream via a stream-key selector;
+* :mod:`~repro.engine.hooks` — the observer protocol
+  (``on_timeunit_closed`` / ``on_anomaly`` / ``on_warmup_complete``).
+
+The legacy single-tree :class:`~repro.core.pipeline.Tiresias` class is a thin
+facade over one :class:`DetectionSession`.
+"""
+
+from repro.engine.engine import (
+    UNKNOWN_STREAM_POLICIES,
+    DetectionEngine,
+    attribute_stream_key,
+)
+from repro.engine.hooks import CallbackObserver, EngineObserver
+from repro.engine.session import DetectionSession
+
+__all__ = [
+    "DetectionEngine",
+    "DetectionSession",
+    "EngineObserver",
+    "CallbackObserver",
+    "attribute_stream_key",
+    "UNKNOWN_STREAM_POLICIES",
+]

@@ -1,0 +1,283 @@
+"""The detection engine: many sessions, one process, one merged stream.
+
+The paper's evaluation monitors three hierarchies at once — CCD over the
+trouble-description dimension, CCD over the network-path dimension, and SCD —
+each with its own tree, configuration and detector state.  The seed supported
+exactly one tree per process; :class:`DetectionEngine` owns N named
+:class:`~repro.engine.session.DetectionSession` objects and routes a merged
+record stream to them by a *stream key* selector.
+
+Routing
+-------
+``stream_key(record)`` maps each record to a session name.  The default
+selector reads ``record.attributes["stream"]``; when the engine has exactly
+one session, unkeyed records fall through to it, so single-hierarchy streams
+need no tagging.  Records whose key matches no session follow the
+``unknown_stream`` policy (``"raise"`` or ``"drop"``).
+
+Ingestion
+---------
+Per-record (:meth:`ingest_record`), batched (:meth:`ingest_batch`) and
+whole-stream (:meth:`process_stream`) ingestion are supported; batch and
+stream ingestion return the closed timeunit results grouped by session name.
+
+Checkpointing
+-------------
+:meth:`save_checkpoint` / :meth:`load_checkpoint` persist and restore every
+session's algorithm, forecaster, clock and report state through
+:mod:`repro.io.checkpoint`, so a restarted process resumes mid-stream with
+identical subsequent detections.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.core.config import TiresiasConfig
+from repro.core.detector import Anomaly
+from repro.core.results import TimeunitResult
+from repro.engine.hooks import EngineObserver
+from repro.engine.session import DetectionSession
+from repro.exceptions import ConfigurationError, StreamError
+from repro.hierarchy.tree import HierarchyTree
+from repro.streaming.clock import SimulationClock
+from repro.streaming.record import OperationalRecord
+
+StreamKey = Callable[[OperationalRecord], "str | None"]
+
+#: Valid values for ``DetectionEngine(unknown_stream=...)``.
+UNKNOWN_STREAM_POLICIES: frozenset[str] = frozenset({"raise", "drop"})
+
+
+def attribute_stream_key(record: OperationalRecord) -> str | None:
+    """Default stream selector: the record's ``"stream"`` attribute."""
+    return record.attributes.get("stream")
+
+
+class DetectionEngine:
+    """Routes one merged record stream to N named detection sessions.
+
+    Parameters
+    ----------
+    stream_key:
+        Callable mapping a record to the name of the session that should
+        ingest it (``None`` = no explicit key).  Defaults to
+        :func:`attribute_stream_key`.
+    unknown_stream:
+        Policy for records whose key names no session: ``"raise"`` (default)
+        or ``"drop"``.
+    """
+
+    def __init__(
+        self,
+        stream_key: StreamKey | None = None,
+        unknown_stream: str = "raise",
+    ):
+        if unknown_stream not in UNKNOWN_STREAM_POLICIES:
+            raise ConfigurationError(
+                f"unknown_stream must be one of {sorted(UNKNOWN_STREAM_POLICIES)}, "
+                f"got {unknown_stream!r}"
+            )
+        self.stream_key = stream_key or attribute_stream_key
+        self.unknown_stream = unknown_stream
+        self._sessions: dict[str, DetectionSession] = {}
+        self._observers: list[EngineObserver] = []
+
+    # ------------------------------------------------------------------
+    # Session management
+    # ------------------------------------------------------------------
+    def add_session(
+        self,
+        name: str,
+        tree: HierarchyTree,
+        config: TiresiasConfig,
+        algorithm: str = "ada",
+        clock: SimulationClock | None = None,
+        warmup_units: int | None = None,
+        max_results: int | None = None,
+    ) -> DetectionSession:
+        """Create and register a new named session; returns it."""
+        session = DetectionSession(
+            tree,
+            config,
+            algorithm=algorithm,
+            clock=clock,
+            warmup_units=warmup_units,
+            name=name,
+            max_results=max_results,
+        )
+        return self.attach_session(session)
+
+    def attach_session(self, session: DetectionSession) -> DetectionSession:
+        """Register an existing session (e.g. one restored from a checkpoint)."""
+        if session.name in self._sessions:
+            raise ConfigurationError(
+                f"a session named {session.name!r} is already registered"
+            )
+        for observer in self._observers:
+            session.subscribe(observer)
+        self._sessions[session.name] = session
+        return session
+
+    def remove_session(self, name: str) -> DetectionSession:
+        """Unregister and return the named session.
+
+        Engine-level observers are detached from it (session-level
+        subscriptions made directly on the session are left alone).
+        """
+        try:
+            session = self._sessions.pop(name)
+        except KeyError:
+            raise ConfigurationError(f"no session named {name!r}") from None
+        for observer in self._observers:
+            session.unsubscribe(observer)
+        return session
+
+    def session(self, name: str) -> DetectionSession:
+        """The session registered under ``name``."""
+        try:
+            return self._sessions[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no session named {name!r}; registered sessions: "
+                f"{sorted(self._sessions)}"
+            ) from None
+
+    @property
+    def sessions(self) -> dict[str, DetectionSession]:
+        """Registered sessions by name (a copy; mutate via add/remove)."""
+        return dict(self._sessions)
+
+    @property
+    def session_names(self) -> tuple[str, ...]:
+        return tuple(self._sessions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sessions
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    # ------------------------------------------------------------------
+    # Observers
+    # ------------------------------------------------------------------
+    def subscribe(self, observer: EngineObserver) -> EngineObserver:
+        """Attach an observer to every current and future session."""
+        self._observers.append(observer)
+        for session in self._sessions.values():
+            session.subscribe(observer)
+        return observer
+
+    def unsubscribe(self, observer: EngineObserver) -> None:
+        """Detach an engine-level observer from all sessions."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+        for session in self._sessions.values():
+            session.unsubscribe(observer)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def route(self, record: OperationalRecord) -> DetectionSession | None:
+        """The session that should ingest ``record`` (None = drop)."""
+        key = self.stream_key(record)
+        if key is None and len(self._sessions) == 1:
+            return next(iter(self._sessions.values()))
+        session = self._sessions.get(key) if key is not None else None
+        if session is None:
+            if self.unknown_stream == "drop":
+                return None
+            raise StreamError(
+                f"record at t={record.timestamp} routed to unknown session "
+                f"{key!r}; registered sessions: {sorted(self._sessions)}"
+            )
+        return session
+
+    def ingest_record(self, record: OperationalRecord) -> list[TimeunitResult]:
+        """Route one record; returns results of timeunits it closed."""
+        session = self.route(record)
+        if session is None:
+            return []
+        return session.ingest_record(record)
+
+    def ingest_batch(
+        self, records: Iterable[OperationalRecord]
+    ) -> dict[str, list[TimeunitResult]]:
+        """Route a batch of records; closed results grouped by session name."""
+        closed: dict[str, list[TimeunitResult]] = {
+            name: [] for name in self._sessions
+        }
+        for record in records:
+            session = self.route(record)
+            if session is None:
+                continue
+            closed[session.name].extend(session.ingest_record(record))
+        return closed
+
+    def process_stream(
+        self, records: Iterable[OperationalRecord]
+    ) -> dict[str, list[TimeunitResult]]:
+        """Consume a whole merged stream, then flush every session."""
+        closed = self.ingest_batch(records)
+        for name, results in self.flush().items():
+            closed[name].extend(results)
+        return closed
+
+    def flush(self) -> dict[str, list[TimeunitResult]]:
+        """Close the accumulating timeunit of every session."""
+        return {name: session.flush() for name, session in self._sessions.items()}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def anomalies(self) -> dict[str, list[Anomaly]]:
+        """All reported anomalies, grouped by session name."""
+        return {name: session.anomalies for name, session in self._sessions.items()}
+
+    def units_processed(self) -> dict[str, int]:
+        return {
+            name: session.units_processed for name, session in self._sessions.items()
+        }
+
+    def memory_units(self) -> int:
+        """Total memory cost proxy across all sessions."""
+        return sum(session.memory_units() for session in self._sessions.values())
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-safe snapshot of the engine (policy + every session's state)."""
+        from repro.io.checkpoint import engine_state_dict
+
+        return engine_state_dict(self)
+
+    @classmethod
+    def from_state_dict(
+        cls, state: Mapping[str, Any], stream_key: StreamKey | None = None
+    ) -> "DetectionEngine":
+        """Rebuild an engine from a snapshot (selectors are not serializable,
+        so pass ``stream_key`` again when a custom one was used)."""
+        from repro.io.checkpoint import engine_from_state_dict
+
+        return engine_from_state_dict(state, stream_key=stream_key)
+
+    def save_checkpoint(self, path: Any) -> None:
+        """Persist the engine state as a JSON checkpoint file."""
+        from repro.io.checkpoint import save_checkpoint
+
+        save_checkpoint(self, path)
+
+    @classmethod
+    def load_checkpoint(
+        cls, path: Any, stream_key: StreamKey | None = None
+    ) -> "DetectionEngine":
+        """Restore an engine from a file written by :meth:`save_checkpoint`."""
+        from repro.io.checkpoint import load_checkpoint
+
+        return load_checkpoint(path, stream_key=stream_key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DetectionEngine(sessions={sorted(self._sessions)})"

@@ -1,0 +1,88 @@
+"""Lifecycle hooks for detection sessions.
+
+The seed exposed anomalies only by polling ``detector.anomalies`` after the
+stream ended — unusable for an always-on monitoring process.  Sessions now
+dispatch events to subscribed observers as they happen:
+
+* ``on_timeunit_closed(session, result)`` — a timeunit finished processing
+  (fired for every timeunit, warm-up included);
+* ``on_anomaly(session, anomaly)`` — an anomaly was reported (never fired for
+  anomalies suppressed during warm-up);
+* ``on_warmup_complete(session, timeunit)`` — the warm-up period ended; fired
+  once, after the last suppressed timeunit closes (immediately after the
+  first timeunit when ``warmup_units`` is 0).
+
+Observers subclass :class:`EngineObserver` and override what they need, or
+wrap plain callables with :class:`CallbackObserver`.  Subscribing at the
+engine level (:meth:`~repro.engine.engine.DetectionEngine.subscribe`) attaches
+the observer to every current and future session; the ``session`` argument
+identifies the source (``session.name``).
+
+Observer exceptions propagate to the caller: an alerting backend that cannot
+deliver should fail loudly rather than silently lose detections.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro._types import TimeunitIndex
+    from repro.core.detector import Anomaly
+    from repro.core.results import TimeunitResult
+    from repro.engine.session import DetectionSession
+
+
+class EngineObserver:
+    """Base class for lifecycle observers; every hook is a no-op by default."""
+
+    def on_timeunit_closed(
+        self, session: "DetectionSession", result: "TimeunitResult"
+    ) -> None:
+        """A timeunit was processed by ``session``."""
+
+    def on_anomaly(self, session: "DetectionSession", anomaly: "Anomaly") -> None:
+        """``session`` reported ``anomaly`` (post warm-up only)."""
+
+    def on_warmup_complete(
+        self, session: "DetectionSession", timeunit: "TimeunitIndex"
+    ) -> None:
+        """``session`` finished its warm-up period at ``timeunit``."""
+
+
+class CallbackObserver(EngineObserver):
+    """Adapter wrapping plain callables into the observer protocol.
+
+    >>> session.subscribe(CallbackObserver(
+    ...     on_anomaly=lambda session, anomaly: alerts.append(anomaly)))
+    """
+
+    def __init__(
+        self,
+        on_anomaly: Optional[Callable[["DetectionSession", "Anomaly"], None]] = None,
+        on_timeunit_closed: Optional[
+            Callable[["DetectionSession", "TimeunitResult"], None]
+        ] = None,
+        on_warmup_complete: Optional[
+            Callable[["DetectionSession", "TimeunitIndex"], None]
+        ] = None,
+    ):
+        self._on_anomaly = on_anomaly
+        self._on_timeunit_closed = on_timeunit_closed
+        self._on_warmup_complete = on_warmup_complete
+
+    def on_timeunit_closed(
+        self, session: "DetectionSession", result: "TimeunitResult"
+    ) -> None:
+        if self._on_timeunit_closed is not None:
+            self._on_timeunit_closed(session, result)
+
+    def on_anomaly(self, session: "DetectionSession", anomaly: "Anomaly") -> None:
+        if self._on_anomaly is not None:
+            self._on_anomaly(session, anomaly)
+
+    def on_warmup_complete(
+        self, session: "DetectionSession", timeunit: "TimeunitIndex"
+    ) -> None:
+        if self._on_warmup_complete is not None:
+            self._on_warmup_complete(session, timeunit)

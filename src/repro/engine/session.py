@@ -1,0 +1,274 @@
+"""One detection session: a (hierarchy, config, algorithm) triple run online.
+
+A :class:`DetectionSession` owns everything the seed's monolithic ``Tiresias``
+class owned — the tracking algorithm, the simulation clock, the pending
+timeunit accumulator, the warm-up suppression, the report store — but is built
+for composition:
+
+* the tracking algorithm resolves by name through the registry
+  (:mod:`repro.core.registry`), so new algorithms plug in without touching
+  this module;
+* lifecycle observers (:mod:`repro.engine.hooks`) are notified of closed
+  timeunits, reported anomalies, and warm-up completion as they happen;
+* the out-of-order policy of the config decides what happens to records whose
+  timeunit already closed (the seed silently counted them into the *current*
+  timeunit);
+* the full mutable state serializes to / restores from a JSON-safe dict
+  (:meth:`state_dict` / :meth:`from_state_dict`), the substrate of
+  :mod:`repro.io.checkpoint`.
+
+Several sessions run concurrently inside one
+:class:`~repro.engine.engine.DetectionEngine`; a single session is what the
+backward-compatible :class:`~repro.core.pipeline.Tiresias` facade wraps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import Counter
+from typing import Any, Iterable, Mapping
+
+from repro._types import CategoryPath, TimeunitIndex, Weight
+from repro.core.config import TiresiasConfig
+from repro.core.detector import Anomaly
+from repro.core.registry import create_algorithm
+from repro.core.reporting import AnomalyReportStore
+from repro.core.results import TimeunitResult
+from repro.engine.hooks import EngineObserver
+from repro.exceptions import ConfigurationError, OutOfOrderRecordError
+from repro.hierarchy.tree import HierarchyTree
+from repro.streaming.clock import SimulationClock
+from repro.streaming.record import OperationalRecord
+
+
+class DetectionSession:
+    """Online anomaly detection over one hierarchical domain.
+
+    Parameters
+    ----------
+    tree:
+        The hierarchical domain the record categories are drawn from.
+    config:
+        Detector configuration (θ, RT/DT, Δ, ℓ, split rule, out-of-order
+        policy, ...).
+    algorithm:
+        Registry name of the tracking algorithm (``"ada"`` or ``"sta"``
+        built in; see :func:`repro.core.registry.register_algorithm`).
+    clock:
+        Simulation clock; defaults to one with Δ from the config and epoch 0.
+    warmup_units:
+        Number of initial timeunits during which anomalies are suppressed
+        while the forecasting models accumulate history.  Defaults to the
+        forecasting model's minimum history.
+    name:
+        Session name, used by the engine for routing and by observers to
+        identify the source.
+    max_results:
+        Maximum number of :class:`TimeunitResult` objects retained in
+        :attr:`results` (oldest dropped first).  ``None`` (default) keeps
+        everything, which suits finite replays and the evaluation harness;
+        always-on deployments should bound it and consume results through
+        the ``on_timeunit_closed`` hook instead.
+    """
+
+    def __init__(
+        self,
+        tree: HierarchyTree,
+        config: TiresiasConfig,
+        algorithm: str = "ada",
+        clock: SimulationClock | None = None,
+        warmup_units: int | None = None,
+        name: str = "default",
+        max_results: int | None = None,
+    ):
+        self.name = name
+        self.tree = tree
+        self.config = config
+        self.clock = clock or SimulationClock(delta=config.delta_seconds)
+        if abs(self.clock.delta - config.delta_seconds) > 1e-9:
+            raise ConfigurationError(
+                "the clock's timeunit width must match config.delta_seconds"
+            )
+        self.algorithm = create_algorithm(algorithm, tree, config)
+        self.algorithm_name = algorithm
+        self.warmup_units = (
+            config.forecast.min_history if warmup_units is None else warmup_units
+        )
+        if self.warmup_units < 0:
+            raise ConfigurationError("warmup_units must be >= 0")
+        if max_results is not None and max_results < 0:
+            raise ConfigurationError("max_results must be >= 0 or None")
+        self.max_results = max_results
+        self.reports = AnomalyReportStore()
+        self.results: list[TimeunitResult] = []
+        self._units_processed = 0
+        self._pending: Counter = Counter()
+        self._pending_unit: TimeunitIndex | None = None
+        self._warmup_announced = False
+        self._observers: list[EngineObserver] = []
+        self.reading_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Observers
+    # ------------------------------------------------------------------
+    def subscribe(self, observer: EngineObserver) -> EngineObserver:
+        """Attach a lifecycle observer; returns it for chaining."""
+        self._observers.append(observer)
+        return observer
+
+    def unsubscribe(self, observer: EngineObserver) -> None:
+        """Detach a previously subscribed observer (no-op if absent)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Online ingestion
+    # ------------------------------------------------------------------
+    def process_stream(
+        self, records: Iterable[OperationalRecord]
+    ) -> list[TimeunitResult]:
+        """Consume a time-ordered record stream; returns per-timeunit results."""
+        produced: list[TimeunitResult] = []
+        start = time.perf_counter()
+        for record in records:
+            self.reading_seconds += time.perf_counter() - start
+            produced.extend(self.ingest_record(record))
+            start = time.perf_counter()
+        self.reading_seconds += time.perf_counter() - start
+        produced.extend(self.flush())
+        return produced
+
+    def ingest_record(self, record: OperationalRecord) -> list[TimeunitResult]:
+        """Add one record; returns results for any timeunits that closed."""
+        unit = self.clock.timeunit_of(record.timestamp)
+        if self._pending_unit is None:
+            self._pending_unit = unit
+        if unit < self._pending_unit:
+            policy = self.config.out_of_order_policy
+            if policy == "drop":
+                return []
+            if policy == "raise":
+                raise OutOfOrderRecordError(
+                    record.timestamp, self.clock.timeunit_start(self._pending_unit)
+                )
+            unit = self._pending_unit  # "clamp": count into the open timeunit
+        closed: list[TimeunitResult] = []
+        while unit > self._pending_unit:
+            closed.append(self._close_pending())
+        self._pending[record.category] += 1
+        return closed
+
+    def ingest_batch(
+        self, records: Iterable[OperationalRecord]
+    ) -> list[TimeunitResult]:
+        """Add a batch of records; returns results of all timeunits that closed."""
+        closed: list[TimeunitResult] = []
+        for record in records:
+            closed.extend(self.ingest_record(record))
+        return closed
+
+    def flush(self) -> list[TimeunitResult]:
+        """Close the currently accumulating timeunit (end of stream)."""
+        if self._pending_unit is None:
+            return []
+        return [self._close_pending(final=True)]
+
+    def _close_pending(self, final: bool = False) -> TimeunitResult:
+        assert self._pending_unit is not None
+        counts = dict(self._pending)
+        unit = self._pending_unit
+        self._pending = Counter()
+        self._pending_unit = None if final else unit + 1
+        return self.process_timeunit_counts(counts, unit)
+
+    # ------------------------------------------------------------------
+    # Timeunit-level interface (used directly by benchmarks)
+    # ------------------------------------------------------------------
+    def process_timeunit_counts(
+        self, counts: dict[CategoryPath, Weight], timeunit: TimeunitIndex | None = None
+    ) -> TimeunitResult:
+        """Process one timeunit worth of per-leaf counts."""
+        result = self.algorithm.process_timeunit(counts, timeunit)
+        self._units_processed += 1
+        if self._units_processed <= self.warmup_units and result.anomalies:
+            result = dataclasses.replace(result, anomalies=())
+        self.reports.add_many(result.anomalies)
+        self.results.append(result)
+        if self.max_results is not None and len(self.results) > self.max_results:
+            del self.results[: len(self.results) - self.max_results]
+        for observer in self._observers:
+            observer.on_timeunit_closed(self, result)
+        for anomaly in result.anomalies:
+            for observer in self._observers:
+                observer.on_anomaly(self, anomaly)
+        if not self._warmup_announced and self._units_processed >= self.warmup_units:
+            self._warmup_announced = True
+            for observer in self._observers:
+                observer.on_warmup_complete(self, result.timeunit)
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def units_processed(self) -> int:
+        return self._units_processed
+
+    @property
+    def anomalies(self) -> list[Anomaly]:
+        """All anomalies reported so far (after warm-up)."""
+        return self.reports.query()
+
+    def stage_seconds(self) -> dict[str, float]:
+        """Per-stage running time, including trace reading (Table III stages)."""
+        stages = dict(self.algorithm.stage_seconds)
+        stages["reading_traces"] = self.reading_seconds
+        return stages
+
+    def memory_units(self) -> int:
+        """The algorithm's memory cost proxy (Table IV)."""
+        return self.algorithm.memory_units()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-safe snapshot of the full session state.
+
+        Restoring it with :meth:`from_state_dict` yields a session whose
+        subsequent detections are identical to an uninterrupted run (the
+        ``results`` list is *not* part of the snapshot; past results live in
+        ``reports``).
+        """
+        from repro.io.checkpoint import session_state_dict
+
+        return session_state_dict(self)
+
+    @classmethod
+    def from_state_dict(cls, state: Mapping[str, Any]) -> "DetectionSession":
+        """Rebuild a session (tree, config, algorithm state) from a snapshot."""
+        from repro.io.checkpoint import session_from_state_dict
+
+        return session_from_state_dict(state)
+
+    def save_checkpoint(self, path: Any) -> None:
+        """Persist :meth:`state_dict` as a JSON checkpoint file."""
+        from repro.io.checkpoint import save_session_checkpoint
+
+        save_session_checkpoint(self, path)
+
+    @classmethod
+    def load_checkpoint(cls, path: Any) -> "DetectionSession":
+        """Restore a session from a file written by :meth:`save_checkpoint`."""
+        from repro.io.checkpoint import load_session_checkpoint
+
+        return load_session_checkpoint(path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DetectionSession(name={self.name!r}, algorithm={self.algorithm_name!r}, "
+            f"units_processed={self._units_processed})"
+        )

@@ -66,3 +66,7 @@ class DetectionError(ReproError):
 
 class DataGenerationError(ReproError):
     """A synthetic dataset generator was configured inconsistently."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is malformed, incompatible, or cannot be restored."""

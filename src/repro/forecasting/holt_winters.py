@@ -193,6 +193,38 @@ class HoltWintersForecaster(Forecaster):
     def copy(self) -> "HoltWintersForecaster":
         return self.scaled(1.0)
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of parameters and smoothing state."""
+        return {
+            "kind": "holt-winters",
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "gamma": self.gamma,
+            "season_length": self.season_length,
+            "level": self.level,
+            "trend": self.trend,
+            "seasonals": list(self.seasonals),
+            "phase": self._phase,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "HoltWintersForecaster":
+        """Rebuild a model from :meth:`state_dict` output."""
+        model = cls(
+            alpha=float(state["alpha"]),
+            beta=float(state["beta"]),
+            gamma=float(state["gamma"]),
+            season_length=int(state["season_length"]),
+        )
+        model.level = None if state["level"] is None else float(state["level"])
+        model.trend = float(state["trend"])
+        model.seasonals = [float(v) for v in state["seasonals"]]
+        model._phase = int(state["phase"])
+        return model
+
 
 class MultiSeasonalHoltWinters(Forecaster):
     """Holt-Winters with two (or more) linearly combined seasonal factors.
@@ -349,3 +381,37 @@ class MultiSeasonalHoltWinters(Forecaster):
 
     def copy(self) -> "MultiSeasonalHoltWinters":
         return self.scaled(1.0)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of parameters and smoothing state."""
+        return {
+            "kind": "multi-seasonal-holt-winters",
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "gamma": self.gamma,
+            "season_lengths": list(self.season_lengths),
+            "season_weights": list(self.season_weights),
+            "level": self.level,
+            "trend": self.trend,
+            "seasonals": [list(buf) for buf in self.seasonals],
+            "phases": list(self._phases),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "MultiSeasonalHoltWinters":
+        """Rebuild a model from :meth:`state_dict` output."""
+        model = cls(
+            alpha=float(state["alpha"]),
+            beta=float(state["beta"]),
+            gamma=float(state["gamma"]),
+            season_lengths=[int(p) for p in state["season_lengths"]],
+            season_weights=[float(w) for w in state["season_weights"]],
+        )
+        model.level = None if state["level"] is None else float(state["level"])
+        model.trend = float(state["trend"])
+        model.seasonals = [[float(v) for v in buf] for buf in state["seasonals"]]
+        model._phases = [int(p) for p in state["phases"]]
+        return model

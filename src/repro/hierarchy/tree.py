@@ -106,6 +106,16 @@ class HierarchyTree:
     def has_leaf(self, path: CategoryLike) -> bool:
         return tuple(path) in self._leaf_by_path
 
+    def leaf_paths(self) -> list[CategoryPath]:
+        """All registered leaf paths, in insertion order.
+
+        Together with the root label this fully determines the tree, which is
+        what the checkpoint format serializes to rebuild it on restore.
+        Insertion order is preserved (not sorted) so that a rebuilt tree
+        traverses nodes in exactly the original order.
+        """
+        return list(self._leaf_by_path)
+
     # ------------------------------------------------------------------
     # Traversal
     # ------------------------------------------------------------------

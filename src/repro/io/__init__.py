@@ -1,5 +1,16 @@
-"""Trace persistence: CSV and JSON Lines readers/writers for operational records."""
+"""Persistence: trace readers/writers and detector checkpoints.
 
+* CSV / JSON Lines readers and writers for operational records;
+* JSON checkpoint/restore for detection engines and sessions
+  (:mod:`repro.io.checkpoint`).
+"""
+
+from repro.io.checkpoint import (
+    load_checkpoint,
+    load_session_checkpoint,
+    save_checkpoint,
+    save_session_checkpoint,
+)
 from repro.io.csv_io import read_records_csv, write_records_csv
 from repro.io.jsonl_io import read_records_jsonl, write_records_jsonl
 
@@ -8,4 +19,8 @@ __all__ = [
     "write_records_csv",
     "read_records_jsonl",
     "write_records_jsonl",
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_session_checkpoint",
+    "load_session_checkpoint",
 ]

@@ -1,0 +1,306 @@
+"""JSON checkpoint/restore for detection engines and sessions.
+
+An always-on monitoring process must survive restarts without losing its
+sliding-window state: the algorithm time-series (and, for STA, the retained
+per-timeunit weight tables), the forecasting-model smoothing state, the clock
+position inside the stream, and the anomaly report store.  This module
+serializes all of it to a single JSON document so that a restored process
+produces detections identical to an uninterrupted run.
+
+Format (version 1)::
+
+    {
+      "format": "tiresias-checkpoint",
+      "version": 1,
+      "engine": {"unknown_stream": "raise"},   # engine checkpoints only
+      "sessions": [ {<session state>}, ... ]
+    }
+
+A *session* state carries the hierarchy (root label + leaf paths — the tree is
+rebuilt on restore), the full :class:`~repro.core.config.TiresiasConfig`, the
+clock, warm-up bookkeeping, the pending (not yet closed) timeunit counts, the
+report store, and the algorithm's ``state_dict()``.
+
+Floats round-trip exactly through Python's JSON encoder (``repr``-based), so
+restored forecasts are bit-identical.  Stream-key selectors are code, not
+data: pass ``stream_key=`` again when loading an engine that used a custom
+selector.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.core.config import ForecastConfig, TiresiasConfig
+from repro.core.detector import Anomaly
+from repro.exceptions import CheckpointError
+from repro.hierarchy.tree import HierarchyTree
+from repro.streaming.clock import SimulationClock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import DetectionEngine, StreamKey
+    from repro.engine.session import DetectionSession
+
+CHECKPOINT_FORMAT = "tiresias-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Config / clock / tree serialization helpers
+# ----------------------------------------------------------------------
+def config_to_dict(config: TiresiasConfig) -> dict[str, Any]:
+    """JSON-safe representation of a full detector configuration."""
+    forecast = config.forecast
+    return {
+        "theta": config.theta,
+        "ratio_threshold": config.ratio_threshold,
+        "difference_threshold": config.difference_threshold,
+        "delta_seconds": config.delta_seconds,
+        "window_units": config.window_units,
+        "split_rule": config.split_rule,
+        "split_ewma_alpha": config.split_ewma_alpha,
+        "reference_levels": config.reference_levels,
+        "track_root": config.track_root,
+        "out_of_order_policy": config.out_of_order_policy,
+        "forecast": {
+            "alpha": forecast.alpha,
+            "beta": forecast.beta,
+            "gamma": forecast.gamma,
+            "season_lengths": list(forecast.season_lengths),
+            "season_weights": (
+                None
+                if forecast.season_weights is None
+                else list(forecast.season_weights)
+            ),
+            "fallback_alpha": forecast.fallback_alpha,
+            "model": forecast.model,
+        },
+    }
+
+
+def config_from_dict(data: Mapping[str, Any]) -> TiresiasConfig:
+    """Inverse of :func:`config_to_dict`."""
+    fc = data["forecast"]
+    forecast = ForecastConfig(
+        alpha=float(fc["alpha"]),
+        beta=float(fc["beta"]),
+        gamma=float(fc["gamma"]),
+        season_lengths=tuple(int(p) for p in fc["season_lengths"]),
+        season_weights=(
+            None
+            if fc["season_weights"] is None
+            else tuple(float(w) for w in fc["season_weights"])
+        ),
+        fallback_alpha=float(fc["fallback_alpha"]),
+        model=str(fc.get("model", "auto")),
+    )
+    return TiresiasConfig(
+        theta=float(data["theta"]),
+        ratio_threshold=float(data["ratio_threshold"]),
+        difference_threshold=float(data["difference_threshold"]),
+        delta_seconds=float(data["delta_seconds"]),
+        window_units=int(data["window_units"]),
+        split_rule=str(data["split_rule"]),
+        split_ewma_alpha=float(data["split_ewma_alpha"]),
+        reference_levels=int(data["reference_levels"]),
+        forecast=forecast,
+        track_root=bool(data["track_root"]),
+        out_of_order_policy=str(data.get("out_of_order_policy", "raise")),
+    )
+
+
+def clock_to_dict(clock: SimulationClock) -> dict[str, Any]:
+    return {
+        "delta": clock.delta,
+        "epoch": clock.epoch,
+        "epoch_weekday": clock.epoch_weekday,
+        "epoch_hour": clock.epoch_hour,
+    }
+
+
+def clock_from_dict(data: Mapping[str, Any]) -> SimulationClock:
+    return SimulationClock(
+        delta=float(data["delta"]),
+        epoch=float(data["epoch"]),
+        epoch_weekday=int(data["epoch_weekday"]),
+        epoch_hour=float(data["epoch_hour"]),
+    )
+
+
+def tree_to_dict(tree: HierarchyTree) -> dict[str, Any]:
+    return {
+        "root_label": tree.root.label,
+        "leaves": [list(path) for path in tree.leaf_paths()],
+    }
+
+
+def tree_from_dict(data: Mapping[str, Any]) -> HierarchyTree:
+    return HierarchyTree.from_leaf_paths(
+        [tuple(path) for path in data["leaves"]],
+        root_label=str(data["root_label"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Session state
+# ----------------------------------------------------------------------
+def session_state_dict(session: "DetectionSession") -> dict[str, Any]:
+    """JSON-safe snapshot of one detection session (see module docstring)."""
+    if not hasattr(session.algorithm, "state_dict"):
+        raise CheckpointError(
+            f"algorithm {session.algorithm_name!r} does not implement "
+            f"state_dict(); custom algorithms must provide state_dict()/"
+            f"load_state_dict() to support checkpointing"
+        )
+    return {
+        "name": session.name,
+        "algorithm": session.algorithm_name,
+        "tree": tree_to_dict(session.tree),
+        "config": config_to_dict(session.config),
+        "clock": clock_to_dict(session.clock),
+        "warmup_units": session.warmup_units,
+        "max_results": session.max_results,
+        "units_processed": session.units_processed,
+        "warmup_announced": session._warmup_announced,
+        "pending_unit": session._pending_unit,
+        "pending": [
+            [list(path), count] for path, count in session._pending.items()
+        ],
+        "reading_seconds": session.reading_seconds,
+        "reports": [anomaly.to_dict() for anomaly in session.reports],
+        "algorithm_state": session.algorithm.state_dict(),
+    }
+
+
+def session_from_state_dict(state: Mapping[str, Any]) -> "DetectionSession":
+    """Rebuild a session from :func:`session_state_dict` output."""
+    from repro.engine.session import DetectionSession
+
+    try:
+        tree = tree_from_dict(state["tree"])
+        config = config_from_dict(state["config"])
+        clock = clock_from_dict(state["clock"])
+        max_results = state.get("max_results")
+        session = DetectionSession(
+            tree,
+            config,
+            algorithm=str(state["algorithm"]),
+            clock=clock,
+            warmup_units=int(state["warmup_units"]),
+            name=str(state["name"]),
+            max_results=None if max_results is None else int(max_results),
+        )
+        session._units_processed = int(state["units_processed"])
+        session._warmup_announced = bool(state["warmup_announced"])
+        pending_unit = state["pending_unit"]
+        session._pending_unit = None if pending_unit is None else int(pending_unit)
+        for path, count in state["pending"]:
+            session._pending[tuple(path)] = count
+        session.reading_seconds = float(state["reading_seconds"])
+        session.reports.add_many(
+            Anomaly.from_dict(data) for data in state["reports"]
+        )
+        if not hasattr(session.algorithm, "load_state_dict"):
+            raise CheckpointError(
+                f"algorithm {session.algorithm_name!r} does not implement "
+                f"load_state_dict(); cannot restore its checkpointed state"
+            )
+        session.algorithm.load_state_dict(state["algorithm_state"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed session state: {exc!r}") from exc
+    return session
+
+
+# ----------------------------------------------------------------------
+# Engine state
+# ----------------------------------------------------------------------
+def engine_state_dict(engine: "DetectionEngine") -> dict[str, Any]:
+    """JSON-safe snapshot of an engine and all its sessions."""
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "engine": {"unknown_stream": engine.unknown_stream},
+        "sessions": [
+            session_state_dict(session) for session in engine.sessions.values()
+        ],
+    }
+
+
+def engine_from_state_dict(
+    state: Mapping[str, Any], stream_key: "StreamKey | None" = None
+) -> "DetectionEngine":
+    """Rebuild an engine from :func:`engine_state_dict` output."""
+    from repro.engine.engine import DetectionEngine
+
+    _check_header(state)
+    engine = DetectionEngine(
+        stream_key=stream_key,
+        unknown_stream=str(state.get("engine", {}).get("unknown_stream", "raise")),
+    )
+    for session_state in state["sessions"]:
+        engine.attach_session(session_from_state_dict(session_state))
+    return engine
+
+
+def _check_header(state: Mapping[str, Any]) -> None:
+    if state.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"not a {CHECKPOINT_FORMAT} document (format={state.get('format')!r})"
+        )
+    if state.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {state.get('version')!r}; "
+            f"this build reads version {CHECKPOINT_VERSION}"
+        )
+
+
+# ----------------------------------------------------------------------
+# File round trips
+# ----------------------------------------------------------------------
+def save_checkpoint(engine: "DetectionEngine", path: "str | Path") -> None:
+    """Write an engine checkpoint to ``path`` (JSON, UTF-8)."""
+    _write_json(engine_state_dict(engine), path)
+
+
+def load_checkpoint(
+    path: "str | Path", stream_key: "StreamKey | None" = None
+) -> "DetectionEngine":
+    """Restore an engine from a file written by :func:`save_checkpoint`."""
+    return engine_from_state_dict(_read_json(path), stream_key=stream_key)
+
+
+def save_session_checkpoint(session: "DetectionSession", path: "str | Path") -> None:
+    """Write a single-session checkpoint (used by the ``Tiresias`` facade)."""
+    _write_json(
+        {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "sessions": [session_state_dict(session)],
+        },
+        path,
+    )
+
+
+def load_session_checkpoint(path: "str | Path") -> "DetectionSession":
+    """Restore the single session of a :func:`save_session_checkpoint` file."""
+    state = _read_json(path)
+    _check_header(state)
+    sessions = state.get("sessions", [])
+    if len(sessions) != 1:
+        raise CheckpointError(
+            f"expected exactly one session in the checkpoint, found {len(sessions)}"
+        )
+    return session_from_state_dict(sessions[0])
+
+
+def _write_json(document: Mapping[str, Any], path: "str | Path") -> None:
+    Path(path).write_text(json.dumps(document), encoding="utf-8")
+
+
+def _read_json(path: "str | Path") -> Any:
+    try:
+        return json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"checkpoint {path} is not valid JSON: {exc}") from exc

@@ -78,3 +78,56 @@ class TestTiresiasConfig:
         assert SPLIT_RULE_NAMES == frozenset(
             {"uniform", "last-time-unit", "long-term-history", "ewma"}
         )
+
+
+class TestReplace:
+    def test_replace_changes_only_named_fields(self):
+        config = TiresiasConfig(theta=10.0, window_units=100)
+        updated = config.replace(theta=20.0)
+        assert updated.theta == 20.0
+        assert updated.window_units == 100
+        assert config.theta == 10.0  # original untouched (frozen)
+
+    def test_replace_revalidates(self):
+        config = TiresiasConfig()
+        with pytest.raises(ConfigurationError):
+            config.replace(theta=-1.0)
+        with pytest.raises(ConfigurationError):
+            config.replace(split_rule="magic")
+
+    def test_evolve_is_an_alias(self):
+        config = TiresiasConfig()
+        assert config.evolve(theta=5.0) == config.replace(theta=5.0)
+
+    def test_forecast_config_replace(self):
+        forecast = ForecastConfig(season_lengths=(4,))
+        updated = forecast.replace(season_lengths=(8, 16))
+        assert updated.season_lengths == (8, 16)
+        assert updated.alpha == forecast.alpha
+        with pytest.raises(ConfigurationError):
+            forecast.replace(alpha=2.0)
+
+
+class TestOutOfOrderPolicy:
+    def test_default_is_raise(self):
+        assert TiresiasConfig().out_of_order_policy == "raise"
+
+    def test_all_policies_accepted(self):
+        from repro.core.config import OUT_OF_ORDER_POLICIES
+
+        assert OUT_OF_ORDER_POLICIES == frozenset({"raise", "drop", "clamp"})
+        for policy in OUT_OF_ORDER_POLICIES:
+            assert TiresiasConfig(out_of_order_policy=policy).out_of_order_policy == policy
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TiresiasConfig(out_of_order_policy="ignore")
+
+
+class TestForecastModelName:
+    def test_default_is_auto(self):
+        assert ForecastConfig().model == "auto"
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ForecastConfig(model="")

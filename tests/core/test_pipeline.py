@@ -131,3 +131,50 @@ class TestSeasonalConfigDerivation:
         # Non-forecast fields carried over unchanged.
         assert updated.theta == config.theta
         assert updated.window_units == config.window_units
+
+    def test_derive_seasonal_config_preserves_policy_fields(self, config):
+        units_per_day = int(86400 / config.delta_seconds)
+        series = [
+            100 + 40 * math.cos(2 * math.pi * t / units_per_day)
+            for t in range(units_per_day * 10)
+        ]
+        base = config.replace(out_of_order_policy="clamp", track_root=False)
+        updated = derive_seasonal_config(series, base, max_seasons=1)
+        assert updated.out_of_order_policy == "clamp"
+        assert updated.track_root is False
+
+
+class TestFacade:
+    def test_anomalies_returns_typed_list(self, tree, config):
+        from repro.core.detector import Anomaly
+
+        detector = Tiresias(tree, config, warmup_units=4)
+        steady = steady_records(("a", "a1"), units=12, per_unit=6)
+        spike = steady_records(("a", "a1"), units=1, per_unit=40, start_unit=12)
+        detector.process_stream(iter(steady + spike))
+        assert detector.anomalies
+        assert all(isinstance(a, Anomaly) for a in detector.anomalies)
+
+    def test_facade_delegates_to_session(self, tree, config):
+        from repro.engine.session import DetectionSession
+
+        detector = Tiresias(tree, config, warmup_units=0)
+        assert isinstance(detector.session, DetectionSession)
+        assert detector.tree is tree
+        assert detector.config is config
+        detector.process_timeunit_counts({("a", "a1"): 9}, timeunit=0)
+        assert detector.units_processed == detector.session.units_processed == 1
+        assert detector.results is detector.session.results
+        assert detector.reports is detector.session.reports
+
+    def test_facade_supports_registered_algorithm(self, tree, config):
+        from repro.core.ada import ADAAlgorithm
+        from repro.core.registry import register_algorithm, unregister_algorithm
+
+        register_algorithm("test-ada", lambda t, c: ADAAlgorithm(t, c))
+        try:
+            detector = Tiresias(tree, config, algorithm="test-ada", warmup_units=0)
+            assert detector.algorithm_name == "test-ada"
+            assert isinstance(detector.algorithm, ADAAlgorithm)
+        finally:
+            unregister_algorithm("test-ada")
