@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Columnar batch ingestion: same detections, a fraction of the time.
+
+The online system has two equivalent ways to feed a detection engine:
+
+* **record at a time** — every :class:`OperationalRecord` is validated,
+  routed and counted individually (simple, great for live trickle feeds);
+* **columnar batches** — records move as :class:`RecordBatch` columns;
+  timeunit classification is one vectorized pass and per-leaf counting is
+  one grouped aggregation per batch (the high-throughput replay/catch-up
+  path).
+
+This example demonstrates the contract between them:
+
+1. generate a CCD trace and persist it as JSONL (the operational export);
+2. replay it twice — per record via ``process_stream`` and columnar via
+   ``read_batches_jsonl`` + ``process_batches``;
+3. verify the two runs report byte-identical anomalies, and compare their
+   wall-clock ingestion throughput.
+
+Run with::
+
+    python examples/columnar_ingestion.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import (
+    CCDConfig,
+    DetectionEngine,
+    ForecastConfig,
+    TiresiasConfig,
+    make_ccd_dataset,
+    read_batches_jsonl,
+)
+from repro.io import read_records_jsonl, write_records_jsonl
+
+DELTA = 1800.0
+UNITS_PER_DAY = int(86400 / DELTA)
+
+
+def build_engine(dataset) -> DetectionEngine:
+    config = TiresiasConfig(
+        theta=8.0,
+        ratio_threshold=2.2,
+        difference_threshold=6.0,
+        delta_seconds=DELTA,
+        window_units=2 * UNITS_PER_DAY,
+        reference_levels=1,
+        forecast=ForecastConfig(season_lengths=(UNITS_PER_DAY,), fallback_alpha=0.4),
+    )
+    engine = DetectionEngine()
+    engine.add_session(
+        "ccd", dataset.tree, config, clock=dataset.clock,
+        warmup_units=UNITS_PER_DAY // 2,
+    )
+    return engine
+
+
+def main() -> None:
+    dataset = make_ccd_dataset(
+        CCDConfig(
+            dimension="trouble",
+            duration_days=4.0,
+            delta_seconds=DELTA,
+            base_rate_per_hour=400.0,
+            num_anomalies=4,
+            anomaly_warmup_days=1.5,
+            seed=7,
+        )
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace = Path(tmp) / "ccd.jsonl"
+        n = write_records_jsonl(dataset.records(), trace)
+        print(f"trace: {n} records over {dataset.num_timeunits} timeunits -> {trace.name}")
+
+        # --- per-record replay ------------------------------------------------
+        record_engine = build_engine(dataset)
+        start = time.perf_counter()
+        record_engine.process_stream(read_records_jsonl(trace))
+        record_seconds = time.perf_counter() - start
+
+        # --- columnar replay --------------------------------------------------
+        batch_engine = build_engine(dataset)
+        start = time.perf_counter()
+        batch_engine.process_batches(read_batches_jsonl(trace, batch_size=8192))
+        batch_seconds = time.perf_counter() - start
+
+    record_anomalies = [a.to_dict() for a in record_engine.session("ccd").anomalies]
+    batch_anomalies = [a.to_dict() for a in batch_engine.session("ccd").anomalies]
+    assert record_anomalies == batch_anomalies, "the equivalence guarantee broke!"
+
+    print(f"\nper-record path: {n / record_seconds:>12,.0f} records/sec "
+          f"({record_seconds:.3f}s)")
+    print(f"columnar path:   {n / batch_seconds:>12,.0f} records/sec "
+          f"({batch_seconds:.3f}s)  -> {record_seconds / batch_seconds:.1f}x")
+    print(f"\nboth paths reported {len(record_anomalies)} identical anomalies; "
+          "a few of them:")
+    for anomaly in record_engine.session("ccd").anomalies[:5]:
+        print(f"  t={anomaly.timeunit:>4}  {'/'.join(anomaly.node_path):<40} "
+              f"ratio={anomaly.ratio:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -90,10 +90,22 @@ from repro.hierarchy import (
     build_ccd_trouble_tree,
     build_scd_network_tree,
 )
-from repro.io import load_checkpoint, save_checkpoint
-from repro.streaming import InputStream, OperationalRecord, SimulationClock, SlidingWindow
+from repro.io import (
+    load_checkpoint,
+    read_batches_csv,
+    read_batches_jsonl,
+    save_checkpoint,
+)
+from repro.streaming import (
+    InputStream,
+    OperationalRecord,
+    RecordBatch,
+    SimulationClock,
+    SlidingWindow,
+    iter_record_batches,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -126,9 +138,13 @@ __all__ = [
     "build_ccd_network_tree",
     "build_scd_network_tree",
     "OperationalRecord",
+    "RecordBatch",
+    "iter_record_batches",
     "InputStream",
     "SimulationClock",
     "SlidingWindow",
+    "read_batches_csv",
+    "read_batches_jsonl",
     "CCDConfig",
     "SCDConfig",
     "make_ccd_dataset",

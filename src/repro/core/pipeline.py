@@ -35,6 +35,7 @@ from repro.engine.hooks import EngineObserver
 from repro.engine.session import DetectionSession
 from repro.hierarchy.tree import HierarchyTree
 from repro.seasonality.analyzer import SeasonalityAnalyzer
+from repro.streaming.batch import RecordBatch
 from repro.streaming.clock import SimulationClock
 from repro.streaming.record import OperationalRecord
 
@@ -124,6 +125,14 @@ class Tiresias:
     ) -> list[TimeunitResult]:
         """Add a batch of records; returns results of timeunits that closed."""
         return self.session.ingest_batch(records)
+
+    def ingest_record_batch(self, batch: RecordBatch) -> list[TimeunitResult]:
+        """Add a columnar batch; returns results of timeunits that closed."""
+        return self.session.ingest_record_batch(batch)
+
+    def process_batches(self, batches: Iterable[RecordBatch]) -> list[TimeunitResult]:
+        """Consume a stream of columnar batches, then flush."""
+        return self.session.process_batches(batches)
 
     def flush(self) -> list[TimeunitResult]:
         """Close the currently accumulating timeunit (end of stream)."""

@@ -245,8 +245,7 @@ class NodeTimeSeries:
     ) -> "NodeTimeSeries":
         """Build a series by replaying ``history`` (oldest first)."""
         series = cls(length, forecast_config)
-        for value in history:
-            series.append(value)
+        series.extend(history)
         return series
 
     # ------------------------------------------------------------------
@@ -258,6 +257,18 @@ class NodeTimeSeries:
         self.actual.append(float(value))
         self.forecast.append(predicted)
         return predicted
+
+    def extend(self, values: Sequence[float]) -> list[float]:
+        """Append several timeunit values at once (oldest first).
+
+        This is the series-level entry point of the batch ingestion path: a
+        columnar batch reduces to one aggregated count per (node, timeunit),
+        so a node series absorbs a whole batch with one call instead of one
+        per record.  The forecaster update is inherently sequential (each
+        forecast conditions on the previous observation), so the values are
+        folded in order; returns the forecast made for each value.
+        """
+        return [self.append(value) for value in values]
 
     @property
     def latest_actual(self) -> float:

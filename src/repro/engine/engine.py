@@ -17,9 +17,12 @@ need no tagging.  Records whose key matches no session follow the
 
 Ingestion
 ---------
-Per-record (:meth:`ingest_record`), batched (:meth:`ingest_batch`) and
-whole-stream (:meth:`process_stream`) ingestion are supported; batch and
-stream ingestion return the closed timeunit results grouped by session name.
+Per-record (:meth:`ingest_record`), batched (:meth:`ingest_batch`), columnar
+(:meth:`ingest_record_batch` / :meth:`process_batches`) and whole-stream
+(:meth:`process_stream`) ingestion are supported; all but the per-record form
+return the closed timeunit results grouped by session name.  The columnar
+form partitions each :class:`~repro.streaming.batch.RecordBatch` by stream
+key in a single pass and produces detections identical to per-record routing.
 
 Checkpointing
 -------------
@@ -40,6 +43,7 @@ from repro.engine.hooks import EngineObserver
 from repro.engine.session import DetectionSession
 from repro.exceptions import ConfigurationError, StreamError
 from repro.hierarchy.tree import HierarchyTree
+from repro.streaming.batch import RecordBatch
 from repro.streaming.clock import SimulationClock
 from repro.streaming.record import OperationalRecord
 
@@ -182,7 +186,11 @@ class DetectionEngine:
     # ------------------------------------------------------------------
     def route(self, record: OperationalRecord) -> DetectionSession | None:
         """The session that should ingest ``record`` (None = drop)."""
-        key = self.stream_key(record)
+        return self._session_for_key(self.stream_key(record), record.timestamp)
+
+    def _session_for_key(
+        self, key: "str | None", timestamp: float
+    ) -> DetectionSession | None:
         if key is None and len(self._sessions) == 1:
             return next(iter(self._sessions.values()))
         session = self._sessions.get(key) if key is not None else None
@@ -190,7 +198,7 @@ class DetectionEngine:
             if self.unknown_stream == "drop":
                 return None
             raise StreamError(
-                f"record at t={record.timestamp} routed to unknown session "
+                f"record at t={timestamp} routed to unknown session "
                 f"{key!r}; registered sessions: {sorted(self._sessions)}"
             )
         return session
@@ -216,11 +224,62 @@ class DetectionEngine:
             closed[session.name].extend(session.ingest_record(record))
         return closed
 
+    def ingest_record_batch(
+        self, batch: RecordBatch
+    ) -> dict[str, list[TimeunitResult]]:
+        """Route a columnar batch; closed results grouped by session name.
+
+        The batch is partitioned by stream key in one pass
+        (:meth:`RecordBatch.partition_by_key`) and each partition is ingested
+        through the session's grouped-aggregation path.  Partitions preserve
+        the per-session record order of the merged stream, so every session
+        sees exactly the sub-stream the per-record router would have fed it
+        and produces identical detections.  With the default attribute
+        selector an untagged single-session batch is forwarded whole, without
+        touching a single row.
+
+        Error semantics differ from per-record routing in one way: every
+        partition's key is resolved *before* any record is ingested, so an
+        unknown key under the ``"raise"`` policy rejects the whole batch with
+        no side effects (per-record routing would have ingested — and fired
+        observer hooks for — the records preceding the offender).
+        """
+        closed: dict[str, list[TimeunitResult]] = {
+            name: [] for name in self._sessions
+        }
+        # The default selector is reimplemented columnarly inside the batch;
+        # custom selectors are applied row by row.
+        selector = None if self.stream_key is attribute_stream_key else self.stream_key
+        routed: list[tuple[DetectionSession, RecordBatch]] = []
+        for key, part in batch.partition_by_key(selector):
+            session = self._session_for_key(
+                key, float(part.timestamps[0]) if len(part) else 0.0
+            )
+            if session is not None:
+                routed.append((session, part))
+        for session, part in routed:
+            closed[session.name].extend(session.ingest_record_batch(part))
+        return closed
+
     def process_stream(
         self, records: Iterable[OperationalRecord]
     ) -> dict[str, list[TimeunitResult]]:
         """Consume a whole merged stream, then flush every session."""
         closed = self.ingest_batch(records)
+        for name, results in self.flush().items():
+            closed[name].extend(results)
+        return closed
+
+    def process_batches(
+        self, batches: Iterable[RecordBatch]
+    ) -> dict[str, list[TimeunitResult]]:
+        """Consume a stream of columnar batches, then flush every session."""
+        closed: dict[str, list[TimeunitResult]] = {
+            name: [] for name in self._sessions
+        }
+        for batch in batches:
+            for name, results in self.ingest_record_batch(batch).items():
+                closed[name].extend(results)
         for name, results in self.flush().items():
             closed[name].extend(results)
         return closed

@@ -11,13 +11,15 @@ from repro.io.checkpoint import (
     save_checkpoint,
     save_session_checkpoint,
 )
-from repro.io.csv_io import read_records_csv, write_records_csv
-from repro.io.jsonl_io import read_records_jsonl, write_records_jsonl
+from repro.io.csv_io import read_batches_csv, read_records_csv, write_records_csv
+from repro.io.jsonl_io import read_batches_jsonl, read_records_jsonl, write_records_jsonl
 
 __all__ = [
     "read_records_csv",
+    "read_batches_csv",
     "write_records_csv",
     "read_records_jsonl",
+    "read_batches_jsonl",
     "write_records_jsonl",
     "save_checkpoint",
     "load_checkpoint",

@@ -3,6 +3,12 @@
 JSONL keeps the record's free-form ``attributes`` mapping (customer index,
 injected-anomaly labels, ...) that the flat CSV format drops, so it is the
 format of choice for traces with ground-truth annotations.
+
+:func:`read_batches_jsonl` is the columnar counterpart of
+:func:`read_records_jsonl`: parsed values land directly in
+:class:`~repro.streaming.batch.RecordBatch` columns (including the attribute
+column, so engine stream-key routing still works) without building per-row
+record objects.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from pathlib import Path
 from typing import Iterable, Iterator
 
 from repro.exceptions import StreamError
+from repro.streaming.batch import ColumnAccumulator, RecordBatch
 from repro.streaming.record import OperationalRecord
 
 
@@ -39,3 +46,32 @@ def read_records_jsonl(path: str | Path) -> Iterator[OperationalRecord]:
             except json.JSONDecodeError as exc:
                 raise StreamError(f"{path}:{line_number}: invalid JSON: {exc}") from exc
             yield OperationalRecord.from_dict(data)
+
+
+def read_batches_jsonl(
+    path: str | Path, batch_size: int = 8192
+) -> Iterator[RecordBatch]:
+    """Yield columnar :class:`RecordBatch` chunks from a record JSONL file."""
+    if batch_size < 1:
+        raise StreamError(f"batch_size must be >= 1, got {batch_size}")
+    path = Path(path)
+    acc = ColumnAccumulator()
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise StreamError(f"{path}:{line_number}: invalid JSON: {exc}") from exc
+            category = tuple(data["category"])
+            if not category:
+                raise StreamError(
+                    f"{path}:{line_number}: record with an empty category path"
+                )
+            acc.add(float(data["timestamp"]), category, data.get("attributes"))
+            if len(acc) >= batch_size:
+                yield acc.flush()
+    if len(acc):
+        yield acc.flush()

@@ -1,11 +1,19 @@
-"""Streaming substrate: records, streams, clocks and the sliding window.
+"""Streaming substrate: records, batches, streams, clocks and the window.
 
 Implements the paper's input abstraction (Section III) and Step 1 of the
 system overview (Fig. 3(a)-(b)): operational records ``(category, time)``
 arrive as a time-ordered stream and are classified into fixed-width timeunits
 inside a sliding window of ℓ units.
+
+Two representations of the stream coexist:
+
+* row-oriented :class:`OperationalRecord` objects (the original API), and
+* column-oriented :class:`RecordBatch` chunks (the vectorized hot path),
+  produced by :meth:`InputStream.iter_batches` or the ``repro.io`` batch
+  loaders and aggregated into per-timeunit counts in one grouped pass.
 """
 
+from repro.streaming.batch import RecordBatch, iter_record_batches
 from repro.streaming.clock import DAY, HOUR, MINUTE, WEEK, SimulationClock
 from repro.streaming.record import OperationalRecord
 from repro.streaming.stream import InputStream
@@ -13,6 +21,8 @@ from repro.streaming.window import SlidingWindow, Timeunit
 
 __all__ = [
     "OperationalRecord",
+    "RecordBatch",
+    "iter_record_batches",
     "InputStream",
     "SimulationClock",
     "SlidingWindow",

@@ -4,6 +4,17 @@ Tiresias consumes operational data as an ordered stream of records.  This
 module provides a thin iterator wrapper that checks (approximate) time order,
 merges several sources, and batches records per time instance the way the
 online system receives "data lists" (Fig. 3(a)).
+
+Two consumption styles share one stream, one watermark and one record
+counter:
+
+* per-record iteration (``for record in stream``), and
+* columnar iteration (:meth:`InputStream.iter_batches`), which validates a
+  whole :class:`~repro.streaming.batch.RecordBatch` of timestamps in a single
+  vectorized pass.
+
+Mixing the two is safe: both advance ``records_seen`` and the jitter
+watermark identically, so engine metrics never diverge between paths.
 """
 
 from __future__ import annotations
@@ -13,6 +24,7 @@ from typing import Iterable, Iterator, Sequence
 
 from repro._types import Timestamp
 from repro.exceptions import StreamError
+from repro.streaming.batch import ColumnAccumulator, RecordBatch, _np
 from repro.streaming.record import OperationalRecord
 
 
@@ -46,7 +58,11 @@ class InputStream:
                 f"stream went backwards in time: {record.timestamp} after "
                 f"{self._last_ts} (tolerance {self.tolerance}s)"
             )
-        self._last_ts = max(self._last_ts or record.timestamp, record.timestamp)
+        # The watermark must never regress: ``self._last_ts or ts`` treated a
+        # legitimate 0.0 watermark (the first record of a merged stream at the
+        # epoch) as "unset", silently widening the tolerance for later jitter.
+        if self._last_ts is None or record.timestamp > self._last_ts:
+            self._last_ts = record.timestamp
         self._count += 1
         return record
 
@@ -64,14 +80,85 @@ class InputStream:
         return cls(sorted(records))
 
     @classmethod
-    def merge(cls, *streams: Iterable[OperationalRecord]) -> "InputStream":
+    def merge(
+        cls, *streams: Iterable[OperationalRecord], tolerance: float = 0.0
+    ) -> "InputStream":
         """Merge several time-ordered sources into one ordered stream.
 
         This mirrors combining the trouble-description feed and the network
         path feed, or feeds from different VHO regions, into a single stream.
+        The merge is lazy (records are pulled from the sources on demand) and
+        ``tolerance`` bounds the within-source jitter the merged stream
+        accepts, checked against a watermark that never regresses.
         """
         merged = heapq.merge(*streams, key=lambda r: r.timestamp)
-        return cls(merged)
+        return cls(merged, tolerance=tolerance)
+
+    # ------------------------------------------------------------------
+    # Columnar batching
+    # ------------------------------------------------------------------
+    def iter_batches(self, size: int) -> Iterator[RecordBatch]:
+        """Consume the stream as columnar :class:`RecordBatch` chunks.
+
+        Pulls up to ``size`` records at a time and validates their timestamps
+        against the jitter tolerance in one vectorized pass (the same check
+        :meth:`__next__` applies record by record).  ``records_seen`` and the
+        internal watermark advance exactly as under per-record iteration, so
+        switching between the two styles — or between a plain and a merged
+        stream — never skews engine metrics.
+        """
+        if size < 1:
+            raise StreamError(f"batch size must be >= 1, got {size}")
+        acc = ColumnAccumulator()
+        while True:
+            for record in self._records:
+                acc.add_record(record)
+                if len(acc) >= size:
+                    break
+            if not len(acc):
+                return
+            self._validate_batch_order(acc.timestamps)
+            self._count += len(acc)
+            yield acc.flush()
+
+    def _validate_batch_order(self, timestamps: Sequence[float]) -> None:
+        """Vectorized equivalent of the per-record jitter check.
+
+        Each timestamp is compared against the running maximum of everything
+        before it (seeded with the stream watermark); on success the watermark
+        advances to the batch maximum.  On a violation, the valid prefix is
+        accounted for first — ``records_seen`` and the watermark end up
+        exactly where per-record iteration would have left them when raising
+        (the buffered prefix itself is not yielded; the error is fatal).
+        """
+        if _np is not None:
+            ts = _np.asarray(timestamps, dtype=_np.float64)
+            base = ts if self._last_ts is None else _np.concatenate(([self._last_ts], ts))
+            watermark = _np.maximum.accumulate(base)
+            bad = _np.flatnonzero(base[1:] < watermark[:-1] - self.tolerance)
+            if bad.size:
+                i = int(bad[0])
+                prefix = i if self._last_ts is not None else i + 1
+                self._count += prefix
+                self._last_ts = float(watermark[i])
+                raise StreamError(
+                    f"stream went backwards in time: {base[i + 1]} after "
+                    f"{watermark[i]} (tolerance {self.tolerance}s)"
+                )
+            self._last_ts = float(watermark[-1])
+            return
+        watermark = self._last_ts
+        for i, ts in enumerate(timestamps):
+            if watermark is not None and ts < watermark - self.tolerance:
+                self._count += i
+                self._last_ts = watermark
+                raise StreamError(
+                    f"stream went backwards in time: {ts} after "
+                    f"{watermark} (tolerance {self.tolerance}s)"
+                )
+            if watermark is None or ts > watermark:
+                watermark = ts
+        self._last_ts = watermark
 
     # ------------------------------------------------------------------
     # Batching

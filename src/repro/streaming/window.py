@@ -18,6 +18,7 @@ from typing import Deque, Iterable, Iterator
 
 from repro._types import CategoryPath, Timestamp, TimeunitIndex
 from repro.exceptions import ConfigurationError, OutOfOrderRecordError
+from repro.streaming.batch import RecordBatch
 from repro.streaming.clock import SimulationClock
 from repro.streaming.record import OperationalRecord
 
@@ -118,7 +119,9 @@ class SlidingWindow:
         Returns the number of new timeunits created.  Old units beyond ℓ are
         evicted from the left.
         """
-        target = self.clock.timeunit_of(timestamp)
+        return self._advance_to_unit(self.clock.timeunit_of(timestamp))
+
+    def _advance_to_unit(self, target: TimeunitIndex) -> int:
         created = 0
         if not self._units:
             self._units.append(Timeunit(target, Counter()))
@@ -150,11 +153,36 @@ class SlidingWindow:
         return True
 
     def ingest_many(self, records: Iterable[OperationalRecord]) -> int:
-        """Ingest a batch; returns the number of records counted."""
+        """Ingest records one by one; returns the number of records counted."""
         counted = 0
         for record in records:
             if self.ingest(record):
                 counted += 1
+        return counted
+
+    def ingest_batch(self, batch: RecordBatch) -> int:
+        """Bin a whole columnar batch into timeunits in one grouped pass.
+
+        Equivalent to calling :meth:`ingest` on every row in order — the
+        batch's run-grouped aggregation preserves arrival order, so late runs
+        are dropped (or raise) exactly where the per-record path would — but
+        the per-leaf counting happens once per (timeunit, batch) run instead
+        of once per record.  Returns the number of records counted.
+        """
+        counted = 0
+        for unit, start, counts in batch.group_runs_by_timeunit(self.clock):
+            self._advance_to_unit(unit)
+            if unit < self._units[0].index:
+                run_total = sum(counts.values())
+                if self.allow_late:
+                    self._dropped_late += run_total
+                    continue
+                raise OutOfOrderRecordError(
+                    float(batch.timestamps[start]),
+                    self.clock.timeunit_start(self._units[0].index),
+                )
+            self._units[unit - self._units[0].index].counts.update(counts)
+            counted += sum(counts.values())
         return counted
 
     # ------------------------------------------------------------------

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.exceptions import StreamError
-from repro.io.csv_io import read_records_csv, write_records_csv
+from repro.io.csv_io import read_batches_csv, read_records_csv, write_records_csv
 from repro.streaming.record import OperationalRecord
 
 
@@ -49,3 +49,46 @@ class TestErrors:
         path.write_text("timestamp,level1\n5.0,\n")
         with pytest.raises(StreamError):
             list(read_records_csv(path))
+
+
+class TestBatchLoader:
+    def test_batches_match_record_reader(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_records_csv(sample_records(), path)
+        rows = [(r.timestamp, r.category) for r in read_records_csv(path)]
+        batches = list(read_batches_csv(path, batch_size=2))
+        assert [len(b) for b in batches] == [2, 1]
+        assert [
+            (r.timestamp, r.category) for b in batches for r in b
+        ] == rows
+
+    def test_write_accepts_a_record_batch(self, tmp_path):
+        from repro.streaming.batch import RecordBatch
+
+        path = tmp_path / "trace.csv"
+        batch = RecordBatch.from_records(sample_records())
+        assert write_records_csv(batch, path) == 3
+        assert len(list(read_batches_csv(path))) == 1
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_records_csv([], path)
+        assert list(read_batches_csv(path)) == []
+
+    def test_missing_timestamp_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("foo,bar\n1,2\n")
+        with pytest.raises(StreamError):
+            list(read_batches_csv(path))
+
+    def test_row_without_category_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("timestamp,level1\n5.0,\n")
+        with pytest.raises(StreamError):
+            list(read_batches_csv(path))
+
+    def test_invalid_batch_size(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_records_csv(sample_records(), path)
+        with pytest.raises(StreamError):
+            list(read_batches_csv(path, batch_size=0))

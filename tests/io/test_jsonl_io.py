@@ -3,7 +3,11 @@
 import pytest
 
 from repro.exceptions import StreamError
-from repro.io.jsonl_io import read_records_jsonl, write_records_jsonl
+from repro.io.jsonl_io import (
+    read_batches_jsonl,
+    read_records_jsonl,
+    write_records_jsonl,
+)
 from repro.streaming.record import OperationalRecord
 
 
@@ -34,6 +38,49 @@ class TestRoundTrip:
         path = tmp_path / "empty.jsonl"
         write_records_jsonl([], path)
         assert list(read_records_jsonl(path)) == []
+
+
+class TestBatchLoader:
+    def test_batches_preserve_attributes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_records_jsonl(sample_records(), path)
+        [batch] = list(read_batches_jsonl(path))
+        assert batch.to_records() == sample_records()
+        assert batch.record(0).attributes == {"injected": True, "label": "x"}
+
+    def test_attribute_free_trace_drops_the_column(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_records_jsonl(
+            [OperationalRecord.create(1.0, ("a",)), OperationalRecord.create(2.0, ("b",))],
+            path,
+        )
+        [batch] = list(read_batches_jsonl(path))
+        assert batch.attributes is None
+
+    def test_chunking_and_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_records_jsonl(sample_records(), path)
+        path.write_text(path.read_text() + "\n\n")
+        batches = list(read_batches_jsonl(path, batch_size=1))
+        assert [len(b) for b in batches] == [1, 1]
+
+    def test_invalid_json_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"timestamp": 1, "category": ["a"]}\nnot-json\n')
+        with pytest.raises(StreamError, match="2"):
+            list(read_batches_jsonl(path))
+
+    def test_empty_category_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"timestamp": 1, "category": []}\n')
+        with pytest.raises(StreamError):
+            list(read_batches_jsonl(path))
+
+    def test_invalid_batch_size(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_records_jsonl(sample_records(), path)
+        with pytest.raises(StreamError):
+            list(read_batches_jsonl(path, batch_size=0))
 
 
 class TestErrors:

@@ -1,0 +1,198 @@
+"""Unit tests for :mod:`repro.streaming.batch`."""
+
+import pytest
+
+from repro.exceptions import StreamError
+from repro.streaming.batch import RecordBatch, iter_record_batches
+from repro.streaming.clock import SimulationClock
+from repro.streaming.record import OperationalRecord
+
+
+def rec(ts, label="leaf", **attrs):
+    return OperationalRecord.create(ts, (label,), **attrs)
+
+
+def rows(records):
+    """Full row tuples (record equality alone compares only timestamps)."""
+    return [(r.timestamp, r.category, dict(r.attributes)) for r in records]
+
+
+@pytest.fixture
+def clock():
+    return SimulationClock(delta=10.0)
+
+
+class TestConstruction:
+    def test_from_records_round_trips(self):
+        records = [rec(1.0, "a"), rec(2.0, "b", stream="x"), rec(3.0, "a")]
+        batch = RecordBatch.from_records(records)
+        assert len(batch) == 3
+        assert rows(batch) == rows(records)
+
+    def test_from_records_without_attributes_drops_column(self):
+        batch = RecordBatch.from_records([rec(1.0), rec(2.0)])
+        assert batch.attributes is None
+        assert batch.record(0).attributes == {}
+
+    def test_from_columns_normalizes_category_paths(self):
+        batch = RecordBatch.from_columns([1.0, 2.0], [["a", "a1"], ("b",)])
+        assert batch.categories == [("a", "a1"), ("b",)]
+
+    def test_from_columns_rejects_empty_category(self):
+        with pytest.raises(StreamError):
+            RecordBatch.from_columns([1.0], [()])
+
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(StreamError):
+            RecordBatch([1.0, 2.0], [("a",)])
+        with pytest.raises(StreamError):
+            RecordBatch([1.0], [("a",)], attributes=[{}, {}])
+
+    def test_empty_batch(self):
+        batch = RecordBatch.empty()
+        assert len(batch) == 0
+        assert batch.to_records() == []
+        with pytest.raises(StreamError):
+            batch.min_timestamp
+
+
+class TestColumnOps:
+    def test_slice_and_take_preserve_rows(self):
+        records = [rec(float(i), f"l{i}", n=i) for i in range(5)]
+        batch = RecordBatch.from_records(records)
+        assert rows(batch.slice(1, 3)) == rows(records[1:3])
+        assert rows(batch.take([4, 0, 2])) == rows([records[4], records[0], records[2]])
+
+    def test_concat(self):
+        a = RecordBatch.from_records([rec(1.0)])
+        b = RecordBatch.from_records([rec(2.0, "b", stream="x")])
+        merged = a.concat(b)
+        assert len(merged) == 2
+        assert merged.record(0).attributes == {}
+        assert merged.record(1).attributes == {"stream": "x"}
+
+    def test_min_max_timestamp(self):
+        batch = RecordBatch.from_records([rec(3.0), rec(1.0), rec(2.0)])
+        assert batch.min_timestamp == 1.0
+        assert batch.max_timestamp == 3.0
+
+
+class TestTimeunitAggregation:
+    def test_timeunit_indices_match_clock(self, clock):
+        timestamps = [0.0, 9.999, 10.0, 25.0, -0.5, 100.0]
+        batch = RecordBatch.from_records([rec(t) for t in timestamps])
+        assert list(batch.timeunit_indices(clock)) == [
+            clock.timeunit_of(t) for t in timestamps
+        ]
+
+    def test_group_runs_preserves_arrival_order(self, clock):
+        # Units: 0, 0, 1, 0, 0, 2 -> four runs, in stream order.
+        batch = RecordBatch.from_records(
+            [rec(1.0, "a"), rec(2.0, "b"), rec(11.0, "a"),
+             rec(3.0, "a"), rec(4.0, "a"), rec(21.0, "c")]
+        )
+        runs = list(batch.group_runs_by_timeunit(clock))
+        assert [(unit, start) for unit, start, _ in runs] == [
+            (0, 0), (1, 2), (0, 3), (2, 5)
+        ]
+        assert runs[0][2] == {("a",): 1, ("b",): 1}
+        assert runs[2][2] == {("a",): 2}
+
+    def test_timeunit_counts_merges_runs(self, clock):
+        batch = RecordBatch.from_records(
+            [rec(1.0, "a"), rec(11.0, "b"), rec(2.0, "a")]
+        )
+        counts = batch.timeunit_counts(clock)
+        assert counts[0] == {("a",): 2}
+        assert counts[1] == {("b",): 1}
+
+    def test_empty_batch_has_no_runs(self, clock):
+        assert list(RecordBatch.empty().group_runs_by_timeunit(clock)) == []
+
+
+class TestPartitioning:
+    def test_untagged_batch_short_circuits(self):
+        batch = RecordBatch.from_records([rec(1.0), rec(2.0)])
+        parts = batch.partition_by_key()
+        assert len(parts) == 1
+        key, part = parts[0]
+        assert key is None
+        assert part is batch  # no column copies
+
+    def test_partition_by_stream_attribute(self):
+        batch = RecordBatch.from_records(
+            [rec(1.0, "a", stream="x"), rec(2.0, "b", stream="y"),
+             rec(3.0, "c", stream="x"), rec(4.0, "d")]
+        )
+        parts = dict(batch.partition_by_key())
+        assert set(parts) == {"x", "y", None}
+        assert [r.category for r in parts["x"]] == [("a",), ("c",)]
+        assert [r.timestamp for r in parts["y"]] == [2.0]
+        assert [r.timestamp for r in parts[None]] == [4.0]
+
+    def test_partition_keys_in_first_seen_order(self):
+        batch = RecordBatch.from_records(
+            [rec(1.0, stream="b"), rec(2.0, stream="a"), rec(3.0, stream="b")]
+        )
+        assert [key for key, _ in batch.partition_by_key()] == ["b", "a"]
+
+    def test_custom_selector(self):
+        batch = RecordBatch.from_records([rec(1.0, "a"), rec(11.0, "b")])
+        parts = dict(batch.partition_by_key(lambda r: r.category[0]))
+        assert set(parts) == {"a", "b"}
+
+    def test_single_key_batch_not_copied(self):
+        batch = RecordBatch.from_records([rec(1.0, stream="x"), rec(2.0, stream="x")])
+        [(key, part)] = batch.partition_by_key()
+        assert key == "x"
+        assert part is batch
+
+
+class TestPurePythonFallback:
+    """The batch path must stay functional (just slower) without NumPy."""
+
+    @pytest.fixture
+    def no_numpy(self, monkeypatch):
+        import repro.streaming.batch as batch_mod
+        import repro.streaming.stream as stream_mod
+
+        monkeypatch.setattr(batch_mod, "_np", None)
+        monkeypatch.setattr(stream_mod, "_np", None)
+
+    def test_columns_and_aggregation(self, no_numpy, clock):
+        records = [rec(float(t), "a" if t % 3 else "b") for t in range(30)]
+        batch = RecordBatch.from_records(records)
+        assert list(batch.timeunit_indices(clock)) == [
+            clock.timeunit_of(r.timestamp) for r in records
+        ]
+        counts = batch.timeunit_counts(clock)
+        assert sum(sum(c.values()) for c in counts.values()) == 30
+        assert rows(batch.take([5, 1])) == rows([records[5], records[1]])
+        assert rows(batch.slice(2, 4)) == rows(records[2:4])
+        assert batch.concat(batch).max_timestamp == 29.0
+
+    def test_stream_batch_validation(self, no_numpy):
+        from repro.exceptions import StreamError
+        from repro.streaming.stream import InputStream
+
+        good = InputStream(iter([rec(1.0), rec(2.0), rec(3.0)]))
+        assert sum(len(b) for b in good.iter_batches(2)) == 3
+        assert good.records_seen == 3
+        bad = InputStream(iter([rec(0.0), rec(-0.2), rec(-0.4)]), tolerance=0.3)
+        with pytest.raises(StreamError):
+            list(bad.iter_batches(10))
+
+
+class TestIterRecordBatches:
+    def test_chunking(self):
+        records = [rec(float(i)) for i in range(7)]
+        batches = list(iter_record_batches(records, 3))
+        assert [len(b) for b in batches] == [3, 3, 1]
+        assert rows(r for b in batches for r in b) == rows(records)
+
+    def test_invalid_size(self):
+        with pytest.raises(StreamError):
+            list(iter_record_batches([rec(1.0)], 0))
+
+    def test_empty_iterable(self):
+        assert list(iter_record_batches([], 4)) == []

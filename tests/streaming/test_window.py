@@ -3,6 +3,7 @@
 import pytest
 
 from repro.exceptions import ConfigurationError, OutOfOrderRecordError
+from repro.streaming.batch import RecordBatch
 from repro.streaming.clock import SimulationClock
 from repro.streaming.record import OperationalRecord
 from repro.streaming.window import SlidingWindow
@@ -15,6 +16,41 @@ def clock():
 
 def rec(ts, label="leaf"):
     return OperationalRecord.create(ts, (label,))
+
+
+class TestBatchIngestion:
+    def assert_equivalent(self, clock, records, num_units, allow_late=True):
+        per_record = SlidingWindow(clock, num_units, allow_late=allow_late)
+        counted_one = per_record.ingest_many(records)
+        batched = SlidingWindow(clock, num_units, allow_late=allow_late)
+        counted_batch = batched.ingest_batch(RecordBatch.from_records(records))
+        assert counted_batch == counted_one
+        assert batched.total_series() == per_record.total_series()
+        assert [u.counts for u in batched.units()] == [
+            u.counts for u in per_record.units()
+        ]
+        assert batched.dropped_late_records == per_record.dropped_late_records
+
+    def test_batch_matches_per_record_in_order(self, clock):
+        self.assert_equivalent(
+            clock, [rec(1.0, "a"), rec(2.0, "b"), rec(12.0, "a"), rec(35.0, "c")], 5
+        )
+
+    def test_batch_matches_per_record_with_late_drops(self, clock):
+        # The window holds 2 units; records jump ahead then fall behind it.
+        records = [rec(1.0, "a"), rec(31.0, "b"), rec(2.0, "a"), rec(33.0, "b")]
+        self.assert_equivalent(clock, records, 2)
+
+    def test_late_run_raises_when_disallowed(self, clock):
+        window = SlidingWindow(clock, num_units=2, allow_late=False)
+        batch = RecordBatch.from_records([rec(1.0), rec(31.0), rec(2.0)])
+        with pytest.raises(OutOfOrderRecordError):
+            window.ingest_batch(batch)
+
+    def test_empty_batch_is_a_noop(self, clock):
+        window = SlidingWindow(clock, num_units=3)
+        assert window.ingest_batch(RecordBatch.empty()) == 0
+        assert window.is_empty
 
 
 class TestIngestion:
