@@ -1,15 +1,19 @@
-"""Ingestion throughput harness: per-record vs columnar batch path.
+"""Ingestion throughput harness: record vs columnar batch vs sharded path.
 
 Measures records/sec over the Table III runtime workload (week-long synthetic
-CCD trouble trace, 15-minute timeunits) for the two ingestion paths this
-repo supports:
+CCD trouble trace, 15-minute timeunits) for the ingestion paths this repo
+supports:
 
 * **record path** — one ``OperationalRecord`` at a time through
   ``SlidingWindow.ingest`` / ``DetectionSession.ingest_record``;
 * **batch path** — columnar ``RecordBatch`` chunks through
   ``SlidingWindow.ingest_batch`` / ``DetectionSession.ingest_record_batch``
   (one vectorized timeunit classification + one grouped count aggregation
-  per batch).
+  per batch);
+* **sharded path** (``--workers``) — the same batches through a
+  ``ShardedDetectionEngine`` whose session is subtree-sharded across N
+  worker processes; the harness asserts its detections are byte-identical
+  to the batch path before recording the timing.
 
 Both paths consume pre-materialized inputs (a record list vs pre-built
 batches, as the io batch loaders would produce natively); batch-building
@@ -30,12 +34,14 @@ Usage::
 
     python benchmarks/perf/bench_ingest.py                 # full table3 workload
     python benchmarks/perf/bench_ingest.py --duration-days 0.5 --check-speedup 1.0
+    python benchmarks/perf/bench_ingest.py --workers 2,4 --check-workers-speedup 1.0
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -71,6 +77,9 @@ def build_workload(duration_days: float, rate_per_hour: float, delta_seconds: fl
 
 def detector_config(delta_seconds: float, duration_days: float) -> TiresiasConfig:
     upd = int(86400 / delta_seconds)
+    # Root tracking is excluded so the identical configuration runs on every
+    # path: subtree sharding requires it, and comparing paths under different
+    # configs would not be a benchmark.
     return TiresiasConfig(
         theta=6.0,
         ratio_threshold=2.8,
@@ -78,6 +87,8 @@ def detector_config(delta_seconds: float, duration_days: float) -> TiresiasConfi
         delta_seconds=delta_seconds,
         window_units=max(8, int(min(6.0, duration_days) * upd)),
         reference_levels=2,
+        track_root=False,
+        allow_root_heavy=False,
         forecast=ForecastConfig(season_lengths=(upd,), fallback_alpha=0.3),
     )
 
@@ -118,6 +129,28 @@ def time_end_to_end(dataset, config, feed, batched: bool) -> tuple[float, "Detec
     return time.perf_counter() - start, session
 
 
+def time_sharded(dataset, config, batches, workers: int) -> tuple[float, list]:
+    """End-to-end through a subtree-sharded engine at ``workers`` processes.
+
+    Worker startup is excluded (steady-state throughput is what a resident
+    monitoring process sees); dispatch, IPC and merge are all on the clock.
+    """
+    from repro.engine.sharded import ShardedDetectionEngine
+
+    with ShardedDetectionEngine(num_workers=workers) as engine:
+        engine.add_session(
+            "bench", dataset.tree, config, clock=dataset.clock, subtree_shards=workers
+        )
+        engine.units_processed()  # spawns the workers before timing starts
+        start = time.perf_counter()
+        for batch in batches:
+            engine.ingest_record_batch(batch)
+        engine.flush()
+        elapsed = time.perf_counter() - start
+        anomalies = [a.to_dict() for a in engine.anomalies()["bench"]]
+    return elapsed, anomalies
+
+
 def run(args: argparse.Namespace) -> dict:
     dataset = build_workload(args.duration_days, args.rate_per_hour, args.delta_seconds)
     records = dataset.record_list()
@@ -154,6 +187,23 @@ def run(args: argparse.Namespace) -> dict:
     if record_anomalies != batch_anomalies:
         raise SystemExit("end-to-end detections diverged between paths")
 
+    sharded = {}
+    for workers in args.workers:
+        sharded_seconds, sharded_anomalies = time_sharded(
+            dataset, config, batches, workers
+        )
+        if sharded_anomalies != batch_anomalies:
+            raise SystemExit(
+                f"sharded detections at {workers} workers diverged from the "
+                f"batch path"
+            )
+        sharded[str(workers)] = {
+            "subtree_shards": workers,
+            "seconds": round(sharded_seconds, 6),
+            "rps": round(n / sharded_seconds, 1),
+            "speedup_vs_batch": round(e2e_batch_seconds / sharded_seconds, 2),
+        }
+
     entry = {
         "bench": "ingest",
         "unix_time": time.time(),
@@ -184,6 +234,9 @@ def run(args: argparse.Namespace) -> dict:
             "anomalies": len(record_anomalies),
         },
     }
+    if sharded:
+        entry["sharded"] = sharded
+        entry["cpu_count"] = os.cpu_count()
     return entry
 
 
@@ -207,11 +260,27 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--batch-size", type=int, default=8192)
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
     parser.add_argument(
+        "--workers",
+        type=lambda text: [int(w) for w in text.split(",") if w.strip()],
+        default=[],
+        metavar="N[,M...]",
+        help="also run the sharded engine at these worker counts "
+        "(subtree_shards == workers)",
+    )
+    parser.add_argument(
         "--check-speedup",
         type=float,
         default=None,
         metavar="MIN",
         help="exit non-zero unless the classify-stage speedup is >= MIN",
+    )
+    parser.add_argument(
+        "--check-workers-speedup",
+        type=float,
+        default=None,
+        metavar="MIN",
+        help="exit non-zero unless the highest --workers run reaches MIN x "
+        "the single-process batch path end-to-end",
     )
     args = parser.parse_args(argv)
 
@@ -227,12 +296,28 @@ def main(argv: "list[str] | None" = None) -> int:
     print(f"end-to-end: record {e['record_rps']:>12,.0f} rec/s | "
           f"batch {e['batch_rps']:>12,.0f} rec/s | speedup {e['speedup']:.2f}x "
           f"({e['anomalies']} identical anomalies)")
+    for workers, stats in entry.get("sharded", {}).items():
+        print(f"sharded({workers}w): {stats['rps']:>12,.0f} rec/s | "
+              f"{stats['speedup_vs_batch']:.2f}x vs single-process batch "
+              f"(identical anomalies, {entry['cpu_count']} cpus visible)")
     print(f"results appended to {args.out}")
 
     if args.check_speedup is not None and c["speedup"] < args.check_speedup:
         print(f"FAIL: classify speedup {c['speedup']:.2f}x < required "
               f"{args.check_speedup:.2f}x", file=sys.stderr)
         return 1
+    if args.check_workers_speedup is not None:
+        if not entry.get("sharded"):
+            print("FAIL: --check-workers-speedup given without --workers",
+                  file=sys.stderr)
+            return 1
+        top = str(max(args.workers))
+        achieved = entry["sharded"][top]["speedup_vs_batch"]
+        if achieved < args.check_workers_speedup:
+            print(f"FAIL: sharded speedup at {top} workers {achieved:.2f}x < "
+                  f"required {args.check_workers_speedup:.2f}x",
+                  file=sys.stderr)
+            return 1
     return 0
 
 

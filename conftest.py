@@ -12,3 +12,15 @@ from pathlib import Path
 _SRC = Path(__file__).resolve().parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "rewrite the expected-output files under tests/golden/ from the "
+            "current engine output instead of diffing against them"
+        ),
+    )

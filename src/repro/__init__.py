@@ -82,6 +82,7 @@ from repro.engine import (
     DetectionEngine,
     DetectionSession,
     EngineObserver,
+    ShardedDetectionEngine,
 )
 from repro.hierarchy import (
     HierarchyNode,
@@ -105,7 +106,7 @@ from repro.streaming import (
     iter_record_batches,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -114,6 +115,7 @@ __all__ = [
     "ForecastConfig",
     "derive_seasonal_config",
     "DetectionEngine",
+    "ShardedDetectionEngine",
     "DetectionSession",
     "EngineObserver",
     "CallbackObserver",

@@ -76,6 +76,10 @@ class ADAAlgorithm:
         self.split_operations = 0
         self.merge_operations = 0
         self.last_result: TimeunitResult | None = None
+        #: Raw root weight of the most recent timeunit.  Additive across
+        #: disjoint subtree shards; the sharded engine sums it to replay the
+        #: root's split-rule bookkeeping coordinator-side.
+        self.last_root_raw = 0.0
         #: Nodes in the top h levels, cached once: these keep reference series.
         self._reference_nodes: tuple[CategoryPath, ...] = tuple(
             node.path
@@ -98,6 +102,9 @@ class ADAAlgorithm:
         heavy = set(shhh_result.shhh)
         if self.config.track_root:
             heavy.add(self.tree.root.path)
+        elif not self.config.allow_root_heavy:
+            heavy.discard(self.tree.root.path)
+        self.last_root_raw = float(raw.get(self.tree.root.path, 0.0))
         self.stage_seconds["updating_hierarchies"] += time.perf_counter() - start
 
         start = time.perf_counter()

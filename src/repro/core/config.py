@@ -112,6 +112,18 @@ class TiresiasConfig:
         Whether the root aggregate is always tracked (the paper adds/removes
         the root from SHHH purely by its weight; keeping it tracked gives the
         national aggregate a continuous forecast).
+    allow_root_heavy:
+        Whether the root may *qualify* as a succinct heavy hitter by its
+        residual modified weight (Definition 2).  Root qualification affects
+        no other node — children's modified weights are computed before the
+        root in the bottom-up pass — so disabling it simply stops tracking
+        the "scattered small categories" residual at the root.  Subtree
+        sharding (:class:`~repro.engine.sharded.ShardedDetectionEngine`)
+        requires ``False`` together with ``track_root=False``: the root is
+        the only node whose state spans every depth-1 subtree, and excluding
+        it makes shard detections exactly equal to a serial run on any
+        workload.  Monitor the global aggregate with a separate root-only
+        session if needed.
     out_of_order_policy:
         What to do with a record whose timeunit precedes the currently
         accumulating one (it arrived after its timeunit already closed):
@@ -131,6 +143,7 @@ class TiresiasConfig:
     reference_levels: int = 2
     forecast: ForecastConfig = field(default_factory=ForecastConfig)
     track_root: bool = True
+    allow_root_heavy: bool = True
     out_of_order_policy: str = "raise"
 
     def __post_init__(self) -> None:
@@ -157,6 +170,11 @@ class TiresiasConfig:
             raise ConfigurationError(
                 f"unknown out_of_order_policy {self.out_of_order_policy!r}; "
                 f"expected one of {sorted(OUT_OF_ORDER_POLICIES)}"
+            )
+        if self.track_root and not self.allow_root_heavy:
+            raise ConfigurationError(
+                "track_root=True forces the root into the tracked set; "
+                "combining it with allow_root_heavy=False is contradictory"
             )
 
     def replace(self, **changes: Any) -> "TiresiasConfig":

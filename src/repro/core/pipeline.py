@@ -134,6 +134,49 @@ class Tiresias:
         """Consume a stream of columnar batches, then flush."""
         return self.session.process_batches(batches)
 
+    def process_stream_sharded(
+        self,
+        records: Iterable[OperationalRecord],
+        num_workers: int = 2,
+        subtree_shards: "int | None" = None,
+        batch_size: int = 8192,
+        start_method: "str | None" = None,
+    ) -> list[TimeunitResult]:
+        """Consume a stream across ``num_workers`` processes, then flush.
+
+        The detector's hierarchy is partitioned into ``subtree_shards``
+        disjoint depth-1 subtree groups (defaults to ``num_workers``;
+        requires ``config.track_root=False`` and ``allow_root_heavy=False``
+        when > 1), the current session
+        state is split across worker processes, and the merged state is
+        loaded back afterwards — results, reports and all subsequent
+        detections are bit-identical to :meth:`process_stream`.  Observers
+        subscribed to the session fire during the run with a
+        :class:`~repro.engine.sharded.ShardedSessionHandle` as the session
+        argument and remain subscribed afterwards.
+        """
+        from repro.engine.sharded import ShardedDetectionEngine
+        from repro.streaming.batch import iter_record_batches
+
+        shards = num_workers if subtree_shards is None else subtree_shards
+        observers = list(self.session._observers)
+        with ShardedDetectionEngine(
+            num_workers=num_workers, start_method=start_method
+        ) as engine:
+            engine.attach_session_state(
+                self.session.state_dict(), subtree_shards=shards
+            )
+            for observer in observers:
+                engine.subscribe(observer)
+            results = engine.process_batches(
+                iter_record_batches(records, batch_size)
+            )[self.session.name]
+            merged_state = engine.merged_session_state(self.session.name)
+        self.session = DetectionSession.from_state_dict(merged_state)
+        for observer in observers:
+            self.session.subscribe(observer)
+        return results
+
     def flush(self) -> list[TimeunitResult]:
         """Close the currently accumulating timeunit (end of stream)."""
         return self.session.flush()

@@ -51,6 +51,10 @@ class STAAlgorithm:
             "detecting_anomalies": 0.0,
         }
         self.last_result: TimeunitResult | None = None
+        #: Raw root weight of the most recent timeunit.  Additive across
+        #: disjoint subtree shards; the sharded engine sums it to replay the
+        #: root's split-rule bookkeeping coordinator-side.
+        self.last_root_raw = 0.0
 
     # ------------------------------------------------------------------
     # Online interface
@@ -70,6 +74,9 @@ class STAAlgorithm:
         heavy = set(shhh_result.shhh)
         if self.config.track_root:
             heavy.add(self.tree.root.path)
+        elif not self.config.allow_root_heavy:
+            heavy.discard(self.tree.root.path)
+        self.last_root_raw = float(raw.get(self.tree.root.path, 0.0))
 
         start = time.perf_counter()
         series = self._reconstruct_series(heavy)

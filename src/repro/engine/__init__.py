@@ -8,7 +8,10 @@ algorithms:
 * :class:`~repro.engine.engine.DetectionEngine` — N named sessions fed from
   one merged record stream via a stream-key selector;
 * :mod:`~repro.engine.hooks` — the observer protocol
-  (``on_timeunit_closed`` / ``on_anomaly`` / ``on_warmup_complete``).
+  (``on_timeunit_closed`` / ``on_anomaly`` / ``on_warmup_complete``);
+* :class:`~repro.engine.sharded.ShardedDetectionEngine` — the same engine
+  semantics scaled across N worker processes (sessions and, optionally,
+  disjoint hierarchy subtrees), with bit-identical detections.
 
 The legacy single-tree :class:`~repro.core.pipeline.Tiresias` class is a thin
 facade over one :class:`DetectionSession`.
@@ -21,12 +24,20 @@ from repro.engine.engine import (
 )
 from repro.engine.hooks import CallbackObserver, EngineObserver
 from repro.engine.session import DetectionSession
+from repro.engine.sharded import (
+    ShardedDetectionEngine,
+    ShardedSessionHandle,
+    plan_subtree_groups,
+)
 
 __all__ = [
     "DetectionEngine",
+    "ShardedDetectionEngine",
+    "ShardedSessionHandle",
     "DetectionSession",
     "EngineObserver",
     "CallbackObserver",
     "attribute_stream_key",
+    "plan_subtree_groups",
     "UNKNOWN_STREAM_POLICIES",
 ]

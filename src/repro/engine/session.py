@@ -101,6 +101,11 @@ class DetectionSession:
         if max_results is not None and max_results < 0:
             raise ConfigurationError("max_results must be >= 0 or None")
         self.max_results = max_results
+        #: When False, anomalies skip the local report store (observers and
+        #: returned results still carry them).  The sharded engine clears it
+        #: on subtree-shard sessions, whose reports live merged on the
+        #: coordinator — retaining them worker-side would only grow memory.
+        self.retain_reports = True
         self.reports = AnomalyReportStore()
         self.results: list[TimeunitResult] = []
         self._units_processed = 0
@@ -216,6 +221,27 @@ class DetectionSession:
         produced.extend(self.flush())
         return produced
 
+    def advance_to(self, unit: TimeunitIndex) -> list[TimeunitResult]:
+        """Advance the open timeunit to ``unit``, closing everything before it.
+
+        A session that has not ingested anything yet is *anchored* at ``unit``
+        (no timeunits close); otherwise every pending timeunit strictly before
+        ``unit`` closes in order, producing its result.  Timeunits at or after
+        ``unit`` are untouched, so advancing to the current pending unit is a
+        no-op.  This is the clock-synchronization primitive of the sharded
+        engine: subtree shards that received no records while the merged
+        stream moved on must still close their (empty) timeunits exactly as
+        the serial session would have.
+        """
+        unit = int(unit)
+        if self._pending_unit is None:
+            self._pending_unit = unit
+            return []
+        closed: list[TimeunitResult] = []
+        while self._pending_unit < unit:
+            closed.append(self._close_pending())
+        return closed
+
     def flush(self) -> list[TimeunitResult]:
         """Close the currently accumulating timeunit (end of stream)."""
         if self._pending_unit is None:
@@ -241,7 +267,8 @@ class DetectionSession:
         self._units_processed += 1
         if self._units_processed <= self.warmup_units and result.anomalies:
             result = dataclasses.replace(result, anomalies=())
-        self.reports.add_many(result.anomalies)
+        if self.retain_reports:
+            self.reports.add_many(result.anomalies)
         self.results.append(result)
         if self.max_results is not None and len(self.results) > self.max_results:
             del self.results[: len(self.results) - self.max_results]
@@ -277,6 +304,25 @@ class DetectionSession:
     def memory_units(self) -> int:
         """The algorithm's memory cost proxy (Table IV)."""
         return self.algorithm.memory_units()
+
+    # ------------------------------------------------------------------
+    # Pickling (process transport)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict[str, Any]:
+        """Pickle every field except the observer list.
+
+        Observers are process-local callbacks (often closures over sockets,
+        files or UI state); shipping a session to a worker process must not
+        drag them along.  Re-subscribe after unpickling where needed — the
+        sharded engine keeps observers on the coordinator side and never
+        relies on them crossing a process boundary.
+        """
+        state = dict(self.__dict__)
+        state["_observers"] = []
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------
     # Checkpointing

@@ -1,0 +1,1157 @@
+"""Sharded detection engine: sessions and hierarchy subtrees across processes.
+
+The detection pipeline is embarrassingly parallel along two axes: distinct
+sessions never share state, and — because succinct-heavy-hitter weights,
+series adaptation and detection are all computed bottom-up — disjoint
+depth-1 subtrees of one hierarchy interact only through the root.
+:class:`ShardedDetectionEngine` exploits both: it partitions its sessions
+(and, on request, each session's depth-1 subtrees) across N worker processes
+and merges their outputs deterministically, producing detections, timeunit
+results, reports and checkpoints **bit-for-bit identical** to the serial
+:class:`~repro.engine.engine.DetectionEngine` regardless of worker count or
+scheduling.
+
+How equivalence is preserved
+----------------------------
+*Session shards.*  A whole session lives on exactly one worker and sees, in
+order, exactly the sub-stream the serial router would have fed it (batches
+are partitioned by stream key coordinator-side with the existing one-pass
+partitioner).  Same code, same inputs, same floats.
+
+*Subtree shards.*  One session may be split into ``subtree_shards`` shard
+sessions, each owning a disjoint group of depth-1 subtrees.  Three
+mechanisms make the union of their outputs equal the serial session:
+
+1. **Watermark segmentation.**  Serially, all subtrees share one pending
+   timeunit, advanced by every record of the session.  The coordinator
+   therefore computes, per record, the running maximum timeunit of the whole
+   session stream (one vectorized prefix-max per batch) and prefixes each
+   shard's sub-batch with ``advance_to(watermark)`` segments, so every shard
+   closes (possibly empty) timeunits at exactly the serial boundaries and
+   applies the ``out_of_order_policy`` against exactly the serial pending
+   unit.
+2. **Deterministic merge.**  Shard results are buffered per timeunit and
+   merged once every group has closed that unit: heavy hitter sets union,
+   per-path actuals/forecasts are taken from the owning shard in sorted-path
+   order (the serial iteration order), anomalies sort by node path.
+3. **Root exclusion.**  Only the root couples subtrees: when its residual
+   modified weight reaches θ it gains a time series whose split/merge
+   adaptation spans every depth-1 subtree.  Subtree sharding therefore
+   requires ``track_root=False`` and ``allow_root_heavy=False`` — a config
+   choice the serial engine honours identically, so equivalence holds on
+   *any* workload, not just root-quiet ones.  (The root's raw weight is
+   still additive across shards; the coordinator replays its split-rule
+   bookkeeping so merged checkpoints stay byte-faithful.)
+
+Checkpoints are format-identical to serial ones: :meth:`state_dict` merges
+shard states back into canonical serial session states (see
+:func:`repro.io.checkpoint.merge_session_states`), so a sharded engine can
+resume an unsharded checkpoint and vice versa, at any worker count.
+
+The ``out_of_order_policy="raise"`` caveat of the columnar path applies here
+too, compounded by parallelism: the offending record still raises
+:class:`~repro.exceptions.OutOfOrderRecordError`, but records dispatched to
+other shards in the same round may already have been ingested.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import traceback
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.config import TiresiasConfig
+from repro.core.detector import Anomaly
+from repro.core.reporting import AnomalyReportStore
+from repro.core.results import TimeunitResult
+from repro.core.split_rules import NodeUsageStats
+from repro.engine.engine import UNKNOWN_STREAM_POLICIES, StreamKey, attribute_stream_key
+from repro.engine.hooks import EngineObserver
+from repro.engine.session import DetectionSession
+from repro.exceptions import (
+    CheckpointError,
+    ConfigurationError,
+    ShardingError,
+    StreamError,
+)
+from repro.hierarchy.tree import HierarchyTree
+from repro.io.checkpoint import (
+    _read_json,
+    _write_json,
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    _check_header,
+    clock_from_dict,
+    merge_session_states,
+    session_from_state_dict,
+    session_state_dict,
+    split_session_state,
+)
+from repro.streaming.batch import RecordBatch, iter_record_batches
+from repro.streaming.clock import SimulationClock
+from repro.streaming.record import OperationalRecord
+
+try:  # pragma: no cover - exercised implicitly by the whole suite
+    import numpy as _np
+except ImportError:  # pragma: no cover - minimal installs
+    _np = None
+
+
+# ----------------------------------------------------------------------
+# Subtree shard planning
+# ----------------------------------------------------------------------
+def plan_subtree_groups(
+    leaves: Sequence[Sequence[str]], shards: int
+) -> list[list[str]]:
+    """Deterministically assign depth-1 labels to ``shards`` balanced groups.
+
+    Labels are ordered by descending leaf count (ties alphabetical) and
+    greedily placed on the lightest group (ties on the lowest group id) —
+    a classic LPT schedule.  At most ``len(depth-1 labels)`` groups are
+    produced; labels inside a group are returned sorted.
+    """
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    counts: dict[str, int] = {}
+    for path in leaves:
+        counts[path[0]] = counts.get(path[0], 0) + 1
+    k = min(shards, len(counts))
+    groups: list[list[str]] = [[] for _ in range(k)]
+    loads = [0] * k
+    for label in sorted(counts, key=lambda lab: (-counts[lab], lab)):
+        gid = min(range(k), key=lambda g: (loads[g], g))
+        groups[gid].append(label)
+        loads[gid] += counts[label]
+    return [sorted(group) for group in groups]
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+class _RootCapture(EngineObserver):
+    """Records (timeunit, local root raw weight) per closed timeunit.
+
+    Root raw weights are additive across disjoint subtree shards; the
+    coordinator sums them to replay the root's split-rule bookkeeping for
+    checkpoint fidelity (see :class:`_RootSplitStats`).
+    """
+
+    def __init__(self) -> None:
+        self.weights: list[tuple[int, float]] = []
+
+    def on_timeunit_closed(self, session: DetectionSession, result: TimeunitResult) -> None:
+        self.weights.append(
+            (
+                int(result.timeunit),
+                float(getattr(session.algorithm, "last_root_raw", 0.0)),
+            )
+        )
+
+    def drain(self) -> list[tuple[int, float]]:
+        drained, self.weights = self.weights, []
+        return drained
+
+
+class _WorkerUnit:
+    """One shard unit (a whole session or one subtree group) in a worker."""
+
+    def __init__(self, session: DetectionSession, capture_root: bool):
+        self.session = session
+        self.capture: "_RootCapture | None" = None
+        if capture_root:
+            # Subtree shard: the coordinator owns the merged report store, so
+            # retaining reports here would only grow worker memory forever.
+            session.retain_reports = False
+            self.capture = _RootCapture()
+            session.subscribe(self.capture)
+
+    def drain(self) -> "list[tuple[int, float, float]] | None":
+        return self.capture.drain() if self.capture is not None else None
+
+
+def _worker_handle(units: dict, verb: str, ops: Any) -> Any:
+    if verb == "add":
+        for key, state, capture_root in ops:
+            units[key] = _WorkerUnit(session_from_state_dict(state), capture_root)
+        return None
+    if verb == "ingest":
+        out = []
+        for key, kind, payload in ops:
+            unit = units[key]
+            closed: list[TimeunitResult] = []
+            if kind == "whole":
+                closed.extend(unit.session.ingest_record_batch(payload))
+            else:  # subtree segments: [(watermark, batch-or-None), ...]
+                for watermark, columns in payload:
+                    closed.extend(unit.session.advance_to(watermark))
+                    if columns is not None and len(columns):
+                        closed.extend(unit.session.ingest_record_batch(columns))
+            out.append((key, closed, unit.drain()))
+        return out
+    if verb == "flush":
+        return [(key, units[key].session.flush(), units[key].drain()) for key in ops]
+    if verb == "state":
+        return [(key, session_state_dict(units[key].session)) for key in ops]
+    if verb == "query":
+        what, keys = ops
+        if what == "anomalies":
+            return [(key, units[key].session.anomalies) for key in keys]
+        if what == "units_processed":
+            return [(key, units[key].session.units_processed) for key in keys]
+        if what == "memory_units":
+            return [(key, units[key].session.memory_units()) for key in keys]
+        raise ShardingError(f"unknown worker query {what!r}")
+    raise ShardingError(f"unknown worker verb {verb!r}")
+
+
+def _worker_main(conn, worker_id: int) -> None:  # pragma: no cover - subprocess
+    """Worker loop: executes coordinator commands until told to stop."""
+    units: dict[Any, _WorkerUnit] = {}
+    while True:
+        try:
+            verb, ops = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if verb == "stop":
+            try:
+                conn.send(("ok", None))
+            except (BrokenPipeError, OSError):
+                pass
+            return
+        try:
+            conn.send(("ok", _worker_handle(units, verb, ops)))
+        except BaseException as exc:  # noqa: BLE001 - forwarded to coordinator
+            try:
+                conn.send(
+                    (
+                        "error",
+                        (
+                            _transportable(exc),
+                            type(exc).__name__,
+                            str(exc),
+                            traceback.format_exc(),
+                        ),
+                    )
+                )
+            except (BrokenPipeError, OSError):
+                return
+
+
+def _transportable(exc: BaseException) -> "BaseException | None":
+    """``exc`` itself when it survives a pickle round trip, else None.
+
+    Library exceptions define ``__reduce__`` where needed, so a worker-side
+    ``OutOfOrderRecordError`` reaches the coordinator with its documented
+    attributes (timestamp, window_start) intact.
+    """
+    try:
+        clone = pickle.loads(pickle.dumps(exc))
+    except Exception:
+        return None
+    return exc if type(clone) is type(exc) else None
+
+
+def _revive_exception(
+    exc: "BaseException | None", name: str, message: str, trace: str
+) -> BaseException:
+    """Rebuild a worker-side exception coordinator-side.
+
+    Pickle-transportable exceptions arrive whole (attributes included) and
+    are re-raised as-is; the rest surface as :class:`ShardingError` with the
+    worker traceback attached.
+    """
+    if exc is not None:
+        return exc
+    return ShardingError(f"worker failure: {name}: {message}\n{trace}")
+
+
+# ----------------------------------------------------------------------
+# Coordinator-side state
+# ----------------------------------------------------------------------
+class ShardedSessionHandle:
+    """Stand-in passed to engine-level observers instead of a live session.
+
+    Worker sessions never cross the process boundary, so observer hooks fire
+    on the coordinator with this handle as the ``session`` argument.  It
+    carries the attributes observers typically read (:attr:`name`,
+    :attr:`config`, :attr:`warmup_units`, :attr:`units_processed`).
+    """
+
+    def __init__(self, name: str, config: TiresiasConfig, warmup_units: int):
+        self.name = name
+        self.config = config
+        self.warmup_units = warmup_units
+        self.units_processed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ShardedSessionHandle(name={self.name!r})"
+
+
+class _RootSplitStats:
+    """Coordinator replica of ADA's root-node split-rule statistics.
+
+    The root is the one node no subtree shard owns; its raw weight is the sum
+    of the shards' local root weights, and this class replays exactly the
+    arithmetic of ``ADAAlgorithm._update_stats`` on that sum so merged
+    checkpoints carry the same root statistics a serial run would have.
+    (The root is never a split receiver, so these values cannot influence
+    detections — they exist for checkpoint fidelity.)
+    """
+
+    def __init__(
+        self,
+        alpha: float,
+        stats: "Mapping[str, Any] | None" = None,
+        last_unit: "int | None" = None,
+    ):
+        self.alpha = alpha
+        self.stats: "NodeUsageStats | None" = None
+        if stats is not None:
+            self.stats = NodeUsageStats(
+                last_weight=float(stats["last_weight"]),
+                cumulative_weight=float(stats["cumulative_weight"]),
+                ewma_weight=float(stats["ewma_weight"]),
+                observations=int(stats["observations"]),
+            )
+        self.last_unit = None if last_unit is None else int(last_unit)
+
+    def observe(self, timeunit: int, weight: float) -> None:
+        if self.stats is None:
+            self.stats = NodeUsageStats()
+        if self.last_unit is not None and timeunit - self.last_unit > 1:
+            gap = timeunit - self.last_unit - 1
+            self.stats.ewma_weight *= (1 - self.alpha) ** gap
+            self.stats.last_weight = 0.0
+        self.stats.update(weight, self.alpha)
+        self.last_unit = timeunit
+
+    def export(self) -> dict[str, Any]:
+        withheld: dict[str, Any] = {}
+        if self.stats is not None:
+            withheld["stats"] = {
+                "last_weight": self.stats.last_weight,
+                "cumulative_weight": self.stats.cumulative_weight,
+                "ewma_weight": self.stats.ewma_weight,
+                "observations": self.stats.observations,
+            }
+        if self.last_unit is not None:
+            withheld["stats_last_unit"] = self.last_unit
+        return withheld
+
+
+class _WholeUnit:
+    """Coordinator record of a session sharded at session granularity."""
+
+    kind = "whole"
+
+    def __init__(self, name: str, worker: int, state: dict[str, Any]):
+        self.name = name
+        self.worker = worker
+        self.key = ("w", name)
+        self.state: "dict[str, Any] | None" = state  # dropped once shipped
+        self.handle = ShardedSessionHandle(
+            name, _config_of(state), int(state["warmup_units"])
+        )
+        self.handle.units_processed = int(state["units_processed"])
+        self.warmup_announced = bool(state["warmup_announced"])
+
+
+class _SubtreeUnit:
+    """Coordinator record and merge state of a subtree-sharded session."""
+
+    kind = "sub"
+
+    def __init__(
+        self,
+        name: str,
+        base_state: dict[str, Any],
+        groups: Sequence[Sequence[str]],
+        sub_states: Sequence[dict[str, Any]],
+        workers: Sequence[int],
+        withheld: Mapping[str, Any],
+    ):
+        self.name = name
+        # Only the identity fields and pre-split counter baselines that
+        # merge_session_states reads are retained; pinning the full pre-split
+        # state (every node series) would double the session's footprint.
+        base_algo = base_state["algorithm_state"]
+        self.base_state: dict[str, Any] = {
+            "name": base_state["name"],
+            "algorithm": base_state["algorithm"],
+            "tree": base_state["tree"],
+            "config": base_state["config"],
+            "clock": base_state["clock"],
+            "max_results": base_state.get("max_results"),
+            "reading_seconds": base_state["reading_seconds"],
+            "algorithm_state": {
+                key: base_algo[key]
+                for key in ("stage_seconds", "split_operations", "merge_operations")
+                if key in base_algo
+            },
+        }
+        self.groups = [list(group) for group in groups]
+        self.workers = list(workers)
+        self.keys = [("s", name, gid) for gid in range(len(groups))]
+        self.sub_states: "list[dict[str, Any]] | None" = list(sub_states)
+        self.label_to_gid = {
+            label: gid for gid, group in enumerate(groups) for label in group
+        }
+        self.clock: SimulationClock = clock_from_dict(base_state["clock"])
+        self.handle = ShardedSessionHandle(
+            name, _config_of(base_state), int(base_state["warmup_units"])
+        )
+        self.handle.units_processed = int(base_state["units_processed"])
+        self.warmup_announced = bool(base_state["warmup_announced"])
+        self.reports = AnomalyReportStore()
+        self.reports.add_many(
+            Anomaly.from_dict(data) for data in base_state["reports"]
+        )
+        #: Serial pending timeunit of the session (None = not anchored yet).
+        self.carried: "int | None" = (
+            None
+            if base_state["pending_unit"] is None
+            else int(base_state["pending_unit"])
+        )
+        self.root_stats: "_RootSplitStats | None" = None
+        if str(base_state["algorithm"]) == "ada":
+            self.root_stats = _RootSplitStats(
+                float(base_state["config"]["split_ewma_alpha"]),
+                stats=withheld.get("stats"),
+                last_unit=withheld.get("stats_last_unit"),
+            )
+        #: timeunit -> {gid: (result, local root raw weight)}
+        self.buffer: dict[int, dict[int, tuple[TimeunitResult, float]]] = {}
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+
+def _config_of(state: Mapping[str, Any]) -> TiresiasConfig:
+    from repro.io.checkpoint import config_from_dict
+
+    return config_from_dict(state["config"])
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class ShardedDetectionEngine:
+    """Multi-process detection engine with serial-equivalent semantics.
+
+    Parameters
+    ----------
+    num_workers:
+        Number of worker processes.  Defaults to ``os.cpu_count()``.  Shard
+        units (whole sessions and subtree groups) are assigned round-robin in
+        registration order, so the layout is deterministic.
+    stream_key / unknown_stream:
+        Routing exactly as in :class:`~repro.engine.engine.DetectionEngine`;
+        both are applied coordinator-side, so custom selectors never need to
+        be picklable.
+    start_method:
+        ``multiprocessing`` start method (``"fork"``, ``"spawn"``,
+        ``"forkserver"``) or ``None`` for the platform default.  Sessions are
+        shipped to workers as JSON ``state_dict`` snapshots, so every start
+        method works.
+
+    Workers start lazily on first use; call :meth:`close` (or use the engine
+    as a context manager) to terminate them.  Ingestion is batch-oriented:
+    :meth:`ingest_record_batch` / :meth:`process_batches` are the native
+    paths, with record-based entry points provided for API parity.
+    """
+
+    def __init__(
+        self,
+        num_workers: "int | None" = None,
+        stream_key: "StreamKey | None" = None,
+        unknown_stream: str = "raise",
+        start_method: "str | None" = None,
+    ):
+        if unknown_stream not in UNKNOWN_STREAM_POLICIES:
+            raise ConfigurationError(
+                f"unknown_stream must be one of {sorted(UNKNOWN_STREAM_POLICIES)}, "
+                f"got {unknown_stream!r}"
+            )
+        if num_workers is None:
+            num_workers = multiprocessing.cpu_count()
+        if num_workers < 1:
+            raise ConfigurationError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = int(num_workers)
+        self.stream_key = stream_key or attribute_stream_key
+        self.unknown_stream = unknown_stream
+        self.start_method = start_method
+        self._units: dict[str, "_WholeUnit | _SubtreeUnit"] = {}
+        self._observers: list[EngineObserver] = []
+        self._workers: "list[Any] | None" = None
+        self._conns: "list[Any] | None" = None
+        self._next_worker = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Session management
+    # ------------------------------------------------------------------
+    def add_session(
+        self,
+        name: str,
+        tree: HierarchyTree,
+        config: TiresiasConfig,
+        algorithm: str = "ada",
+        clock: "SimulationClock | None" = None,
+        warmup_units: "int | None" = None,
+        max_results: "int | None" = None,
+        subtree_shards: int = 1,
+    ) -> None:
+        """Create and register a named session (mirrors the serial engine).
+
+        ``subtree_shards > 1`` additionally partitions the session's depth-1
+        subtrees into that many shard groups (capped at the number of
+        subtrees), which requires ``config.track_root=False`` with
+        ``allow_root_heavy=False`` and a shardable algorithm (``"ada"`` or
+        ``"sta"``).
+        """
+        session = DetectionSession(
+            tree,
+            config,
+            algorithm=algorithm,
+            clock=clock,
+            warmup_units=warmup_units,
+            name=name,
+            max_results=max_results,
+        )
+        self.attach_session(session, subtree_shards=subtree_shards)
+
+    def attach_session(self, session: DetectionSession, subtree_shards: int = 1) -> None:
+        """Register an existing session from its state snapshot.
+
+        The engine takes a snapshot at attach time; later mutations of the
+        passed session object are not seen by the workers.
+        """
+        self.attach_session_state(session.state_dict(), subtree_shards=subtree_shards)
+
+    def attach_session_state(
+        self, state: Mapping[str, Any], subtree_shards: int = 1
+    ) -> None:
+        """Register a session from a serial-format ``state_dict`` snapshot."""
+        self._check_open()
+        name = str(state["name"])
+        if name in self._units:
+            raise ConfigurationError(f"a session named {name!r} is already registered")
+        state = dict(state)
+        subtree_shards = int(subtree_shards)
+        if subtree_shards < 1:
+            raise ConfigurationError(
+                f"subtree_shards must be >= 1, got {subtree_shards}"
+            )
+        unit: "_WholeUnit | _SubtreeUnit"
+        groups = (
+            plan_subtree_groups(state["tree"]["leaves"], subtree_shards)
+            if subtree_shards > 1
+            else []
+        )
+        if len(groups) > 1:
+            try:
+                sub_states, withheld = split_session_state(state, groups)
+            except CheckpointError as exc:
+                raise ConfigurationError(str(exc)) from exc
+            workers = [self._assign_worker() for _ in groups]
+            unit = _SubtreeUnit(name, state, groups, sub_states, workers, withheld)
+        else:
+            unit = _WholeUnit(name, self._assign_worker(), state)
+        self._units[name] = unit
+        if self._workers is not None:
+            self._ship_unit(unit)
+
+    def _assign_worker(self) -> int:
+        worker = self._next_worker % self.num_workers
+        self._next_worker += 1
+        return worker
+
+    @property
+    def session_names(self) -> tuple[str, ...]:
+        return tuple(self._units)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._units
+
+    def __len__(self) -> int:
+        return len(self._units)
+
+    # ------------------------------------------------------------------
+    # Observers
+    # ------------------------------------------------------------------
+    def subscribe(self, observer: EngineObserver) -> EngineObserver:
+        """Attach an observer; hooks fire coordinator-side on merged results
+        with a :class:`ShardedSessionHandle` as the session argument."""
+        self._observers.append(observer)
+        return observer
+
+    def unsubscribe(self, observer: EngineObserver) -> None:
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ShardingError("this sharded engine has been closed")
+
+    def _ensure_started(self) -> None:
+        self._check_open()
+        if self._workers is not None:
+            return
+        ctx = multiprocessing.get_context(self.start_method)
+        self._workers, self._conns = [], []
+        for worker_id in range(self.num_workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            process = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, worker_id),
+                name=f"repro-shard-{worker_id}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append(process)
+            self._conns.append(parent_conn)
+        for unit in self._units.values():
+            self._ship_unit(unit)
+
+    def _ship_unit(self, unit: "_WholeUnit | _SubtreeUnit") -> None:
+        if unit.kind == "whole":
+            assert unit.state is not None
+            self._roundtrip({unit.worker: [(unit.key, unit.state, False)]}, "add")
+            unit.state = None  # the worker owns the live state from here on
+        else:
+            assert unit.sub_states is not None
+            ops: dict[int, list] = {}
+            for gid, worker in enumerate(unit.workers):
+                ops.setdefault(worker, []).append(
+                    (unit.keys[gid], unit.sub_states[gid], True)
+                )
+            self._roundtrip(ops, "add")
+            unit.sub_states = None
+
+    def _roundtrip(self, ops_by_worker: Mapping[int, Any], verb: str) -> dict[int, Any]:
+        """Send one message per involved worker; collect replies determinately."""
+        assert self._conns is not None
+        for worker_id in sorted(ops_by_worker):
+            self._conns[worker_id].send((verb, ops_by_worker[worker_id]))
+        replies: dict[int, Any] = {}
+        failure: "tuple[BaseException | None, str, str, str] | None" = None
+        for worker_id in sorted(ops_by_worker):
+            try:
+                status, payload = self._conns[worker_id].recv()
+            except (EOFError, OSError) as exc:
+                raise ShardingError(
+                    f"worker {worker_id} died mid-command ({exc!r}); the engine "
+                    f"state is unrecoverable — restore from the last checkpoint"
+                ) from exc
+            if status == "error" and failure is None:
+                failure = payload
+            elif status == "ok":
+                replies[worker_id] = payload
+        if failure is not None:
+            raise _revive_exception(*failure)
+        return replies
+
+    def close(self) -> None:
+        """Stop every worker process.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._workers is None:
+            return
+        for conn in self._conns or []:
+            try:
+                conn.send(("stop", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for process, conn in zip(self._workers, self._conns or []):
+            try:
+                conn.recv()
+            except (EOFError, OSError):
+                pass
+            conn.close()
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=5)
+        self._workers = None
+        self._conns = None
+
+    def __enter__(self) -> "ShardedDetectionEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _resolve_key(self, key: "str | None", timestamp: float) -> "str | None":
+        """Session name for a stream key (None = drop), serial semantics."""
+        if key is None and len(self._units) == 1:
+            return next(iter(self._units))
+        if key is not None and key in self._units:
+            return key
+        if self.unknown_stream == "drop":
+            return None
+        raise StreamError(
+            f"record at t={timestamp} routed to unknown session {key!r}; "
+            f"registered sessions: {sorted(self._units)}"
+        )
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest_record_batch(
+        self, batch: RecordBatch
+    ) -> dict[str, list[TimeunitResult]]:
+        """Route one columnar batch through the shards; merged closed results
+        grouped by session name (bit-identical to the serial engine)."""
+        self._ensure_started()
+        closed: dict[str, list[TimeunitResult]] = {name: [] for name in self._units}
+        if len(batch) == 0:
+            return closed
+        selector = None if self.stream_key is attribute_stream_key else self.stream_key
+        routed: list[tuple[str, RecordBatch]] = []
+        for key, part in batch.partition_by_key(selector):
+            name = self._resolve_key(
+                key, float(part.timestamps[0]) if len(part) else 0.0
+            )
+            if name is not None:
+                routed.append((name, part))
+        if not routed:
+            return closed
+        ops: dict[int, list] = {}
+        emit_bound: dict[str, int] = {}
+        for name, part in routed:
+            unit = self._units[name]
+            if unit.kind == "whole":
+                ops.setdefault(unit.worker, []).append((unit.key, "whole", part))
+            else:
+                emit_bound[name] = self._dispatch_subtree(unit, part, ops)
+        replies = self._roundtrip(ops, "ingest")
+        self._collect(replies, closed)
+        for name, part in routed:
+            unit = self._units[name]
+            if unit.kind == "sub":
+                closed[name].extend(self._emit_ready(unit, upto=emit_bound[name]))
+        return closed
+
+    def _dispatch_subtree(
+        self, unit: _SubtreeUnit, part: RecordBatch, ops: dict[int, list]
+    ) -> int:
+        """Segment one session sub-batch by watermark and queue per-group ops.
+
+        Returns the new session watermark (timeunits strictly below it are
+        complete across every group after this round).
+        """
+        units_col = part.timeunit_indices(unit.clock)
+        fresh = unit.carried is None
+        if _np is not None and not isinstance(units_col, list):
+            running_max = _np.maximum.accumulate(units_col)
+            anchor = int(units_col[0]) if fresh else unit.carried
+            w_before = _np.concatenate(
+                ([anchor], _np.maximum(running_max[:-1], anchor))
+            )
+            new_carried = int(max(int(running_max[-1]), anchor))
+        else:
+            anchor = int(units_col[0]) if fresh else unit.carried
+            w_before, high = [], anchor
+            for u in units_col:
+                w_before.append(high)
+                if u > high:
+                    high = int(u)
+            new_carried = high
+
+        rows_by_gid: dict[int, list[int]] = {}
+        for i, category in enumerate(part.categories):
+            gid = unit.label_to_gid.get(category[0], 0)
+            rows_by_gid.setdefault(gid, []).append(i)
+
+        for gid in range(unit.num_groups):
+            segments: list[tuple[int, "RecordBatch | None"]] = []
+            pending_rows: list[int] = []
+            segment_w = anchor
+            progress = None if fresh else unit.carried
+            if progress is None:
+                progress = anchor
+            for row in rows_by_gid.get(gid, []):
+                w = int(w_before[row])
+                if w > progress:
+                    segments.append(
+                        (segment_w, part.take(pending_rows) if pending_rows else None)
+                    )
+                    pending_rows = []
+                    segment_w = w
+                    progress = w
+                pending_rows.append(row)
+                row_unit = int(units_col[row])
+                if row_unit > progress:
+                    progress = row_unit
+            if pending_rows or (fresh and not segments):
+                segments.append(
+                    (segment_w, part.take(pending_rows) if pending_rows else None)
+                )
+            if new_carried > progress:
+                segments.append((new_carried, None))
+            if segments:
+                ops.setdefault(unit.workers[gid], []).append(
+                    (unit.keys[gid], "sub", segments)
+                )
+        unit.carried = new_carried
+        return new_carried
+
+    def _collect(
+        self,
+        replies: Mapping[int, Any],
+        closed: dict[str, list[TimeunitResult]],
+    ) -> None:
+        """Fold worker ingest/flush replies into result lists and buffers."""
+        for worker_id in sorted(replies):
+            for key, results, root_weights in replies[worker_id]:
+                if key[0] == "w":
+                    name = key[1]
+                    closed[name].extend(results)
+                    self._observe_whole(self._units[name], results)
+                else:
+                    _, name, gid = key
+                    unit = self._units[name]
+                    assert isinstance(unit, _SubtreeUnit)
+                    if root_weights is None or len(root_weights) != len(results):
+                        raise ShardingError(
+                            f"internal: shard {key!r} returned {len(results)} "
+                            f"results but "
+                            f"{0 if root_weights is None else len(root_weights)} "
+                            f"root weight records"
+                        )
+                    for result, (timeunit, raw) in zip(results, root_weights):
+                        slot = unit.buffer.setdefault(int(result.timeunit), {})
+                        slot[gid] = (result, raw)
+
+    def _observe_whole(
+        self, unit: _WholeUnit, results: Sequence[TimeunitResult]
+    ) -> None:
+        for result in results:
+            unit.handle.units_processed += 1
+            for observer in self._observers:
+                observer.on_timeunit_closed(unit.handle, result)
+            for anomaly in result.anomalies:
+                for observer in self._observers:
+                    observer.on_anomaly(unit.handle, anomaly)
+            if (
+                not unit.warmup_announced
+                and unit.handle.units_processed >= unit.handle.warmup_units
+            ):
+                unit.warmup_announced = True
+                for observer in self._observers:
+                    observer.on_warmup_complete(unit.handle, result.timeunit)
+
+    def _emit_ready(
+        self, unit: _SubtreeUnit, upto: "int | None"
+    ) -> list[TimeunitResult]:
+        """Merge and emit buffered timeunits strictly below ``upto`` (all
+        when ``upto`` is None), in timeunit order."""
+        emitted: list[TimeunitResult] = []
+        for timeunit in sorted(unit.buffer):
+            if upto is not None and timeunit >= upto:
+                break
+            slot = unit.buffer.pop(timeunit)
+            if len(slot) != unit.num_groups:
+                raise ShardingError(
+                    f"internal: timeunit {timeunit} of session {unit.name!r} "
+                    f"closed on {len(slot)} of {unit.num_groups} shard groups"
+                )
+            root_raw = sum(slot[gid][1] for gid in range(unit.num_groups))
+            if unit.root_stats is not None and root_raw > 0:
+                unit.root_stats.observe(timeunit, root_raw)
+            merged = self._merge_unit_results(
+                unit, timeunit, [slot[gid][0] for gid in range(unit.num_groups)]
+            )
+            unit.handle.units_processed += 1
+            unit.reports.add_many(merged.anomalies)
+            for observer in self._observers:
+                observer.on_timeunit_closed(unit.handle, merged)
+            for anomaly in merged.anomalies:
+                for observer in self._observers:
+                    observer.on_anomaly(unit.handle, anomaly)
+            if (
+                not unit.warmup_announced
+                and unit.handle.units_processed >= unit.handle.warmup_units
+            ):
+                unit.warmup_announced = True
+                for observer in self._observers:
+                    observer.on_warmup_complete(unit.handle, merged.timeunit)
+            emitted.append(merged)
+        return emitted
+
+    @staticmethod
+    def _merge_unit_results(
+        unit: _SubtreeUnit, timeunit: int, parts: Sequence[TimeunitResult]
+    ) -> TimeunitResult:
+        heavy: set = set()
+        for part in parts:
+            heavy.update(part.heavy_hitters)
+        actuals: dict = {}
+        forecasts: dict = {}
+        for path in sorted(heavy):
+            gid = unit.label_to_gid.get(path[0], 0)
+            actuals[path] = parts[gid].actuals[path]
+            forecasts[path] = parts[gid].forecasts[path]
+        anomalies = tuple(
+            sorted(
+                (anomaly for part in parts for anomaly in part.anomalies),
+                key=lambda a: a.node_path,
+            )
+        )
+        return TimeunitResult(
+            timeunit=timeunit,
+            heavy_hitters=frozenset(heavy),
+            actuals=actuals,
+            forecasts=forecasts,
+            anomalies=anomalies,
+        )
+
+    def ingest_batch(
+        self, records: Iterable[OperationalRecord]
+    ) -> dict[str, list[TimeunitResult]]:
+        """Route a batch of record objects (columnarized coordinator-side)."""
+        records = list(records)
+        if not records:
+            self._check_open()
+            return {name: [] for name in self._units}
+        return self.ingest_record_batch(RecordBatch.from_records(records))
+
+    def ingest_record(self, record: OperationalRecord) -> list[TimeunitResult]:
+        """Route one record; returns results of timeunits it closed.
+
+        Provided for API parity — per-record dispatch pays one worker round
+        trip per record; prefer the batch paths.
+        """
+        key = self.stream_key(record)
+        name = self._resolve_key(key, record.timestamp)
+        if name is None:
+            return []
+        return self.ingest_batch([record])[name]
+
+    def process_stream(
+        self, records: Iterable[OperationalRecord], batch_size: int = 8192
+    ) -> dict[str, list[TimeunitResult]]:
+        """Consume a whole merged record stream, then flush every session."""
+        return self.process_batches(iter_record_batches(records, batch_size))
+
+    def process_batches(
+        self, batches: Iterable[RecordBatch]
+    ) -> dict[str, list[TimeunitResult]]:
+        """Consume a stream of columnar batches, then flush every session."""
+        self._ensure_started()
+        closed: dict[str, list[TimeunitResult]] = {name: [] for name in self._units}
+        for batch in batches:
+            for name, results in self.ingest_record_batch(batch).items():
+                closed[name].extend(results)
+        for name, results in self.flush().items():
+            closed[name].extend(results)
+        return closed
+
+    def flush(self) -> dict[str, list[TimeunitResult]]:
+        """Close the accumulating timeunit of every session."""
+        self._ensure_started()
+        closed: dict[str, list[TimeunitResult]] = {name: [] for name in self._units}
+        ops: dict[int, list] = {}
+        for unit in self._units.values():
+            if unit.kind == "whole":
+                ops.setdefault(unit.worker, []).append(unit.key)
+            else:
+                for gid, worker in enumerate(unit.workers):
+                    ops.setdefault(worker, []).append(unit.keys[gid])
+        if not ops:
+            return closed
+        replies = self._roundtrip(ops, "flush")
+        self._collect(replies, closed)
+        for name, unit in self._units.items():
+            if unit.kind == "sub":
+                closed[name].extend(self._emit_ready(unit, upto=None))
+                unit.carried = None
+        return closed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _query(self, what: str, include_sub: bool = True) -> dict[Any, Any]:
+        """Fetch a per-unit attribute from the workers.
+
+        ``include_sub=False`` restricts the round trip to whole-session units
+        — the coordinator already holds the merged answer for subtree shards,
+        so shipping their (potentially large) values over the pipe would be
+        pure waste.
+        """
+        ops: dict[int, list] = {}
+        for unit in self._units.values():
+            if unit.kind == "whole":
+                ops.setdefault(unit.worker, []).append(unit.key)
+            elif include_sub:
+                for gid, worker in enumerate(unit.workers):
+                    ops.setdefault(worker, []).append(unit.keys[gid])
+        if not ops:
+            return {}
+        self._ensure_started()
+        replies = self._roundtrip(
+            {worker: (what, keys) for worker, keys in ops.items()}, "query"
+        )
+        merged: dict[Any, Any] = {}
+        for worker_id in sorted(replies):
+            merged.update(dict(replies[worker_id]))
+        return merged
+
+    def anomalies(self) -> dict[str, list[Anomaly]]:
+        """All reported anomalies, grouped by session name."""
+        self._ensure_started()
+        per_key = self._query("anomalies", include_sub=False)
+        out: dict[str, list[Anomaly]] = {}
+        for name, unit in self._units.items():
+            if unit.kind == "whole":
+                out[name] = per_key[unit.key]
+            else:
+                out[name] = unit.reports.query()
+        return out
+
+    def units_processed(self) -> dict[str, int]:
+        self._ensure_started()
+        per_key = self._query("units_processed", include_sub=False)
+        out: dict[str, int] = {}
+        for name, unit in self._units.items():
+            if unit.kind == "whole":
+                out[name] = per_key[unit.key]
+            else:
+                out[name] = unit.handle.units_processed
+        return out
+
+    def memory_units(self) -> int:
+        """Total memory cost proxy across all shard sessions."""
+        self._ensure_started()
+        return sum(self._query("memory_units").values())
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def merged_session_state(self, name: str) -> dict[str, Any]:
+        """Serial-format ``state_dict`` of one session, merged across shards.
+
+        The returned state loads into a plain
+        :class:`~repro.engine.session.DetectionSession` (or back into a
+        sharded engine at any shard count) and continues bit-identically.
+        """
+        try:
+            unit = self._units[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no session named {name!r}; registered sessions: "
+                f"{sorted(self._units)}"
+            ) from None
+        self._ensure_started()
+        if unit.kind == "whole":
+            ops = {unit.worker: [unit.key]}
+            replies = self._roundtrip(ops, "state")
+            return dict(replies[unit.worker])[unit.key]
+        if unit.buffer:
+            raise ShardingError(
+                f"session {name!r} has timeunits mid-merge; checkpoint at a "
+                f"batch boundary"
+            )
+        ops = {}
+        for gid, worker in enumerate(unit.workers):
+            ops.setdefault(worker, []).append(unit.keys[gid])
+        replies = self._roundtrip(ops, "state")
+        states_by_key: dict[Any, dict[str, Any]] = {}
+        for worker_id in sorted(replies):
+            states_by_key.update(dict(replies[worker_id]))
+        sub_states = [states_by_key[key] for key in unit.keys]
+        withheld = unit.root_stats.export() if unit.root_stats is not None else {}
+        return merge_session_states(
+            sub_states,
+            unit.base_state,
+            reports=[anomaly.to_dict() for anomaly in unit.reports],
+            withheld=withheld,
+        )
+
+    def state_dict(self) -> dict[str, Any]:
+        """Engine snapshot in the *serial* checkpoint format (version 1)."""
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "engine": {"unknown_stream": self.unknown_stream},
+            "sessions": [self.merged_session_state(name) for name in self._units],
+        }
+
+    def save_checkpoint(self, path: Any) -> None:
+        """Persist the merged engine state atomically as a JSON checkpoint.
+
+        The file is indistinguishable from a serial
+        :meth:`DetectionEngine.save_checkpoint` file: either engine can
+        restore it.
+        """
+        _write_json(self.state_dict(), path)
+
+    @classmethod
+    def from_state_dict(
+        cls,
+        state: Mapping[str, Any],
+        num_workers: "int | None" = None,
+        stream_key: "StreamKey | None" = None,
+        subtree_shards: "int | Mapping[str, int]" = 1,
+        start_method: "str | None" = None,
+    ) -> "ShardedDetectionEngine":
+        """Rebuild a sharded engine from a (serial-format) engine snapshot."""
+        _check_header(state)
+        engine = cls(
+            num_workers=num_workers,
+            stream_key=stream_key,
+            unknown_stream=str(
+                state.get("engine", {}).get("unknown_stream", "raise")
+            ),
+            start_method=start_method,
+        )
+        for session_state in state["sessions"]:
+            shards = (
+                subtree_shards.get(str(session_state["name"]), 1)
+                if isinstance(subtree_shards, Mapping)
+                else subtree_shards
+            )
+            engine.attach_session_state(session_state, subtree_shards=shards)
+        return engine
+
+    @classmethod
+    def load_checkpoint(
+        cls,
+        path: Any,
+        num_workers: "int | None" = None,
+        stream_key: "StreamKey | None" = None,
+        subtree_shards: "int | Mapping[str, int]" = 1,
+        start_method: "str | None" = None,
+    ) -> "ShardedDetectionEngine":
+        """Restore a sharded engine from any engine checkpoint file."""
+        return cls.from_state_dict(
+            _read_json(path),
+            num_workers=num_workers,
+            stream_key=stream_key,
+            subtree_shards=subtree_shards,
+            start_method=start_method,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ShardedDetectionEngine(sessions={sorted(self._units)}, "
+            f"num_workers={self.num_workers})"
+        )

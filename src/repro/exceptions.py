@@ -27,6 +27,9 @@ class UnknownCategoryError(HierarchyError):
         super().__init__(f"category path {category!r} is not a leaf of the hierarchy")
         self.category = tuple(category)
 
+    def __reduce__(self):
+        return (type(self), (self.category,))
+
 
 class StreamError(ReproError):
     """The input stream violates an ordering or format invariant."""
@@ -43,6 +46,22 @@ class OutOfOrderRecordError(StreamError):
         self.timestamp = timestamp
         self.window_start = window_start
 
+    def __reduce__(self):
+        # Default Exception pickling would replay __init__ with self.args (the
+        # formatted message), losing these attributes; the sharded engine
+        # forwards worker-side raises across the process boundary intact.
+        return (type(self), (self.timestamp, self.window_start))
+
+
+class ShardingError(ReproError):
+    """A sharded engine cannot guarantee equivalence with the serial engine.
+
+    Raised when a worker process dies, when a subtree-sharded session's
+    hierarchy root qualifies as a succinct heavy hitter (root-coupled series
+    adaptation cannot be reproduced across disjoint shards), or when a
+    sharded engine is used after :meth:`close`.
+    """
+
 
 class ForecastingError(ReproError):
     """A forecasting model was used before initialization or with bad input."""
@@ -58,6 +77,9 @@ class NotEnoughHistoryError(ForecastingError):
         )
         self.needed = needed
         self.available = available
+
+    def __reduce__(self):
+        return (type(self), (self.needed, self.available))
 
 
 class DetectionError(ReproError):

@@ -30,8 +30,9 @@ selector.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from repro.core.config import ForecastConfig, TiresiasConfig
 from repro.core.detector import Anomaly
@@ -63,6 +64,7 @@ def config_to_dict(config: TiresiasConfig) -> dict[str, Any]:
         "split_ewma_alpha": config.split_ewma_alpha,
         "reference_levels": config.reference_levels,
         "track_root": config.track_root,
+        "allow_root_heavy": config.allow_root_heavy,
         "out_of_order_policy": config.out_of_order_policy,
         "forecast": {
             "alpha": forecast.alpha,
@@ -107,6 +109,7 @@ def config_from_dict(data: Mapping[str, Any]) -> TiresiasConfig:
         reference_levels=int(data["reference_levels"]),
         forecast=forecast,
         track_root=bool(data["track_root"]),
+        allow_root_heavy=bool(data.get("allow_root_heavy", True)),
         out_of_order_policy=str(data.get("out_of_order_policy", "raise")),
     )
 
@@ -257,6 +260,308 @@ def _check_header(state: Mapping[str, Any]) -> None:
 
 
 # ----------------------------------------------------------------------
+# Subtree-shard state surgery (used by repro.engine.sharded)
+# ----------------------------------------------------------------------
+#: Algorithms whose checkpointed state partitions cleanly by depth-1 subtree.
+SHARDABLE_ALGORITHMS: frozenset[str] = frozenset({"ada", "sta"})
+
+
+def _route_gid(path: Sequence[str], label_to_gid: Mapping[str, int]) -> "int | None":
+    """Shard group owning ``path`` (None = the root itself).
+
+    Paths whose first label matches no group (records outside the monitored
+    hierarchy, counted but never detected on) belong to group 0 by convention.
+    """
+    if not path:
+        return None
+    return label_to_gid.get(path[0], 0)
+
+
+def split_session_state(
+    state: Mapping[str, Any], groups: Sequence[Sequence[str]]
+) -> tuple[list[dict[str, Any]], dict[str, Any]]:
+    """Partition one serial session state into disjoint subtree-shard states.
+
+    ``groups`` assigns every depth-1 label of the session's hierarchy to one
+    shard group.  Each returned sub-state is a complete, loadable session
+    state over the sub-hierarchy of its group's subtrees: path-keyed
+    collections (series, reference buffers, split statistics, pending counts,
+    STA weight tables) are routed by their first label, scalar clock/warm-up
+    bookkeeping is replicated, and timing/operation counters start from zero
+    so that merging later can add them back onto the serial baseline.
+
+    The second return value holds the root-path split-rule statistics (ADA)
+    that no shard owns; the sharded engine maintains them coordinator-side
+    from the per-timeunit root weights its shards report.  Raises
+    :class:`CheckpointError` when the session cannot be subtree-sharded:
+    unsupported algorithm, ``track_root`` enabled, a root-held time series,
+    or an incomplete group cover.
+    """
+    algorithm = str(state["algorithm"])
+    if algorithm not in SHARDABLE_ALGORITHMS:
+        raise CheckpointError(
+            f"algorithm {algorithm!r} does not support subtree sharding "
+            f"(supported: {sorted(SHARDABLE_ALGORITHMS)})"
+        )
+    if bool(state["config"].get("track_root", True)) or bool(
+        state["config"].get("allow_root_heavy", True)
+    ):
+        raise CheckpointError(
+            "subtree sharding requires track_root=False and "
+            "allow_root_heavy=False: the root is the only node whose series "
+            "and adaptation span every depth-1 subtree, so it must be "
+            "excluded from tracking for shard detections to equal a serial "
+            "run"
+        )
+    label_to_gid: dict[str, int] = {}
+    for gid, labels in enumerate(groups):
+        for label in labels:
+            if label in label_to_gid:
+                raise CheckpointError(
+                    f"depth-1 label {label!r} assigned to two shard groups"
+                )
+            label_to_gid[label] = gid
+    k = len(groups)
+    if k < 2:
+        raise CheckpointError("subtree sharding needs at least two groups")
+
+    leaves_by_gid: list[list[list[str]]] = [[] for _ in range(k)]
+    for path in state["tree"]["leaves"]:
+        gid = label_to_gid.get(path[0])
+        if gid is None:
+            raise CheckpointError(
+                f"shard groups do not cover depth-1 label {path[0]!r}"
+            )
+        leaves_by_gid[gid].append(list(path))
+    for gid, leaves in enumerate(leaves_by_gid):
+        if not leaves:
+            raise CheckpointError(f"shard group {gid} owns no leaves")
+
+    pending_by_gid: list[list[Any]] = [[] for _ in range(k)]
+    for path, count in state["pending"]:
+        gid = _route_gid(path, label_to_gid)
+        pending_by_gid[0 if gid is None else gid].append([list(path), count])
+
+    algo_state = state["algorithm_state"]
+    zero_stage = {key: 0.0 for key in algo_state["stage_seconds"]}
+    withheld: dict[str, Any] = {}
+    algo_by_gid: list[dict[str, Any]] = []
+    if algorithm == "ada":
+        split_lists: dict[str, list[list[list[Any]]]] = {
+            field: [[] for _ in range(k)]
+            for field in ("series", "reference", "stats", "stats_last_unit")
+        }
+        for field, routed in split_lists.items():
+            for path, value in algo_state[field]:
+                gid = _route_gid(path, label_to_gid)
+                if gid is None:
+                    if field in ("series", "reference"):
+                        raise CheckpointError(
+                            "the hierarchy root holds a time series; its "
+                            "adaptation couples every subtree and cannot be "
+                            "sharded (was the session run with an earlier "
+                            "track_root=True config?)"
+                        )
+                    withheld[field] = value
+                    continue
+                routed[gid].append([list(path), value])
+        for gid in range(k):
+            algo_by_gid.append(
+                {
+                    "timeunit": algo_state["timeunit"],
+                    "split_operations": 0,
+                    "merge_operations": 0,
+                    "stage_seconds": dict(zero_stage),
+                    "series": split_lists["series"][gid],
+                    "reference": split_lists["reference"][gid],
+                    "stats": split_lists["stats"][gid],
+                    "stats_last_unit": split_lists["stats_last_unit"][gid],
+                }
+            )
+    else:  # sta
+        tables_by_gid: list[list[list[list[Any]]]] = [[] for _ in range(k)]
+        for unit_table in algo_state["unit_weights"]:
+            routed: list[list[list[Any]]] = [[] for _ in range(k)]
+            root_by_gid = [0.0] * k
+            for path, weight in unit_table:
+                gid = _route_gid(path, label_to_gid)
+                if gid is None:
+                    continue  # recomputed per group below
+                routed[gid].append([list(path), weight])
+                if len(path) == 1:
+                    root_by_gid[gid] += float(weight)
+            for gid in range(k):
+                # The group's local root weight is the sum of its depth-1
+                # weights — exactly what a from-scratch run over the
+                # sub-hierarchy would have recorded.
+                if root_by_gid[gid] > 0:
+                    routed[gid].append([[], root_by_gid[gid]])
+                tables_by_gid[gid].append(routed[gid])
+        for gid in range(k):
+            algo_by_gid.append(
+                {
+                    "timeunit": algo_state["timeunit"],
+                    "stage_seconds": dict(zero_stage),
+                    "unit_weights": tables_by_gid[gid],
+                }
+            )
+
+    sub_states = []
+    for gid in range(k):
+        sub_states.append(
+            {
+                "name": f"{state['name']}::shard{gid}",
+                "algorithm": algorithm,
+                "tree": {
+                    "root_label": state["tree"]["root_label"],
+                    "leaves": leaves_by_gid[gid],
+                },
+                "config": dict(state["config"]),
+                "clock": dict(state["clock"]),
+                "warmup_units": state["warmup_units"],
+                # Workers return closed results over the pipe; retaining them
+                # in the shard session would only grow worker memory.
+                "max_results": 0,
+                "units_processed": state["units_processed"],
+                "warmup_announced": state["warmup_announced"],
+                "pending_unit": state["pending_unit"],
+                "pending": pending_by_gid[gid],
+                "reading_seconds": 0.0,
+                "reports": [],
+                "algorithm_state": algo_by_gid[gid],
+            }
+        )
+    return sub_states, withheld
+
+
+def _require_agreement(sub_states: Sequence[Mapping[str, Any]], *keys: str) -> None:
+    for key in keys:
+        values = {json.dumps(sub[key], sort_keys=True) for sub in sub_states}
+        if len(values) > 1:
+            raise CheckpointError(
+                f"torn sharded session state: shards disagree on {key!r}"
+            )
+
+
+def merge_session_states(
+    sub_states: Sequence[Mapping[str, Any]],
+    base: Mapping[str, Any],
+    *,
+    reports: Sequence[Mapping[str, Any]],
+    withheld: "Mapping[str, Any] | None" = None,
+) -> dict[str, Any]:
+    """Inverse of :func:`split_session_state`: one serial-format session state.
+
+    ``base`` is the serial state the shards were split from (identity fields
+    and pre-split counter baselines come from it), ``reports`` the
+    coordinator-side merged anomaly store, and ``withheld`` the root-path
+    bookkeeping returned by the split (updated by the coordinator while the
+    shards ran).  The merged state loads into a plain
+    :class:`~repro.engine.session.DetectionSession` whose subsequent
+    detections equal an unsharded run — sharded and serial checkpoints are
+    the same format and are mutually restorable.
+    """
+    if not sub_states:
+        raise CheckpointError("cannot merge an empty list of shard states")
+    _require_agreement(
+        sub_states,
+        "algorithm",
+        "units_processed",
+        "warmup_announced",
+        "pending_unit",
+        "warmup_units",
+    )
+    algorithm = str(sub_states[0]["algorithm"])
+    first_algo = sub_states[0]["algorithm_state"]
+    merged_stage = {
+        key: float(base["algorithm_state"]["stage_seconds"].get(key, 0.0))
+        + sum(float(sub["algorithm_state"]["stage_seconds"][key]) for sub in sub_states)
+        for key in first_algo["stage_seconds"]
+    }
+    timeunits = {sub["algorithm_state"]["timeunit"] for sub in sub_states}
+    if len(timeunits) > 1:
+        raise CheckpointError("torn sharded session state: shards disagree on timeunit")
+
+    if algorithm == "ada":
+        algo_state: dict[str, Any] = {
+            "timeunit": first_algo["timeunit"],
+            "split_operations": int(base["algorithm_state"]["split_operations"])
+            + sum(int(sub["algorithm_state"]["split_operations"]) for sub in sub_states),
+            "merge_operations": int(base["algorithm_state"]["merge_operations"])
+            + sum(int(sub["algorithm_state"]["merge_operations"]) for sub in sub_states),
+            "stage_seconds": merged_stage,
+        }
+        for field in ("series", "reference", "stats", "stats_last_unit"):
+            merged_list = []
+            for sub in sub_states:
+                for path, value in sub["algorithm_state"][field]:
+                    if not path:
+                        # Shards keep local-root bookkeeping (their raw
+                        # weights feed it); the serial equivalent is the
+                        # coordinator-maintained ``withheld`` entry summed
+                        # over every shard, inserted below.
+                        if field in ("series", "reference"):
+                            raise CheckpointError(
+                                f"shard state holds a root {field} entry; "
+                                f"this cannot come from a root-excluded run"
+                            )
+                        continue
+                    merged_list.append([list(path), value])
+            if withheld and field in withheld:
+                merged_list.append([[], withheld[field]])
+            algo_state[field] = merged_list
+    else:  # sta
+        lengths = {len(sub["algorithm_state"]["unit_weights"]) for sub in sub_states}
+        if len(lengths) > 1:
+            raise CheckpointError(
+                "torn sharded session state: shards retain different numbers "
+                "of timeunit weight tables"
+            )
+        unit_weights = []
+        for tables in zip(*(sub["algorithm_state"]["unit_weights"] for sub in sub_states)):
+            merged_table = []
+            root_total = 0.0
+            for table in tables:
+                for path, weight in table:
+                    if path:
+                        merged_table.append([list(path), weight])
+                    else:
+                        root_total += float(weight)
+            if root_total > 0:
+                merged_table.append([[], root_total])
+            unit_weights.append(merged_table)
+        algo_state = {
+            "timeunit": first_algo["timeunit"],
+            "stage_seconds": merged_stage,
+            "unit_weights": unit_weights,
+        }
+
+    pending: list[Any] = []
+    for sub in sub_states:
+        pending.extend(sub["pending"])
+    return {
+        "name": base["name"],
+        "algorithm": algorithm,
+        "tree": {
+            "root_label": base["tree"]["root_label"],
+            "leaves": [list(path) for path in base["tree"]["leaves"]],
+        },
+        "config": dict(base["config"]),
+        "clock": dict(base["clock"]),
+        "warmup_units": sub_states[0]["warmup_units"],
+        "max_results": base.get("max_results"),
+        "units_processed": sub_states[0]["units_processed"],
+        "warmup_announced": sub_states[0]["warmup_announced"],
+        "pending_unit": sub_states[0]["pending_unit"],
+        "pending": pending,
+        "reading_seconds": float(base["reading_seconds"])
+        + sum(float(sub["reading_seconds"]) for sub in sub_states),
+        "reports": [dict(report) for report in reports],
+        "algorithm_state": algo_state,
+    }
+
+
+# ----------------------------------------------------------------------
 # File round trips
 # ----------------------------------------------------------------------
 def save_checkpoint(engine: "DetectionEngine", path: "str | Path") -> None:
@@ -296,7 +601,17 @@ def load_session_checkpoint(path: "str | Path") -> "DetectionSession":
 
 
 def _write_json(document: Mapping[str, Any], path: "str | Path") -> None:
-    Path(path).write_text(json.dumps(document), encoding="utf-8")
+    """Write ``document`` atomically: full temp file, then one rename.
+
+    A monitoring process killed mid-checkpoint must never leave a truncated
+    JSON document behind — the sharded engine checkpoints several worker
+    states into one file, and a partial write would lose all of them.
+    ``os.replace`` is atomic on POSIX and Windows for same-directory targets.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+    tmp.write_text(json.dumps(document), encoding="utf-8")
+    os.replace(tmp, path)
 
 
 def _read_json(path: "str | Path") -> Any:

@@ -9,12 +9,16 @@ seasonal periods that keep the online algorithms fast.
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
+from pathlib import Path
 
 import pytest
 
 from repro.core.config import ForecastConfig, TiresiasConfig
 from repro.hierarchy.tree import HierarchyTree
 from repro.streaming.clock import SimulationClock
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 
 
 @pytest.fixture
@@ -72,3 +76,111 @@ def leaf_counts_for(tree: HierarchyTree, counts: dict[tuple[str, ...], int]):
     for path in counts:
         assert tree.has_leaf(path), f"{path} is not a leaf of the test tree"
     return counts
+
+
+# ----------------------------------------------------------------------
+# Golden regression traces (tests/golden/)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GoldenSpec:
+    """One canonical trace: how to (re)generate it and how to detect on it.
+
+    The trace files under ``tests/golden/`` are committed; the spec only
+    regenerates one when its file is missing.  The ``*.expected.json`` files
+    are rewritten by running pytest with ``--update-golden``.
+    """
+
+    name: str
+    kind: str  # "ccd-trouble" | "ccd-network" | "scd"
+    algorithm: str = "ada"
+
+    def dataset(self):
+        from repro.datagen.ccd import CCDConfig, make_ccd_dataset
+        from repro.datagen.scd import SCDConfig, make_scd_dataset
+
+        if self.kind == "scd":
+            return make_scd_dataset(
+                SCDConfig(
+                    duration_days=1.0,
+                    delta_seconds=900.0,
+                    base_rate_per_hour=120.0,
+                    network_scale=0.04,
+                    num_anomalies=3,
+                    anomaly_warmup_days=0.3,
+                    seed=1303,
+                )
+            )
+        return make_ccd_dataset(
+            CCDConfig(
+                dimension="trouble" if self.kind == "ccd-trouble" else "network",
+                duration_days=1.0,
+                delta_seconds=900.0,
+                base_rate_per_hour=120.0,
+                num_anomalies=3,
+                anomaly_warmup_days=0.3,
+                seed=1301 if self.kind == "ccd-trouble" else 1302,
+            )
+        )
+
+    def detector_config(self) -> TiresiasConfig:
+        return TiresiasConfig(
+            theta=5.0 if self.kind != "scd" else 4.0,
+            ratio_threshold=2.0,
+            difference_threshold=4.0,
+            delta_seconds=900.0,
+            window_units=48,
+            reference_levels=1,
+            track_root=False,
+            allow_root_heavy=False,
+            forecast=ForecastConfig(season_lengths=(8,), fallback_alpha=0.3),
+        )
+
+    @property
+    def trace_path(self) -> Path:
+        return GOLDEN_DIR / f"{self.name}.jsonl"
+
+    @property
+    def expected_path(self) -> Path:
+        return GOLDEN_DIR / f"{self.name}.expected.json"
+
+
+GOLDEN_SPECS = (
+    GoldenSpec(name="ccd_trouble", kind="ccd-trouble"),
+    GoldenSpec(name="ccd_network", kind="ccd-network"),
+    GoldenSpec(name="scd", kind="scd"),
+)
+
+
+def load_golden_trace(spec: GoldenSpec):
+    """The committed records of one golden trace (generated when missing),
+    plus the tree/clock it detects on."""
+    from repro.io.jsonl_io import read_records_jsonl, write_records_jsonl
+
+    dataset = spec.dataset()
+    if not spec.trace_path.exists():
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        write_records_jsonl(dataset.records(), spec.trace_path)
+    records = list(read_records_jsonl(spec.trace_path))
+    return dataset.tree, dataset.clock, records
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    return bool(request.config.getoption("--update-golden"))
+
+
+@pytest.fixture(params=GOLDEN_SPECS, ids=lambda spec: spec.name)
+def golden_spec(request) -> GoldenSpec:
+    """Parametrizes a test over every committed golden trace."""
+    return request.param
+
+
+@pytest.fixture(scope="session")
+def golden_trace_loader():
+    """The (tree, clock, records) loader for a :class:`GoldenSpec`."""
+    return load_golden_trace
+
+
+@pytest.fixture(scope="session")
+def golden_specs_by_name() -> dict[str, GoldenSpec]:
+    return {spec.name: spec for spec in GOLDEN_SPECS}

@@ -1,0 +1,328 @@
+"""Unit coverage for the sharded engine's moving parts.
+
+The end-to-end equivalence guarantees live in
+``tests/integration/test_sharded_equivalence.py`` and the golden suite; this
+module exercises the pieces in isolation: shard planning, configuration
+validation, session state split/merge, lifecycle, observers and the
+session-level ``advance_to`` primitive the watermark protocol builds on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ForecastConfig, TiresiasConfig
+from repro.engine.engine import DetectionEngine
+from repro.engine.hooks import CallbackObserver
+from repro.engine.session import DetectionSession
+from repro.engine.sharded import (
+    ShardedDetectionEngine,
+    ShardedSessionHandle,
+    plan_subtree_groups,
+)
+from repro.exceptions import (
+    CheckpointError,
+    ConfigurationError,
+    ShardingError,
+)
+from repro.hierarchy.tree import HierarchyTree
+from repro.io.checkpoint import merge_session_states, split_session_state
+from repro.streaming.record import OperationalRecord
+
+
+@pytest.fixture
+def shardable_config() -> TiresiasConfig:
+    return TiresiasConfig(
+        theta=3.0,
+        ratio_threshold=2.0,
+        difference_threshold=3.0,
+        delta_seconds=900.0,
+        window_units=16,
+        reference_levels=1,
+        track_root=False,
+        allow_root_heavy=False,
+        forecast=ForecastConfig(season_lengths=(4,), fallback_alpha=0.3),
+    )
+
+
+def records_for(tree: HierarchyTree, units: int, per_unit: int = 4):
+    leaves = tree.leaf_paths()
+    return [
+        OperationalRecord(unit * 900.0 + i * 90.0, leaves[(unit + i) % len(leaves)])
+        for unit in range(units)
+        for i in range(per_unit)
+    ]
+
+
+# ----------------------------------------------------------------------
+# plan_subtree_groups
+# ----------------------------------------------------------------------
+class TestPlanSubtreeGroups:
+    def test_balances_by_leaf_count(self):
+        leaves = (
+            [("a", f"x{i}") for i in range(8)]
+            + [("b", f"y{i}") for i in range(4)]
+            + [("c", f"z{i}") for i in range(4)]
+        )
+        groups = plan_subtree_groups(leaves, 2)
+        assert groups == [["a"], ["b", "c"]]
+
+    def test_caps_groups_at_depth1_count(self):
+        leaves = [("a", "x"), ("b", "y")]
+        assert len(plan_subtree_groups(leaves, 5)) == 2
+
+    def test_deterministic(self):
+        leaves = [(f"t{i}", f"l{j}") for i in range(7) for j in range(i + 1)]
+        assert plan_subtree_groups(leaves, 3) == plan_subtree_groups(leaves, 3)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            plan_subtree_groups([("a", "x")], 0)
+
+
+# ----------------------------------------------------------------------
+# Configuration validation
+# ----------------------------------------------------------------------
+class TestValidation:
+    def test_track_root_contradiction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TiresiasConfig(track_root=True, allow_root_heavy=False)
+
+    def test_subtree_sharding_requires_root_exclusion(self, small_tree, fast_config):
+        engine = ShardedDetectionEngine(num_workers=2)
+        with pytest.raises(ConfigurationError, match="allow_root_heavy"):
+            engine.add_session("s", small_tree, fast_config, subtree_shards=2)
+        engine.close()
+
+    def test_track_root_session_shards_whole_only(self, small_tree, fast_config, clock):
+        # Whole-session sharding has no root constraint.
+        with ShardedDetectionEngine(num_workers=2) as engine:
+            engine.add_session("s", small_tree, fast_config, clock=clock)
+            records = records_for(small_tree, 6)
+            serial = DetectionEngine()
+            serial.add_session("s", small_tree, fast_config, clock=clock)
+            assert (
+                engine.process_stream(records)["s"]
+                == serial.process_stream(records)["s"]
+            )
+
+    def test_duplicate_session_rejected(self, small_tree, shardable_config):
+        with ShardedDetectionEngine(num_workers=1) as engine:
+            engine.add_session("s", small_tree, shardable_config)
+            with pytest.raises(ConfigurationError, match="already registered"):
+                engine.add_session("s", small_tree, shardable_config)
+
+    def test_bad_unknown_stream_policy(self):
+        with pytest.raises(ConfigurationError):
+            ShardedDetectionEngine(unknown_stream="explode")
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ConfigurationError):
+            ShardedDetectionEngine(num_workers=0)
+
+
+# ----------------------------------------------------------------------
+# Session state split / merge
+# ----------------------------------------------------------------------
+class TestStateSurgery:
+    def make_state(self, tree, config, clock, units=8):
+        session = DetectionSession(tree, config, clock=clock, name="surgery")
+        session.ingest_batch(records_for(tree, units))
+        return session.state_dict()
+
+    def test_split_then_merge_is_lossless_enough_to_resume(
+        self, small_tree, shardable_config, clock
+    ):
+        state = self.make_state(small_tree, shardable_config, clock)
+        groups = plan_subtree_groups(state["tree"]["leaves"], 3)
+        sub_states, withheld = split_session_state(state, groups)
+        assert len(sub_states) == 3
+        merged = merge_session_states(
+            sub_states, state, reports=state["reports"], withheld=withheld
+        )
+        resumed = DetectionSession.from_state_dict(merged)
+        reference = DetectionSession.from_state_dict(state)
+        tail = records_for(small_tree, 14)[8 * 4 :]
+        assert resumed.ingest_batch(tail) + resumed.flush() == reference.ingest_batch(
+            tail
+        ) + reference.flush()
+
+    def test_split_rejects_root_tracking_config(self, small_tree, fast_config, clock):
+        session = DetectionSession(small_tree, fast_config, clock=clock)
+        with pytest.raises(CheckpointError, match="allow_root_heavy"):
+            split_session_state(session.state_dict(), [["region-0"], ["region-1"]])
+
+    def test_split_rejects_incomplete_cover(self, small_tree, shardable_config, clock):
+        state = self.make_state(small_tree, shardable_config, clock)
+        with pytest.raises(CheckpointError, match="cover"):
+            split_session_state(state, [["region-0"], ["region-1"]])
+
+    def test_split_rejects_single_group(self, small_tree, shardable_config, clock):
+        state = self.make_state(small_tree, shardable_config, clock)
+        with pytest.raises(CheckpointError, match="two groups"):
+            split_session_state(state, [["region-0", "region-1", "region-2"]])
+
+    def test_merge_detects_torn_state(self, small_tree, shardable_config, clock):
+        state = self.make_state(small_tree, shardable_config, clock)
+        groups = plan_subtree_groups(state["tree"]["leaves"], 2)
+        sub_states, withheld = split_session_state(state, groups)
+        sub_states[1]["units_processed"] += 1
+        with pytest.raises(CheckpointError, match="torn"):
+            merge_session_states(
+                sub_states, state, reports=[], withheld=withheld
+            )
+
+
+# ----------------------------------------------------------------------
+# Engine lifecycle and observers
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_close_is_idempotent_and_final(self, small_tree, shardable_config):
+        engine = ShardedDetectionEngine(num_workers=1)
+        engine.add_session("s", small_tree, shardable_config)
+        engine.flush()  # starts workers
+        engine.close()
+        engine.close()
+        with pytest.raises(ShardingError, match="closed"):
+            engine.ingest_batch(records_for(small_tree, 2))
+
+    def test_context_manager_closes(self, small_tree, shardable_config):
+        with ShardedDetectionEngine(num_workers=1) as engine:
+            engine.add_session("s", small_tree, shardable_config)
+            engine.flush()
+        with pytest.raises(ShardingError):
+            engine.flush()
+
+    def test_observers_fire_with_handle(self, small_tree, shardable_config, clock):
+        seen: list = []
+        with ShardedDetectionEngine(num_workers=2) as engine:
+            engine.add_session(
+                "obs", small_tree, shardable_config, clock=clock, subtree_shards=2
+            )
+            engine.subscribe(
+                CallbackObserver(
+                    on_timeunit_closed=lambda session, result: seen.append(
+                        (type(session), session.name, result.timeunit)
+                    )
+                )
+            )
+            engine.process_stream(records_for(small_tree, 6))
+        assert [entry[2] for entry in seen] == list(range(6))
+        assert all(entry[0] is ShardedSessionHandle for entry in seen)
+        assert all(entry[1] == "obs" for entry in seen)
+
+    def test_observer_event_stream_matches_serial(
+        self, small_tree, shardable_config, clock
+    ):
+        def collect(engine_like):
+            events: list = []
+            engine_like.subscribe(
+                CallbackObserver(
+                    on_timeunit_closed=lambda s, r: events.append(("unit", r.timeunit)),
+                    on_anomaly=lambda s, a: events.append(("anomaly", a.to_dict())),
+                    on_warmup_complete=lambda s, u: events.append(("warmup", u)),
+                )
+            )
+            return events
+
+        records = records_for(small_tree, 14, per_unit=9)
+        serial = DetectionEngine()
+        serial.add_session("obs", small_tree, shardable_config, clock=clock)
+        serial_events = collect(serial)
+        serial.process_stream(records)
+
+        with ShardedDetectionEngine(num_workers=2) as engine:
+            engine.add_session(
+                "obs", small_tree, shardable_config, clock=clock, subtree_shards=2
+            )
+            sharded_events = collect(engine)
+            engine.process_stream(records)
+        assert sharded_events == serial_events
+
+    def test_unknown_stream_drop_and_raise(self, small_tree, shardable_config, clock):
+        tagged = [
+            OperationalRecord(i * 900.0, small_tree.leaf_paths()[0], {"stream": "ghost"})
+            for i in range(3)
+        ]
+        with ShardedDetectionEngine(num_workers=1, unknown_stream="drop") as engine:
+            engine.add_session("a", small_tree, shardable_config, clock=clock)
+            engine.add_session("b", small_tree, shardable_config, clock=clock)
+            out = engine.ingest_batch(tagged)
+            assert out == {"a": [], "b": []}
+        from repro.exceptions import StreamError
+
+        with ShardedDetectionEngine(num_workers=1) as engine:
+            engine.add_session("a", small_tree, shardable_config, clock=clock)
+            engine.add_session("b", small_tree, shardable_config, clock=clock)
+            with pytest.raises(StreamError, match="ghost"):
+                engine.ingest_batch(tagged)
+
+    def test_introspection_matches_serial(self, small_tree, shardable_config, clock):
+        records = records_for(small_tree, 8)
+        serial = DetectionEngine()
+        serial.add_session("x", small_tree, shardable_config, clock=clock)
+        serial.process_stream(records)
+        with ShardedDetectionEngine(num_workers=2) as engine:
+            engine.add_session(
+                "x", small_tree, shardable_config, clock=clock, subtree_shards=2
+            )
+            engine.process_stream(records)
+            assert engine.units_processed() == serial.units_processed()
+            assert "x" in engine and len(engine) == 1
+            assert engine.session_names == ("x",)
+            assert engine.memory_units() > 0
+
+    def test_worker_raise_preserves_exception_attributes(
+        self, small_tree, shardable_config, clock
+    ):
+        from repro.exceptions import OutOfOrderRecordError
+
+        config = shardable_config.replace(out_of_order_policy="raise")
+        leaves = small_tree.leaf_paths()
+        with ShardedDetectionEngine(num_workers=2) as engine:
+            engine.add_session(
+                "x", small_tree, config, clock=clock, subtree_shards=2
+            )
+            engine.ingest_batch([OperationalRecord(5 * 900.0, leaves[0])])
+            with pytest.raises(OutOfOrderRecordError) as exc_info:
+                engine.ingest_batch([OperationalRecord(0.0, leaves[-1])])
+        # The worker-side raise crosses the process boundary whole.
+        assert exc_info.value.timestamp == 0.0
+        assert exc_info.value.window_start == 5 * 900.0
+
+    def test_ingest_record_parity(self, small_tree, shardable_config, clock):
+        records = records_for(small_tree, 5)
+        serial_session = DetectionSession(
+            small_tree, shardable_config, clock=clock, name="r"
+        )
+        serial_results = [serial_session.ingest_record(r) for r in records]
+        with ShardedDetectionEngine(num_workers=2) as engine:
+            engine.add_session(
+                "r", small_tree, shardable_config, clock=clock, subtree_shards=2
+            )
+            sharded_results = [engine.ingest_record(r) for r in records]
+        assert sharded_results == serial_results
+
+
+# ----------------------------------------------------------------------
+# DetectionSession.advance_to
+# ----------------------------------------------------------------------
+class TestAdvanceTo:
+    def test_anchor_on_fresh_session(self, small_tree, shardable_config, clock):
+        session = DetectionSession(small_tree, shardable_config, clock=clock)
+        assert session.advance_to(5) == []
+        assert session._pending_unit == 5
+
+    def test_closes_everything_before_target(self, small_tree, shardable_config, clock):
+        session = DetectionSession(small_tree, shardable_config, clock=clock)
+        session.ingest_record(OperationalRecord(0.0, small_tree.leaf_paths()[0]))
+        closed = session.advance_to(4)
+        assert [r.timeunit for r in closed] == [0, 1, 2, 3]
+        assert session._pending_unit == 4
+
+    def test_noop_at_or_below_pending(self, small_tree, shardable_config, clock):
+        session = DetectionSession(small_tree, shardable_config, clock=clock)
+        session.advance_to(3)
+        assert session.advance_to(3) == []
+        assert session.advance_to(1) == []
+        assert session._pending_unit == 3
