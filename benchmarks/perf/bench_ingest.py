@@ -15,26 +15,41 @@ supports:
   worker processes; the harness asserts its detections are byte-identical
   to the batch path before recording the timing.
 
-Both paths consume pre-materialized inputs (a record list vs pre-built
-batches, as the io batch loaders would produce natively); batch-building
-cost is reported separately as ``batch_build_seconds``.
+Per-stage breakdown
+-------------------
+Every end-to-end run records the close-path stage split from
+``DetectionSession.stage_seconds()`` — hierarchy updating (SHHH), forecast +
+detect (time-series maintenance + dual-threshold checks) and trace reading —
+plus the derived ``classify`` share (everything outside the algorithm:
+per-record/batch classification and pending-counter folding).  Hot-path
+claims in future PRs should cite these numbers instead of eyeballing totals.
 
-Two stages are timed separately:
+Scalar-close baseline (``--compare-scalar``)
+--------------------------------------------
+Re-runs the batch path in a subprocess with ``REPRO_DISABLE_NUMPY=1``, which
+forces the forecaster bank, hierarchy index, ring buffers and batch detector
+onto their pure-Python fallbacks (columnar *classification* stays vectorized,
+so the comparison isolates the close path).  The subprocess's detections must
+be byte-identical — the fallback is a correctness twin, only slower.
 
-* ``classify`` — stream → per-timeunit leaf counts (the stage this refactor
-  vectorizes; the ≥5x target applies here);
-* ``end_to_end`` — stream → detections through a full ADA session (identical
-  detection work on both paths, so the speedup is smaller; the harness also
-  asserts the two paths report byte-identical anomalies).
+Bank-kernel microbenchmark
+--------------------------
+``bank_kernel`` times the forecast+detect stage at production-scale tracked
+sets (default 2048 rows): one vectorized ``ForecasterBank.observe_rows`` +
+``ThresholdDetector.check_many`` per timeunit against the per-row scalar
+loop.  ``--check-bank-speedup MIN`` gates CI on it.
 
 Results are appended to ``BENCH_ingest.json`` at the repo root so successive
-PRs accumulate a throughput trajectory.
+PRs accumulate a throughput trajectory.  **Entries are only appended when
+every equivalence check passed** — a run that produced wrong detections
+exits non-zero without recording a result.
 
 Usage::
 
     python benchmarks/perf/bench_ingest.py                 # full table3 workload
     python benchmarks/perf/bench_ingest.py --duration-days 0.5 --check-speedup 1.0
     python benchmarks/perf/bench_ingest.py --workers 2,4 --check-workers-speedup 1.0
+    python benchmarks/perf/bench_ingest.py --compare-scalar --check-bank-speedup 2.0
 """
 
 from __future__ import annotations
@@ -42,6 +57,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -57,6 +73,10 @@ from repro.streaming.batch import HAS_VECTOR_BACKEND, RecordBatch  # noqa: E402
 from repro.streaming.window import SlidingWindow  # noqa: E402
 
 DEFAULT_OUT = ROOT / "BENCH_ingest.json"
+
+
+class EquivalenceError(RuntimeError):
+    """Two ingestion paths produced different detections; nothing is recorded."""
 
 
 def build_workload(duration_days: float, rate_per_hour: float, delta_seconds: float):
@@ -129,6 +149,28 @@ def time_end_to_end(dataset, config, feed, batched: bool) -> tuple[float, "Detec
     return time.perf_counter() - start, session
 
 
+def stage_breakdown(elapsed: float, session: "DetectionSession") -> dict:
+    """Close-path stage split of one end-to-end run (Table III stages).
+
+    ``classify`` is the share outside the tracking algorithm — per-record /
+    per-batch timeunit classification and pending-counter folding;
+    ``forecast_detect`` is time-series maintenance plus the dual-threshold
+    checks (paper Fig. 3 Steps 2-4 live in ``hierarchy`` + ``forecast_detect``).
+    """
+    stages = session.stage_seconds()
+    hierarchy = stages["updating_hierarchies"]
+    forecast_detect = stages["creating_time_series"] + stages["detecting_anomalies"]
+    reading = stages.get("reading_traces", 0.0)
+    classify = max(0.0, elapsed - hierarchy - forecast_detect - reading)
+    return {
+        "classify": round(classify, 6),
+        "hierarchy": round(hierarchy, 6),
+        "forecast_detect": round(forecast_detect, 6),
+        "reading": round(reading, 6),
+        "raw": {key: round(value, 6) for key, value in stages.items()},
+    }
+
+
 def time_sharded(dataset, config, batches, workers: int) -> tuple[float, list]:
     """End-to-end through a subtree-sharded engine at ``workers`` processes.
 
@@ -149,6 +191,142 @@ def time_sharded(dataset, config, batches, workers: int) -> tuple[float, list]:
         elapsed = time.perf_counter() - start
         anomalies = [a.to_dict() for a in engine.anomalies()["bench"]]
     return elapsed, anomalies
+
+
+def run_scalar_probe(args: argparse.Namespace) -> dict:
+    """Batch-path end-to-end with the vector backend disabled (this process).
+
+    Invoked in a ``REPRO_DISABLE_NUMPY=1`` subprocess by ``--compare-scalar``;
+    prints a JSON document with timing, stage split and the anomaly list (for
+    the backend-equivalence check).
+    """
+    dataset = build_workload(args.duration_days, args.rate_per_hour, args.delta_seconds)
+    records = dataset.record_list()
+    config = detector_config(args.delta_seconds, args.duration_days)
+    batches = [
+        RecordBatch.from_records(records[i : i + args.batch_size])
+        for i in range(0, len(records), args.batch_size)
+    ]
+    elapsed, session = time_end_to_end(dataset, config, batches, batched=True)
+    return {
+        "seconds": round(elapsed, 6),
+        "stages": stage_breakdown(elapsed, session),
+        "anomalies": [a.to_dict() for a in session.anomalies],
+    }
+
+
+def compare_scalar_close(args: argparse.Namespace, batch_anomalies: list) -> dict:
+    """Run the scalar-close probe in a subprocess and diff it against vector."""
+    env = dict(os.environ)
+    env["REPRO_DISABLE_NUMPY"] = "1"
+    command = [
+        sys.executable,
+        str(Path(__file__).resolve()),
+        "--scalar-probe",
+        "--duration-days", str(args.duration_days),
+        "--rate-per-hour", str(args.rate_per_hour),
+        "--delta-seconds", str(args.delta_seconds),
+        "--batch-size", str(args.batch_size),
+    ]
+    completed = subprocess.run(command, env=env, capture_output=True, text=True)
+    if completed.returncode != 0:
+        raise EquivalenceError(
+            "the scalar-close probe subprocess failed "
+            f"(exit {completed.returncode}):\n{completed.stderr}"
+        )
+    probe = json.loads(completed.stdout)
+    if probe.pop("anomalies") != batch_anomalies:
+        raise EquivalenceError(
+            "the scalar (REPRO_DISABLE_NUMPY) close path produced different "
+            "detections than the vectorized path"
+        )
+    return probe
+
+
+def bench_bank_kernel(rows: int = 2048, steps: int = 192, season: int = 96) -> dict:
+    """Forecast+detect stage at production-scale tracked sets, batch vs scalar.
+
+    One warm (seasonal) bank per backend, ``rows`` tracked nodes, ``steps``
+    timeunits: the vector side runs one ``observe_rows`` + one ``check_many``
+    per timeunit, the scalar side the historical per-node loop.  Both produce
+    identical forecasts and anomalies (asserted), so the ratio isolates speed.
+    """
+    import random
+
+    from repro.core.detector import ThresholdDetector
+    from repro.forecasting.bank import ForecasterBank
+
+    forecast_config = ForecastConfig(season_lengths=(season,), fallback_alpha=0.3)
+    detector = ThresholdDetector(
+        TiresiasConfig(
+            theta=6.0,
+            ratio_threshold=2.8,
+            difference_threshold=8.0,
+            track_root=False,
+            allow_root_heavy=False,
+        )
+    )
+    rng = random.Random(4242)
+    warmup = [
+        [100.0 + 20.0 * rng.random() for _ in range(rows)]
+        for _ in range(2 * season)
+    ]
+    load = [
+        [100.0 + 50.0 * rng.random() for _ in range(rows)] for _ in range(steps)
+    ]
+    paths = [("bank", f"n{i}") for i in range(rows)]
+
+    results = {}
+    for label, force in (("vector", False), ("scalar", True)):
+        bank = ForecasterBank(forecast_config, force_scalar=force)
+        bank_rows = [bank.new_row() for _ in range(rows)]
+        for column in warmup:
+            bank.observe_rows(bank_rows, column)
+        all_forecasts = []
+        all_anomalies = []
+        start = time.perf_counter()
+        if label == "vector" and bank.vectorized:
+            for step, column in enumerate(load):
+                forecasts = bank.observe_rows(bank_rows, column)
+                all_forecasts.append(forecasts)
+                all_anomalies.extend(
+                    (step, anomaly.node_path, anomaly.actual, anomaly.forecast)
+                    for anomaly in detector.check_many(paths, 0, column, forecasts)
+                )
+        else:
+            for step, column in enumerate(load):
+                step_forecasts = []
+                for path, row, value in zip(paths, bank_rows, column):
+                    forecast = bank.observe(row, value)
+                    step_forecasts.append(forecast)
+                    anomaly = detector.check(path, 0, value, forecast)
+                    if anomaly is not None:
+                        all_anomalies.append(
+                            (step, anomaly.node_path, anomaly.actual, anomaly.forecast)
+                        )
+                all_forecasts.append(step_forecasts)
+        results[label] = {
+            "seconds": round(time.perf_counter() - start, 6),
+            "forecasts": all_forecasts,
+            "detected": all_anomalies,
+        }
+    if (
+        results["vector"]["forecasts"] != results["scalar"]["forecasts"]
+        or results["vector"]["detected"] != results["scalar"]["detected"]
+    ):
+        raise EquivalenceError(
+            "bank kernel benchmark: vector and scalar backends disagree"
+        )
+    return {
+        "rows": rows,
+        "steps": steps,
+        "season_length": season,
+        "vector_seconds": results["vector"]["seconds"],
+        "scalar_seconds": results["scalar"]["seconds"],
+        "speedup": round(
+            results["scalar"]["seconds"] / results["vector"]["seconds"], 2
+        ),
+    }
 
 
 def run(args: argparse.Namespace) -> dict:
@@ -174,7 +352,9 @@ def run(args: argparse.Namespace) -> dict:
     record_window = time_classify_record_path.window
     batch_window = time_classify_batch_path.window
     if record_window.total_series() != batch_window.total_series():
-        raise SystemExit("classify stage diverged between record and batch paths")
+        raise EquivalenceError(
+            "classify stage diverged between record and batch paths"
+        )
 
     e2e_record_seconds, record_session = time_end_to_end(
         dataset, config, records, batched=False
@@ -185,7 +365,9 @@ def run(args: argparse.Namespace) -> dict:
     record_anomalies = [a.to_dict() for a in record_session.anomalies]
     batch_anomalies = [a.to_dict() for a in batch_session.anomalies]
     if record_anomalies != batch_anomalies:
-        raise SystemExit("end-to-end detections diverged between paths")
+        raise EquivalenceError(
+            "end-to-end detections diverged between record and batch paths"
+        )
 
     sharded = {}
     for workers in args.workers:
@@ -193,7 +375,7 @@ def run(args: argparse.Namespace) -> dict:
             dataset, config, batches, workers
         )
         if sharded_anomalies != batch_anomalies:
-            raise SystemExit(
+            raise EquivalenceError(
                 f"sharded detections at {workers} workers diverged from the "
                 f"batch path"
             )
@@ -233,7 +415,28 @@ def run(args: argparse.Namespace) -> dict:
             "speedup": round(e2e_record_seconds / e2e_batch_seconds, 2),
             "anomalies": len(record_anomalies),
         },
+        "stages": {
+            "record": stage_breakdown(e2e_record_seconds, record_session),
+            "batch": stage_breakdown(e2e_batch_seconds, batch_session),
+        },
     }
+    if args.compare_scalar:
+        probe = compare_scalar_close(args, batch_anomalies)
+        forecast_detect_speedup = round(
+            probe["stages"]["forecast_detect"]
+            / max(entry["stages"]["batch"]["forecast_detect"], 1e-9),
+            2,
+        )
+        entry["scalar_close"] = {
+            "seconds": probe["seconds"],
+            "stages": probe["stages"],
+            "forecast_detect_speedup": forecast_detect_speedup,
+            "e2e_speedup_vs_scalar": round(
+                probe["seconds"] / e2e_batch_seconds, 2
+            ),
+        }
+    if args.bank_rows > 0:
+        entry["bank_kernel"] = bench_bank_kernel(rows=args.bank_rows)
     if sharded:
         entry["sharded"] = sharded
         entry["cpu_count"] = os.cpu_count()
@@ -268,11 +471,38 @@ def main(argv: "list[str] | None" = None) -> int:
         "(subtree_shards == workers)",
     )
     parser.add_argument(
+        "--compare-scalar",
+        action="store_true",
+        help="also run the batch path with REPRO_DISABLE_NUMPY=1 in a "
+        "subprocess and record the scalar-close baseline",
+    )
+    parser.add_argument(
+        "--scalar-probe",
+        action="store_true",
+        help=argparse.SUPPRESS,  # internal: used by --compare-scalar
+    )
+    parser.add_argument(
+        "--bank-rows",
+        type=int,
+        default=2048,
+        metavar="R",
+        help="tracked-set size for the bank forecast+detect microbenchmark "
+        "(0 disables it)",
+    )
+    parser.add_argument(
         "--check-speedup",
         type=float,
         default=None,
         metavar="MIN",
         help="exit non-zero unless the classify-stage speedup is >= MIN",
+    )
+    parser.add_argument(
+        "--check-bank-speedup",
+        type=float,
+        default=None,
+        metavar="MIN",
+        help="exit non-zero unless the bank forecast+detect microbenchmark "
+        "reaches MIN x over the scalar loop",
     )
     parser.add_argument(
         "--check-workers-speedup",
@@ -284,7 +514,17 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    entry = run(args)
+    if args.scalar_probe:
+        print(json.dumps(run_scalar_probe(args)))
+        return 0
+
+    try:
+        entry = run(args)
+    except EquivalenceError as error:
+        # A diverging run must not pollute the trajectory: nothing is
+        # appended to BENCH_ingest.json for a result that is simply wrong.
+        print(f"FAIL (not recorded): {error}", file=sys.stderr)
+        return 2
     append_result(entry, args.out)
 
     c, e = entry["classify"], entry["end_to_end"]
@@ -296,6 +536,20 @@ def main(argv: "list[str] | None" = None) -> int:
     print(f"end-to-end: record {e['record_rps']:>12,.0f} rec/s | "
           f"batch {e['batch_rps']:>12,.0f} rec/s | speedup {e['speedup']:.2f}x "
           f"({e['anomalies']} identical anomalies)")
+    b = entry["stages"]["batch"]
+    print(f"batch stages: classify {b['classify']:.3f}s | hierarchy "
+          f"{b['hierarchy']:.3f}s | forecast+detect {b['forecast_detect']:.3f}s")
+    if "scalar_close" in entry:
+        s = entry["scalar_close"]
+        print(f"scalar close: {s['seconds']:.3f}s e2e | forecast+detect "
+              f"{s['stages']['forecast_detect']:.3f}s | vector speedup "
+              f"{s['forecast_detect_speedup']:.2f}x stage, "
+              f"{s['e2e_speedup_vs_scalar']:.2f}x e2e (identical anomalies)")
+    if "bank_kernel" in entry:
+        k = entry["bank_kernel"]
+        print(f"bank kernel ({k['rows']} rows x {k['steps']} units): vector "
+              f"{k['vector_seconds']:.3f}s | scalar {k['scalar_seconds']:.3f}s | "
+              f"speedup {k['speedup']:.2f}x")
     for workers, stats in entry.get("sharded", {}).items():
         print(f"sharded({workers}w): {stats['rps']:>12,.0f} rec/s | "
               f"{stats['speedup_vs_batch']:.2f}x vs single-process batch "
@@ -306,6 +560,16 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"FAIL: classify speedup {c['speedup']:.2f}x < required "
               f"{args.check_speedup:.2f}x", file=sys.stderr)
         return 1
+    if args.check_bank_speedup is not None:
+        if "bank_kernel" not in entry:
+            print("FAIL: --check-bank-speedup given with --bank-rows 0",
+                  file=sys.stderr)
+            return 1
+        achieved = entry["bank_kernel"]["speedup"]
+        if achieved < args.check_bank_speedup:
+            print(f"FAIL: bank forecast+detect speedup {achieved:.2f}x < "
+                  f"required {args.check_bank_speedup:.2f}x", file=sys.stderr)
+            return 1
     if args.check_workers_speedup is not None:
         if not entry.get("sharded"):
             print("FAIL: --check-workers-speedup given without --workers",

@@ -1,0 +1,32 @@
+"""Shared NumPy loading for the vectorized kernels.
+
+Every module with a vectorized fast path (columnar batches, the forecaster
+bank, the hierarchy weight index, the batch detector) obtains its NumPy
+handle through :func:`load_numpy` so that
+
+* minimal installs without NumPy transparently fall back to the pure-Python
+  implementations, and
+* the ``REPRO_DISABLE_NUMPY`` environment variable can force the fallback
+  paths in a normal environment — the perf harness uses it to measure the
+  scalar baseline, and the CI golden-trace job uses it to prove detections
+  are identical with and without the vector backend.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment variable that forces the pure-Python fallbacks when set to a
+#: non-empty value, even when NumPy is importable.
+DISABLE_ENV = "REPRO_DISABLE_NUMPY"
+
+
+def load_numpy():
+    """The ``numpy`` module, or ``None`` when absent or explicitly disabled."""
+    if os.environ.get(DISABLE_ENV):
+        return None
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - minimal installs
+        return None
+    return numpy

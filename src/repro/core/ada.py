@@ -31,6 +31,17 @@ holder up to its nearest heavy ancestor (merge, bottom-up).  The two
 formulations visit the same nodes; ours avoids the corner-case ambiguities of
 the in-place weight mutations while preserving the split-rule approximation
 behaviour the paper evaluates.
+
+Vectorized close path: with NumPy present the per-timeunit work runs
+columnar end to end — the weight passes through a
+:class:`~repro.hierarchy.index.HierarchyIndex` (integer arithmetic, so
+bit-identical to the scalar :mod:`repro.core.hhh` functions), one
+:meth:`~repro.forecasting.bank.ForecasterBank.observe_rows` call updates
+every tracked forecaster, split-rule statistics update as dense per-node
+arrays, and the dual-threshold check evaluates as one batch comparison
+(:meth:`~repro.core.detector.ThresholdDetector.check_many`).  Without NumPy
+every stage falls back to the scalar implementations with identical
+detections.
 """
 
 from __future__ import annotations
@@ -40,14 +51,288 @@ from collections import deque
 from typing import Deque, Mapping
 
 from repro._types import CategoryPath, TimeunitIndex, Weight
+from repro._vector import load_numpy
 from repro.core.config import TiresiasConfig
 from repro.core.detector import ThresholdDetector
 from repro.core.hhh import accumulate_raw_weights, compute_shhh
 from repro.core.results import TimeunitResult
 from repro.core.split_rules import NodeUsageStats, make_split_rule
 from repro.core.timeseries import NodeTimeSeries
+from repro.forecasting.bank import ForecasterBank
+from repro.hierarchy.index import HierarchyIndex
 from repro.hierarchy.node import HierarchyNode
 from repro.hierarchy.tree import HierarchyTree
+
+_np = load_numpy()
+
+
+class _SplitStatsStore:
+    """Split-rule statistics for every node seen so far (§V-B4 bookkeeping).
+
+    With NumPy the statistics live in dense per-node arrays updated by one
+    vectorized kernel per timeunit; otherwise a per-path dict of
+    :class:`NodeUsageStats` is maintained with the historical scalar loop.
+    Values are bit-identical between the two (the EWMA decay powers are
+    precomputed with Python's ``**``, the same operator the scalar path
+    uses).  Checkpoint emission keeps the canonical ``[[path, stats], ...]``
+    rows either way.
+    """
+
+    def __init__(self, config: TiresiasConfig, index: "HierarchyIndex | None"):
+        self.alpha = config.split_ewma_alpha
+        self.index = index
+        if index is None:
+            self.stats: dict[CategoryPath, NodeUsageStats] = {}
+            self.last_unit: dict[CategoryPath, int] = {}
+            return
+        n = index.num_nodes
+        self.last_weight = _np.zeros(n)
+        self.cumulative = _np.zeros(n)
+        self.ewma = _np.zeros(n)
+        self.observations = _np.zeros(n, dtype=_np.int64)
+        self.last_unit_arr = _np.zeros(n, dtype=_np.int64)
+        self.seen = _np.zeros(n, dtype=bool)
+        self.has_last = _np.zeros(n, dtype=bool)
+        #: ``(1 - alpha) ** g`` for g = 0..; grown lazily with Python pow so
+        #: the decay factors match the scalar path bit for bit.
+        self._decay = [1.0]
+        #: Rows restored from a foreign state whose paths are not in the tree.
+        self._extra_stats: dict[CategoryPath, NodeUsageStats] = {}
+        self._extra_last: dict[CategoryPath, int] = {}
+
+    # ------------------------------------------------------------------
+    # Per-timeunit updates
+    # ------------------------------------------------------------------
+    def _extend_decay(self, gap: int) -> None:
+        base = 1 - self.alpha
+        while len(self._decay) <= gap:
+            self._decay.append(base ** len(self._decay))
+
+    def update_dense(self, timeunit: int, raw_vec) -> None:
+        """Fold one timeunit of dense raw weights into the statistics."""
+        ids = _np.flatnonzero(raw_vec > 0.0)
+        if ids.size == 0:
+            return
+        weights = raw_vec[ids]
+        gaps = timeunit - self.last_unit_arr[ids] - 1
+        decay_rows = self.has_last[ids] & (gaps > 0)
+        if decay_rows.any():
+            gap_values = gaps[decay_rows]
+            self._extend_decay(int(gap_values.max()))
+            selected = ids[decay_rows]
+            self.ewma[selected] = self.ewma[selected] * _np.asarray(self._decay)[
+                gap_values
+            ]
+        self.cumulative[ids] += weights
+        self.ewma[ids] = _np.where(
+            self.observations[ids] > 0,
+            self.alpha * weights + (1 - self.alpha) * self.ewma[ids],
+            weights,
+        )
+        self.last_weight[ids] = weights
+        self.observations[ids] += 1
+        self.seen[ids] = True
+        self.has_last[ids] = True
+        self.last_unit_arr[ids] = timeunit
+
+    def _scalar_update(
+        self, stats: NodeUsageStats, last: "int | None", weight, timeunit: int
+    ) -> None:
+        """The historical per-path update, shared by every scalar store path.
+
+        ``update_dense`` is its vectorized twin — any change here must be
+        mirrored there (and is guarded by the dense-vs-dict parity tests).
+        """
+        if last is not None and timeunit - last > 1:
+            # Account the silent (zero-weight) timeunits in the EWMA.
+            gap = timeunit - last - 1
+            stats.ewma_weight *= (1 - self.alpha) ** gap
+            stats.last_weight = 0.0
+        stats.update(weight, self.alpha)
+
+    def update_dict(self, timeunit: int, raw: Mapping[CategoryPath, Weight]) -> None:
+        """Per-path statistics update from a raw-weight mapping.
+
+        The historical scalar loop; in dense mode the same arithmetic runs
+        through a per-path read / scalar-update / write-back on the arrays
+        (identical values, any store mode).
+        """
+        if self.index is not None:
+            lookup = self.index.path_to_id.get
+            for path, weight in raw.items():
+                path = tuple(path)
+                node_id = lookup(path)
+                if node_id is None:
+                    stats = self._extra_stats.get(path)
+                    if stats is None:
+                        stats = NodeUsageStats()
+                        self._extra_stats[path] = stats
+                    self._scalar_update(
+                        stats, self._extra_last.get(path), weight, timeunit
+                    )
+                    self._extra_last[path] = timeunit
+                    continue
+                stats = NodeUsageStats(
+                    last_weight=float(self.last_weight[node_id]),
+                    cumulative_weight=float(self.cumulative[node_id]),
+                    ewma_weight=float(self.ewma[node_id]),
+                    observations=int(self.observations[node_id]),
+                )
+                last = (
+                    int(self.last_unit_arr[node_id])
+                    if self.has_last[node_id]
+                    else None
+                )
+                self._scalar_update(stats, last, weight, timeunit)
+                self.last_weight[node_id] = stats.last_weight
+                self.cumulative[node_id] = stats.cumulative_weight
+                self.ewma[node_id] = stats.ewma_weight
+                self.observations[node_id] = stats.observations
+                self.seen[node_id] = True
+                self.has_last[node_id] = True
+                self.last_unit_arr[node_id] = timeunit
+            return
+        for path, weight in raw.items():
+            stats = self.stats.get(path)
+            if stats is None:
+                stats = NodeUsageStats()
+                self.stats[path] = stats
+            self._scalar_update(stats, self.last_unit.get(path), weight, timeunit)
+            self.last_unit[path] = timeunit
+
+    # ------------------------------------------------------------------
+    # Split-rule reads
+    # ------------------------------------------------------------------
+    def view(self, path: CategoryPath, timeunit: int) -> NodeUsageStats:
+        """Statistics for ``path`` adjusted for timeunits it was silent in."""
+        if self.index is None:
+            stats = self.stats.get(path)
+            last = self.last_unit.get(path, -1)
+        else:
+            node_id = self.index.path_to_id.get(path)
+            if node_id is not None and self.seen[node_id]:
+                stats = NodeUsageStats(
+                    last_weight=float(self.last_weight[node_id]),
+                    cumulative_weight=float(self.cumulative[node_id]),
+                    ewma_weight=float(self.ewma[node_id]),
+                    observations=int(self.observations[node_id]),
+                )
+                last = (
+                    int(self.last_unit_arr[node_id])
+                    if self.has_last[node_id]
+                    else -1
+                )
+            else:
+                stats = self._extra_stats.get(path)
+                last = self._extra_last.get(path, -1)
+        if stats is None:
+            return NodeUsageStats()
+        gap = timeunit - last
+        if gap <= 0:
+            return stats
+        alpha = self.alpha
+        return NodeUsageStats(
+            last_weight=0.0 if gap > 1 else stats.last_weight,
+            cumulative_weight=stats.cumulative_weight,
+            ewma_weight=stats.ewma_weight * (1 - alpha) ** (gap - 1),
+            observations=stats.observations,
+        )
+
+    # ------------------------------------------------------------------
+    # Canonical checkpoint rows
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _stats_row(stats: NodeUsageStats) -> dict:
+        return {
+            "last_weight": stats.last_weight,
+            "cumulative_weight": stats.cumulative_weight,
+            "ewma_weight": stats.ewma_weight,
+            "observations": stats.observations,
+        }
+
+    def emit(self) -> tuple[list, list]:
+        """``(stats_rows, last_unit_rows)`` in the canonical list format."""
+        if self.index is None:
+            stats_rows = [
+                [list(path), self._stats_row(stats)]
+                for path, stats in self.stats.items()
+            ]
+            last_rows = [
+                [list(path), unit] for path, unit in self.last_unit.items()
+            ]
+            return stats_rows, last_rows
+        stats_rows = [
+            [
+                list(self.index.paths[node_id]),
+                {
+                    "last_weight": float(self.last_weight[node_id]),
+                    "cumulative_weight": float(self.cumulative[node_id]),
+                    "ewma_weight": float(self.ewma[node_id]),
+                    "observations": int(self.observations[node_id]),
+                },
+            ]
+            for node_id in _np.flatnonzero(self.seen).tolist()
+        ]
+        stats_rows.extend(
+            [list(path), self._stats_row(stats)]
+            for path, stats in self._extra_stats.items()
+        )
+        last_rows = [
+            [list(self.index.paths[node_id]), int(self.last_unit_arr[node_id])]
+            for node_id in _np.flatnonzero(self.has_last).tolist()
+        ]
+        last_rows.extend(
+            [list(path), unit] for path, unit in self._extra_last.items()
+        )
+        return stats_rows, last_rows
+
+    def load(self, stats_rows, last_rows) -> None:
+        """Restore from canonical rows (inverse of :meth:`emit`)."""
+        if self.index is None:
+            self.stats = {
+                tuple(path): NodeUsageStats(
+                    last_weight=float(row["last_weight"]),
+                    cumulative_weight=float(row["cumulative_weight"]),
+                    ewma_weight=float(row["ewma_weight"]),
+                    observations=int(row["observations"]),
+                )
+                for path, row in stats_rows
+            }
+            self.last_unit = {tuple(path): int(unit) for path, unit in last_rows}
+            return
+        for array in (self.last_weight, self.cumulative, self.ewma):
+            array[:] = 0.0
+        self.observations[:] = 0
+        self.last_unit_arr[:] = 0
+        self.seen[:] = False
+        self.has_last[:] = False
+        self._extra_stats = {}
+        self._extra_last = {}
+        lookup = self.index.path_to_id.get
+        for path, row in stats_rows:
+            path = tuple(path)
+            node_id = lookup(path)
+            if node_id is None:
+                self._extra_stats[path] = NodeUsageStats(
+                    last_weight=float(row["last_weight"]),
+                    cumulative_weight=float(row["cumulative_weight"]),
+                    ewma_weight=float(row["ewma_weight"]),
+                    observations=int(row["observations"]),
+                )
+                continue
+            self.last_weight[node_id] = float(row["last_weight"])
+            self.cumulative[node_id] = float(row["cumulative_weight"])
+            self.ewma[node_id] = float(row["ewma_weight"])
+            self.observations[node_id] = int(row["observations"])
+            self.seen[node_id] = True
+        for path, unit in last_rows:
+            path = tuple(path)
+            node_id = lookup(path)
+            if node_id is None:
+                self._extra_last[path] = int(unit)
+                continue
+            self.last_unit_arr[node_id] = int(unit)
+            self.has_last[node_id] = True
 
 
 class ADAAlgorithm:
@@ -60,13 +345,22 @@ class ADAAlgorithm:
         self.config = config
         self.detector = ThresholdDetector(config)
         self.split_rule = make_split_rule(config)
+        #: Columnar forecaster state shared by every tracked node's series.
+        self.bank = ForecasterBank(config.forecast)
         #: Time series of the current heavy hitters, keyed by node path.
         self.series: dict[CategoryPath, NodeTimeSeries] = {}
+        #: The same series grouped by top-level label, in the same relative
+        #: insertion order: the reference correction scans only the bucket a
+        #: path can have descendants in, instead of every tracked series.
+        self._series_buckets: dict[str, dict[CategoryPath, NodeTimeSeries]] = {}
         #: Reference (unmodified weight) series for nodes in the top h levels.
         self.reference: dict[CategoryPath, Deque[float]] = {}
+        #: Dense hierarchy view driving the vectorized weight kernels.
+        self._index: HierarchyIndex | None = (
+            HierarchyIndex(tree) if _np is not None else None
+        )
         #: Split-rule statistics for every node seen so far.
-        self._stats: dict[CategoryPath, NodeUsageStats] = {}
-        self._stats_last_unit: dict[CategoryPath, int] = {}
+        self._stats = _SplitStatsStore(config, self._index)
         self._timeunit: TimeunitIndex = -1
         self.stage_seconds: dict[str, float] = {
             "updating_hierarchies": 0.0,
@@ -75,6 +369,7 @@ class ADAAlgorithm:
         }
         self.split_operations = 0
         self.merge_operations = 0
+        self._view_cache: dict[CategoryPath, NodeUsageStats] = {}
         self.last_result: TimeunitResult | None = None
         #: Raw root weight of the most recent timeunit.  Additive across
         #: disjoint subtree shards; the sharded engine sums it to replay the
@@ -85,6 +380,11 @@ class ADAAlgorithm:
             node.path
             for depth in range(1, config.reference_levels + 1)
             for node in tree.nodes_at_depth(depth)
+        )
+        self._reference_ids = (
+            None
+            if self._index is None
+            else [self._index.path_to_id[path] for path in self._reference_nodes]
         )
 
     # ------------------------------------------------------------------
@@ -97,28 +397,74 @@ class ADAAlgorithm:
         self._timeunit = self._timeunit + 1 if timeunit is None else timeunit
 
         start = time.perf_counter()
-        raw = accumulate_raw_weights(self.tree, leaf_counts)
-        shhh_result = compute_shhh(self.tree, leaf_counts, self.config.theta, raw=raw)
-        heavy = set(shhh_result.shhh)
-        if self.config.track_root:
-            heavy.add(self.tree.root.path)
-        elif not self.config.allow_root_heavy:
-            heavy.discard(self.tree.root.path)
-        self.last_root_raw = float(raw.get(self.tree.root.path, 0.0))
+        if self._index is not None:
+            index = self._index
+            raw_vec = index.raw_weights(leaf_counts)
+            modified_vec, heavy_mask = index.succinct(raw_vec, self.config.theta)
+            if self.config.track_root:
+                heavy_mask[0] = True
+            elif not self.config.allow_root_heavy:
+                heavy_mask[0] = False
+            heavy_paths = [index.paths[i] for i in index.sorted_ids(heavy_mask)]
+            self.last_root_raw = float(raw_vec[0])
+            raw = None
+            modified_weights = None
+        else:
+            raw_vec = None
+            modified_vec = None
+            raw = accumulate_raw_weights(self.tree, leaf_counts)
+            shhh_result = compute_shhh(
+                self.tree, leaf_counts, self.config.theta, raw=raw
+            )
+            heavy = set(shhh_result.shhh)
+            if self.config.track_root:
+                heavy.add(self.tree.root.path)
+            elif not self.config.allow_root_heavy:
+                heavy.discard(self.tree.root.path)
+            heavy_paths = sorted(heavy)
+            modified_weights = shhh_result.modified_weights
+            self.last_root_raw = float(raw.get(self.tree.root.path, 0.0))
+        heavy_set = set(heavy_paths)
         self.stage_seconds["updating_hierarchies"] += time.perf_counter() - start
 
         start = time.perf_counter()
-        self._adapt(heavy)
-        self._update_reference(raw)
-        self._append_weights(heavy, shhh_result.modified_weights, raw)
-        self._update_stats(raw)
+        # Split-rule statistics are frozen during adaptation (they update
+        # after it), so per-path views can be memoized for this timeunit.
+        self._view_cache: dict[CategoryPath, NodeUsageStats] = {}
+        self._adapt(heavy_set)
+        self._update_reference(raw, raw_vec)
+        actuals, forecasts = self._append_weights(
+            heavy_paths, raw_vec, modified_vec, raw, modified_weights
+        )
+        if self._index is not None:
+            self._stats.update_dense(self._timeunit, raw_vec)
+        else:
+            self._stats.update_dict(self._timeunit, raw)
         self.stage_seconds["creating_time_series"] += time.perf_counter() - start
 
         start = time.perf_counter()
-        result = self._detect(heavy)
+        result = self._detect(heavy_set, heavy_paths, actuals, forecasts)
         self.stage_seconds["detecting_anomalies"] += time.perf_counter() - start
         self.last_result = result
         return result
+
+    # ------------------------------------------------------------------
+    # Series registry (dict + per-top-label buckets, kept in lockstep)
+    # ------------------------------------------------------------------
+    def _series_set(self, path: CategoryPath, series: NodeTimeSeries) -> None:
+        self.series[path] = series
+        if path:
+            bucket = self._series_buckets.get(path[0])
+            if bucket is None:
+                bucket = {}
+                self._series_buckets[path[0]] = bucket
+            bucket[path] = series
+
+    def _series_pop(self, path: CategoryPath) -> NodeTimeSeries:
+        series = self.series.pop(path)
+        if path:
+            self._series_buckets[path[0]].pop(path, None)
+        return series
 
     # ------------------------------------------------------------------
     # Heavy hitter adaptation (SPLIT / MERGE)
@@ -136,8 +482,11 @@ class ADAAlgorithm:
                 continue  # created by a previous cascade in this phase
             donor = self._nearest_series_ancestor(path)
             if donor is None:
-                self.series[path] = NodeTimeSeries(
-                    self.config.window_units, self.config.forecast
+                self._series_set(
+                    path,
+                    NodeTimeSeries(
+                        self.config.window_units, self.config.forecast, bank=self.bank
+                    ),
                 )
                 continue
             self._split_cascade(donor, path)
@@ -151,17 +500,26 @@ class ADAAlgorithm:
             reverse=True,
         )
         for path in stale:
-            series = self.series.pop(path)
+            series = self._series_pop(path)
             target = self._nearest_heavy_ancestor(path, heavy)
             if target is None:
                 self.merge_operations += 1
+                series.release()
                 continue
             self.merge_operations += 1
             existing = self.series.get(target)
             if existing is None:
-                self.series[target] = series
+                self._series_set(target, series)
             else:
                 existing.merge_from(series)
+                series.release()
+
+    def _cached_view(self, path: CategoryPath) -> NodeUsageStats:
+        view = self._view_cache.get(path)
+        if view is None:
+            view = self._stats.view(path, self._timeunit)
+            self._view_cache[path] = view
+        return view
 
     def _nearest_series_ancestor(self, path: CategoryPath) -> CategoryPath | None:
         """Closest strict ancestor of ``path`` currently holding a series."""
@@ -200,13 +558,14 @@ class ADAAlgorithm:
             if child not in receivers:
                 receivers.append(child)
             ratios = self.split_rule.ratios(
-                {p: self._stats_view(p) for p in receivers}
+                {p: self._cached_view(p) for p in receivers}
             )
             ratio = ratios.get(child, 1.0 / max(len(receivers), 1))
             parent_series = self.series[current]
             child_series = parent_series.scaled(ratio)
-            self.series[current] = parent_series.scaled(1.0 - ratio)
-            self.series[child] = child_series
+            self._series_set(current, parent_series.scaled(1.0 - ratio))
+            self._series_set(child, child_series)
+            parent_series.release()
             self.split_operations += 1
             self._apply_reference_correction(child)
             current = child
@@ -214,126 +573,139 @@ class ADAAlgorithm:
     # ------------------------------------------------------------------
     # Reference time series (§V-B5)
     # ------------------------------------------------------------------
-    def _update_reference(self, raw: Mapping[CategoryPath, Weight]) -> None:
+    def _update_reference(self, raw, raw_vec) -> None:
         """Append the unmodified weight A_n for every reference-level node."""
         if not self._reference_nodes:
             return
         maxlen = self.config.window_units
-        for path in self._reference_nodes:
+        if raw_vec is not None:
+            values = raw_vec[self._reference_ids].tolist()
+        else:
+            values = [float(raw.get(path, 0.0)) for path in self._reference_nodes]
+        for path, value in zip(self._reference_nodes, values):
             buf = self.reference.get(path)
             if buf is None:
                 buf = deque(maxlen=maxlen)
                 self.reference[path] = buf
-            buf.append(float(raw.get(path, 0.0)))
+            buf.append(value)
 
     def _apply_reference_correction(self, path: CategoryPath) -> None:
         """Replace a freshly split series with reference − Σ heavy descendants."""
         buf = self.reference.get(path)
         if buf is None:
             return
-        node = self.tree.node(path)
-        corrected = list(buf)
-        for other_path, other_series in self.series.items():
-            if other_path == path or len(other_path) <= len(path):
-                continue
-            if other_path[: len(path)] != path:
-                continue
-            descendant = list(other_series.actual)
-            offset = len(corrected) - len(descendant)
-            for i, value in enumerate(descendant):
-                index = offset + i
-                if 0 <= index < len(corrected):
-                    corrected[index] -= value
-        del node  # structural lookup only validates the path
+        depth = len(path)
+        # Only series under the same top-level label can be descendants; the
+        # bucket preserves the tracking order of the full series dict, so the
+        # per-descendant subtraction order (and hence the float arithmetic)
+        # is exactly that of a full scan.
+        bucket = self._series_buckets.get(path[0], {})
+        if _np is not None:
+            corrected = _np.fromiter(buf, dtype=_np.float64, count=len(buf))
+            length = corrected.shape[0]
+            for other_path, other_series in bucket.items():
+                if len(other_path) <= depth or other_path[:depth] != path:
+                    continue
+                descendant = other_series.actual.ordered()
+                m = descendant.shape[0]
+                # Aligned on the newest element, clipped to the overlap.
+                if m >= length:
+                    corrected -= descendant[m - length :]
+                elif m:
+                    corrected[length - m :] -= descendant
+            corrected_values = corrected
+        else:
+            corrected_list = list(buf)
+            for other_path, other_series in bucket.items():
+                if len(other_path) <= depth or other_path[:depth] != path:
+                    continue
+                descendant = list(other_series.actual)
+                offset = len(corrected_list) - len(descendant)
+                for i, value in enumerate(descendant):
+                    index = offset + i
+                    if 0 <= index < len(corrected_list):
+                        corrected_list[index] -= value
+            corrected_values = corrected_list
         series = self.series.get(path)
-        if series is not None and corrected:
-            series.replace_actual(corrected)
+        if series is not None and len(corrected_values):
+            series.replace_actual(corrected_values)
 
     # ------------------------------------------------------------------
     # Per-timeunit bookkeeping
     # ------------------------------------------------------------------
     def _append_weights(
         self,
-        heavy: set[CategoryPath],
-        modified_weights: Mapping[CategoryPath, Weight],
-        raw: Mapping[CategoryPath, Weight],
-    ) -> None:
-        """Append the Definition-2 modified weight to every heavy hitter series."""
-        for path in sorted(heavy):
+        heavy_paths: list[CategoryPath],
+        raw_vec,
+        modified_vec,
+        raw: "Mapping[CategoryPath, Weight] | None",
+        modified_weights: "Mapping[CategoryPath, Weight] | None",
+    ) -> tuple[list[float], list[float]]:
+        """Append the Definition-2 modified weight to every heavy hitter series.
+
+        All forecaster rows advance with one bank call; returns the parallel
+        (actuals, forecasts) lists for the detection stage.
+        """
+        root_path = self.tree.root.path
+        index = self._index
+        rows: list[int] = []
+        values: list[float] = []
+        for path in heavy_paths:
             series = self.series.get(path)
             if series is None:
-                series = NodeTimeSeries(self.config.window_units, self.config.forecast)
-                self.series[path] = series
-            if path == self.tree.root.path and path not in modified_weights:
-                value = raw.get(path, 0.0)
+                series = NodeTimeSeries(
+                    self.config.window_units, self.config.forecast, bank=self.bank
+                )
+                self._series_set(path, series)
+            if index is not None:
+                node_id = index.path_to_id[path]
+                if path == root_path and modified_vec[0] <= 0.0:
+                    # A tracked root with zero modified weight falls back to
+                    # its raw weight (the scalar path's "not in
+                    # modified_weights" case — zero entries are filtered).
+                    value = float(raw_vec[0])
+                else:
+                    value = float(modified_vec[node_id])
             else:
-                value = modified_weights.get(path, 0.0)
-            series.append(value)
+                if path == root_path and path not in modified_weights:
+                    value = raw.get(path, 0.0)
+                else:
+                    value = modified_weights.get(path, 0.0)
+            rows.append(series.forecaster.row)
+            values.append(float(value))
+        forecasts = self.bank.observe_rows(rows, values)
+        for path, value, predicted in zip(heavy_paths, values, forecasts):
+            self.series[path].record(value, predicted)
+        return values, forecasts
 
     def _update_stats(self, raw: Mapping[CategoryPath, Weight]) -> None:
-        """Record raw weights for the split rules (lazy for inactive nodes)."""
-        alpha = self.config.split_ewma_alpha
-        for path, weight in raw.items():
-            stats = self._stats.get(path)
-            if stats is None:
-                stats = NodeUsageStats()
-                self._stats[path] = stats
-            last = self._stats_last_unit.get(path)
-            if last is not None and self._timeunit - last > 1:
-                # Account the silent (zero-weight) timeunits in the EWMA.
-                gap = self._timeunit - last - 1
-                stats.ewma_weight *= (1 - alpha) ** gap
-                stats.last_weight = 0.0
-            stats.update(weight, alpha)
-            self._stats_last_unit[path] = self._timeunit
+        """Record raw weights for the split rules (kept for API compatibility)."""
+        self._stats.update_dict(self._timeunit, raw)
 
     def _stats_view(self, path: CategoryPath) -> NodeUsageStats:
         """Statistics for ``path`` adjusted for timeunits it was silent in."""
-        stats = self._stats.get(path)
-        if stats is None:
-            return NodeUsageStats()
-        last = self._stats_last_unit.get(path, -1)
-        gap = self._timeunit - last
-        if gap <= 0:
-            return stats
-        alpha = self.config.split_ewma_alpha
-        return NodeUsageStats(
-            last_weight=0.0 if gap > 1 else stats.last_weight,
-            cumulative_weight=stats.cumulative_weight,
-            ewma_weight=stats.ewma_weight * (1 - alpha) ** (gap - 1),
-            observations=stats.observations,
-        )
+        return self._stats.view(path, self._timeunit)
 
     # ------------------------------------------------------------------
     # Detection
     # ------------------------------------------------------------------
-    def _detect(self, heavy: set[CategoryPath]) -> TimeunitResult:
-        actuals: dict[CategoryPath, Weight] = {}
-        forecasts: dict[CategoryPath, Weight] = {}
-        anomalies = []
+    def _detect(
+        self,
+        heavy: set[CategoryPath],
+        heavy_paths: list[CategoryPath],
+        actuals: list[float],
+        forecasts: list[float],
+    ) -> TimeunitResult:
         # Canonical (sorted) order so the anomaly sequence is identical across
         # processes regardless of hash randomization.
-        for path in sorted(heavy):
-            series = self.series[path]
-            actual = series.latest_actual
-            forecast = series.latest_forecast
-            actuals[path] = actual
-            forecasts[path] = forecast
-            anomaly = self.detector.check(
-                path,
-                self._timeunit,
-                actual,
-                forecast,
-                depth=len(path),
-                algorithm=self.name,
-            )
-            if anomaly is not None:
-                anomalies.append(anomaly)
+        anomalies = self.detector.check_many(
+            heavy_paths, self._timeunit, actuals, forecasts, algorithm=self.name
+        )
         return TimeunitResult(
             timeunit=self._timeunit,
             heavy_hitters=frozenset(heavy),
-            actuals=actuals,
-            forecasts=forecasts,
+            actuals=dict(zip(heavy_paths, actuals)),
+            forecasts=dict(zip(heavy_paths, forecasts)),
             anomalies=tuple(anomalies),
         )
 
@@ -368,8 +740,11 @@ class ADAAlgorithm:
 
         Category paths (tuples of labels) become lists; dicts keyed by paths
         become ``[path, value]`` pairs so the snapshot survives JSON's
-        string-only object keys.
+        string-only object keys.  This is the canonical per-path format that
+        predates the columnar bank — bank-backed, scalar and sharded
+        sessions all read and write it interchangeably.
         """
+        stats_rows, last_rows = self._stats.emit()
         return {
             "timeunit": self._timeunit,
             "split_operations": self.split_operations,
@@ -382,21 +757,8 @@ class ADAAlgorithm:
             "reference": [
                 [list(path), list(buf)] for path, buf in self.reference.items()
             ],
-            "stats": [
-                [
-                    list(path),
-                    {
-                        "last_weight": stats.last_weight,
-                        "cumulative_weight": stats.cumulative_weight,
-                        "ewma_weight": stats.ewma_weight,
-                        "observations": stats.observations,
-                    },
-                ]
-                for path, stats in self._stats.items()
-            ],
-            "stats_last_unit": [
-                [list(path), unit] for path, unit in self._stats_last_unit.items()
-            ],
+            "stats": stats_rows,
+            "stats_last_unit": last_rows,
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -407,26 +769,20 @@ class ADAAlgorithm:
         self.split_operations = int(state["split_operations"])
         self.merge_operations = int(state["merge_operations"])
         self.stage_seconds = {k: float(v) for k, v in state["stage_seconds"].items()}
-        self.series = {
-            tuple(path): NodeTimeSeries.from_state_dict(ts_state, forecast_config)
-            for path, ts_state in state["series"]
-        }
+        self.bank = ForecasterBank(forecast_config)
+        self.series = {}
+        self._series_buckets = {}
+        for path, ts_state in state["series"]:
+            self._series_set(
+                tuple(path),
+                NodeTimeSeries.from_state_dict(ts_state, forecast_config, bank=self.bank),
+            )
         self.reference = {
             tuple(path): deque((float(v) for v in values), maxlen=maxlen)
             for path, values in state["reference"]
         }
-        self._stats = {
-            tuple(path): NodeUsageStats(
-                last_weight=float(stats["last_weight"]),
-                cumulative_weight=float(stats["cumulative_weight"]),
-                ewma_weight=float(stats["ewma_weight"]),
-                observations=int(stats["observations"]),
-            )
-            for path, stats in state["stats"]
-        }
-        self._stats_last_unit = {
-            tuple(path): int(unit) for path, unit in state["stats_last_unit"]
-        }
+        self._stats = _SplitStatsStore(self.config, self._index)
+        self._stats.load(state["stats"], state["stats_last_unit"])
         self.last_result = None
 
 

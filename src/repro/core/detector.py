@@ -14,10 +14,13 @@ tiny absolute excess is a large ratio).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 from repro._types import CategoryPath, TimeunitIndex
+from repro._vector import load_numpy
 from repro.core.config import TiresiasConfig
+
+_np = load_numpy()
 
 
 @dataclass(frozen=True)
@@ -127,3 +130,47 @@ class ThresholdDetector:
             depth=depth,
             metadata=metadata,
         )
+
+    def check_many(
+        self,
+        node_paths: Sequence[CategoryPath],
+        timeunit: TimeunitIndex,
+        actuals: Sequence[float],
+        forecasts: Sequence[float],
+        **metadata: Any,
+    ) -> list[Anomaly]:
+        """Batch dual-threshold evaluation over parallel (actual, forecast) arrays.
+
+        One vectorized comparison replaces the per-node :meth:`check` loop of
+        the close path; anomalies come back in input order (callers pass the
+        canonical sorted heavy-hitter order).  Each node's depth is its path
+        length, as in the per-node calls of the online algorithms.  Results
+        are bit-for-bit those of :meth:`check` — the same float64 expressions
+        evaluated element-wise.
+        """
+        if _np is None or len(node_paths) < 2:
+            anomalies = []
+            for path, actual, forecast in zip(node_paths, actuals, forecasts):
+                anomaly = self.check(
+                    path, timeunit, actual, forecast, depth=len(path), **metadata
+                )
+                if anomaly is not None:
+                    anomalies.append(anomaly)
+            return anomalies
+        actual_arr = _np.asarray(actuals, dtype=_np.float64)
+        forecast_arr = _np.asarray(forecasts, dtype=_np.float64)
+        floored = _np.maximum(forecast_arr, self.minimum_forecast)
+        flagged = (actual_arr / floored > self.config.ratio_threshold) & (
+            (actual_arr - forecast_arr) > self.config.difference_threshold
+        )
+        return [
+            Anomaly(
+                node_path=tuple(node_paths[i]),
+                timeunit=timeunit,
+                actual=float(actual_arr[i]),
+                forecast=float(forecast_arr[i]),
+                depth=len(node_paths[i]),
+                metadata=dict(metadata),
+            )
+            for i in _np.flatnonzero(flagged).tolist()
+        ]

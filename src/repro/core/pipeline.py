@@ -20,6 +20,31 @@ The pipeline stages remain the paper's:
    observers (Step 5, :class:`~repro.core.reporting.AnomalyReportStore`,
    :mod:`repro.engine.hooks`);
 6. the pipeline keeps consuming new arrivals (Step 6).
+
+Vectorized close path (Fig. 3 Steps 2-4, columnar)
+--------------------------------------------------
+With NumPy present, each per-timeunit close runs Steps 2-4 columnar rather
+than per node, with bit-identical detections:
+
+* **Step 2** — heavy hitter membership and modified weights come from the
+  dense level-sweep kernels of :class:`~repro.hierarchy.index.HierarchyIndex`
+  (exact, because per-timeunit weights are integer record counts), and the
+  per-node series adapt through :class:`~repro.core.timeseries.FloatRing`
+  window buffers (SPLIT scaling / MERGE addition as single array
+  expressions);
+* **Step 3/4 forecasting** — the level/trend/seasonal state of *every*
+  tracked node lives in one
+  :class:`~repro.forecasting.bank.ForecasterBank`, and the whole tracked set
+  advances with one :meth:`~repro.forecasting.bank.ForecasterBank.observe_rows`
+  call per timeunit instead of N scalar model updates;
+* **Step 4 detection** — the dual-threshold rule evaluates all
+  (actual, forecast) pairs at once through
+  :meth:`~repro.core.detector.ThresholdDetector.check_many`.
+
+Without NumPy (or with ``REPRO_DISABLE_NUMPY=1``) every stage falls back to
+the scalar implementations; forecasts, anomalies and checkpoints are
+identical either way, and checkpoints keep the canonical per-path format, so
+bank-backed, scalar, serial and sharded sessions all cross-restore.
 """
 
 from __future__ import annotations

@@ -25,9 +25,13 @@ from repro.exceptions import ConfigurationError
 from repro.core.config import TiresiasConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeUsageStats:
-    """Per-node weight statistics consumed by the split rules."""
+    """Per-node weight statistics consumed by the split rules.
+
+    Slotted: the adaptation stage materializes one per receiving child on
+    every split, so construction cost is on the hot path.
+    """
 
     last_weight: float = 0.0
     cumulative_weight: float = 0.0

@@ -26,7 +26,7 @@ from repro.core.config import TiresiasConfig
 from repro.core.detector import ThresholdDetector
 from repro.core.hhh import accumulate_raw_weights, compute_shhh
 from repro.core.results import TimeunitResult
-from repro.core.timeseries import SeriesForecaster
+from repro.forecasting.bank import ForecasterBank, VECTOR_MIN_ROWS
 from repro.hierarchy.tree import HierarchyTree
 
 
@@ -114,17 +114,32 @@ class STAAlgorithm:
     ) -> dict[CategoryPath, Weight]:
         """Refit a forecasting model on each heavy hitter's history.
 
-        STA has no persistent forecaster state: the model is rebuilt from the
-        reconstructed history at every time instance, which is exactly why
-        "Creating Time Series" dominates its running time (Table III).
+        STA has no persistent forecaster state: the models are rebuilt from
+        the reconstructed histories at every time instance, which is exactly
+        why "Creating Time Series" dominates its running time (Table III).
+        The refit drives all heavy hitters through one throwaway
+        :class:`~repro.forecasting.bank.ForecasterBank` in lockstep — every
+        reconstructed history spans the same retained window, so each
+        timeunit is one vectorized ``observe_rows`` call (bit-identical to
+        the per-node scalar replay).
         """
-        forecasts: dict[CategoryPath, Weight] = {}
-        for path, values in series.items():
-            history = values[:-1]
-            forecaster = SeriesForecaster(self.config.forecast)
-            forecaster.seed_history(history)
-            forecasts[path] = forecaster.forecast() if history else 0.0
-        return forecasts
+        if not series:
+            return {}
+        paths = list(series)
+        histories = [series[path][:-1] for path in paths]
+        steps = len(histories[0])
+        if steps == 0:
+            return {path: 0.0 for path in paths}
+        # Below the vector crossover the throwaway bank runs scalar rows:
+        # identical forecasts, but per-row Python floats beat NumPy kernels
+        # for small heavy-hitter sets.
+        bank = ForecasterBank(
+            self.config.forecast, force_scalar=len(paths) < VECTOR_MIN_ROWS
+        )
+        rows = [bank.new_row() for _ in paths]
+        for step in range(steps):
+            bank.observe_rows(rows, [history[step] for history in histories])
+        return {path: bank.forecast(row) for path, row in zip(paths, rows)}
 
     def _detect(
         self,
@@ -132,25 +147,17 @@ class STAAlgorithm:
         series: dict[CategoryPath, list[float]],
         forecasts: dict[CategoryPath, Weight],
     ) -> TimeunitResult:
-        actuals: dict[CategoryPath, Weight] = {}
-        anomalies = []
         # Canonical (sorted) order so the anomaly sequence is identical across
         # processes regardless of hash randomization.
-        for path in sorted(heavy):
-            values = series[path]
-            actual = values[-1] if values else 0.0
-            forecast = forecasts.get(path, 0.0)
-            actuals[path] = actual
-            anomaly = self.detector.check(
-                path,
-                self._timeunit,
-                actual,
-                forecast,
-                depth=len(path),
-                algorithm=self.name,
-            )
-            if anomaly is not None:
-                anomalies.append(anomaly)
+        paths = sorted(heavy)
+        actual_values = [
+            series[path][-1] if series[path] else 0.0 for path in paths
+        ]
+        forecast_values = [forecasts.get(path, 0.0) for path in paths]
+        actuals: dict[CategoryPath, Weight] = dict(zip(paths, actual_values))
+        anomalies = self.detector.check_many(
+            paths, self._timeunit, actual_values, forecast_values, algorithm=self.name
+        )
         return TimeunitResult(
             timeunit=self._timeunit,
             heavy_hitters=frozenset(heavy),

@@ -13,68 +13,192 @@ which the additive Holt-Winters model supports exactly thanks to its
 linearity (Lemma 2).  Before a node has accumulated enough history for the
 seasonal model, an EWMA fallback provides the forecast; the EWMA level is
 linear as well, so scaling/merging remains exact throughout.
+
+Since the columnar refactor the classes here are *thin row views*:
+
+* :class:`SeriesForecaster` is a (bank, row) handle into a
+  :class:`~repro.forecasting.bank.ForecasterBank`, which holds the actual
+  level/trend/seasonal state for all tracked nodes in parallel arrays.  A
+  standalone ``SeriesForecaster(config)`` transparently owns a private
+  single-row bank, so the historical scalar API keeps working.
+* :class:`NodeTimeSeries` keeps its actual/forecast windows in
+  :class:`FloatRing` buffers (NumPy-backed fixed-capacity rings with a
+  pure-Python fallback), so SPLIT's scaling and MERGE's aligned addition are
+  single array operations instead of per-element Python loops.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Sequence
+from typing import Iterator, Sequence
 
+from repro._vector import load_numpy
 from repro.exceptions import ConfigurationError
-from repro.forecasting.holt_winters import HoltWintersForecaster, MultiSeasonalHoltWinters
+from repro.forecasting.bank import ForecasterBank
+from repro.forecasting.bank import load_seasonal_state  # noqa: F401  (re-export)
 from repro.core.config import ForecastConfig
+
+_np = load_numpy()
+
+
+class FloatRing:
+    """Fixed-capacity float ring buffer (a vectorizable ``deque(maxlen=n)``).
+
+    Appending beyond ``maxlen`` evicts the oldest element, exactly like a
+    bounded deque; iteration runs oldest → newest.  With NumPy the payload
+    lives in one float64 array, so the whole-series operations of ADA's
+    adaptation — scaling by a split ratio, newest-aligned addition for
+    merges — are single vectorized expressions; without NumPy the ring
+    degrades to a plain bounded deque (the historical representation).
+    """
+
+    __slots__ = ("maxlen", "_buf", "_start", "_size")
+
+    def __init__(self, maxlen: int):
+        if maxlen < 1:
+            raise ConfigurationError(f"ring capacity must be >= 1, got {maxlen}")
+        self.maxlen = maxlen
+        self._start = 0
+        self._size = 0
+        if _np is not None:
+            self._buf = _np.zeros(maxlen)
+        else:
+            self._buf = deque(maxlen=maxlen)
+
+    @classmethod
+    def from_values(cls, values, maxlen: int) -> "FloatRing":
+        """A ring holding the last ``maxlen`` elements of ``values``."""
+        ring = cls(maxlen)
+        if _np is not None:
+            tail = _np.asarray(values, dtype=_np.float64)[-maxlen:]
+            ring._size = tail.shape[0]
+            ring._buf[: ring._size] = tail
+        else:
+            ring._buf.extend(float(v) for v in values)
+        return ring
+
+    def append(self, value: float) -> None:
+        if _np is None:
+            self._buf.append(value)
+            return
+        end = self._start + self._size
+        if end >= self.maxlen:
+            end -= self.maxlen
+        self._buf[end] = value
+        if self._size == self.maxlen:
+            self._start += 1
+            if self._start == self.maxlen:
+                self._start = 0
+        else:
+            self._size += 1
+
+    def __len__(self) -> int:
+        return self._size if _np is not None else len(self._buf)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __getitem__(self, index: int) -> float:
+        if _np is None:
+            return self._buf[index]
+        if index < 0:
+            index += self._size
+        if not 0 <= index < self._size:
+            raise IndexError("ring index out of range")
+        pos = self._start + index
+        if pos >= self.maxlen:
+            pos -= self.maxlen
+        return float(self._buf[pos])
+
+    def __iter__(self) -> Iterator[float]:
+        if _np is None:
+            return iter(self._buf)
+        return iter(self.tolist())
+
+    def ordered(self):
+        """The contents oldest-first as a fresh array (or list without NumPy)."""
+        if _np is not None:
+            end = self._start + self._size
+            if end <= self.maxlen:
+                return self._buf[self._start : end].copy()
+            return _np.concatenate(
+                [self._buf[self._start :], self._buf[: end - self.maxlen]]
+            )
+        return list(self._buf)
+
+    def tolist(self) -> list[float]:
+        ordered = self.ordered()
+        return ordered.tolist() if _np is not None else ordered
+
+    def scaled(self, ratio: float) -> "FloatRing":
+        """A new ring whose every element is multiplied by ``ratio``."""
+        ring = FloatRing(self.maxlen)
+        if _np is not None:
+            ring._size = self._size
+            _np.multiply(self.ordered(), ratio, out=ring._buf[: self._size])
+        else:
+            ring._buf.extend(v * ratio for v in self._buf)
+        return ring
+
+    def aligned_add(self, other: "FloatRing") -> "FloatRing":
+        """Element-wise sum of two rings aligned on their newest element.
+
+        Like the historical ``deque(_aligned_sum(...), maxlen)``, a sum
+        longer than this ring's capacity keeps only the newest ``maxlen``
+        elements.
+        """
+        mine = self.ordered()
+        theirs = other.ordered()
+        length = max(len(mine), len(theirs))
+        ring = FloatRing(self.maxlen)
+        if _np is not None:
+            if length <= self.maxlen:
+                merged = ring._buf[:length]
+                ring._size = length
+            else:
+                merged = _np.zeros(length)
+            if len(mine):
+                merged[length - len(mine) :] += mine
+            if len(theirs):
+                merged[length - len(theirs) :] += theirs
+            if length > self.maxlen:
+                ring._size = self.maxlen
+                ring._buf[:] = merged[length - self.maxlen :]
+        else:
+            padded_mine = [0.0] * (length - len(mine)) + mine
+            padded_theirs = [0.0] * (length - len(theirs)) + theirs
+            ring._buf.extend(
+                a + b for a, b in zip(padded_mine, padded_theirs)
+            )
+        return ring
 
 
 class SeriesForecaster:
     """Linear, online forecaster attached to one heavy hitter's series.
 
-    Wraps an EWMA level (always available) and an additive Holt-Winters model
+    A thin view over one :class:`~repro.forecasting.bank.ForecasterBank` row:
+    an EWMA level (always available) and an additive Holt-Winters model
     (activated once ``config.min_history`` observations have been seen).  All
-    internal state is linear in the observed series, so :meth:`scaled` and
+    state is linear in the observed series, so :meth:`scaled` and
     :meth:`add_state` produce exactly the state that would have resulted from
     observing the scaled / summed series.
+
+    Without an explicit ``bank`` the view owns a private single-row bank, so
+    standalone use keeps the historical scalar behaviour; algorithms pass a
+    shared bank so that all their nodes update in one vectorized call.
     """
 
-    def __init__(self, config: ForecastConfig):
+    __slots__ = ("config", "bank", "row")
+
+    def __init__(
+        self,
+        config: ForecastConfig,
+        bank: ForecasterBank | None = None,
+        row: int | None = None,
+    ):
         self.config = config
-        self._ewma_level: float | None = None
-        self._seen = 0
-        self._history: list[float] = []
-        self._seasonal: HoltWintersForecaster | MultiSeasonalHoltWinters | None = None
-
-    # ------------------------------------------------------------------
-    # Construction of the seasonal model
-    # ------------------------------------------------------------------
-    def _build_seasonal(self):
-        cfg = self.config
-        if cfg.model != "auto":
-            from repro.core.registry import create_forecaster
-
-            return create_forecaster(cfg.model, cfg)
-        if len(cfg.season_lengths) == 1:
-            return HoltWintersForecaster(
-                alpha=cfg.alpha,
-                beta=cfg.beta,
-                gamma=cfg.gamma,
-                season_length=cfg.season_lengths[0],
-            )
-        return MultiSeasonalHoltWinters(
-            alpha=cfg.alpha,
-            beta=cfg.beta,
-            gamma=cfg.gamma,
-            season_lengths=cfg.season_lengths,
-            season_weights=cfg.season_weights,
-        )
-
-    def _maybe_activate_seasonal(self) -> None:
-        if self._seasonal is None and len(self._history) >= self.config.min_history:
-            model = self._build_seasonal()
-            model.initialize(self._history)
-            self._seasonal = model
-            # The raw history is no longer needed once the seasonal state
-            # exists; keep memory bounded (the paper's "without requiring
-            # storage of older data").
-            self._history = []
+        self.bank = ForecasterBank(config) if bank is None else bank
+        self.row = self.bank.new_row() if row is None else row
 
     # ------------------------------------------------------------------
     # Forecaster protocol
@@ -82,45 +206,41 @@ class SeriesForecaster:
     @property
     def is_seasonal(self) -> bool:
         """Whether the Holt-Winters state is active (vs. the EWMA fallback)."""
-        return self._seasonal is not None
+        return self.bank.is_seasonal(self.row)
 
     @property
     def observations(self) -> int:
-        return self._seen
+        return self.bank.observations(self.row)
+
+    @property
+    def seasonal_model(self):
+        """The active seasonal model, materialized from the bank row.
+
+        ``None`` until activation.  This is a read-only introspection *copy*:
+        the live state is columnar (or a private scalar row), so mutating the
+        returned object never affects the forecaster.
+        """
+        state = self.bank.row_state_dict(self.row)["seasonal"]
+        return None if state is None else load_seasonal_state(state)
 
     def forecast(self) -> float:
         """One-step-ahead forecast for the next timeunit."""
-        if self._seasonal is not None:
-            return self._seasonal.forecast()
-        if self._ewma_level is None:
-            return 0.0
-        return self._ewma_level
+        return self.bank.forecast(self.row)
 
     def observe(self, value: float) -> float:
         """Fold in the next actual value; return the forecast made for it."""
-        value = float(value)
-        predicted = self.forecast()
-        alpha = self.config.fallback_alpha
-        if self._ewma_level is None:
-            self._ewma_level = value
-        else:
-            self._ewma_level = alpha * value + (1 - alpha) * self._ewma_level
-        if self._seasonal is not None:
-            self._seasonal.update(value)
-        else:
-            self._history.append(value)
-            self._maybe_activate_seasonal()
-        self._seen += 1
-        return predicted
+        return self.bank.observe(self.row, value)
 
     def seed_history(self, history: Sequence[float]) -> None:
         """Initialize from a full history series (oldest first)."""
-        for value in history:
-            self.observe(value)
+        self.bank.seed_history(self.row, history)
 
     @classmethod
     def from_history_fast(
-        cls, history: Sequence[float], config: ForecastConfig
+        cls,
+        history: Sequence[float],
+        config: ForecastConfig,
+        bank: ForecasterBank | None = None,
     ) -> "SeriesForecaster":
         """Build a forecaster state from ``history`` without replaying it.
 
@@ -132,61 +252,31 @@ class SeriesForecaster:
         yields the same forecasts going forward up to initialization
         transients.
         """
-        forecaster = cls(config)
-        values = [float(v) for v in history]
-        forecaster._seen = len(values)
-        if not values:
-            return forecaster
-        alpha = config.fallback_alpha
-        level = values[0] if len(values) <= 1 else values[-min(len(values), 64)]
-        for value in values[-min(len(values), 64):]:
-            level = alpha * value + (1 - alpha) * level
-        forecaster._ewma_level = level
-        if len(values) >= config.min_history:
-            model = forecaster._build_seasonal()
-            model.initialize(values[-config.min_history:])
-            forecaster._seasonal = model
-        else:
-            forecaster._history = values
+        forecaster = cls(config, bank=bank)
+        forecaster.bank.seed_fast(forecaster.row, history)
         return forecaster
 
     # ------------------------------------------------------------------
     # Linearity operations used by SPLIT / MERGE
     # ------------------------------------------------------------------
     def scaled(self, ratio: float) -> "SeriesForecaster":
-        """State of a forecaster that would have observed ``ratio * series``."""
-        clone = SeriesForecaster(self.config)
-        clone._seen = self._seen
-        clone._ewma_level = None if self._ewma_level is None else self._ewma_level * ratio
-        clone._history = [v * ratio for v in self._history]
-        clone._seasonal = None if self._seasonal is None else self._seasonal.scaled(ratio)
-        return clone
+        """State of a forecaster that would have observed ``ratio * series``.
+
+        The clone lives in the same bank (a new row)."""
+        return SeriesForecaster(
+            self.config, self.bank, self.bank.clone_row(self.row, ratio)
+        )
 
     def add_state(self, other: "SeriesForecaster") -> None:
         """Fold ``other``'s state into this forecaster (series addition)."""
-        if other._ewma_level is not None:
-            if self._ewma_level is None:
-                self._ewma_level = other._ewma_level
-            else:
-                self._ewma_level += other._ewma_level
-        self._seen = max(self._seen, other._seen)
-        if other._seasonal is not None:
-            if self._seasonal is None:
-                self._seasonal = other._seasonal.scaled(1.0)
-            else:
-                self._seasonal.add_state(other._seasonal)  # type: ignore[arg-type]
-        if other._history:
-            if not self._history:
-                self._history = list(other._history)
-            else:
-                length = max(len(self._history), len(other._history))
-                mine = [0.0] * (length - len(self._history)) + self._history
-                theirs = [0.0] * (length - len(other._history)) + list(other._history)
-                self._history = [a + b for a, b in zip(mine, theirs)]
-        self._maybe_activate_seasonal()
+        self.bank.add_state(self.row, other.bank, other.row)
 
     def copy(self) -> "SeriesForecaster":
         return self.scaled(1.0)
+
+    def release(self) -> None:
+        """Return the row to the bank; the view must not be used afterwards."""
+        self.bank.free_row(self.row)
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -194,25 +284,18 @@ class SeriesForecaster:
     def state_dict(self) -> dict:
         """JSON-safe snapshot (the shared :class:`ForecastConfig` is stored
         once at the session level, not per forecaster)."""
-        return {
-            "ewma_level": self._ewma_level,
-            "seen": self._seen,
-            "history": list(self._history),
-            "seasonal": None if self._seasonal is None else self._seasonal.state_dict(),
-        }
+        return self.bank.row_state_dict(self.row)
 
     @classmethod
     def from_state_dict(
-        cls, state: dict, config: ForecastConfig
+        cls,
+        state: dict,
+        config: ForecastConfig,
+        bank: ForecasterBank | None = None,
     ) -> "SeriesForecaster":
         """Rebuild a forecaster from :meth:`state_dict` output."""
-        forecaster = cls(config)
-        level = state["ewma_level"]
-        forecaster._ewma_level = None if level is None else float(level)
-        forecaster._seen = int(state["seen"])
-        forecaster._history = [float(v) for v in state["history"]]
-        if state["seasonal"] is not None:
-            forecaster._seasonal = load_seasonal_state(state["seasonal"])
+        forecaster = cls(config, bank=bank)
+        forecaster.bank.load_row_state(forecaster.row, state)
         return forecaster
 
 
@@ -225,16 +308,32 @@ class NodeTimeSeries:
         ℓ, the maximum number of timeunits retained.
     forecast_config:
         Parameters of the forecasting model attached to the series.
+    bank:
+        Shared :class:`~repro.forecasting.bank.ForecasterBank` the node's
+        forecaster row should live in; omitted for standalone use.
+    forecaster:
+        Pre-built forecaster view to adopt instead of allocating a fresh row
+        (used internally by :meth:`scaled`).
     """
 
-    def __init__(self, length: int, forecast_config: ForecastConfig):
+    def __init__(
+        self,
+        length: int,
+        forecast_config: ForecastConfig,
+        bank: ForecasterBank | None = None,
+        forecaster: SeriesForecaster | None = None,
+    ):
         if length < 1:
             raise ConfigurationError(f"series length must be >= 1, got {length}")
         self.length = length
         self.forecast_config = forecast_config
-        self.actual: Deque[float] = deque(maxlen=length)
-        self.forecast: Deque[float] = deque(maxlen=length)
-        self.forecaster = SeriesForecaster(forecast_config)
+        self.actual = FloatRing(length)
+        self.forecast = FloatRing(length)
+        self.forecaster = (
+            SeriesForecaster(forecast_config, bank=bank)
+            if forecaster is None
+            else forecaster
+        )
 
     # ------------------------------------------------------------------
     # Construction
@@ -257,6 +356,17 @@ class NodeTimeSeries:
         self.actual.append(float(value))
         self.forecast.append(predicted)
         return predicted
+
+    def record(self, value: float, predicted: float) -> None:
+        """Push an (actual, forecast) pair whose forecaster update already ran.
+
+        This is the batched-close entry point: the algorithm updates all
+        forecaster rows with one :meth:`ForecasterBank.observe_rows` call and
+        then records each node's value/forecast pair here, instead of
+        triggering N scalar observes through :meth:`append`.
+        """
+        self.actual.append(float(value))
+        self.forecast.append(predicted)
 
     def extend(self, values: Sequence[float]) -> list[float]:
         """Append several timeunit values at once (oldest first).
@@ -292,20 +402,38 @@ class NodeTimeSeries:
     # ------------------------------------------------------------------
     # SPLIT / MERGE support
     # ------------------------------------------------------------------
+    @classmethod
+    def _assemble(
+        cls,
+        length: int,
+        forecast_config: ForecastConfig,
+        actual: FloatRing,
+        forecast: FloatRing,
+        forecaster: SeriesForecaster,
+    ) -> "NodeTimeSeries":
+        """Internal constructor from pre-built parts (skips ring allocation)."""
+        series = cls.__new__(cls)
+        series.length = length
+        series.forecast_config = forecast_config
+        series.actual = actual
+        series.forecast = forecast
+        series.forecaster = forecaster
+        return series
+
     def scaled(self, ratio: float) -> "NodeTimeSeries":
         """A copy whose actual/forecast series and state are scaled by ``ratio``."""
-        clone = NodeTimeSeries(self.length, self.forecast_config)
-        clone.actual = deque((v * ratio for v in self.actual), maxlen=self.length)
-        clone.forecast = deque((v * ratio for v in self.forecast), maxlen=self.length)
-        clone.forecaster = self.forecaster.scaled(ratio)
-        return clone
+        return NodeTimeSeries._assemble(
+            self.length,
+            self.forecast_config,
+            self.actual.scaled(ratio),
+            self.forecast.scaled(ratio),
+            self.forecaster.scaled(ratio),
+        )
 
     def merge_from(self, other: "NodeTimeSeries") -> None:
         """Add ``other``'s series into this one element-wise (newest aligned)."""
-        merged_actual = _aligned_sum(list(self.actual), list(other.actual))
-        merged_forecast = _aligned_sum(list(self.forecast), list(other.forecast))
-        self.actual = deque(merged_actual, maxlen=self.length)
-        self.forecast = deque(merged_forecast, maxlen=self.length)
+        self.actual = self.actual.aligned_add(other.actual)
+        self.forecast = self.forecast.aligned_add(other.forecast)
         self.forecaster.add_state(other.forecaster)
 
     def replace_actual(self, values: Sequence[float]) -> None:
@@ -318,10 +446,21 @@ class NodeTimeSeries:
         timeunits matters for detection, and past forecasts of a re-derived
         series are not well defined anyway.
         """
-        trimmed = list(values)[-self.length:]
-        self.actual = deque(trimmed, maxlen=self.length)
-        self.forecaster = SeriesForecaster.from_history_fast(trimmed, self.forecast_config)
-        self.forecast = deque(trimmed, maxlen=self.length)
+        if _np is not None and isinstance(values, _np.ndarray):
+            trimmed = values[-self.length :].tolist()
+        else:
+            trimmed = list(values)[-self.length :]
+        self.actual = FloatRing.from_values(trimmed, self.length)
+        bank = self.forecaster.bank
+        self.forecaster.release()
+        self.forecaster = SeriesForecaster.from_history_fast(
+            trimmed, self.forecast_config, bank=bank
+        )
+        self.forecast = FloatRing.from_values(trimmed, self.length)
+
+    def release(self) -> None:
+        """Return the forecaster row to its bank when dropping the series."""
+        self.forecaster.release()
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -330,48 +469,31 @@ class NodeTimeSeries:
         """JSON-safe snapshot of the series buffers and forecaster state."""
         return {
             "length": self.length,
-            "actual": list(self.actual),
-            "forecast": list(self.forecast),
+            "actual": self.actual.tolist(),
+            "forecast": self.forecast.tolist(),
             "forecaster": self.forecaster.state_dict(),
         }
 
     @classmethod
     def from_state_dict(
-        cls, state: dict, forecast_config: ForecastConfig
+        cls,
+        state: dict,
+        forecast_config: ForecastConfig,
+        bank: ForecasterBank | None = None,
     ) -> "NodeTimeSeries":
         """Rebuild a node series from :meth:`state_dict` output."""
-        series = cls(int(state["length"]), forecast_config)
-        series.actual = deque(
-            (float(v) for v in state["actual"]), maxlen=series.length
+        length = int(state["length"])
+        forecaster = SeriesForecaster.from_state_dict(
+            state["forecaster"], forecast_config, bank=bank
         )
-        series.forecast = deque(
-            (float(v) for v in state["forecast"]), maxlen=series.length
+        series = cls(length, forecast_config, forecaster=forecaster)
+        series.actual = FloatRing.from_values(
+            [float(v) for v in state["actual"]], length
         )
-        series.forecaster = SeriesForecaster.from_state_dict(
-            state["forecaster"], forecast_config
+        series.forecast = FloatRing.from_values(
+            [float(v) for v in state["forecast"]], length
         )
         return series
-
-
-def load_seasonal_state(state: dict):
-    """Rebuild a seasonal forecasting model from its ``state_dict`` snapshot.
-
-    The loader is resolved by the snapshot's ``"kind"`` tag through the
-    forecaster-state-loader registry, so custom models registered with
-    :func:`repro.core.registry.register_forecaster` (plus a ``state_loader``)
-    restore from checkpoints just like the built-ins.
-    """
-    from repro.core.registry import forecaster_state_loader
-
-    return forecaster_state_loader(str(state.get("kind")))(state)
-
-
-def _aligned_sum(a: list[float], b: list[float]) -> list[float]:
-    """Element-wise sum of two series aligned on their newest element."""
-    length = max(len(a), len(b))
-    a_padded = [0.0] * (length - len(a)) + a
-    b_padded = [0.0] * (length - len(b)) + b
-    return [x + y for x, y in zip(a_padded, b_padded)]
 
 
 class MultiScaleTimeSeries:
@@ -421,7 +543,7 @@ class MultiScaleTimeSeries:
         actuals.append(value)
         size = len(actuals)
         if scale + 1 < self.num_scales and size % self.lam == 0:
-            promoted = sum(actuals[-self.lam:])
+            promoted = sum(actuals[-self.lam :])
             self._update(promoted, scale + 1)
         limit = self.length + self.lam
         if size >= limit:

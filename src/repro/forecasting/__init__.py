@@ -5,6 +5,7 @@ and multi-seasonal) with the linearity properties ADA relies on, and the
 offline error metrics / parameter selection used in the evaluation.
 """
 
+from repro.forecasting.bank import ForecasterBank
 from repro.forecasting.base import Forecaster
 from repro.forecasting.errors import (
     GridSearchResult,
@@ -18,6 +19,7 @@ from repro.forecasting.holt_winters import HoltWintersForecaster, MultiSeasonalH
 
 __all__ = [
     "Forecaster",
+    "ForecasterBank",
     "EWMAForecaster",
     "ewma_series",
     "split_bias_relative_error",

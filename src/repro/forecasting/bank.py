@@ -1,0 +1,776 @@
+"""Columnar forecaster bank: one vectorized update for every tracked node.
+
+The scalar pipeline attaches one forecaster object per heavy hitter and
+updates them one at a time inside the per-timeunit close loop — after the
+columnar ingestion work of the batch path, that loop is the hot path.  A
+:class:`ForecasterBank` instead holds the forecasting state of *all* tracked
+node paths in parallel arrays:
+
+* the EWMA fallback level and observation count per row,
+* the pre-seasonal warm-up history per row (ragged, Python lists), and
+* the additive Holt-Winters state — level, trend, one seasonal buffer per
+  seasonal period, and the per-row seasonal phase — as 2-D arrays.
+
+:meth:`observe_rows` folds one timeunit of values into any subset of rows
+with a handful of NumPy kernels instead of N Python-object updates.  Every
+per-row operation ADA's adaptation needs — :meth:`clone_row` (SPLIT),
+:meth:`add_state` (MERGE), :meth:`seed_fast` (reference-series correction) —
+is implemented with exactly the scalar arithmetic of the historical
+per-object forecasters, so results stay bit-for-bit identical and the
+split/merge linearity of the paper's Lemma 2 keeps holding.
+
+Fallbacks mirror :class:`~repro.streaming.batch.RecordBatch`: without NumPy
+(or with ``REPRO_DISABLE_NUMPY`` set, or with a custom ``ForecastConfig.model``
+whose internals the bank cannot vectorize) each row degrades to a private
+scalar state object with the same public row API — functional, just slower.
+
+Checkpoint compatibility: :meth:`row_state_dict` / :meth:`load_row_state`
+speak the *canonical per-path forecaster format* that predates the bank
+(``{"ewma_level", "seen", "history", "seasonal"}``), so bank-backed sessions
+read and write the same checkpoints as scalar and sharded sessions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro._vector import load_numpy
+from repro.core.config import ForecastConfig
+from repro.exceptions import ConfigurationError
+from repro.forecasting.holt_winters import (
+    HoltWintersForecaster,
+    MultiSeasonalHoltWinters,
+)
+
+_np = load_numpy()
+
+#: Whether the vectorized (NumPy) kernels are active for ``model="auto"``.
+HAS_VECTOR_BACKEND = _np is not None
+
+#: Row-count crossover at which a vectorized bank beats per-row Python
+#: arithmetic for repeated full-bank updates (measured ≈ 48 on CPython 3.11).
+#: Callers that create a *throwaway* bank sized to a known row count (e.g.
+#: STA's per-timeunit refit) should pass ``force_scalar=True`` below this;
+#: the two backends are bit-identical, so the choice is purely speed.
+VECTOR_MIN_ROWS = 48
+
+
+def _build_seasonal_model(config: ForecastConfig):
+    """The seasonal model ``config`` selects (single / multi / registry)."""
+    if config.model != "auto":
+        from repro.core.registry import create_forecaster
+
+        return create_forecaster(config.model, config)
+    if len(config.season_lengths) == 1:
+        return HoltWintersForecaster(
+            alpha=config.alpha,
+            beta=config.beta,
+            gamma=config.gamma,
+            season_length=config.season_lengths[0],
+        )
+    return MultiSeasonalHoltWinters(
+        alpha=config.alpha,
+        beta=config.beta,
+        gamma=config.gamma,
+        season_lengths=config.season_lengths,
+        season_weights=config.season_weights,
+    )
+
+
+def load_seasonal_state(state: dict):
+    """Rebuild a seasonal model from its ``state_dict`` snapshot (by kind)."""
+    from repro.core.registry import forecaster_state_loader
+
+    return forecaster_state_loader(str(state.get("kind")))(state)
+
+
+class _ScalarRow:
+    """One row's forecasting state as plain Python objects.
+
+    This is the historical per-node forecaster implementation, kept verbatim
+    as the bank's fallback row type: it is used when NumPy is unavailable and
+    when the configured seasonal model is a registry plug-in whose internals
+    the vector kernels cannot see.
+    """
+
+    __slots__ = ("config", "ewma_level", "seen", "history", "seasonal")
+
+    def __init__(self, config: ForecastConfig):
+        self.config = config
+        self.ewma_level: float | None = None
+        self.seen = 0
+        self.history: list[float] = []
+        self.seasonal: Any = None
+
+    def _maybe_activate(self) -> None:
+        if self.seasonal is None and len(self.history) >= self.config.min_history:
+            model = _build_seasonal_model(self.config)
+            model.initialize(self.history)
+            self.seasonal = model
+            self.history = []
+
+    def forecast(self) -> float:
+        if self.seasonal is not None:
+            return self.seasonal.forecast()
+        if self.ewma_level is None:
+            return 0.0
+        return self.ewma_level
+
+    def observe(self, value: float) -> float:
+        value = float(value)
+        predicted = self.forecast()
+        alpha = self.config.fallback_alpha
+        if self.ewma_level is None:
+            self.ewma_level = value
+        else:
+            self.ewma_level = alpha * value + (1 - alpha) * self.ewma_level
+        if self.seasonal is not None:
+            self.seasonal.update(value)
+        else:
+            self.history.append(value)
+            self._maybe_activate()
+        self.seen += 1
+        return predicted
+
+    def seed_fast(self, history: Sequence[float]) -> None:
+        values = [float(v) for v in history]
+        self.seen = len(values)
+        if not values:
+            return
+        alpha = self.config.fallback_alpha
+        level = values[0] if len(values) <= 1 else values[-min(len(values), 64)]
+        for value in values[-min(len(values), 64):]:
+            level = alpha * value + (1 - alpha) * level
+        self.ewma_level = level
+        if len(values) >= self.config.min_history:
+            model = _build_seasonal_model(self.config)
+            model.initialize(values[-self.config.min_history:])
+            self.seasonal = model
+        else:
+            self.history = values
+
+    def scaled(self, ratio: float) -> "_ScalarRow":
+        clone = _ScalarRow(self.config)
+        clone.seen = self.seen
+        clone.ewma_level = None if self.ewma_level is None else self.ewma_level * ratio
+        clone.history = [v * ratio for v in self.history]
+        clone.seasonal = None if self.seasonal is None else self.seasonal.scaled(ratio)
+        return clone
+
+    def add_state(self, other: "_ScalarRow") -> None:
+        if other.ewma_level is not None:
+            if self.ewma_level is None:
+                self.ewma_level = other.ewma_level
+            else:
+                self.ewma_level += other.ewma_level
+        self.seen = max(self.seen, other.seen)
+        if other.seasonal is not None:
+            if self.seasonal is None:
+                self.seasonal = other.seasonal.scaled(1.0)
+            else:
+                self.seasonal.add_state(other.seasonal)
+        if other.history:
+            if not self.history:
+                self.history = list(other.history)
+            else:
+                length = max(len(self.history), len(other.history))
+                mine = [0.0] * (length - len(self.history)) + self.history
+                theirs = [0.0] * (length - len(other.history)) + list(other.history)
+                self.history = [a + b for a, b in zip(mine, theirs)]
+        self._maybe_activate()
+
+    def state_dict(self) -> dict:
+        return {
+            "ewma_level": self.ewma_level,
+            "seen": self.seen,
+            "history": list(self.history),
+            "seasonal": None if self.seasonal is None else self.seasonal.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        level = state["ewma_level"]
+        self.ewma_level = None if level is None else float(level)
+        self.seen = int(state["seen"])
+        self.history = [float(v) for v in state["history"]]
+        self.seasonal = (
+            None if state["seasonal"] is None else load_seasonal_state(state["seasonal"])
+        )
+
+
+class ForecasterBank:
+    """Forecasting state for many node paths, held columnar.
+
+    Rows are integer handles obtained from :meth:`new_row` and returned to
+    the bank with :meth:`free_row` (freed rows are recycled).  All rows share
+    one :class:`~repro.core.config.ForecastConfig`.
+
+    The bank runs **vectorized** when NumPy is importable and the config's
+    seasonal model is the built-in ``"auto"`` choice; otherwise every row is
+    a scalar fallback object with identical behaviour.  ``force_scalar=True``
+    pins the fallback explicitly (the perf harness uses it to measure the
+    scalar baseline in-process).
+    """
+
+    def __init__(self, config: ForecastConfig, *, force_scalar: bool = False):
+        self.config = config
+        self.vectorized = (
+            _np is not None and config.model == "auto" and not force_scalar
+        )
+        self._free: list[int] = []
+        self._size = 0  # high-water row count
+        if not self.vectorized:
+            self._rows: list[_ScalarRow | None] = []
+            return
+        lengths = config.season_lengths
+        self._single = len(lengths) == 1
+        if config.season_weights is None:
+            self._weights = tuple(1.0 / len(lengths) for _ in lengths)
+        else:
+            self._weights = tuple(float(w) for w in config.season_weights)
+        self._min_history = config.min_history
+        cap = 8
+        self._ewma = _np.full(cap, _np.nan)
+        self._seen = _np.zeros(cap, dtype=_np.int64)
+        self._active = _np.zeros(cap, dtype=bool)
+        self._level = _np.zeros(cap)
+        self._trend = _np.zeros(cap)
+        self._seasonals = [_np.zeros((cap, p)) for p in lengths]
+        self._phases = _np.zeros((cap, len(lengths)), dtype=_np.int64)
+        self._hist: list[list[float] | None] = [None] * cap
+        #: Seasonal model *objects* for rows restored from a snapshot whose
+        #: layout does not match this bank's (foreign parameters or kinds);
+        #: such rows bypass the vector kernels but behave identically.
+        self._obj: dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Row lifecycle
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of live (allocated, not freed) rows."""
+        return self._size - len(self._free)
+
+    def _grow(self, cap: int) -> None:
+        np_ = _np
+        old = self._ewma.shape[0]
+        if cap <= old:
+            return
+        self._ewma = np_.concatenate([self._ewma, np_.full(cap - old, np_.nan)])
+        self._seen = np_.concatenate([self._seen, np_.zeros(cap - old, dtype=np_.int64)])
+        self._active = np_.concatenate([self._active, np_.zeros(cap - old, dtype=bool)])
+        self._level = np_.concatenate([self._level, np_.zeros(cap - old)])
+        self._trend = np_.concatenate([self._trend, np_.zeros(cap - old)])
+        self._seasonals = [
+            np_.concatenate([buf, np_.zeros((cap - old, buf.shape[1]))])
+            for buf in self._seasonals
+        ]
+        self._phases = np_.concatenate(
+            [self._phases, np_.zeros((cap - old, self._phases.shape[1]), dtype=np_.int64)]
+        )
+        self._hist.extend([None] * (cap - old))
+
+    def _alloc_row(self) -> int:
+        """A recycled or brand-new row id, state NOT reset (internal)."""
+        if self._free:
+            return self._free.pop()
+        row = self._size
+        self._size += 1
+        if not self.vectorized:
+            self._rows.append(None)
+        elif row >= self._ewma.shape[0]:
+            self._grow(max(8, 2 * self._ewma.shape[0]))
+        return row
+
+    def new_row(self) -> int:
+        """Allocate a fresh row in the initial (no observations) state."""
+        row = self._alloc_row()
+        if not self.vectorized:
+            self._rows[row] = _ScalarRow(self.config)
+            return row
+        self._ewma[row] = _np.nan
+        self._seen[row] = 0
+        self._active[row] = False
+        self._level[row] = 0.0
+        self._trend[row] = 0.0
+        for buf in self._seasonals:
+            buf[row, :] = 0.0
+        self._phases[row, :] = 0
+        self._hist[row] = []
+        self._obj.pop(row, None)
+        return row
+
+    def free_row(self, row: int) -> None:
+        """Return ``row`` to the bank for reuse; its state becomes invalid."""
+        if not self.vectorized:
+            self._rows[row] = None
+        else:
+            self._hist[row] = None
+            self._obj.pop(row, None)
+        self._free.append(row)
+
+    # ------------------------------------------------------------------
+    # Observation (scalar and vectorized)
+    # ------------------------------------------------------------------
+    def forecast(self, row: int) -> float:
+        """One-step-ahead forecast for ``row``'s next timeunit."""
+        if not self.vectorized:
+            return self._rows[row].forecast()
+        obj = self._obj.get(row)
+        if obj is not None:
+            return obj.forecast()
+        if self._active[row]:
+            return self._forecast_scalar(row)
+        ewma = self._ewma[row]
+        return 0.0 if _np.isnan(ewma) else float(ewma)
+
+    def _combined_seasonal_scalar(self, row: int) -> float:
+        if self._single:
+            return float(self._seasonals[0][row, self._phases[row, 0]])
+        return sum(
+            w * float(buf[row, self._phases[row, k]])
+            for k, (w, buf) in enumerate(zip(self._weights, self._seasonals))
+        )
+
+    def _forecast_scalar(self, row: int) -> float:
+        return (
+            float(self._level[row])
+            + float(self._trend[row])
+            + self._combined_seasonal_scalar(row)
+        )
+
+    def observe(self, row: int, value: float) -> float:
+        """Fold in ``row``'s next actual value; returns the forecast made for it.
+
+        Scalar counterpart of :meth:`observe_rows` — the arithmetic is the
+        same expression evaluated on Python floats, so the two are
+        bit-for-bit interchangeable (property-tested).
+        """
+        if not self.vectorized:
+            return self._rows[row].observe(value)
+        value = float(value)
+        predicted = self.forecast(row)
+        alpha = self.config.fallback_alpha
+        ewma = self._ewma[row]
+        if _np.isnan(ewma):
+            self._ewma[row] = value
+        else:
+            self._ewma[row] = alpha * value + (1 - alpha) * float(ewma)
+        obj = self._obj.get(row)
+        if obj is not None:
+            obj.update(value)
+        elif self._active[row]:
+            self._update_seasonal_scalar(row, value)
+        else:
+            hist = self._hist[row]
+            hist.append(value)
+            if len(hist) >= self._min_history:
+                self._activate(row)
+        self._seen[row] += 1
+        return predicted
+
+    def _update_seasonal_scalar(self, row: int, value: float) -> None:
+        alpha, beta, gamma = self.config.alpha, self.config.beta, self.config.gamma
+        level = float(self._level[row])
+        trend = float(self._trend[row])
+        seasonal = self._combined_seasonal_scalar(row)
+        new_level = alpha * (value - seasonal) + (1 - alpha) * (level + trend)
+        self._level[row] = new_level
+        self._trend[row] = beta * (new_level - level) + (1 - beta) * trend
+        for k, (buf, p) in enumerate(zip(self._seasonals, self.config.season_lengths)):
+            phase = int(self._phases[row, k])
+            buf[row, phase] = gamma * (value - new_level) + (1 - gamma) * float(
+                buf[row, phase]
+            )
+            self._phases[row, k] = (phase + 1) % p
+
+    def observe_rows(self, rows: Sequence[int], values: Sequence[float]) -> list[float]:
+        """Vectorized :meth:`observe` over distinct ``rows``; returns forecasts.
+
+        This is the per-timeunit hot path: one call updates the EWMA levels,
+        Holt-Winters components and warm-up histories of every tracked node.
+        ``rows`` must not contain duplicates (each tracked node appears once
+        per timeunit).
+        """
+        if not self.vectorized or len(rows) < 2:
+            return [self.observe(row, value) for row, value in zip(rows, values)]
+        if self._obj:
+            # Object-overflow rows (foreign-layout restores) update scalar;
+            # the rest of the batch keeps the vector kernels so one foreign
+            # row does not de-vectorize the whole bank.
+            obj_positions = [
+                pos for pos, row in enumerate(rows) if row in self._obj
+            ]
+            if obj_positions:
+                obj_set = set(obj_positions)
+                vec_positions = [
+                    pos for pos in range(len(rows)) if pos not in obj_set
+                ]
+                forecasts = [0.0] * len(rows)
+                for pos in obj_positions:
+                    forecasts[pos] = self.observe(rows[pos], values[pos])
+                vec_forecasts = self.observe_rows(
+                    [rows[pos] for pos in vec_positions],
+                    [values[pos] for pos in vec_positions],
+                )
+                for pos, forecast in zip(vec_positions, vec_forecasts):
+                    forecasts[pos] = forecast
+                return forecasts
+        np_ = _np
+        idx = np_.asarray(rows, dtype=np_.intp)
+        v = np_.asarray(values, dtype=np_.float64)
+        ewma = self._ewma[idx]
+        active = self._active[idx]
+        fallback_alpha = self.config.fallback_alpha
+        alpha, beta, gamma = self.config.alpha, self.config.beta, self.config.gamma
+        if active.all() and not np_.isnan(ewma).any():
+            # Steady state (every row warm): no masks, no history bookkeeping.
+            level = self._level[idx]
+            trend = self._trend[idx]
+            if self._single:
+                phase0 = self._phases[idx, 0]
+                seasonal = self._seasonals[0][idx, phase0]
+            else:
+                seasonal = np_.zeros(idx.size)
+                for k, (w, buf) in enumerate(zip(self._weights, self._seasonals)):
+                    seasonal = seasonal + w * buf[idx, self._phases[idx, k]]
+            forecasts = level + trend + seasonal
+            self._ewma[idx] = fallback_alpha * v + (1 - fallback_alpha) * ewma
+            self._seen[idx] += 1
+            new_level = alpha * (v - seasonal) + (1 - alpha) * (level + trend)
+            self._level[idx] = new_level
+            self._trend[idx] = beta * (new_level - level) + (1 - beta) * trend
+            for k, (buf, p) in enumerate(
+                zip(self._seasonals, self.config.season_lengths)
+            ):
+                phase = self._phases[idx, k]
+                buf[idx, phase] = gamma * (v - new_level) + (1 - gamma) * buf[
+                    idx, phase
+                ]
+                self._phases[idx, k] = (phase + 1) % p
+            return forecasts.tolist()
+        has_ewma = ~np_.isnan(ewma)
+        forecasts = np_.where(has_ewma, ewma, 0.0)
+        active_pos = np_.flatnonzero(active)
+        if active_pos.size:
+            a_idx = idx[active_pos]
+            level = self._level[a_idx]
+            trend = self._trend[a_idx]
+            if self._single:
+                phase0 = self._phases[a_idx, 0]
+                seasonal = self._seasonals[0][a_idx, phase0]
+            else:
+                seasonal = np_.zeros(a_idx.size)
+                for k, (w, buf) in enumerate(zip(self._weights, self._seasonals)):
+                    seasonal = seasonal + w * buf[a_idx, self._phases[a_idx, k]]
+            forecasts[active_pos] = level + trend + seasonal
+        self._ewma[idx] = np_.where(
+            has_ewma, fallback_alpha * v + (1 - fallback_alpha) * ewma, v
+        )
+        self._seen[idx] += 1
+        if active_pos.size:
+            va = v[active_pos]
+            new_level = alpha * (va - seasonal) + (1 - alpha) * (level + trend)
+            self._level[a_idx] = new_level
+            self._trend[a_idx] = beta * (new_level - level) + (1 - beta) * trend
+            for k, (buf, p) in enumerate(
+                zip(self._seasonals, self.config.season_lengths)
+            ):
+                phase = self._phases[a_idx, k]
+                buf[a_idx, phase] = gamma * (va - new_level) + (1 - gamma) * buf[
+                    a_idx, phase
+                ]
+                self._phases[a_idx, k] = (phase + 1) % p
+        inactive_pos = np_.flatnonzero(~active)
+        for pos in inactive_pos.tolist():
+            row = int(idx[pos])
+            hist = self._hist[row]
+            hist.append(float(v[pos]))
+            if len(hist) >= self._min_history:
+                self._activate(row)
+        return forecasts.tolist()
+
+    def _activate(self, row: int) -> None:
+        """Initialize the seasonal components from ``row``'s warm-up history."""
+        model = _build_seasonal_model(self.config)
+        model.initialize(self._hist[row])
+        self._adopt_model(row, model)
+        self._hist[row] = []
+
+    def _adopt_model(self, row: int, model: Any) -> None:
+        """Copy a built-in seasonal model's state into the row's arrays."""
+        self._active[row] = True
+        self._level[row] = model.level
+        self._trend[row] = model.trend
+        if self._single:
+            self._seasonals[0][row, :] = model.seasonals
+            self._phases[row, 0] = model._phase
+        else:
+            for k, buf in enumerate(model.seasonals):
+                self._seasonals[k][row, :] = buf
+            self._phases[row, :] = model._phases
+
+    # ------------------------------------------------------------------
+    # Warm-start
+    # ------------------------------------------------------------------
+    def seed_history(self, row: int, history: Sequence[float]) -> None:
+        """Replay a full history series into a fresh row (oldest first)."""
+        for value in history:
+            self.observe(row, value)
+
+    def seed_fast(self, row: int, history: Sequence[float]) -> None:
+        """Warm-start a *fresh* row from ``history`` without replaying it.
+
+        The seasonal state initializes from the last ``min_history`` values
+        and the EWMA fallback from a smoothing of the recent tail — the
+        reference-series correction path (O(seasonal period) instead of
+        O(window) updates).
+        """
+        if not self.vectorized:
+            self._rows[row].seed_fast(history)
+            return
+        values = [float(v) for v in history]
+        self._seen[row] = len(values)
+        if not values:
+            return
+        alpha = self.config.fallback_alpha
+        level = values[0] if len(values) <= 1 else values[-min(len(values), 64)]
+        for value in values[-min(len(values), 64):]:
+            level = alpha * value + (1 - alpha) * level
+        self._ewma[row] = level
+        if len(values) >= self._min_history:
+            model = _build_seasonal_model(self.config)
+            model.initialize(values[-self._min_history:])
+            self._adopt_model(row, model)
+        else:
+            self._hist[row] = values
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def is_seasonal(self, row: int) -> bool:
+        if not self.vectorized:
+            return self._rows[row].seasonal is not None
+        return bool(self._active[row]) or row in self._obj
+
+    def observations(self, row: int) -> int:
+        if not self.vectorized:
+            return self._rows[row].seen
+        return int(self._seen[row])
+
+    # ------------------------------------------------------------------
+    # Linearity operations (SPLIT / MERGE, Lemma 2)
+    # ------------------------------------------------------------------
+    def clone_row(self, row: int, ratio: float) -> int:
+        """A new row holding the state of ``ratio *`` the row's series."""
+        if not self.vectorized:
+            dst = self._alloc_row()
+            self._rows[dst] = self._rows[row].scaled(ratio)
+            return dst
+        # The allocation is not reset: every field a reader can observe is
+        # written below (seasonal components only become readable once
+        # ``_active`` is set, and activation overwrites them wholesale).
+        dst = self._alloc_row()
+        self._obj.pop(dst, None)
+        self._seen[dst] = self._seen[row]
+        ewma = self._ewma[row]
+        self._ewma[dst] = _np.nan if _np.isnan(ewma) else float(ewma) * ratio
+        hist = self._hist[row]
+        self._hist[dst] = [v * ratio for v in hist] if hist else []
+        obj = self._obj.get(row)
+        self._active[dst] = False
+        if obj is not None:
+            self._obj[dst] = obj.scaled(ratio)
+        elif self._active[row]:
+            self._active[dst] = True
+            self._level[dst] = float(self._level[row]) * ratio
+            self._trend[dst] = float(self._trend[row]) * ratio
+            for buf in self._seasonals:
+                buf[dst, :] = buf[row, :] * ratio
+            self._phases[dst, :] = self._phases[row, :]
+        return dst
+
+    def add_state(self, row: int, other_bank: "ForecasterBank", other_row: int) -> None:
+        """Fold another row's state into ``row`` (series addition).
+
+        The source row may live in this bank or another one (standalone
+        series merge across banks), vectorized or fallback.
+        """
+        if not self.vectorized and not other_bank.vectorized:
+            self._rows[row].add_state(other_bank._rows[other_row])
+            return
+        snapshot = other_bank.row_state_dict(other_row)
+        if not self.vectorized:
+            other = _ScalarRow(self.config)
+            other.load_state_dict(snapshot)
+            self._rows[row].add_state(other)
+            return
+        self._fold_snapshot(row, snapshot)
+
+    def _fold_snapshot(self, row: int, snapshot: dict) -> None:
+        """Vector-mode :meth:`add_state` against a canonical row snapshot."""
+        other_ewma = snapshot["ewma_level"]
+        if other_ewma is not None:
+            ewma = self._ewma[row]
+            if _np.isnan(ewma):
+                self._ewma[row] = float(other_ewma)
+            else:
+                self._ewma[row] = float(ewma) + float(other_ewma)
+        self._seen[row] = max(int(self._seen[row]), int(snapshot["seen"]))
+        seasonal = snapshot["seasonal"]
+        if seasonal is not None:
+            self._fold_seasonal(row, seasonal)
+        other_hist = snapshot["history"]
+        if other_hist:
+            mine = self._hist[row]
+            theirs = [float(v) for v in other_hist]
+            if not mine:
+                self._hist[row] = theirs
+            else:
+                length = max(len(mine), len(theirs))
+                padded_mine = [0.0] * (length - len(mine)) + mine
+                padded_theirs = [0.0] * (length - len(theirs)) + theirs
+                self._hist[row] = [a + b for a, b in zip(padded_mine, padded_theirs)]
+        if (
+            not self._active[row]
+            and row not in self._obj
+            and len(self._hist[row]) >= self._min_history
+        ):
+            self._activate(row)
+
+    def _matches_layout(self, seasonal: dict) -> bool:
+        """Whether a seasonal snapshot fits this bank's vector layout exactly."""
+        config = self.config
+        kind = seasonal.get("kind")
+        if self._single:
+            return (
+                kind == "holt-winters"
+                and int(seasonal["season_length"]) == config.season_lengths[0]
+                and float(seasonal["alpha"]) == config.alpha
+                and float(seasonal["beta"]) == config.beta
+                and float(seasonal["gamma"]) == config.gamma
+            )
+        return (
+            kind == "multi-seasonal-holt-winters"
+            and tuple(int(p) for p in seasonal["season_lengths"])
+            == config.season_lengths
+            and tuple(float(w) for w in seasonal["season_weights"]) == self._weights
+            and float(seasonal["alpha"]) == config.alpha
+            and float(seasonal["beta"]) == config.beta
+            and float(seasonal["gamma"]) == config.gamma
+        )
+
+    def _fold_seasonal(self, row: int, seasonal: dict) -> None:
+        if seasonal.get("level") is None:
+            return  # an uninitialized model adds nothing (scalar parity)
+        obj = self._obj.get(row)
+        if obj is not None:
+            obj.add_state(load_seasonal_state(seasonal))
+            return
+        if not self._matches_layout(seasonal):
+            if self._active[row]:
+                raise ConfigurationError(
+                    "cannot combine forecaster states with different seasonal "
+                    "parameters"
+                )
+            self._obj[row] = load_seasonal_state(seasonal).scaled(1.0)
+            return
+        np_ = _np
+        if not self._active[row]:
+            self._active[row] = True
+            self._level[row] = float(seasonal["level"])
+            self._trend[row] = float(seasonal["trend"])
+            if self._single:
+                self._seasonals[0][row, :] = seasonal["seasonals"]
+                self._phases[row, 0] = int(seasonal["phase"])
+            else:
+                for k, buf in enumerate(seasonal["seasonals"]):
+                    self._seasonals[k][row, :] = buf
+                self._phases[row, :] = [int(p) for p in seasonal["phases"]]
+            return
+        self._level[row] = float(self._level[row]) + float(seasonal["level"])
+        self._trend[row] = float(self._trend[row]) + float(seasonal["trend"])
+        if self._single:
+            buffers = [seasonal["seasonals"]]
+            phases = [int(seasonal["phase"])]
+        else:
+            buffers = seasonal["seasonals"]
+            phases = [int(p) for p in seasonal["phases"]]
+        for k, (buf, other_phase) in enumerate(zip(buffers, phases)):
+            p = self.config.season_lengths[k]
+            shift = (other_phase - int(self._phases[row, k])) % p
+            aligned = np_.roll(np_.asarray(buf, dtype=np_.float64), -shift)
+            self._seasonals[k][row, :] = self._seasonals[k][row, :] + aligned
+
+    # ------------------------------------------------------------------
+    # Canonical (pre-bank) checkpoint format
+    # ------------------------------------------------------------------
+    def row_state_dict(self, row: int) -> dict:
+        """The row's state in the canonical per-path forecaster format."""
+        if not self.vectorized:
+            return self._rows[row].state_dict()
+        obj = self._obj.get(row)
+        if obj is not None:
+            seasonal = obj.state_dict()
+        elif self._active[row]:
+            config = self.config
+            if self._single:
+                seasonal = {
+                    "kind": "holt-winters",
+                    "alpha": config.alpha,
+                    "beta": config.beta,
+                    "gamma": config.gamma,
+                    "season_length": config.season_lengths[0],
+                    "level": float(self._level[row]),
+                    "trend": float(self._trend[row]),
+                    "seasonals": self._seasonals[0][row, :].tolist(),
+                    "phase": int(self._phases[row, 0]),
+                }
+            else:
+                seasonal = {
+                    "kind": "multi-seasonal-holt-winters",
+                    "alpha": config.alpha,
+                    "beta": config.beta,
+                    "gamma": config.gamma,
+                    "season_lengths": list(config.season_lengths),
+                    "season_weights": list(self._weights),
+                    "level": float(self._level[row]),
+                    "trend": float(self._trend[row]),
+                    "seasonals": [buf[row, :].tolist() for buf in self._seasonals],
+                    "phases": self._phases[row, :].tolist(),
+                }
+        else:
+            seasonal = None
+        ewma = self._ewma[row]
+        hist = self._hist[row]
+        return {
+            "ewma_level": None if _np.isnan(ewma) else float(ewma),
+            "seen": int(self._seen[row]),
+            "history": list(hist) if hist else [],
+            "seasonal": seasonal,
+        }
+
+    def load_row_state(self, row: int, state: dict) -> None:
+        """Restore a *fresh* row from :meth:`row_state_dict` output."""
+        if not self.vectorized:
+            self._rows[row].load_state_dict(state)
+            return
+        level = state["ewma_level"]
+        if level is not None:
+            self._ewma[row] = float(level)
+        self._seen[row] = int(state["seen"])
+        self._hist[row] = [float(v) for v in state["history"]]
+        seasonal = state["seasonal"]
+        if seasonal is None:
+            return
+        if not self._matches_layout(seasonal):
+            self._obj[row] = load_seasonal_state(seasonal)
+            return
+        if seasonal["level"] is None:
+            # A stored-but-uninitialized model cannot arise from this bank's
+            # own snapshots; hold it as an object to preserve it faithfully.
+            self._obj[row] = load_seasonal_state(seasonal)
+            return
+        model = load_seasonal_state(seasonal)
+        self._adopt_model(row, model)
+
+
+__all__ = ["ForecasterBank", "HAS_VECTOR_BACKEND", "load_seasonal_state"]

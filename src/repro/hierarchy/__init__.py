@@ -21,12 +21,14 @@ from repro.hierarchy.domain import (
     DomainSpec,
     LevelSpec,
 )
+from repro.hierarchy.index import HierarchyIndex
 from repro.hierarchy.node import HierarchyNode
 from repro.hierarchy.tree import HierarchyTree, common_ancestor
 
 __all__ = [
     "HierarchyNode",
     "HierarchyTree",
+    "HierarchyIndex",
     "common_ancestor",
     "DomainSpec",
     "LevelSpec",

@@ -1,0 +1,151 @@
+"""Array-indexed hierarchy: vectorized weight accumulation and SHHH.
+
+:class:`HierarchyIndex` freezes a :class:`~repro.hierarchy.tree.HierarchyTree`
+into dense arrays — BFS node ids, a parent-id vector, per-depth id groups and
+a lexicographic ordering — so that the two per-timeunit hierarchy passes of
+the paper become a handful of NumPy kernels:
+
+* :meth:`raw_weights` computes ``A_n`` for every node (Definition 1) with one
+  ``bincount`` per level instead of one ancestor walk per counted leaf;
+* :meth:`succinct` computes the modified weights ``W_n`` and succinct heavy
+  hitter membership (Definition 2) with one bottom-up level sweep.
+
+Exactness: per-timeunit leaf counts are record *counts* — integers — and
+sums of integers in float64 are exact (far below 2^53), so the results are
+bit-for-bit identical to the scalar reference implementation in
+:mod:`repro.core.hhh` regardless of summation order.  The online algorithms
+therefore switch freely between this index (NumPy present) and the scalar
+functions (fallback) without changing a single detection.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro._types import CategoryPath, Weight
+from repro._vector import load_numpy
+from repro.hierarchy.tree import HierarchyTree
+
+_np = load_numpy()
+
+
+class HierarchyIndex:
+    """Dense-array view of a hierarchy for the vectorized weight kernels.
+
+    Node ids are BFS (level-order) positions, so the root is id 0 and every
+    parent id is smaller than its children's.  Requires NumPy; callers keep
+    the scalar :mod:`repro.core.hhh` path when :data:`available` is False.
+    """
+
+    def __init__(self, tree: HierarchyTree):
+        if _np is None:  # pragma: no cover - guarded by callers
+            raise RuntimeError("HierarchyIndex requires NumPy")
+        nodes = list(tree.iter_level_order())
+        for node_id, node in enumerate(nodes):
+            node.index = node_id
+        self.tree = tree
+        self.num_nodes = len(nodes)
+        self.paths: list[CategoryPath] = [node.path for node in nodes]
+        self.path_to_id: dict[CategoryPath, int] = {
+            node.path: node.index for node in nodes
+        }
+        self.parent = _np.array(
+            [0 if node.parent is None else node.parent.index for node in nodes],
+            dtype=_np.intp,
+        )
+        depths = [node.depth for node in nodes]
+        max_depth = max(depths)
+        #: Node ids grouped by depth, deepest level first (depth >= 1).
+        self.levels_deepest_first = [
+            _np.array(
+                [i for i, d in enumerate(depths) if d == depth], dtype=_np.intp
+            )
+            for depth in range(max_depth, 0, -1)
+        ]
+        #: All node ids ordered by lexicographic path order; masking this with
+        #: a boolean membership vector yields ids in ``sorted(paths)`` order.
+        self.lex_order = _np.array(
+            sorted(range(self.num_nodes), key=lambda i: self.paths[i]),
+            dtype=_np.intp,
+        )
+
+    # ------------------------------------------------------------------
+    # Definition 1: raw weights
+    # ------------------------------------------------------------------
+    def raw_weights(self, leaf_counts: Mapping[CategoryPath, Weight]):
+        """Dense ``A_n`` vector for one timeunit of per-leaf counts.
+
+        Unknown paths are ignored and counts attached to interior paths are
+        credited to that aggregate directly, exactly like the scalar
+        :func:`repro.core.hhh.accumulate_raw_weights`.
+        """
+        raw = _np.zeros(self.num_nodes)
+        lookup = self.path_to_id.get
+        for path, count in leaf_counts.items():
+            if count == 0:
+                continue
+            node_id = lookup(path if isinstance(path, tuple) else tuple(path))
+            if node_id is not None:
+                raw[node_id] += float(count)
+        for ids in self.levels_deepest_first:
+            raw += _np.bincount(
+                self.parent[ids], weights=raw[ids], minlength=self.num_nodes
+            )
+        return raw
+
+    # ------------------------------------------------------------------
+    # Definition 2: succinct heavy hitters
+    # ------------------------------------------------------------------
+    def succinct(self, raw, theta: float):
+        """``(modified, heavy)`` dense vectors for a raw-weight vector.
+
+        One bottom-up level sweep: a node's modified weight is its own count
+        plus the modified weights of its non-heavy children; it is heavy when
+        that reaches ``theta``.  Matches :func:`repro.core.hhh.compute_shhh`
+        exactly (integer arithmetic, see module docstring).
+        """
+        modified = raw.copy()
+        heavy = _np.zeros(self.num_nodes, dtype=bool)
+        child_ids = None
+        for ids in self.levels_deepest_first:
+            if child_ids is not None:
+                parents = self.parent[child_ids]
+                child_raw = _np.bincount(
+                    parents, weights=raw[child_ids], minlength=self.num_nodes
+                )
+                child_modified = _np.bincount(
+                    parents,
+                    weights=_np.where(
+                        heavy[child_ids], 0.0, modified[child_ids]
+                    ),
+                    minlength=self.num_nodes,
+                )
+                modified[ids] = raw[ids] - child_raw[ids] + child_modified[ids]
+            heavy[ids] = modified[ids] >= theta
+            child_ids = ids
+        if self.levels_deepest_first:
+            child_ids = self.levels_deepest_first[-1]  # depth-1 nodes
+            child_raw = _np.bincount(
+                self.parent[child_ids], weights=raw[child_ids], minlength=self.num_nodes
+            )
+            child_modified = _np.bincount(
+                self.parent[child_ids],
+                weights=_np.where(heavy[child_ids], 0.0, modified[child_ids]),
+                minlength=self.num_nodes,
+            )
+            modified[0] = raw[0] - child_raw[0] + child_modified[0]
+        heavy[0] = modified[0] >= theta
+        return modified, heavy
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def sorted_ids(self, member_mask) -> list[int]:
+        """Ids whose mask bit is set, in lexicographic path order."""
+        return self.lex_order[member_mask[self.lex_order]].tolist()
+
+
+#: Whether the vectorized hierarchy kernels can be used.
+available = _np is not None
+
+__all__ = ["HierarchyIndex", "available"]

@@ -25,6 +25,18 @@ Floats round-trip exactly through Python's JSON encoder (``repr``-based), so
 restored forecasts are bit-identical.  Stream-key selectors are code, not
 data: pass ``stream_key=`` again when loading an engine that used a custom
 selector.
+
+Columnar-bank compatibility: since the vectorized close path, ADA's
+forecaster state lives columnar in a
+:class:`~repro.forecasting.bank.ForecasterBank` and split-rule statistics in
+dense per-node arrays — but checkpoints still emit and accept the canonical
+*per-path* ``state_dict`` layout above (each bank row serializes through
+``ForecasterBank.row_state_dict`` into the historical per-forecaster dict).
+Pre-bank, bank-backed, serial and sharded checkpoints therefore all
+cross-restore: a checkpoint written before the refactor loads into a
+bank-backed session mid-stream and continues bit-identically, and vice
+versa.  Path-keyed lists may appear in a different (but equivalent) order —
+consumers must not rely on entry order, only on per-path content.
 """
 
 from __future__ import annotations

@@ -200,3 +200,55 @@ class TestNearestTrackedNode:
         tracked = {("a",), ("a", "a1")}
         node = nearest_tracked_node(tree, ("a", "a1"), tracked)
         assert node.path == ("a", "a1")
+
+
+class TestSplitStatsStore:
+    def test_update_stats_shim_works_in_both_store_modes(self, tree):
+        """The pre-refactor ``_update_stats`` API keeps working whether the
+        statistics live in dense arrays (NumPy) or per-path dicts."""
+        ada = ADAAlgorithm(tree, make_config())
+        ada._timeunit = 0
+        ada._update_stats({("a",): 4.0, ("a", "a1"): 4.0})
+        ada._timeunit = 3  # a two-unit gap: the EWMA decay path must run too
+        ada._update_stats({("a",): 2.0})
+        view = ada._stats_view(("a",))
+        assert view.observations == 2
+        assert view.last_weight == 2.0
+        assert view.cumulative_weight == 6.0
+        # A path outside the tree is retained (overflow rows) and emitted.
+        ada._update_stats({("zz", "unknown"): 1.0})
+        stats_rows, last_rows = ada._stats.emit()
+        paths = {tuple(path) for path, _ in stats_rows}
+        assert {("a",), ("a", "a1"), ("zz", "unknown")} <= paths
+        assert {tuple(path) for path, _ in last_rows} == paths
+
+    def test_dense_and_dict_stats_agree(self, tree, monkeypatch):
+        """Bit-equal statistics from the dense store and the dict fallback."""
+        import repro.core.ada as ada_mod
+        from repro.core.ada import _SplitStatsStore
+
+        config = make_config(split_rule="ewma", split_ewma_alpha=0.4)
+        dense_ada = ADAAlgorithm(tree, config)
+        if dense_ada._index is None:
+            pytest.skip("NumPy unavailable")
+        monkeypatch.setattr(ada_mod, "_np", None)
+        dict_ada = ADAAlgorithm(tree, config)
+        assert dict_ada._index is None
+        feeds = [
+            {("a", "a1"): 3.0, ("b", "b1"): 7.0},
+            {},
+            {("a", "a1"): 1.0},
+            {("b", "b1"): 2.0, ("b", "b2"): 5.0},
+        ]
+        for unit, counts in enumerate(feeds):
+            for ada in (dense_ada, dict_ada):
+                ada._timeunit = unit
+                ada._update_stats(
+                    {path: weight for path, weight in counts.items()}
+                )
+        for ada in (dense_ada, dict_ada):
+            ada._timeunit = len(feeds)
+        for path in [("a", "a1"), ("b", "b1"), ("b", "b2"), ("a", "a2")]:
+            dense_view = dense_ada._stats_view(path)
+            dict_view = dict_ada._stats_view(path)
+            assert dense_view == dict_view, path

@@ -135,8 +135,8 @@ class TestForecasterRegistry:
         single = SeriesForecaster(ForecastConfig(season_lengths=(2,)))
         for value in [1.0, 2.0, 1.0, 2.0]:
             single.observe(value)
-        assert isinstance(single._seasonal, HoltWintersForecaster)
+        assert isinstance(single.seasonal_model, HoltWintersForecaster)
         multi = SeriesForecaster(ForecastConfig(season_lengths=(2, 4)))
         for value in [1.0, 2.0] * 4:
             multi.observe(value)
-        assert isinstance(multi._seasonal, MultiSeasonalHoltWinters)
+        assert isinstance(multi.seasonal_model, MultiSeasonalHoltWinters)

@@ -139,6 +139,17 @@ class TestNodeTimeSeries:
         a.merge_from(b)
         assert list(a.actual) == [1.0, 2.0, 13.0]
 
+    def test_merge_from_longer_series_trims_to_capacity(self):
+        """Merging a longer ring keeps the newest ``length`` elements, like
+        the historical bounded deque did."""
+        a = NodeTimeSeries.from_history([1.0, 2.0], length=2, forecast_config=fc())
+        b = NodeTimeSeries.from_history(
+            [10.0, 20.0, 30.0, 40.0], length=8, forecast_config=fc()
+        )
+        a.merge_from(b)
+        assert list(a.actual) == [31.0, 42.0]
+        assert len(a.actual) == 2
+
     def test_replace_actual_rebuilds_forecaster(self):
         series = NodeTimeSeries.from_history([1.0, 1.0, 1.0], length=8, forecast_config=fc(fallback=1.0))
         series.replace_actual([5.0, 5.0, 5.0])

@@ -1,0 +1,92 @@
+"""Harness-level tests for ``benchmarks/perf/bench_ingest.py``.
+
+The perf harness is part of the repo's data pipeline — ``BENCH_ingest.json``
+is the throughput trajectory successive PRs cite — so its bookkeeping rules
+get tested like library code:
+
+* an entry records the per-stage breakdown of both end-to-end paths;
+* a run whose equivalence checks fail appends **nothing** (a wrong result
+  must not enter the trajectory) and exits non-zero.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks" / "perf"
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+import bench_ingest  # noqa: E402
+
+
+def run_main(tmp_path, monkeypatch, argv_extra=()):
+    out = tmp_path / "BENCH_ingest.json"
+    argv = [
+        "--duration-days", "0.1",
+        "--rate-per-hour", "200",
+        "--bank-rows", "0",
+        "--out", str(out),
+        *argv_extra,
+    ]
+    code = bench_ingest.main(argv)
+    return code, out
+
+
+def test_entry_records_stage_breakdown(tmp_path, monkeypatch):
+    code, out = run_main(tmp_path, monkeypatch)
+    assert code == 0
+    history = json.loads(out.read_text())
+    assert len(history) == 1
+    stages = history[0]["stages"]
+    for path in ("record", "batch"):
+        for key in ("classify", "hierarchy", "forecast_detect", "reading", "raw"):
+            assert key in stages[path]
+        raw = stages[path]["raw"]
+        assert set(raw) >= {
+            "updating_hierarchies",
+            "creating_time_series",
+            "detecting_anomalies",
+        }
+
+
+def test_diverging_run_is_not_recorded(tmp_path, monkeypatch):
+    """An equivalence failure exits non-zero and appends nothing."""
+    real = bench_ingest.time_end_to_end
+
+    def corrupted(dataset, config, feed, batched):
+        elapsed, session = real(dataset, config, feed, batched)
+        if batched:
+            # Sabotage the batch path's report store: the harness must notice
+            # the divergence and refuse to record the run.
+            from repro.core.detector import Anomaly
+
+            session.reports.add_many(
+                [Anomaly(node_path=("bogus",), timeunit=0, actual=9.0, forecast=0.0)]
+            )
+        return elapsed, session
+
+    monkeypatch.setattr(bench_ingest, "time_end_to_end", corrupted)
+    code, out = run_main(tmp_path, monkeypatch)
+    assert code == 2
+    assert not out.exists()
+
+
+def test_append_result_accumulates(tmp_path):
+    out = tmp_path / "bench.json"
+    bench_ingest.append_result({"a": 1}, out)
+    bench_ingest.append_result({"b": 2}, out)
+    assert json.loads(out.read_text()) == [{"a": 1}, {"b": 2}]
+
+
+@pytest.mark.parametrize("rows", [64])
+def test_bank_kernel_backends_agree_and_report(rows):
+    result = bench_ingest.bench_bank_kernel(rows=rows, steps=16, season=8)
+    assert result["rows"] == rows
+    assert result["vector_seconds"] > 0
+    assert result["scalar_seconds"] > 0
+    assert "speedup" in result
