@@ -44,12 +44,23 @@ PRs accumulate a throughput trajectory.  **Entries are only appended when
 every equivalence check passed** — a run that produced wrong detections
 exits non-zero without recording a result.
 
+Adaptation-engine benchmarks (``--adaptation-bench``)
+-----------------------------------------------------
+Three delta-vs-legacy close comparisons with identical detections and
+checkpoint states asserted: the table3 workload, a rotating flash-crowd
+churn scenario (``build_churn_workload``: the heavy hitter set rotates every
+16 timeunits, exercising SPLIT cascades and MERGE folds continuously) with
+an end-to-end ``stage_seconds`` breakdown, and a stable-timeunit phase whose
+constant heavy set isolates the delta fast path.  ``--check-adapt-speedup
+MIN`` gates CI on the stable fast path.
+
 Usage::
 
     python benchmarks/perf/bench_ingest.py                 # full table3 workload
     python benchmarks/perf/bench_ingest.py --duration-days 0.5 --check-speedup 1.0
     python benchmarks/perf/bench_ingest.py --workers 2,4 --check-workers-speedup 1.0
     python benchmarks/perf/bench_ingest.py --compare-scalar --check-bank-speedup 2.0
+    python benchmarks/perf/bench_ingest.py --adaptation-bench --check-adapt-speedup 2.0
 """
 
 from __future__ import annotations
@@ -92,6 +103,94 @@ def build_workload(duration_days: float, rate_per_hour: float, delta_seconds: fl
             zipf_exponent=1.4,
             seed=909,
         )
+    )
+
+
+def build_churn_workload(
+    duration_days: float,
+    rate_per_hour: float,
+    delta_seconds: float,
+    rotation_units: int = 16,
+    crowds: int = 3,
+    seed: int = 777,
+):
+    """Flash-crowd workload: the heavy hitter set rotates every
+    ``rotation_units`` timeunits.
+
+    A steady CCD trouble trace carries ``crowds`` concurrent flash-crowd
+    bursts at random depth-2/3 subtrees; every rotation the crowds move to
+    fresh subtrees, so the adaptive tracker runs SPLIT cascades for the new
+    heavy hitters and MERGE folds for the expiring ones, with stable
+    stretches in between — exactly the regime the delta-driven adaptation
+    engine targets.
+    """
+    import random as _random
+
+    from repro.datagen.anomalies import InjectedAnomaly
+    from repro.datagen.arrival import SeasonalRateModel
+    from repro.datagen.ccd import CCD_TICKET_MIX, CCDDataset
+    from repro.datagen.generator import TraceGenerator
+    from repro.hierarchy.builders import build_ccd_trouble_tree
+    from repro.streaming.clock import HOUR, SimulationClock
+
+    config = CCDConfig(
+        dimension="trouble",
+        duration_days=duration_days,
+        delta_seconds=delta_seconds,
+        base_rate_per_hour=rate_per_hour,
+        num_anomalies=0,
+        zipf_exponent=1.3,
+        volatility=0.1,
+        seed=seed,
+    )
+    tree = build_ccd_trouble_tree(seed=seed)
+    clock = SimulationClock(
+        delta=delta_seconds, epoch=0.0, epoch_weekday=5, epoch_hour=0.0
+    )
+    rate_model = SeasonalRateModel(
+        base_rate=rate_per_hour / HOUR,
+        diurnal_strength=0.4,
+        peak_hour=16.0,
+        weekly_strength=0.1,
+        volatility=0.1,
+    )
+    rng = _random.Random(seed + 99)
+    candidates = [node for node in tree.iter_nodes() if node.depth in (2, 3)]
+    duration = config.duration_seconds
+    num_units = int(duration // delta_seconds)
+    anomalies = []
+    for start_unit in range(0, num_units, rotation_units):
+        start = start_unit * delta_seconds
+        span = min(rotation_units * delta_seconds, duration - start)
+        if span <= 0:
+            break
+        for _ in range(crowds):
+            node = rng.choice(candidates)
+            anomalies.append(
+                InjectedAnomaly(
+                    node_path=node.path,
+                    start=start,
+                    duration=span,
+                    extra_rate=rate_per_hour / HOUR * 0.15,
+                    label=f"flash-{start_unit}",
+                )
+            )
+    anomalies.sort(key=lambda a: a.start)
+    generator = TraceGenerator(
+        tree=tree,
+        rate_model=rate_model,
+        clock=clock,
+        top_level_weights=CCD_TICKET_MIX,
+        zipf_exponent=1.3,
+        seed=seed,
+        anomalies=anomalies,
+    )
+    return CCDDataset(
+        config=config,
+        tree=tree,
+        clock=clock,
+        generator=generator,
+        anomalies=tuple(anomalies),
     )
 
 
@@ -329,6 +428,149 @@ def bench_bank_kernel(rows: int = 2048, steps: int = 192, season: int = 96) -> d
     }
 
 
+def _compare_close_paths(dataset, config, reps: int = 2) -> dict:
+    """Drive the ADA close directly with per-timeunit counts, delta vs legacy.
+
+    Both adaptation engines must produce identical per-timeunit results and
+    identical checkpoint states; the returned stage seconds are the best of
+    ``reps`` runs per mode (interleaved, to damp machine noise).
+    """
+    import json as _json
+
+    from repro.core.ada import ADAAlgorithm
+    from repro.datagen.generator import counts_per_timeunit
+
+    units = counts_per_timeunit(
+        dataset.record_list(), dataset.clock, dataset.num_timeunits + 1
+    )
+    best = {"delta": None, "legacy": None}
+    outputs = {}
+    stats = {}
+    for _rep in range(reps):
+        for mode in ("delta", "legacy"):
+            algo = ADAAlgorithm(dataset.tree, config, adaptation=mode)
+            results = [
+                algo.process_timeunit(counts, u) for u, counts in enumerate(units)
+            ]
+            stage = algo.stage_seconds["creating_time_series"]
+            if best[mode] is None or stage < best[mode]:
+                best[mode] = stage
+            state = algo.state_dict()
+            state["stage_seconds"] = None
+            outputs[mode] = (
+                _json.dumps(state, sort_keys=True),
+                [
+                    (r.timeunit, r.heavy_hitters, r.actuals, r.forecasts, r.anomalies)
+                    for r in results
+                ],
+            )
+            stats[mode] = algo.adaptation_stats()
+    if outputs["delta"] != outputs["legacy"]:
+        raise EquivalenceError(
+            "delta-driven adaptation diverged from the legacy scalar walk"
+        )
+    return {
+        "timeunits": len(units),
+        "delta_creating_seconds": round(best["delta"], 6),
+        "legacy_creating_seconds": round(best["legacy"], 6),
+        "stage_speedup": round(best["legacy"] / max(best["delta"], 1e-9), 2),
+        "delta_stats": {
+            k: round(v, 6) if isinstance(v, float) else v
+            for k, v in stats["delta"].items()
+        },
+        "legacy_stats": {
+            k: round(v, 6) if isinstance(v, float) else v
+            for k, v in stats["legacy"].items()
+        },
+    }
+
+
+def _stable_phase_speedup(dataset, config, steps: int = 256, warmup: int = 8) -> dict:
+    """Stable-timeunit fast path: one fixed count table repeated ``steps``
+    times (heavy set constant), delta vs legacy close, identical detections
+    asserted."""
+    from repro.core.ada import ADAAlgorithm
+    from repro.datagen.generator import counts_per_timeunit
+
+    units = counts_per_timeunit(
+        dataset.record_list(), dataset.clock, dataset.num_timeunits + 1
+    )
+    counts = max(units, key=len)  # densest timeunit of the trace
+    adapt = {}
+    stage = {}
+    outputs = {}
+    for mode in ("delta", "legacy"):
+        algo = ADAAlgorithm(dataset.tree, config, adaptation=mode)
+        for unit in range(warmup):
+            algo.process_timeunit(counts, unit)
+        stage_base = algo.stage_seconds["creating_time_series"]
+        adapt_base = algo.adapt_seconds
+        results = [
+            algo.process_timeunit(counts, warmup + step) for step in range(steps)
+        ]
+        stage[mode] = algo.stage_seconds["creating_time_series"] - stage_base
+        adapt[mode] = algo.adapt_seconds - adapt_base
+        outputs[mode] = [
+            (r.timeunit, r.heavy_hitters, r.actuals, r.forecasts, r.anomalies)
+            for r in results
+        ]
+    if outputs["delta"] != outputs["legacy"]:
+        raise EquivalenceError(
+            "stable-phase detections diverged between delta and legacy adaptation"
+        )
+    return {
+        "steps": steps,
+        "tracked": len(outputs["delta"][0][1]),
+        # Adaptation time proper: on a stable timeunit the delta engine does
+        # one heavy-mask comparison while the legacy walk rescans the whole
+        # registry — the ``--check-adapt-speedup`` gate compares these.
+        "delta_adapt_seconds": round(adapt["delta"], 6),
+        "legacy_adapt_seconds": round(adapt["legacy"], 6),
+        "speedup": round(adapt["legacy"] / max(adapt["delta"], 1e-9), 2),
+        "delta_stage_seconds": round(stage["delta"], 6),
+        "legacy_stage_seconds": round(stage["legacy"], 6),
+        "stage_speedup": round(stage["legacy"] / max(stage["delta"], 1e-9), 2),
+    }
+
+
+def bench_adaptation(args: argparse.Namespace) -> dict:
+    """Delta-adaptation engine benchmarks: table3 close, churn scenario
+    (close comparison + end-to-end stage breakdown), stable fast path."""
+    table3 = build_workload(args.duration_days, args.rate_per_hour, args.delta_seconds)
+    table3_config = detector_config(args.delta_seconds, args.duration_days)
+    churn = build_churn_workload(
+        args.churn_days, args.rate_per_hour, args.delta_seconds
+    )
+    churn_config = detector_config(args.delta_seconds, args.churn_days)
+
+    section = {
+        "table3": _compare_close_paths(table3, table3_config),
+        "churn": _compare_close_paths(churn, churn_config),
+        "stable": _stable_phase_speedup(table3, table3_config),
+    }
+
+    # End-to-end churn run through a session for the per-stage breakdown.
+    churn_records = churn.record_list()
+    churn_batches = [
+        RecordBatch.from_records(churn_records[i : i + args.batch_size])
+        for i in range(0, len(churn_records), args.batch_size)
+    ]
+    elapsed, session = time_end_to_end(churn, churn_config, churn_batches, batched=True)
+    section["churn"]["workload"] = {
+        "name": "flash-crowd-rotating",
+        "duration_days": args.churn_days,
+        "n_records": len(churn_records),
+        "timeunits": churn.num_timeunits,
+    }
+    section["churn"]["e2e_seconds"] = round(elapsed, 6)
+    section["churn"]["stages"] = stage_breakdown(elapsed, session)
+    section["churn"]["session_adaptation_stats"] = {
+        k: round(v, 6) if isinstance(v, float) else v
+        for k, v in session.adaptation_stats().items()
+    }
+    return section
+
+
 def run(args: argparse.Namespace) -> dict:
     dataset = build_workload(args.duration_days, args.rate_per_hour, args.delta_seconds)
     records = dataset.record_list()
@@ -437,6 +679,13 @@ def run(args: argparse.Namespace) -> dict:
         }
     if args.bank_rows > 0:
         entry["bank_kernel"] = bench_bank_kernel(rows=args.bank_rows)
+    if args.adaptation_bench:
+        if HAS_VECTOR_BACKEND:
+            entry["adaptation"] = bench_adaptation(args)
+        else:
+            # Without the vector backend both adaptation engines are the same
+            # scalar walk — there is nothing to compare.
+            entry["adaptation"] = {"skipped": "no vector backend"}
     if sharded:
         entry["sharded"] = sharded
         entry["cpu_count"] = os.cpu_count()
@@ -490,6 +739,28 @@ def main(argv: "list[str] | None" = None) -> int:
         "(0 disables it)",
     )
     parser.add_argument(
+        "--adaptation-bench",
+        action="store_true",
+        help="also run the delta-adaptation benchmarks (table3 + rotating "
+        "flash-crowd churn scenario + stable fast path, delta vs legacy "
+        "close with identical detections asserted)",
+    )
+    parser.add_argument(
+        "--churn-days",
+        type=float,
+        default=2.0,
+        metavar="D",
+        help="duration of the rotating flash-crowd churn scenario",
+    )
+    parser.add_argument(
+        "--check-adapt-speedup",
+        type=float,
+        default=None,
+        metavar="MIN",
+        help="exit non-zero unless the stable-timeunit fast path is >= MIN x "
+        "faster than the legacy adaptation walk (implies --adaptation-bench)",
+    )
+    parser.add_argument(
         "--check-speedup",
         type=float,
         default=None,
@@ -513,6 +784,8 @@ def main(argv: "list[str] | None" = None) -> int:
         "the single-process batch path end-to-end",
     )
     args = parser.parse_args(argv)
+    if args.check_adapt_speedup is not None:
+        args.adaptation_bench = True
 
     if args.scalar_probe:
         print(json.dumps(run_scalar_probe(args)))
@@ -550,6 +823,18 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"bank kernel ({k['rows']} rows x {k['steps']} units): vector "
               f"{k['vector_seconds']:.3f}s | scalar {k['scalar_seconds']:.3f}s | "
               f"speedup {k['speedup']:.2f}x")
+    if "adaptation" in entry and "skipped" not in entry["adaptation"]:
+        a = entry["adaptation"]
+        for scenario in ("table3", "churn"):
+            s = a[scenario]
+            print(f"adaptation[{scenario}]: creating {s['delta_creating_seconds']:.3f}s "
+                  f"delta | {s['legacy_creating_seconds']:.3f}s legacy | "
+                  f"{s['stage_speedup']:.2f}x (identical detections/state)")
+        st = a["stable"]
+        print(f"adaptation[stable]: {st['steps']} stable units, {st['tracked']} "
+              f"tracked | adapt {st['delta_adapt_seconds']*1e3:.1f}ms delta vs "
+              f"{st['legacy_adapt_seconds']*1e3:.1f}ms legacy | {st['speedup']:.2f}x "
+              f"(stage {st['stage_speedup']:.2f}x)")
     for workers, stats in entry.get("sharded", {}).items():
         print(f"sharded({workers}w): {stats['rps']:>12,.0f} rec/s | "
               f"{stats['speedup_vs_batch']:.2f}x vs single-process batch "
@@ -570,6 +855,18 @@ def main(argv: "list[str] | None" = None) -> int:
             print(f"FAIL: bank forecast+detect speedup {achieved:.2f}x < "
                   f"required {args.check_bank_speedup:.2f}x", file=sys.stderr)
             return 1
+    if args.check_adapt_speedup is not None:
+        adaptation = entry.get("adaptation", {})
+        if "skipped" in adaptation:
+            print("note: --check-adapt-speedup skipped (no vector backend)",
+                  file=sys.stderr)
+        else:
+            achieved = adaptation["stable"]["speedup"]
+            if achieved < args.check_adapt_speedup:
+                print(f"FAIL: stable fast-path adaptation speedup "
+                      f"{achieved:.2f}x < required "
+                      f"{args.check_adapt_speedup:.2f}x", file=sys.stderr)
+                return 1
     if args.check_workers_speedup is not None:
         if not entry.get("sharded"):
             print("FAIL: --check-workers-speedup given without --workers",

@@ -46,24 +46,41 @@ detections.
 
 from __future__ import annotations
 
+import os
 import time
 from collections import deque
 from typing import Deque, Mapping
 
 from repro._types import CategoryPath, TimeunitIndex, Weight
 from repro._vector import load_numpy
+from repro.core.adapt import (
+    FOLD,
+    FRESH,
+    MOVE,
+    SPLIT,
+    batched_split_runs,
+    plan_adaptation,
+)
 from repro.core.config import TiresiasConfig
 from repro.core.detector import ThresholdDetector
 from repro.core.hhh import accumulate_raw_weights, compute_shhh
 from repro.core.results import TimeunitResult
 from repro.core.split_rules import NodeUsageStats, make_split_rule
 from repro.core.timeseries import NodeTimeSeries
+from repro.exceptions import ConfigurationError
 from repro.forecasting.bank import ForecasterBank
 from repro.hierarchy.index import HierarchyIndex
 from repro.hierarchy.node import HierarchyNode
 from repro.hierarchy.tree import HierarchyTree
 
 _np = load_numpy()
+
+#: Environment variable forcing the historical scalar adaptation walk even
+#: when the vector backend is available — the deployment-level escape hatch
+#: (in-repo code such as the perf harness prefers the explicit
+#: ``ADAAlgorithm(adaptation="legacy")`` constructor argument).  Resolved
+#: once at construction; toggling it mid-run does not switch live instances.
+DISABLE_DELTA_ENV = "REPRO_DISABLE_DELTA"
 
 
 class _SplitStatsStore:
@@ -114,10 +131,10 @@ class _SplitStatsStore:
         if ids.size == 0:
             return
         weights = raw_vec[ids]
-        gaps = timeunit - self.last_unit_arr[ids] - 1
-        decay_rows = self.has_last[ids] & (gaps > 0)
+        last = self.last_unit_arr[ids]
+        decay_rows = self.has_last[ids] & (last < timeunit - 1)
         if decay_rows.any():
-            gap_values = gaps[decay_rows]
+            gap_values = timeunit - last[decay_rows] - 1
             self._extend_decay(int(gap_values.max()))
             selected = ids[decay_rows]
             self.ewma[selected] = self.ewma[selected] * _np.asarray(self._decay)[
@@ -210,23 +227,24 @@ class _SplitStatsStore:
             last = self.last_unit.get(path, -1)
         else:
             node_id = self.index.path_to_id.get(path)
-            if node_id is not None and self.seen[node_id]:
-                stats = NodeUsageStats(
-                    last_weight=float(self.last_weight[node_id]),
-                    cumulative_weight=float(self.cumulative[node_id]),
-                    ewma_weight=float(self.ewma[node_id]),
-                    observations=int(self.observations[node_id]),
-                )
-                last = (
-                    int(self.last_unit_arr[node_id])
-                    if self.has_last[node_id]
-                    else -1
-                )
-            else:
-                stats = self._extra_stats.get(path)
-                last = self._extra_last.get(path, -1)
+            if node_id is not None:
+                return self.view_id(node_id, timeunit)
+            stats = self._extra_stats.get(path)
+            last = self._extra_last.get(path, -1)
         if stats is None:
             return NodeUsageStats()
+        return self._silence_adjusted(stats, last, timeunit)
+
+    def _silence_adjusted(
+        self, stats: NodeUsageStats, last: int, timeunit: int
+    ) -> NodeUsageStats:
+        """``stats`` adjusted for the timeunits since ``last`` (shared tail).
+
+        The single owner of the silent-timeunit decay arithmetic (Python
+        ``**`` decay, last-weight zeroing); :meth:`view`, :meth:`view_id` and
+        the per-rule scorers in :meth:`ADAAlgorithm._make_id_scorer` must all
+        agree with it bit for bit.
+        """
         gap = timeunit - last
         if gap <= 0:
             return stats
@@ -237,6 +255,23 @@ class _SplitStatsStore:
             ewma_weight=stats.ewma_weight * (1 - alpha) ** (gap - 1),
             observations=stats.observations,
         )
+
+    def view_id(self, node_id: int, timeunit: int) -> NodeUsageStats:
+        """Dense-store :meth:`view` for an in-tree node id (no path lookup).
+
+        Same arithmetic, same Python ``**`` decay, so views are bit-identical
+        to the path-keyed read.
+        """
+        if not self.seen[node_id]:
+            return NodeUsageStats()
+        stats = NodeUsageStats(
+            last_weight=float(self.last_weight[node_id]),
+            cumulative_weight=float(self.cumulative[node_id]),
+            ewma_weight=float(self.ewma[node_id]),
+            observations=int(self.observations[node_id]),
+        )
+        last = int(self.last_unit_arr[node_id]) if self.has_last[node_id] else -1
+        return self._silence_adjusted(stats, last, timeunit)
 
     # ------------------------------------------------------------------
     # Canonical checkpoint rows
@@ -335,12 +370,222 @@ class _SplitStatsStore:
             self.has_last[node_id] = True
 
 
+class _RefStore:
+    """Reference (unmodified weight ``A_n``) series for the top-``h`` levels.
+
+    With NumPy the buffers live in one ``(rows, window)`` ring written with a
+    single column assignment per timeunit; without NumPy — or after restoring
+    a snapshot whose rows are ragged — every row is a bounded deque, exactly
+    the historical representation.  Emission preserves row insertion order so
+    checkpoints stay byte-identical across save/restore round trips
+    (including merged sharded checkpoints, whose row order is shard-grouped).
+    """
+
+    def __init__(self, maxlen: int):
+        self.maxlen = maxlen
+        #: Row paths in insertion order (both modes).
+        self.order: list[CategoryPath] = []
+        self.row_of: dict[CategoryPath, int] = {}
+        self.deques: "dict[CategoryPath, Deque[float]] | None" = (
+            {} if _np is None else None
+        )
+        self._buf = None  # (rows, maxlen) ring payload, ring mode only
+        self._start = 0
+        self._size = 0
+        self._perm_paths: "tuple | None" = None
+        self._perm = None
+
+    @property
+    def ring_mode(self) -> bool:
+        return self.deques is None
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def _degrade(self) -> None:
+        """Fall back to per-row deques (keeps values and order)."""
+        if not self.ring_mode:
+            return
+        deques: dict[CategoryPath, Deque[float]] = {}
+        for row, path in enumerate(self.order):
+            deques[path] = deque(self._row_list(row), maxlen=self.maxlen)
+        self.deques = deques
+        self._buf = None
+        self._start = 0
+        self._size = 0
+        self._perm_paths = None
+        self._perm = None
+
+    def _perm_for(self, paths) -> "object | None":
+        """Row indices for ``paths`` (cached), or None if any path is absent."""
+        if self._perm_paths is paths:
+            return self._perm
+        row_of = self.row_of
+        try:
+            perm = _np.array([row_of[path] for path in paths], dtype=_np.intp)
+        except KeyError:
+            return None
+        self._perm_paths = paths
+        self._perm = perm
+        return perm
+
+    def append_column(self, paths, values) -> None:
+        """Append one timeunit's value per path (creating missing rows).
+
+        ``paths`` is the session's fixed reference-node tuple; in ring mode
+        the whole column lands with one array write.
+        """
+        if self.ring_mode:
+            if not self.order:
+                self.order = [path for path in paths]
+                self.row_of = {path: row for row, path in enumerate(self.order)}
+                self._buf = _np.zeros((len(self.order), self.maxlen))
+                self._perm_paths = None
+            perm = self._perm_for(paths)
+            if perm is None or len(self.order) != len(paths):
+                self._degrade()
+            else:
+                pos = self._start + self._size
+                if pos >= self.maxlen:
+                    pos -= self.maxlen
+                self._buf[perm, pos] = values
+                if self._size == self.maxlen:
+                    self._start += 1
+                    if self._start == self.maxlen:
+                        self._start = 0
+                else:
+                    self._size += 1
+                return
+        if not isinstance(values, list):
+            values = values.tolist() if _np is not None else list(values)
+        maxlen = self.maxlen
+        deques = self.deques
+        for path, value in zip(paths, values):
+            buf = deques.get(path)
+            if buf is None:
+                buf = deque(maxlen=maxlen)
+                deques[path] = buf
+                self.order.append(path)
+                self.row_of[path] = len(self.order) - 1
+            buf.append(value)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def _row_list(self, row: int) -> list[float]:
+        end = self._start + self._size
+        if end <= self.maxlen:
+            return self._buf[row, self._start : end].tolist()
+        return (
+            self._buf[row, self._start :].tolist()
+            + self._buf[row, : end - self.maxlen].tolist()
+        )
+
+    def has_values(self, path: CategoryPath) -> bool:
+        if self.ring_mode:
+            return self._size > 0 and path in self.row_of
+        buf = self.deques.get(path)
+        return buf is not None and len(buf) > 0
+
+    def corrected_base(self, path: CategoryPath):
+        """A fresh, mutable oldest-first copy of the path's buffer (or None).
+
+        NumPy present: a float64 array (bit-identical to the historical
+        ``np.fromiter`` over the deque); fallback: a plain list.
+        """
+        if self.ring_mode:
+            row = self.row_of.get(path)
+            if row is None or self._size == 0:
+                return None
+            end = self._start + self._size
+            if end <= self.maxlen:
+                return self._buf[row, self._start : end].copy()
+            return _np.concatenate(
+                [self._buf[row, self._start :], self._buf[row, : end - self.maxlen]]
+            )
+        buf = self.deques.get(path)
+        if buf is None or not buf:
+            return None
+        if _np is not None:
+            return _np.fromiter(buf, dtype=_np.float64, count=len(buf))
+        return list(buf)
+
+    def total_len(self) -> int:
+        if self.ring_mode:
+            return self._size * len(self.order)
+        return sum(len(buf) for buf in self.deques.values())
+
+    def as_dict(self) -> "dict[CategoryPath, Deque[float]]":
+        """Compat view: ``{path: deque}`` in insertion order.
+
+        In ring mode the deques are materialized copies — reads only (the
+        live state is columnar)."""
+        if not self.ring_mode:
+            return self.deques
+        return {
+            path: deque(self._row_list(row), maxlen=self.maxlen)
+            for row, path in enumerate(self.order)
+        }
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def emit(self) -> list:
+        if self.ring_mode:
+            return [
+                [list(path), self._row_list(row)]
+                for row, path in enumerate(self.order)
+            ]
+        return [[list(path), list(buf)] for path, buf in self.deques.items()]
+
+    def load(self, rows) -> None:
+        """Restore from canonical ``[[path, values], ...]`` rows."""
+        self.order = []
+        self.row_of = {}
+        self._buf = None
+        self._start = 0
+        self._size = 0
+        self._perm_paths = None
+        self._perm = None
+        self.deques = {} if _np is None else None
+        maxlen = self.maxlen
+        if not rows:
+            return
+        lengths = {min(len(values), maxlen) for _path, values in rows}
+        if _np is not None and len(lengths) == 1:
+            size = next(iter(lengths))
+            self.order = [tuple(path) for path, _values in rows]
+            self.row_of = {path: row for row, path in enumerate(self.order)}
+            self._buf = _np.zeros((len(rows), maxlen))
+            for row, (_path, values) in enumerate(rows):
+                tail = [float(v) for v in values][-maxlen:]
+                self._buf[row, :size] = tail
+            self._size = size
+            return
+        if _np is not None:
+            self.deques = {}
+        for path, values in rows:
+            path = tuple(path)
+            self.order.append(path)
+            self.row_of[path] = len(self.order) - 1
+            self.deques[path] = deque((float(v) for v in values), maxlen=maxlen)
+
+
 class ADAAlgorithm:
     """Adaptive online heavy hitter tracking and time-series maintenance."""
 
     name = "ADA"
 
-    def __init__(self, tree: HierarchyTree, config: TiresiasConfig):
+    def __init__(
+        self, tree: HierarchyTree, config: TiresiasConfig, adaptation: str = "auto"
+    ):
+        if adaptation not in ("auto", "delta", "legacy"):
+            raise ConfigurationError(
+                f"adaptation must be 'auto', 'delta' or 'legacy', got {adaptation!r}"
+            )
         self.tree = tree
         self.config = config
         self.detector = ThresholdDetector(config)
@@ -354,11 +599,16 @@ class ADAAlgorithm:
         #: path can have descendants in, instead of every tracked series.
         self._series_buckets: dict[str, dict[CategoryPath, NodeTimeSeries]] = {}
         #: Reference (unmodified weight) series for nodes in the top h levels.
-        self.reference: dict[CategoryPath, Deque[float]] = {}
+        self._ref = _RefStore(config.window_units)
         #: Dense hierarchy view driving the vectorized weight kernels.
         self._index: HierarchyIndex | None = (
             HierarchyIndex(tree) if _np is not None else None
         )
+        if adaptation == "delta" and self._index is None:
+            raise ConfigurationError(
+                "adaptation='delta' requires the vector backend (NumPy); "
+                "use 'auto' to fall back to the scalar walk transparently"
+            )
         #: Split-rule statistics for every node seen so far.
         self._stats = _SplitStatsStore(config, self._index)
         self._timeunit: TimeunitIndex = -1
@@ -371,6 +621,36 @@ class ADAAlgorithm:
         self.merge_operations = 0
         self._view_cache: dict[CategoryPath, NodeUsageStats] = {}
         self.last_result: TimeunitResult | None = None
+        #: Id-indexed series registry: one slot per node id, an occupancy
+        #: mask (== the previous timeunit's heavy mask between closes) and a
+        #: dense forecaster row-handle table.  The tuple-keyed ``series`` /
+        #: ``_series_buckets`` dicts above are kept in lockstep as thin
+        #: compat views — mutated only on churn, never on stable timeunits.
+        if self._index is not None:
+            n = self._index.num_nodes
+            self._series_by_id: list[NodeTimeSeries | None] = [None] * n
+            self._series_mask = _np.zeros(n, dtype=bool)
+            self._series_rows = _np.full(n, -1, dtype=_np.int64)
+        else:
+            self._series_by_id = []
+            self._series_mask = None
+            self._series_rows = None
+        self._adaptation = adaptation
+        #: Resolved once at construction so an instance never switches mode
+        #: mid-run (mixed-mode switching would leave the id tables stale).
+        self._env_disable_delta = bool(os.environ.get(DISABLE_DELTA_ENV))
+        #: Cleared when state that the id planner cannot represent appears
+        #: (e.g. a restored series path outside this tree).
+        self._delta_ok = True
+        #: Per-timeunit id-keyed split-statistics view memo (churn path).
+        self._id_view_cache: dict[int, NodeUsageStats] = {}
+        #: Cached heavy-order structures reused verbatim while the heavy set
+        #: is unchanged: (mask, ids array, paths, frozenset, rows, series).
+        self._hv_cache = None
+        #: Delta-engine counters (not checkpointed).
+        self.fastpath_units = 0
+        self.planned_units = 0
+        self.adapt_seconds = 0.0
         #: Raw root weight of the most recent timeunit.  Additive across
         #: disjoint subtree shards; the sharded engine sums it to replay the
         #: root's split-rule bookkeeping coordinator-side.
@@ -390,11 +670,23 @@ class ADAAlgorithm:
     # ------------------------------------------------------------------
     # Online interface
     # ------------------------------------------------------------------
+    @property
+    def delta_adaptation_active(self) -> bool:
+        """Whether the id-based delta planner drives the close path."""
+        if self._index is None or not self._delta_ok:
+            return False
+        if self._adaptation == "legacy":
+            return False
+        if self._adaptation == "delta":
+            return True
+        return not self._env_disable_delta
+
     def process_timeunit(
         self, leaf_counts: Mapping[CategoryPath, Weight], timeunit: TimeunitIndex | None = None
     ) -> TimeunitResult:
         """Ingest one timeunit of data, adapt the heavy hitter series, detect."""
         self._timeunit = self._timeunit + 1 if timeunit is None else timeunit
+        delta_close = self.delta_adaptation_active
 
         start = time.perf_counter()
         if self._index is not None:
@@ -405,13 +697,24 @@ class ADAAlgorithm:
                 heavy_mask[0] = True
             elif not self.config.allow_root_heavy:
                 heavy_mask[0] = False
-            heavy_paths = [index.paths[i] for i in index.sorted_ids(heavy_mask)]
             self.last_root_raw = float(raw_vec[0])
             raw = None
             modified_weights = None
+            if delta_close:
+                # Heavy-order identity (ids, paths, membership set) depends
+                # only on the mask and is resolved here, exactly where the
+                # scalar close resolves it; on stable timeunits it is the
+                # cached tuple, untouched.
+                prepared = self._prepare_delta(heavy_mask)
+                heavy_paths = prepared[2]
+                heavy_set = prepared[3]
+            else:
+                heavy_paths = [index.paths[i] for i in index.sorted_ids(heavy_mask)]
+                heavy_set = set(heavy_paths)
         else:
             raw_vec = None
             modified_vec = None
+            heavy_mask = None
             raw = accumulate_raw_weights(self.tree, leaf_counts)
             shhh_result = compute_shhh(
                 self.tree, leaf_counts, self.config.theta, raw=raw
@@ -424,22 +727,29 @@ class ADAAlgorithm:
             heavy_paths = sorted(heavy)
             modified_weights = shhh_result.modified_weights
             self.last_root_raw = float(raw.get(self.tree.root.path, 0.0))
-        heavy_set = set(heavy_paths)
+            heavy_set = set(heavy_paths)
         self.stage_seconds["updating_hierarchies"] += time.perf_counter() - start
 
         start = time.perf_counter()
-        # Split-rule statistics are frozen during adaptation (they update
-        # after it), so per-path views can be memoized for this timeunit.
-        self._view_cache: dict[CategoryPath, NodeUsageStats] = {}
-        self._adapt(heavy_set)
-        self._update_reference(raw, raw_vec)
-        actuals, forecasts = self._append_weights(
-            heavy_paths, raw_vec, modified_vec, raw, modified_weights
-        )
-        if self._index is not None:
-            self._stats.update_dense(self._timeunit, raw_vec)
+        if delta_close:
+            actuals, forecasts = self._close_delta(
+                prepared, heavy_mask, raw_vec, modified_vec
+            )
         else:
-            self._stats.update_dict(self._timeunit, raw)
+            # Split-rule statistics are frozen during adaptation (they update
+            # after it), so per-path views can be memoized for this timeunit.
+            self._view_cache = {}
+            adapt_start = time.perf_counter()
+            self._adapt(heavy_set)
+            self.adapt_seconds += time.perf_counter() - adapt_start
+            self._update_reference(raw, raw_vec)
+            actuals, forecasts = self._append_weights(
+                heavy_paths, raw_vec, modified_vec, raw, modified_weights
+            )
+            if self._index is not None:
+                self._stats.update_dense(self._timeunit, raw_vec)
+            else:
+                self._stats.update_dict(self._timeunit, raw)
         self.stage_seconds["creating_time_series"] += time.perf_counter() - start
 
         start = time.perf_counter()
@@ -449,9 +759,325 @@ class ADAAlgorithm:
         return result
 
     # ------------------------------------------------------------------
-    # Series registry (dict + per-top-label buckets, kept in lockstep)
+    # Delta-driven close path (id-based fast path + batched planner)
     # ------------------------------------------------------------------
-    def _series_set(self, path: CategoryPath, series: NodeTimeSeries) -> None:
+    def _prepare_delta(self, heavy_mask):
+        """Resolve the timeunit's heavy-order identity from the mask alone.
+
+        Returns ``(stable, ids_arr, heavy_paths, heavy_set, ids)`` — on a
+        stable timeunit (mask unchanged) everything comes from the cache and
+        ``ids`` is None; otherwise the lex-ordered ids and path structures
+        are built fresh (this is the work the scalar close performs in the
+        same stage when it materializes ``heavy_paths``).
+        """
+        cache = self._hv_cache
+        check_start = time.perf_counter()
+        if cache is not None and cache[0] == heavy_mask.tobytes():
+            # The whole adaptation engine's work for a stable timeunit is
+            # this one mask comparison (bytes compare: one memcmp).
+            self.adapt_seconds += time.perf_counter() - check_start
+            return (True, cache[1], cache[2], cache[3], None)
+        self.adapt_seconds += time.perf_counter() - check_start
+        index = self._index
+        lex = index.lex_order
+        ids_arr = lex[heavy_mask[lex]]
+        ids = ids_arr.tolist()
+        paths = index.paths
+        heavy_paths = [paths[i] for i in ids]
+        heavy_set = frozenset(heavy_paths)
+        return (False, ids_arr, heavy_paths, heavy_set, ids)
+
+    def _close_delta(self, prepared, heavy_mask, raw_vec, modified_vec):
+        """The id-based per-timeunit close: adapt on the heavy-set delta only.
+
+        When the heavy mask is unchanged from the previous timeunit the whole
+        adaptation stage reduces to one mask comparison and the cached
+        heavy-order structures are reused verbatim; otherwise the shared
+        planner emits the SPLIT/MERGE cascade as ops which are applied with
+        batched bank kernels.  Values are bit-identical to the scalar walk.
+        """
+        stable, ids_arr, heavy_paths, heavy_set, ids = prepared
+        if stable:
+            cache = self._hv_cache
+            rows = cache[4]
+            series_list = cache[5]
+            self.fastpath_units += 1
+        else:
+            index = self._index
+            adapt_start = time.perf_counter()
+            self._id_view_cache = {}
+            plan = plan_adaptation(
+                index,
+                self._series_mask,
+                heavy_mask,
+                self._view_by_id,
+                self.split_rule,
+                self._ref_has_id,
+                score_of=self._make_id_scorer(),
+            )
+            if plan.ops:
+                self._apply_plan(plan)
+            self.split_operations += plan.num_splits
+            self.merge_operations += plan.num_merges
+            self.planned_units += 1
+            missing = heavy_mask & ~self._series_mask
+            if missing.any():
+                # Mirrors the scalar path's belt-and-braces series creation
+                # inside ``_append_weights`` (same lex insertion order).
+                for node_id in index.sorted_ids(missing):
+                    self._reg_set_id(
+                        node_id,
+                        NodeTimeSeries(
+                            self.config.window_units,
+                            self.config.forecast,
+                            bank=self.bank,
+                        ),
+                    )
+            rows = self._series_rows[ids_arr]
+            by_id = self._series_by_id
+            series_list = [by_id[i] for i in ids]
+            self._hv_cache = (
+                heavy_mask.tobytes(),
+                ids_arr,
+                heavy_paths,
+                heavy_set,
+                rows,
+                series_list,
+            )
+            self.adapt_seconds += time.perf_counter() - adapt_start
+        self._update_reference(None, raw_vec)
+        values_vec = modified_vec[ids_arr]
+        if heavy_mask[0] and modified_vec[0] <= 0.0:
+            # A tracked root with zero modified weight falls back to its raw
+            # weight; the root is lexicographically first when present.
+            values_vec = values_vec.copy()
+            values_vec[0] = raw_vec[0]
+        values = values_vec.tolist()
+        forecasts = self.bank.observe_rows(rows, values)
+        for series, value, predicted in zip(series_list, values, forecasts):
+            series.record(value, predicted)
+        self._stats.update_dense(self._timeunit, raw_vec)
+        return values, forecasts
+
+    def _view_by_id(self, node_id: int) -> NodeUsageStats:
+        view = self._id_view_cache.get(node_id)
+        if view is None:
+            view = self._stats.view_id(node_id, self._timeunit)
+            self._id_view_cache[node_id] = view
+        return view
+
+    def _make_id_scorer(self):
+        """Per-id split-rule score shortcut for the built-in rules.
+
+        Evaluates only the statistics field the rule reads, with exactly the
+        gap-adjustment arithmetic of :meth:`_SplitStatsStore.view` followed
+        by the rule's ``score`` — so ratios come out bit-identical without
+        materializing a :class:`NodeUsageStats` per receiver.  Returns None
+        for custom rule classes (the planner then uses full views).
+        """
+        from repro.core.split_rules import (
+            EWMASplitRule,
+            LastTimeUnitSplitRule,
+            LongTermHistorySplitRule,
+            UniformSplitRule,
+        )
+
+        rule_cls = type(self.split_rule)
+        store = self._stats
+        timeunit = self._timeunit
+        cache: dict[int, float] = {}
+        if rule_cls is UniformSplitRule:
+            def score(node_id: int) -> float:
+                return 1.0
+        elif rule_cls is LongTermHistorySplitRule:
+            cumulative, seen = store.cumulative, store.seen
+            def score(node_id: int) -> float:
+                value = cache.get(node_id)
+                if value is None:
+                    value = float(cumulative[node_id]) if seen[node_id] else 0.0
+                    cache[node_id] = value
+                return value
+        elif rule_cls is LastTimeUnitSplitRule:
+            last_weight, seen = store.last_weight, store.seen
+            has_last, last_unit = store.has_last, store.last_unit_arr
+            def score(node_id: int) -> float:
+                value = cache.get(node_id)
+                if value is None:
+                    if not seen[node_id]:
+                        value = 0.0
+                    else:
+                        last = int(last_unit[node_id]) if has_last[node_id] else -1
+                        value = 0.0 if timeunit - last > 1 else float(
+                            last_weight[node_id]
+                        )
+                    cache[node_id] = value
+                return value
+        elif rule_cls is EWMASplitRule:
+            ewma, seen = store.ewma, store.seen
+            has_last, last_unit = store.has_last, store.last_unit_arr
+            alpha = store.alpha
+            def score(node_id: int) -> float:
+                value = cache.get(node_id)
+                if value is None:
+                    if not seen[node_id]:
+                        value = 0.0
+                    else:
+                        value = float(ewma[node_id])
+                        last = int(last_unit[node_id]) if has_last[node_id] else -1
+                        gap = timeunit - last
+                        if gap > 0:
+                            value = value * (1 - alpha) ** (gap - 1)
+                    cache[node_id] = value
+                return value
+        else:
+            return None
+        return score
+
+    def _ref_has_id(self, node_id: int) -> bool:
+        return self._ref.has_values(self._index.paths[node_id])
+
+    def _apply_plan(self, plan) -> None:
+        """Apply a planner op list, batching independent bank operations.
+
+        Ops run in exact cascade order; consecutive SPLIT steps with disjoint
+        donors/receivers and no reference correction collapse into one
+        ``split_rows_many`` call (grouped by :func:`batched_split_runs`),
+        and MERGE folds buffer until a destination repeats and land through
+        ``merge_rows_many`` (which applies small batches via the direct
+        per-pair kernel).  Window (ring) arithmetic always runs inline in op
+        order, so every float operation happens in the scalar cascade's
+        sequence.
+        """
+        index = self._index
+        paths = index.paths
+        by_id = self._series_by_id
+        bank = self.bank
+        config = self.config
+        ops = plan.ops
+        n = len(ops)
+        series_dict = self.series
+        buckets = self._series_buckets
+        #: Ids whose registry slot changed; the occupancy mask and row-handle
+        #: table are refreshed once at the end (nothing reads them mid-apply).
+        changed: set[int] = set()
+
+        def reg_set(node_id: int, series: NodeTimeSeries) -> None:
+            by_id[node_id] = series
+            changed.add(node_id)
+            path = paths[node_id]
+            series_dict[path] = series
+            if path:
+                bucket = buckets.get(path[0])
+                if bucket is None:
+                    bucket = {}
+                    buckets[path[0]] = bucket
+                bucket[path] = series
+
+        def reg_pop(node_id: int) -> NodeTimeSeries:
+            series = by_id[node_id]
+            by_id[node_id] = None
+            changed.add(node_id)
+            path = paths[node_id]
+            del series_dict[path]
+            if path:
+                bucket = buckets.get(path[0])
+                if bucket is not None:
+                    bucket.pop(path, None)
+            return series
+
+        #: SPLIT ops grouped into independently applicable batches (an op
+        #: carrying a reference correction closes its batch); the helper is
+        #: the single owner of the run-breaking rules.
+        runs_by_start = {run[0]: run for run in batched_split_runs(ops)}
+        #: MERGE folds buffer until a destination repeats (same-destination
+        #: folds must land in cascade order) and flush through the bank's
+        #: batched kernel, which routes small batches to the direct per-pair
+        #: fold itself.  Ring arithmetic stays inline in op order.
+        fold_dst_rows: list[int] = []
+        fold_src_rows: list[int] = []
+        fold_dst_ids: set[int] = set()
+
+        def flush_folds() -> None:
+            if fold_dst_rows:
+                bank.merge_rows_many(fold_dst_rows, fold_src_rows)
+                fold_dst_rows.clear()
+                fold_src_rows.clear()
+                fold_dst_ids.clear()
+
+        i = 0
+        while i < n:
+            op = ops[i]
+            kind = op[0]
+            if kind == SPLIT:
+                run = runs_by_start[i]
+                if len(run) == 1:
+                    _kind, donor_id, child_id, ratio, correct = op
+                    child = by_id[donor_id].split_inplace(ratio)
+                    reg_set(child_id, child)
+                    if correct:
+                        self._apply_reference_correction(paths[child_id])
+                else:
+                    donor_rows = [by_id[ops[k][1]].forecaster.row for k in run]
+                    ratios = [ops[k][3] for k in run]
+                    child_rows = bank.split_rows_many(donor_rows, ratios)
+                    for k, child_row in zip(run, child_rows):
+                        _kind, donor_id, child_id, ratio, correct = ops[k]
+                        child = by_id[donor_id].split_inplace(ratio, child_row)
+                        reg_set(child_id, child)
+                        if correct:
+                            self._apply_reference_correction(paths[child_id])
+                i = run[-1] + 1
+                continue
+            if kind == FRESH:
+                reg_set(
+                    op[1],
+                    NodeTimeSeries(
+                        config.window_units, config.forecast, bank=self.bank
+                    ),
+                )
+            elif kind == FOLD:
+                dst_id = op[2]
+                src = reg_pop(op[1])
+                dst = by_id[dst_id]
+                dst.merge_windows_from(src)
+                if dst_id in fold_dst_ids:
+                    flush_folds()
+                fold_dst_rows.append(dst.forecaster.row)
+                fold_src_rows.append(src.forecaster.row)
+                fold_dst_ids.add(dst_id)
+            elif kind == MOVE:
+                src = reg_pop(op[1])
+                reg_set(op[2], src)
+            else:  # DROP
+                reg_pop(op[1]).release()
+            i += 1
+        flush_folds()
+        if changed:
+            mask = self._series_mask
+            rows = self._series_rows
+            for node_id in changed:
+                series = by_id[node_id]
+                if series is None:
+                    mask[node_id] = False
+                    rows[node_id] = -1
+                else:
+                    mask[node_id] = True
+                    rows[node_id] = series.forecaster.row
+
+    # ------------------------------------------------------------------
+    # Series registry: id-indexed table with the path dicts as compat views
+    # ------------------------------------------------------------------
+    @property
+    def reference(self) -> "dict[CategoryPath, Deque[float]]":
+        """Reference series per path (compat view over the columnar store)."""
+        return self._ref.as_dict()
+
+    def _reg_set_id(self, node_id: int, series: NodeTimeSeries) -> None:
+        """Register a series under a node id (and the path compat views)."""
+        self._series_by_id[node_id] = series
+        self._series_mask[node_id] = True
+        self._series_rows[node_id] = series.forecaster.row
+        path = self._index.paths[node_id]
         self.series[path] = series
         if path:
             bucket = self._series_buckets.get(path[0])
@@ -460,10 +1086,52 @@ class ADAAlgorithm:
                 self._series_buckets[path[0]] = bucket
             bucket[path] = series
 
+    def _reg_pop_id(self, node_id: int) -> NodeTimeSeries:
+        series = self._series_by_id[node_id]
+        self._series_by_id[node_id] = None
+        self._series_mask[node_id] = False
+        self._series_rows[node_id] = -1
+        path = self._index.paths[node_id]
+        del self.series[path]
+        if path:
+            bucket = self._series_buckets.get(path[0])
+            if bucket is not None:
+                bucket.pop(path, None)
+        return series
+
+    def _series_set(self, path: CategoryPath, series: NodeTimeSeries) -> None:
+        self.series[path] = series
+        if path:
+            bucket = self._series_buckets.get(path[0])
+            if bucket is None:
+                bucket = {}
+                self._series_buckets[path[0]] = bucket
+            bucket[path] = series
+        if self._series_mask is not None:
+            node_id = self._index.path_to_id.get(path)
+            if node_id is None:
+                # A path outside this tree cannot be represented by the id
+                # planner; fall back to the scalar walk from here on.
+                self._delta_ok = False
+            else:
+                self._series_by_id[node_id] = series
+                self._series_mask[node_id] = True
+                self._series_rows[node_id] = series.forecaster.row
+            self._hv_cache = None
+
     def _series_pop(self, path: CategoryPath) -> NodeTimeSeries:
         series = self.series.pop(path)
         if path:
-            self._series_buckets[path[0]].pop(path, None)
+            bucket = self._series_buckets.get(path[0])
+            if bucket is not None:
+                bucket.pop(path, None)
+        if self._series_mask is not None:
+            node_id = self._index.path_to_id.get(path)
+            if node_id is not None:
+                self._series_by_id[node_id] = None
+                self._series_mask[node_id] = False
+                self._series_rows[node_id] = -1
+            self._hv_cache = None
         return series
 
     # ------------------------------------------------------------------
@@ -577,22 +1245,16 @@ class ADAAlgorithm:
         """Append the unmodified weight A_n for every reference-level node."""
         if not self._reference_nodes:
             return
-        maxlen = self.config.window_units
         if raw_vec is not None:
-            values = raw_vec[self._reference_ids].tolist()
+            values = raw_vec[self._reference_ids]
         else:
             values = [float(raw.get(path, 0.0)) for path in self._reference_nodes]
-        for path, value in zip(self._reference_nodes, values):
-            buf = self.reference.get(path)
-            if buf is None:
-                buf = deque(maxlen=maxlen)
-                self.reference[path] = buf
-            buf.append(value)
+        self._ref.append_column(self._reference_nodes, values)
 
     def _apply_reference_correction(self, path: CategoryPath) -> None:
         """Replace a freshly split series with reference − Σ heavy descendants."""
-        buf = self.reference.get(path)
-        if buf is None:
+        corrected = self._ref.corrected_base(path)
+        if corrected is None:
             return
         depth = len(path)
         # Only series under the same top-level label can be descendants; the
@@ -601,7 +1263,6 @@ class ADAAlgorithm:
         # is exactly that of a full scan.
         bucket = self._series_buckets.get(path[0], {})
         if _np is not None:
-            corrected = _np.fromiter(buf, dtype=_np.float64, count=len(buf))
             length = corrected.shape[0]
             for other_path, other_series in bucket.items():
                 if len(other_path) <= depth or other_path[:depth] != path:
@@ -615,7 +1276,7 @@ class ADAAlgorithm:
                     corrected[length - m :] -= descendant
             corrected_values = corrected
         else:
-            corrected_list = list(buf)
+            corrected_list = corrected
             for other_path, other_series in bucket.items():
                 if len(other_path) <= depth or other_path[:depth] != path:
                     continue
@@ -721,8 +1382,7 @@ class ADAAlgorithm:
         """Number of stored scalars (Table IV cost proxy): one tree + series."""
         tree_cost = self.tree.num_nodes
         series_cost = sum(len(s.actual) + len(s.forecast) for s in self.series.values())
-        reference_cost = sum(len(buf) for buf in self.reference.values())
-        return tree_cost + series_cost + reference_cost
+        return tree_cost + series_cost + self._ref.total_len()
 
     @property
     def current_timeunit(self) -> TimeunitIndex:
@@ -731,6 +1391,25 @@ class ADAAlgorithm:
     @property
     def heavy_hitters(self) -> frozenset[CategoryPath]:
         return self.last_result.heavy_hitters if self.last_result else frozenset()
+
+    def adaptation_stats(self) -> dict:
+        """Delta-engine counters (not part of the checkpoint format).
+
+        ``fastpath_units`` counts timeunits whose heavy set was unchanged
+        (adaptation skipped entirely), ``planned_units`` those that went
+        through the batched planner; ``adapt_seconds`` is the time spent in
+        adaptation proper (plan + apply, or the scalar ``_adapt`` walk in
+        legacy mode) — the denominator of the bench harness's
+        ``--check-adapt-speedup`` gate.
+        """
+        return {
+            "mode": "delta" if self.delta_adaptation_active else "legacy",
+            "fastpath_units": self.fastpath_units,
+            "planned_units": self.planned_units,
+            "split_operations": self.split_operations,
+            "merge_operations": self.merge_operations,
+            "adapt_seconds": self.adapt_seconds,
+        }
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -754,9 +1433,7 @@ class ADAAlgorithm:
                 [list(path), series.state_dict()]
                 for path, series in self.series.items()
             ],
-            "reference": [
-                [list(path), list(buf)] for path, buf in self.reference.items()
-            ],
+            "reference": self._ref.emit(),
             "stats": stats_rows,
             "stats_last_unit": last_rows,
         }
@@ -764,7 +1441,6 @@ class ADAAlgorithm:
     def load_state_dict(self, state: dict) -> None:
         """Restore a snapshot produced by :meth:`state_dict` (same tree/config)."""
         forecast_config = self.config.forecast
-        maxlen = self.config.window_units
         self._timeunit = int(state["timeunit"])
         self.split_operations = int(state["split_operations"])
         self.merge_operations = int(state["merge_operations"])
@@ -772,15 +1448,20 @@ class ADAAlgorithm:
         self.bank = ForecasterBank(forecast_config)
         self.series = {}
         self._series_buckets = {}
+        self._delta_ok = True
+        self._hv_cache = None
+        self._id_view_cache = {}
+        if self._series_mask is not None:
+            self._series_by_id = [None] * self._index.num_nodes
+            self._series_mask[:] = False
+            self._series_rows[:] = -1
         for path, ts_state in state["series"]:
             self._series_set(
                 tuple(path),
                 NodeTimeSeries.from_state_dict(ts_state, forecast_config, bank=self.bank),
             )
-        self.reference = {
-            tuple(path): deque((float(v) for v in values), maxlen=maxlen)
-            for path, values in state["reference"]
-        }
+        self._ref = _RefStore(self.config.window_units)
+        self._ref.load(state["reference"])
         self._stats = _SplitStatsStore(self.config, self._index)
         self._stats.load(state["stats"], state["stats_last_unit"])
         self.last_result = None

@@ -1,0 +1,208 @@
+"""Delta-driven adaptation planning: ADA's SPLIT/MERGE cascade on node ids.
+
+The historical close path re-derives the whole SPLIT/MERGE cascade from
+tuple-keyed dictionaries every timeunit: full scans of the series registry,
+per-path ancestor walks over ``CategoryPath`` slices, and one dict of
+:class:`~repro.core.split_rules.NodeUsageStats` views per cascade step.  This
+module is the id-based twin shared by every execution path (serial sessions,
+the columnar batch close and the sharded engine's subtree shards): given the
+dense heavy mask of the new timeunit and the registry occupancy mask, it
+*simulates* the exact cascade the scalar ``_adapt`` would run — same
+``(depth, lex)`` order, same receiver sets, same split-rule arithmetic (the
+rule's Python ``sum`` over the same views in the same order) — and emits the
+whole adaptation as a flat op list:
+
+* ``("fresh", node)`` — a brand-new series (no series-holding ancestor);
+* ``("split", donor, child, ratio, correct)`` — one cascade step handing the
+  ``ratio`` share of ``donor``'s series to ``child`` (``correct`` marks
+  children in the reference levels whose biased share must be replaced);
+* ``("fold", src, dst)`` / ``("move", src, dst)`` / ``("drop", src)`` — the
+  MERGE phase, deepest-first.
+
+The emitter never touches forecaster or window state, so planning is cheap
+(integer sweeps over the delta, not the registry) and the application layer
+is free to batch independent ops through the
+:class:`~repro.forecasting.bank.ForecasterBank` array kernels
+(``split_rows_many`` / ``merge_rows_many``) while preserving the cascade's
+deterministic order — results stay bit-for-bit identical to the scalar walk
+(property-checked in ``tests/core/test_adapt_planner.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.core.split_rules import NodeUsageStats, SplitRule
+
+#: Op tags (tuple-based ops keep planning allocation-light).
+FRESH = "fresh"
+SPLIT = "split"
+FOLD = "fold"
+MOVE = "move"
+DROP = "drop"
+
+
+@dataclass
+class AdaptationPlan:
+    """One timeunit's adaptation as a flat op list in cascade order."""
+
+    ops: list[tuple]
+    num_splits: int
+    num_merges: int
+
+    def __bool__(self) -> bool:
+        return bool(self.ops)
+
+
+def plan_adaptation(
+    index: Any,
+    series_mask,
+    heavy_mask,
+    view_of: Callable[[int], NodeUsageStats],
+    split_rule: SplitRule,
+    has_reference: Callable[[int], bool],
+    score_of: "Callable[[int], float] | None" = None,
+) -> AdaptationPlan:
+    """Simulate the scalar SPLIT/MERGE cascade on node ids and emit its ops.
+
+    ``series_mask`` is the registry occupancy before adaptation (not
+    mutated), ``heavy_mask`` the new heavy hitter membership (root bit
+    already adjusted for ``track_root`` / ``allow_root_heavy``).  ``view_of``
+    returns the (timeunit-frozen, memoized) split statistics view for a node
+    id and ``has_reference`` whether a reference-series correction would
+    apply at that node — both mirror exactly what the scalar cascade reads.
+    ``score_of``, when given, is a per-id shortcut for the split rule's
+    ``score(view)`` (only the field the rule reads, same arithmetic); the
+    ratio normalization then runs inline with the exact Python ``sum`` /
+    division of :meth:`~repro.core.split_rules.SplitRule.ratios`.  Without
+    it (custom rules) the full view-based ``ratios`` call is used.
+    """
+    sim = series_mask.copy()
+    ops: list[tuple] = []
+    num_splits = 0
+    num_merges = 0
+    ancestors = index.ancestors
+    depths = index.depths
+    child_ids = index.child_ids
+    parent = index.parent
+
+    # SPLIT phase, top-down in (depth, lex) order — ties broken exactly like
+    # the scalar ``sorted(key=lambda p: (len(p), p))``.
+    new_mask = heavy_mask & ~sim
+    new_ids = index.depth_lex_ids(new_mask) if new_mask.any() else []
+    for target in new_ids:
+        if sim[target]:
+            continue  # created by a previous cascade in this phase
+        donor = target
+        while donor != 0:
+            donor = int(parent[donor])
+            if sim[donor]:
+                break
+        else:
+            donor = None
+        if donor is None:
+            ops.append((FRESH, target))
+            sim[target] = True
+            continue
+        current = donor
+        target_depth = int(depths[target])
+        for depth in range(int(depths[current]) + 1, target_depth + 1):
+            child = int(ancestors[target, depth])
+            receivers = []
+            child_pos = -1
+            for c in child_ids[current]:
+                if not sim[c]:
+                    if c == child:
+                        child_pos = len(receivers)
+                    receivers.append(c)
+            if child_pos < 0:  # defensive mirror of the scalar walk
+                child_pos = len(receivers)
+                receivers.append(child)
+            if score_of is not None:
+                scores = [max(0.0, score_of(rid)) for rid in receivers]
+                total = sum(scores)
+                if total <= 0.0:
+                    ratio = 1.0 / len(receivers)
+                else:
+                    ratio = scores[child_pos] / total
+            else:
+                ratios = split_rule.ratios(
+                    {rid: view_of(rid) for rid in receivers}
+                )
+                ratio = ratios.get(child, 1.0 / max(len(receivers), 1))
+            ops.append((SPLIT, current, child, ratio, has_reference(child)))
+            num_splits += 1
+            sim[child] = True
+            current = child
+
+    # MERGE phase, bottom-up: reversed (depth, lex) == the scalar
+    # ``sorted(key=(len(p), p), reverse=True)``.
+    stale_mask = sim & ~heavy_mask
+    stale_ids = index.depth_lex_ids(stale_mask) if stale_mask.any() else []
+    for src in reversed(stale_ids):
+        sim[src] = False
+        dst = src
+        while dst != 0:
+            dst = int(parent[dst])
+            if heavy_mask[dst]:
+                break
+        else:
+            dst = None
+        num_merges += 1
+        if dst is None:
+            ops.append((DROP, src))
+        elif sim[dst]:
+            ops.append((FOLD, src, dst))
+        else:
+            ops.append((MOVE, src, dst))
+            sim[dst] = True
+    return AdaptationPlan(ops=ops, num_splits=num_splits, num_merges=num_merges)
+
+
+def batched_split_runs(ops: Sequence[tuple]) -> list[list[int]]:
+    """Group consecutive SPLIT op positions into independently applicable runs.
+
+    A run may be applied with one batched bank call when its donors are
+    pairwise distinct and no op in it depends on another's output: within one
+    cascade the next step's donor is the previous step's child, and a
+    reference-correction reads other series' windows, so a run breaks at any
+    op whose donor or child was already touched by the run and at any op
+    carrying a correction (the correction must observe all prior state
+    exactly as the scalar cascade would).
+    """
+    runs: list[list[int]] = []
+    run: list[int] = []
+    touched: set[int] = set()
+    for pos, op in enumerate(ops):
+        if op[0] != SPLIT:
+            if run:
+                runs.append(run)
+                run, touched = [], set()
+            continue
+        _, donor, child, _ratio, correct = op
+        if run and (donor in touched or child in touched):
+            runs.append(run)
+            run, touched = [], set()
+        run.append(pos)
+        touched.add(donor)
+        touched.add(child)
+        if correct:
+            # The correction must run before any later op reads windows.
+            runs.append(run)
+            run, touched = [], set()
+    if run:
+        runs.append(run)
+    return runs
+
+
+__all__ = [
+    "AdaptationPlan",
+    "plan_adaptation",
+    "batched_split_runs",
+    "FRESH",
+    "SPLIT",
+    "FOLD",
+    "MOVE",
+    "DROP",
+]

@@ -22,12 +22,16 @@ from collections import deque
 from typing import Deque, Mapping
 
 from repro._types import CategoryPath, TimeunitIndex, Weight
+from repro._vector import load_numpy
 from repro.core.config import TiresiasConfig
 from repro.core.detector import ThresholdDetector
 from repro.core.hhh import accumulate_raw_weights, compute_shhh
 from repro.core.results import TimeunitResult
 from repro.forecasting.bank import ForecasterBank, VECTOR_MIN_ROWS
+from repro.hierarchy.index import HierarchyIndex
 from repro.hierarchy.tree import HierarchyTree
+
+_np = load_numpy()
 
 
 class STAAlgorithm:
@@ -43,6 +47,14 @@ class STAAlgorithm:
         #: the Python equivalent of keeping ℓ weighted trees alive.
         self._unit_weights: Deque[dict[CategoryPath, Weight]] = deque(
             maxlen=config.window_units
+        )
+        #: Dense id view shared with ADA's adaptation engine: the succinct
+        #: heavy hitter pass runs as level sweeps over node ids (bit-exact,
+        #: see :mod:`repro.hierarchy.index`) instead of the per-path scalar
+        #: recursion.  The per-timeunit weight tables stay path-keyed dicts —
+        #: they are the checkpoint format.
+        self._index: "HierarchyIndex | None" = (
+            HierarchyIndex(tree) if _np is not None else None
         )
         self._timeunit: TimeunitIndex = -1
         self.stage_seconds: dict[str, float] = {
@@ -68,15 +80,30 @@ class STAAlgorithm:
         start = time.perf_counter()
         raw = accumulate_raw_weights(self.tree, leaf_counts)
         self._unit_weights.append(raw)
-        shhh_result = compute_shhh(self.tree, leaf_counts, self.config.theta, raw=raw)
-        self.stage_seconds["updating_hierarchies"] += time.perf_counter() - start
-
-        heavy = set(shhh_result.shhh)
-        if self.config.track_root:
-            heavy.add(self.tree.root.path)
-        elif not self.config.allow_root_heavy:
-            heavy.discard(self.tree.root.path)
+        if self._index is not None:
+            index = self._index
+            raw_vec = _np.zeros(index.num_nodes)
+            lookup = index.path_to_id
+            for path, weight in raw.items():
+                raw_vec[lookup[path]] = weight
+            _modified, heavy_mask = index.succinct(raw_vec, self.config.theta)
+            if self.config.track_root:
+                heavy_mask[0] = True
+            elif not self.config.allow_root_heavy:
+                heavy_mask[0] = False
+            paths = index.paths
+            heavy = {paths[i] for i in _np.flatnonzero(heavy_mask).tolist()}
+        else:
+            shhh_result = compute_shhh(
+                self.tree, leaf_counts, self.config.theta, raw=raw
+            )
+            heavy = set(shhh_result.shhh)
+            if self.config.track_root:
+                heavy.add(self.tree.root.path)
+            elif not self.config.allow_root_heavy:
+                heavy.discard(self.tree.root.path)
         self.last_root_raw = float(raw.get(self.tree.root.path, 0.0))
+        self.stage_seconds["updating_hierarchies"] += time.perf_counter() - start
 
         start = time.perf_counter()
         series = self._reconstruct_series(heavy)

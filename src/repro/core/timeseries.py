@@ -66,14 +66,48 @@ class FloatRing:
             self._buf = deque(maxlen=maxlen)
 
     @classmethod
+    def _reserve(cls, maxlen: int) -> "FloatRing":
+        """An empty ring over uninitialized storage (internal fast ctor).
+
+        Slots outside the live window are never read, so callers that fully
+        overwrite the region they expose may skip the zero fill.  The one
+        exception is :meth:`aligned_add`'s output ring, which relies on
+        zeroed storage and uses the public constructor.
+        """
+        ring = cls.__new__(cls)
+        ring.maxlen = maxlen
+        ring._start = 0
+        ring._size = 0
+        ring._buf = _np.empty(maxlen) if _np is not None else deque(maxlen=maxlen)
+        return ring
+
+    @classmethod
+    def _view(cls, row_buf, size: int, maxlen: int) -> "FloatRing":
+        """A ring over an existing 1-D buffer row (internal, NumPy mode).
+
+        Used by :class:`NodeTimeSeries` to keep the actual/forecast windows
+        as two rows of one fused ``(2, maxlen)`` array so that SPLIT/MERGE
+        window arithmetic runs as single two-row kernels.  The ring behaves
+        exactly like an owned ring; ``size`` elements starting at offset 0
+        are live.
+        """
+        ring = cls.__new__(cls)
+        ring.maxlen = maxlen
+        ring._start = 0
+        ring._size = size
+        ring._buf = row_buf
+        return ring
+
+    @classmethod
     def from_values(cls, values, maxlen: int) -> "FloatRing":
         """A ring holding the last ``maxlen`` elements of ``values``."""
-        ring = cls(maxlen)
         if _np is not None:
+            ring = cls._reserve(maxlen)
             tail = _np.asarray(values, dtype=_np.float64)[-maxlen:]
             ring._size = tail.shape[0]
             ring._buf[: ring._size] = tail
         else:
+            ring = cls(maxlen)
             ring._buf.extend(float(v) for v in values)
         return ring
 
@@ -126,19 +160,77 @@ class FloatRing:
             )
         return list(self._buf)
 
+    def _ordered_view(self):
+        """Oldest-first contents for read-only internal use (NumPy mode).
+
+        A zero-copy view when the live window is contiguous; a fresh array
+        only when it wraps.  Callers must not mutate the result or this ring
+        while holding it.
+        """
+        end = self._start + self._size
+        if end <= self.maxlen:
+            return self._buf[self._start : end]
+        return _np.concatenate(
+            [self._buf[self._start :], self._buf[: end - self.maxlen]]
+        )
+
     def tolist(self) -> list[float]:
         ordered = self.ordered()
         return ordered.tolist() if _np is not None else ordered
 
     def scaled(self, ratio: float) -> "FloatRing":
         """A new ring whose every element is multiplied by ``ratio``."""
-        ring = FloatRing(self.maxlen)
         if _np is not None:
+            ring = FloatRing._reserve(self.maxlen)
             ring._size = self._size
-            _np.multiply(self.ordered(), ratio, out=ring._buf[: self._size])
+            _np.multiply(self._ordered_view(), ratio, out=ring._buf[: self._size])
         else:
+            ring = FloatRing(self.maxlen)
             ring._buf.extend(v * ratio for v in self._buf)
         return ring
+
+    def fold_newest(self, other: "FloatRing") -> "FloatRing":
+        """``self + other`` aligned on the newest element, in place when the
+        other ring fits inside this one's live window.
+
+        Returns the ring holding the sum: ``self`` (mutated) on the in-place
+        path, or a fresh ring from :meth:`aligned_add` when ``other`` is
+        longer than this ring's live window.  Element sums are identical
+        either way.
+        """
+        m = len(other)
+        if _np is None or m > self._size:
+            return self.aligned_add(other)
+        if m:
+            theirs = other._ordered_view()
+            start = self._start + (self._size - m)
+            if start >= self.maxlen:
+                start -= self.maxlen
+            end = start + m
+            if end <= self.maxlen:
+                self._buf[start:end] += theirs
+            else:
+                overlap = self.maxlen - start
+                self._buf[start:] += theirs[:overlap]
+                self._buf[: end - self.maxlen] += theirs[overlap:]
+        return self
+
+    def iscale(self, ratio: float) -> None:
+        """Scale every live element by ``ratio`` in place.
+
+        Same values as replacing the ring with :meth:`scaled`, without the
+        allocation.  Only the live window is touched (storage outside it may
+        be uninitialized, see :meth:`_reserve`).
+        """
+        if _np is None:
+            self._buf = deque((v * ratio for v in self._buf), maxlen=self.maxlen)
+            return
+        end = self._start + self._size
+        if end <= self.maxlen:
+            self._buf[self._start : end] *= ratio
+        else:
+            self._buf[self._start :] *= ratio
+            self._buf[: end - self.maxlen] *= ratio
 
     def aligned_add(self, other: "FloatRing") -> "FloatRing":
         """Element-wise sum of two rings aligned on their newest element.
@@ -147,8 +239,12 @@ class FloatRing:
         longer than this ring's capacity keeps only the newest ``maxlen``
         elements.
         """
-        mine = self.ordered()
-        theirs = other.ordered()
+        if _np is not None:
+            mine = self._ordered_view()
+            theirs = other._ordered_view()
+        else:
+            mine = self.ordered()
+            theirs = other.ordered()
         length = max(len(mine), len(theirs))
         ring = FloatRing(self.maxlen)
         if _np is not None:
@@ -327,8 +423,20 @@ class NodeTimeSeries:
             raise ConfigurationError(f"series length must be >= 1, got {length}")
         self.length = length
         self.forecast_config = forecast_config
-        self.actual = FloatRing(length)
-        self.forecast = FloatRing(length)
+        if _np is not None:
+            #: Fused window storage: actual (row 0) and forecast (row 1) of
+            #: one ``(2, length)`` array, so the adaptation's whole-window
+            #: operations run as single two-row kernels.  ``None`` whenever
+            #: the rings stopped sharing aligned storage (restores from
+            #: ragged snapshots, legacy merges, pickling) — every fused fast
+            #: path falls back to the per-ring operations then.
+            self._base = _np.empty((2, length))
+            self.actual = FloatRing._view(self._base[0], 0, length)
+            self.forecast = FloatRing._view(self._base[1], 0, length)
+        else:
+            self._base = None
+            self.actual = FloatRing(length)
+            self.forecast = FloatRing(length)
         self.forecaster = (
             SeriesForecaster(forecast_config, bank=bank)
             if forecaster is None
@@ -365,8 +473,33 @@ class NodeTimeSeries:
         then records each node's value/forecast pair here, instead of
         triggering N scalar observes through :meth:`append`.
         """
-        self.actual.append(float(value))
-        self.forecast.append(predicted)
+        actual = self.actual
+        forecast = self.forecast
+        if (
+            self._base is not None
+            and actual._start == forecast._start
+            and actual._size == forecast._size
+        ):
+            # Fused storage: one slot computation covers both windows.
+            maxlen = actual.maxlen
+            pos = actual._start + actual._size
+            if pos >= maxlen:
+                pos -= maxlen
+            base = self._base
+            base[0, pos] = value
+            base[1, pos] = predicted
+            if actual._size == maxlen:
+                start = actual._start + 1
+                if start == maxlen:
+                    start = 0
+                actual._start = start
+                forecast._start = start
+            else:
+                actual._size += 1
+                forecast._size = actual._size
+            return
+        actual.append(float(value))
+        forecast.append(predicted)
 
     def extend(self, values: Sequence[float]) -> list[float]:
         """Append several timeunit values at once (oldest first).
@@ -410,15 +543,29 @@ class NodeTimeSeries:
         actual: FloatRing,
         forecast: FloatRing,
         forecaster: SeriesForecaster,
+        base=None,
     ) -> "NodeTimeSeries":
         """Internal constructor from pre-built parts (skips ring allocation)."""
         series = cls.__new__(cls)
         series.length = length
         series.forecast_config = forecast_config
+        series._base = base
         series.actual = actual
         series.forecast = forecast
         series.forecaster = forecaster
         return series
+
+    # Pickling / deepcopy: ring buffers that are views of the fused base
+    # serialize as independent arrays, so the base must be dropped — the
+    # restored series is fully functional, it just takes the per-ring paths
+    # until a fused rebuild (e.g. the next reference correction).
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_base"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     def scaled(self, ratio: float) -> "NodeTimeSeries":
         """A copy whose actual/forecast series and state are scaled by ``ratio``."""
@@ -430,10 +577,145 @@ class NodeTimeSeries:
             self.forecaster.scaled(ratio),
         )
 
+    def _fused_aligned(self) -> bool:
+        """Whether the fused two-row window kernels may run on this series."""
+        return (
+            self._base is not None
+            and self.actual._start == self.forecast._start
+            and self.actual._size == self.forecast._size
+        )
+
+    def _split_windows(self, ratio: float):
+        """Child ``(actual, forecast, base)`` windows holding the ``ratio``
+        share; this series' windows keep ``1 - ratio`` in place."""
+        rest = 1.0 - ratio
+        if self._fused_aligned():
+            actual = self.actual
+            size = actual._size
+            maxlen = actual.maxlen
+            base = self._base
+            child_base = _np.empty((2, maxlen))
+            start = actual._start
+            end = start + size
+            if end <= maxlen:
+                live = base[:, start:end]
+                _np.multiply(live, ratio, out=child_base[:, :size])
+                live *= rest
+            else:
+                head = base[:, start:]
+                tail = base[:, : end - maxlen]
+                k = maxlen - start
+                _np.multiply(head, ratio, out=child_base[:, :k])
+                _np.multiply(tail, ratio, out=child_base[:, k:size])
+                head *= rest
+                tail *= rest
+            return (
+                FloatRing._view(child_base[0], size, maxlen),
+                FloatRing._view(child_base[1], size, maxlen),
+                child_base,
+            )
+        child_actual = self.actual.scaled(ratio)
+        child_forecast = self.forecast.scaled(ratio)
+        self.actual.iscale(rest)
+        self.forecast.iscale(rest)
+        return child_actual, child_forecast, None
+
+    def split_inplace(self, ratio: float, child_row: "int | None" = None) -> "NodeTimeSeries":
+        """SPLIT this series in place: a new series takes the ``ratio`` share,
+        this one keeps ``1 - ratio``.
+
+        Bit-identical to the historical ``scaled(ratio)`` /
+        ``scaled(1 - ratio)`` / ``release()`` triple of the adaptation
+        cascade, with this object (and its forecaster row) surviving in
+        place — one row allocation instead of two plus a free.  Pass
+        ``child_row`` when the forecaster-state split already ran through a
+        batched :meth:`~repro.forecasting.bank.ForecasterBank.split_rows_many`
+        call.
+        """
+        bank = self.forecaster.bank
+        if child_row is None:
+            child_row = bank.split_row(self.forecaster.row, ratio)
+        child_actual, child_forecast, child_base = self._split_windows(ratio)
+        return NodeTimeSeries._assemble(
+            self.length,
+            self.forecast_config,
+            child_actual,
+            child_forecast,
+            SeriesForecaster(self.forecast_config, bank, child_row),
+            base=child_base,
+        )
+
+    def merge_windows_from(self, other: "NodeTimeSeries") -> None:
+        """Fold only the actual/forecast windows of ``other`` into this series.
+
+        The forecaster-state fold is the caller's responsibility — ADA's
+        batched apply path folds many forecaster rows with one
+        :meth:`~repro.forecasting.bank.ForecasterBank.merge_rows_many` call
+        and uses this to keep the window arithmetic in cascade order.
+        """
+        if self._fused_aligned() and other._fused_aligned():
+            mine = self.actual
+            theirs_ring = other.actual
+            m = theirs_ring._size
+            n = mine._size
+            if m == 0:
+                return
+            ob = other._base
+            o_start = theirs_ring._start
+            o_end = o_start + m
+            if o_end <= theirs_ring.maxlen:
+                theirs = ob[:, o_start:o_end]
+            else:
+                theirs = _np.concatenate(
+                    [ob[:, o_start:], ob[:, : o_end - theirs_ring.maxlen]],
+                    axis=1,
+                )
+            base = self._base
+            maxlen = mine.maxlen
+            if m <= n:
+                # In place: add theirs into the newest-m slots (≤ 2 blocks).
+                start = mine._start + (n - m)
+                if start >= maxlen:
+                    start -= maxlen
+                end = start + m
+                if end <= maxlen:
+                    base[:, start:end] += theirs
+                else:
+                    k = maxlen - start
+                    base[:, start:] += theirs[:, :k]
+                    base[:, : end - maxlen] += theirs[:, k:]
+            else:
+                # Growth: the sum is m long — rebuild fused storage so the
+                # series keeps its two-row layout (sums identical to the
+                # newest-aligned ring addition).
+                new_base = _np.empty((2, maxlen))
+                new_base[:, :m] = theirs
+                if n:
+                    start = mine._start
+                    end = start + n
+                    off = m - n
+                    if end <= maxlen:
+                        new_base[:, off:m] += base[:, start:end]
+                    else:
+                        k = maxlen - start
+                        new_base[:, off : off + k] += base[:, start:]
+                        new_base[:, off + k : m] += base[:, : end - maxlen]
+                self._base = new_base
+                self.actual = FloatRing._view(new_base[0], m, maxlen)
+                self.forecast = FloatRing._view(new_base[1], m, maxlen)
+            return
+        actual = self.actual.fold_newest(other.actual)
+        forecast = self.forecast.fold_newest(other.forecast)
+        if actual is not self.actual or forecast is not self.forecast:
+            self._base = None
+        self.actual = actual
+        self.forecast = forecast
+
     def merge_from(self, other: "NodeTimeSeries") -> None:
         """Add ``other``'s series into this one element-wise (newest aligned)."""
         self.actual = self.actual.aligned_add(other.actual)
         self.forecast = self.forecast.aligned_add(other.forecast)
+        self._base = None
         self.forecaster.add_state(other.forecaster)
 
     def replace_actual(self, values: Sequence[float]) -> None:
@@ -447,16 +729,26 @@ class NodeTimeSeries:
         series are not well defined anyway.
         """
         if _np is not None and isinstance(values, _np.ndarray):
-            trimmed = values[-self.length :].tolist()
+            trimmed = values[-self.length :]
         else:
             trimmed = list(values)[-self.length :]
-        self.actual = FloatRing.from_values(trimmed, self.length)
+        if _np is not None:
+            size = len(trimmed)
+            base = _np.empty((2, self.length))
+            base[0, :size] = trimmed
+            base[1, :size] = base[0, :size]
+            self._base = base
+            self.actual = FloatRing._view(base[0], size, self.length)
+            self.forecast = FloatRing._view(base[1], size, self.length)
+        else:
+            self._base = None
+            self.actual = FloatRing.from_values(trimmed, self.length)
+            self.forecast = FloatRing.from_values(trimmed, self.length)
         bank = self.forecaster.bank
         self.forecaster.release()
         self.forecaster = SeriesForecaster.from_history_fast(
             trimmed, self.forecast_config, bank=bank
         )
-        self.forecast = FloatRing.from_values(trimmed, self.length)
 
     def release(self) -> None:
         """Return the forecaster row to its bank when dropping the series."""
@@ -487,12 +779,20 @@ class NodeTimeSeries:
             state["forecaster"], forecast_config, bank=bank
         )
         series = cls(length, forecast_config, forecaster=forecaster)
-        series.actual = FloatRing.from_values(
-            [float(v) for v in state["actual"]], length
-        )
-        series.forecast = FloatRing.from_values(
-            [float(v) for v in state["forecast"]], length
-        )
+        actual = [float(v) for v in state["actual"]]
+        forecast = [float(v) for v in state["forecast"]]
+        if _np is not None and len(actual) == len(forecast):
+            size = min(len(actual), length)
+            base = _np.empty((2, length))
+            base[0, :size] = actual[-size:] if size else []
+            base[1, :size] = forecast[-size:] if size else []
+            series._base = base
+            series.actual = FloatRing._view(base[0], size, length)
+            series.forecast = FloatRing._view(base[1], size, length)
+        else:
+            series._base = None
+            series.actual = FloatRing.from_values(actual, length)
+            series.forecast = FloatRing.from_values(forecast, length)
         return series
 
 

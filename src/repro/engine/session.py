@@ -301,6 +301,17 @@ class DetectionSession:
         stages["reading_traces"] = self.reading_seconds
         return stages
 
+    def adaptation_stats(self) -> dict[str, Any]:
+        """The tracking algorithm's delta-adaptation counters.
+
+        For ADA: mode (delta/legacy), stable-fast-path and planned timeunit
+        counts, split/merge operation totals and the time spent in adaptation
+        proper (see :meth:`repro.core.ada.ADAAlgorithm.adaptation_stats`).
+        Algorithms without an adaptation engine report ``{}``.
+        """
+        getter = getattr(self.algorithm, "adaptation_stats", None)
+        return getter() if getter is not None else {}
+
     def memory_units(self) -> int:
         """The algorithm's memory cost proxy (Table IV)."""
         return self.algorithm.memory_units()

@@ -201,6 +201,8 @@ def _worker_handle(units: dict, verb: str, ops: Any) -> Any:
             return [(key, units[key].session.units_processed) for key in keys]
         if what == "memory_units":
             return [(key, units[key].session.memory_units()) for key in keys]
+        if what == "adaptation_stats":
+            return [(key, units[key].session.adaptation_stats()) for key in keys]
         raise ShardingError(f"unknown worker query {what!r}")
     raise ShardingError(f"unknown worker verb {verb!r}")
 
@@ -1042,6 +1044,35 @@ class ShardedDetectionEngine:
         """Total memory cost proxy across all shard sessions."""
         self._ensure_started()
         return sum(self._query("memory_units").values())
+
+    def adaptation_stats(self) -> dict[str, dict]:
+        """Delta-adaptation counters per session, merged across shards.
+
+        Subtree shards run the same id-based adaptation core as a serial
+        session over their sub-hierarchies; their counters are summed (the
+        mode is shared).  Sessions whose algorithm has no adaptation engine
+        report ``{}``.
+        """
+        self._ensure_started()
+        per_key = self._query("adaptation_stats")
+        out: dict[str, dict] = {}
+        for name, unit in self._units.items():
+            if unit.kind == "whole":
+                out[name] = per_key[unit.key]
+                continue
+            merged: dict = {}
+            for key in unit.keys:
+                stats = per_key[key]
+                if not stats:
+                    continue
+                if not merged:
+                    merged = dict(stats)
+                    continue
+                for field, value in stats.items():
+                    if isinstance(value, (int, float)) and not isinstance(value, bool):
+                        merged[field] = merged.get(field, 0) + value
+            out[name] = merged
+        return out
 
     # ------------------------------------------------------------------
     # Checkpointing

@@ -54,6 +54,12 @@ HAS_VECTOR_BACKEND = _np is not None
 #: the two backends are bit-identical, so the choice is purely speed.
 VECTOR_MIN_ROWS = 48
 
+#: Batch-size crossover below which one :meth:`ForecasterBank.observe_rows`
+#: call routes through the per-row scalar observe loop (measured ≈ 6 rows on
+#: this container: NumPy gather/scatter overhead beats Python floats only
+#: from about that many rows).  The two paths are bit-identical.
+OBSERVE_VECTOR_MIN_ROWS = 6
+
 
 def _build_seasonal_model(config: ForecastConfig):
     """The seasonal model ``config`` selects (single / multi / registry)."""
@@ -133,21 +139,26 @@ class _ScalarRow:
         return predicted
 
     def seed_fast(self, history: Sequence[float]) -> None:
-        values = [float(v) for v in history]
-        self.seen = len(values)
-        if not values:
+        n = len(history)
+        self.seen = n
+        if not n:
             return
         alpha = self.config.fallback_alpha
-        level = values[0] if len(values) <= 1 else values[-min(len(values), 64)]
-        for value in values[-min(len(values), 64):]:
-            level = alpha * value + (1 - alpha) * level
+        # Only the tail is ever read, so the historical whole-series float
+        # conversion is applied lazily (identical values: float is idempotent
+        # and the seasonal initialization converts internally).
+        tail = [float(v) for v in history[-min(n, 64):]]
+        level = tail[0]
+        rest = 1 - alpha
+        for value in tail:
+            level = alpha * value + rest * level
         self.ewma_level = level
-        if len(values) >= self.config.min_history:
+        if n >= self.config.min_history:
             model = _build_seasonal_model(self.config)
-            model.initialize(values[-self.config.min_history:])
+            model.initialize(history[-self.config.min_history:])
             self.seasonal = model
         else:
-            self.history = values
+            self.history = [float(v) for v in history]
 
     def scaled(self, ratio: float) -> "_ScalarRow":
         clone = _ScalarRow(self.config)
@@ -390,7 +401,7 @@ class ForecasterBank:
         ``rows`` must not contain duplicates (each tracked node appears once
         per timeunit).
         """
-        if not self.vectorized or len(rows) < 2:
+        if not self.vectorized or len(rows) < OBSERVE_VECTOR_MIN_ROWS:
             return [self.observe(row, value) for row, value in zip(rows, values)]
         if self._obj:
             # Object-overflow rows (foreign-layout restores) update scalar;
@@ -527,21 +538,52 @@ class ForecasterBank:
         if not self.vectorized:
             self._rows[row].seed_fast(history)
             return
-        values = [float(v) for v in history]
-        self._seen[row] = len(values)
-        if not values:
+        n = len(history)
+        self._seen[row] = n
+        if not n:
             return
         alpha = self.config.fallback_alpha
-        level = values[0] if len(values) <= 1 else values[-min(len(values), 64)]
-        for value in values[-min(len(values), 64):]:
-            level = alpha * value + (1 - alpha) * level
-        self._ewma[row] = level
-        if len(values) >= self._min_history:
-            model = _build_seasonal_model(self.config)
-            model.initialize(values[-self._min_history:])
-            self._adopt_model(row, model)
+        # Lazy tail-only float conversion (see _ScalarRow.seed_fast): the
+        # whole-series conversion of the historical code is skipped because
+        # only the EWMA tail, the seasonal window and (short histories) the
+        # warm-up list are ever read — values are bit-identical.
+        tail_src = history[-min(n, 64):]
+        if isinstance(tail_src, list):
+            tail = [float(v) for v in tail_src]
         else:
-            self._hist[row] = values
+            tail = _np.asarray(tail_src, dtype=_np.float64).tolist()
+        level = tail[0]
+        rest = 1 - alpha
+        for value in tail:
+            level = alpha * value + rest * level
+        self._ewma[row] = level
+        if n >= self._min_history:
+            if self._single:
+                # Built-in single-season Holt-Winters (the only model a
+                # vectorized bank can hold): initialize straight into the
+                # row's arrays — the same ``_left_fold_sum`` cumsum
+                # arithmetic as HoltWintersForecaster.initialize, minus the
+                # model object and its list round trips.
+                p = self.config.season_lengths[0]
+                window_src = history[-self._min_history:]
+                if len(window_src) >= 2 * p:
+                    window = _np.asarray(window_src[-2 * p :], dtype=_np.float64)
+                    hw_level = float(_np.cumsum(window)[-1]) / (2 * p)
+                    first = float(_np.cumsum(window[:p])[-1])
+                    second = float(_np.cumsum(window[p:])[-1])
+                    self._active[row] = True
+                    self._level[row] = hw_level
+                    self._trend[row] = (second - first) / (p * p)
+                    self._seasonals[0][row, :] = window[p:] - hw_level
+                    self._phases[row, 0] = 0
+                    return
+            model = _build_seasonal_model(self.config)
+            model.initialize(history[-self._min_history:])
+            self._adopt_model(row, model)
+        elif isinstance(history, list):
+            self._hist[row] = [float(v) for v in history]
+        else:
+            self._hist[row] = _np.asarray(history, dtype=_np.float64).tolist()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -700,6 +742,275 @@ class ForecasterBank:
             aligned = np_.roll(np_.asarray(buf, dtype=np_.float64), -shift)
             self._seasonals[k][row, :] = self._seasonals[k][row, :] + aligned
 
+    def split_row(self, row: int, ratio: float) -> int:
+        """SPLIT ``row`` in place: a new row takes ``ratio`` of its state and
+        ``row`` keeps the complementary ``1 - ratio`` share.
+
+        Arithmetic is exactly ``clone_row(row, ratio)`` followed by replacing
+        ``row`` with ``clone_row(row, 1 - ratio)`` — the historical two-clone
+        sequence of ADA's split cascade — without the extra allocation and
+        copy, so results are bit-for-bit identical.
+        """
+        if not self.vectorized:
+            dst = self._alloc_row()
+            source = self._rows[row]
+            self._rows[dst] = source.scaled(ratio)
+            self._rows[row] = source.scaled(1.0 - ratio)
+            return dst
+        dst = self._alloc_row()
+        self._obj.pop(dst, None)
+        seen = self._seen
+        ewma_col = self._ewma
+        seen[dst] = seen[row]
+        ewma = float(ewma_col[row])
+        rest = 1.0 - ratio
+        if ewma != ewma:  # nan: no observations yet
+            ewma_col[dst] = _np.nan
+        else:
+            ewma_col[dst] = ewma * ratio
+            ewma_col[row] = ewma * rest
+        hist = self._hist[row]
+        if hist:
+            self._hist[dst] = [v * ratio for v in hist]
+            self._hist[row] = [v * rest for v in hist]
+        else:
+            self._hist[dst] = []
+        obj = self._obj.get(row)
+        active = self._active
+        active[dst] = False
+        if obj is not None:
+            self._obj[dst] = obj.scaled(ratio)
+            self._obj[row] = obj.scaled(rest)
+        elif active[row]:
+            active[dst] = True
+            level_col = self._level
+            trend_col = self._trend
+            level = float(level_col[row])
+            trend = float(trend_col[row])
+            level_col[dst] = level * ratio
+            level_col[row] = level * rest
+            trend_col[dst] = trend * ratio
+            trend_col[row] = trend * rest
+            for buf in self._seasonals:
+                src_row = buf[row, :]
+                buf[dst, :] = src_row * ratio
+                buf[row, :] = src_row * rest
+            self._phases[dst, :] = self._phases[row, :]
+        return dst
+
+    def split_rows_many(
+        self, rows: Sequence[int], ratios: Sequence[float]
+    ) -> list[int]:
+        """Batched :meth:`split_row` over *distinct* donor ``rows``.
+
+        Returns the new rows (one per donor, each holding its ``ratio``
+        share) with the donors scaled in place to the complementary shares.
+        Donors must be unique within one call; rows with warm-up history or
+        object-overflow state fall back to the scalar :meth:`split_row`
+        (identical values, per-row speed).
+        """
+        if not self.vectorized or len(rows) < 2:
+            return [self.split_row(row, ratio) for row, ratio in zip(rows, ratios)]
+        dsts: list[int] = [-1] * len(rows)
+        vec_pos: list[int] = []
+        for pos, row in enumerate(rows):
+            if self._hist[row] or row in self._obj:
+                dsts[pos] = self.split_row(row, ratios[pos])
+            else:
+                vec_pos.append(pos)
+        if not vec_pos:
+            return dsts
+        if len(vec_pos) < 4:
+            # Below the gather/scatter crossover the per-row op is faster.
+            for pos in vec_pos:
+                dsts[pos] = self.split_row(rows[pos], ratios[pos])
+            return dsts
+        np_ = _np
+        for pos in vec_pos:
+            dst = self._alloc_row()
+            self._obj.pop(dst, None)
+            self._hist[dst] = []
+            dsts[pos] = dst
+        src_idx = np_.array([rows[pos] for pos in vec_pos], dtype=np_.intp)
+        dst_idx = np_.array([dsts[pos] for pos in vec_pos], dtype=np_.intp)
+        r = np_.array([ratios[pos] for pos in vec_pos], dtype=np_.float64)
+        r_rest = 1.0 - r
+        self._seen[dst_idx] = self._seen[src_idx]
+        ewma = self._ewma[src_idx]
+        # nan (no observations) propagates through the multiply, matching the
+        # explicit nan branch of the scalar op.
+        self._ewma[dst_idx] = ewma * r
+        self._ewma[src_idx] = np_.where(np_.isnan(ewma), ewma, ewma * r_rest)
+        active = self._active[src_idx]
+        self._active[dst_idx] = active
+        # Inactive donors carry stale values in the seasonal arrays; scaling
+        # them is harmless (they are unreadable until activation overwrites
+        # them) and keeps the kernel mask-free.
+        level = self._level[src_idx]
+        trend = self._trend[src_idx]
+        self._level[dst_idx] = level * r
+        self._level[src_idx] = level * r_rest
+        self._trend[dst_idx] = trend * r
+        self._trend[src_idx] = trend * r_rest
+        rc = r[:, None]
+        rc_rest = r_rest[:, None]
+        for buf in self._seasonals:
+            block = buf[src_idx, :]
+            buf[dst_idx, :] = block * rc
+            buf[src_idx, :] = block * rc_rest
+        self._phases[dst_idx, :] = self._phases[src_idx, :]
+        return dsts
+
+    def _fold_direct(self, dst: int, src: int) -> None:
+        """Scalar same-bank fold of ``src`` into ``dst`` (vector layout only).
+
+        Exactly the arithmetic of :meth:`_fold_snapshot` against ``src``'s
+        canonical snapshot, evaluated straight off the arrays (warm-up
+        histories included) — callers guarantee neither row has
+        object-overflow state.
+        """
+        np_ = _np
+        s_ewma = self._ewma[src]
+        if not np_.isnan(s_ewma):
+            d_ewma = self._ewma[dst]
+            if np_.isnan(d_ewma):
+                self._ewma[dst] = float(s_ewma)
+            else:
+                self._ewma[dst] = float(d_ewma) + float(s_ewma)
+        if self._seen[src] > self._seen[dst]:
+            self._seen[dst] = self._seen[src]
+        if self._active[src]:
+            if not self._active[dst]:
+                self._active[dst] = True
+                self._level[dst] = self._level[src]
+                self._trend[dst] = self._trend[src]
+                for buf in self._seasonals:
+                    buf[dst, :] = buf[src, :]
+                self._phases[dst, :] = self._phases[src, :]
+            else:
+                self._level[dst] = float(self._level[dst]) + float(self._level[src])
+                self._trend[dst] = float(self._trend[dst]) + float(self._trend[src])
+                for k, (buf, p) in enumerate(
+                    zip(self._seasonals, self.config.season_lengths)
+                ):
+                    shift = (int(self._phases[src, k]) - int(self._phases[dst, k])) % p
+                    if shift == 0:
+                        buf[dst, :] += buf[src, :]
+                    else:
+                        # roll(src, -shift)[j] == src[(j + shift) % p], added
+                        # as two contiguous slices (same element-wise sums).
+                        split_at = p - shift
+                        buf[dst, :split_at] += buf[src, shift:]
+                        buf[dst, split_at:] += buf[src, :shift]
+        theirs = self._hist[src]
+        if theirs:
+            mine = self._hist[dst]
+            if not mine:
+                self._hist[dst] = list(theirs)
+            else:
+                length = max(len(mine), len(theirs))
+                padded_mine = [0.0] * (length - len(mine)) + mine
+                padded_theirs = [0.0] * (length - len(theirs)) + list(theirs)
+                self._hist[dst] = [
+                    a + b for a, b in zip(padded_mine, padded_theirs)
+                ]
+        if (
+            not self._active[dst]
+            and dst not in self._obj
+            and len(self._hist[dst]) >= self._min_history
+        ):
+            self._activate(dst)
+
+    def fold_row(self, dst: int, src: int) -> None:
+        """Fold ``src`` into ``dst`` and free ``src`` (one MERGE pair).
+
+        The single-pair form of :meth:`merge_rows_many`: ADA's apply loop
+        uses it inline because real cascades rarely accumulate enough
+        same-phase folds to amortize the batched gather/scatter kernels.
+        """
+        if not self.vectorized or src in self._obj or dst in self._obj:
+            self.add_state(dst, self, src)
+        else:
+            self._fold_direct(dst, src)
+        self.free_row(src)
+
+    def merge_rows_many(
+        self, dst_rows: Sequence[int], src_rows: Sequence[int]
+    ) -> None:
+        """Batched MERGE: fold each ``src`` row into its ``dst`` row and free
+        the sources.
+
+        ``dst_rows`` must be unique within one call (the caller batches folds
+        so that no destination repeats — repeated destinations must be folded
+        in cascade order across calls).  Pairs whose source carries warm-up
+        history or object-overflow state fall back to the scalar
+        :meth:`add_state`; values are bit-identical either way.
+        """
+        if not self.vectorized:
+            for dst, src in zip(dst_rows, src_rows):
+                self.add_state(dst, self, src)
+                self.free_row(src)
+            return
+        vec_pos: list[int] = []
+        for pos, (dst, src) in enumerate(zip(dst_rows, src_rows)):
+            if src in self._obj or dst in self._obj:
+                self.add_state(dst, self, src)
+                self.free_row(src)
+            elif self._hist[src]:
+                # Warm-up histories are Python lists either way; the direct
+                # fold handles them without the snapshot round trip.
+                self._fold_direct(dst, src)
+                self.free_row(src)
+            else:
+                vec_pos.append(pos)
+        if not vec_pos:
+            return
+        if len(vec_pos) < 4:
+            # Below the gather/scatter crossover: fold the pairs directly on
+            # scalar reads (no canonical-snapshot round trip), same values.
+            for pos in vec_pos:
+                self._fold_direct(dst_rows[pos], src_rows[pos])
+                self.free_row(src_rows[pos])
+            return
+        np_ = _np
+        dst_idx = np_.array([dst_rows[pos] for pos in vec_pos], dtype=np_.intp)
+        src_idx = np_.array([src_rows[pos] for pos in vec_pos], dtype=np_.intp)
+        d_ewma = self._ewma[dst_idx]
+        s_ewma = self._ewma[src_idx]
+        self._ewma[dst_idx] = np_.where(
+            np_.isnan(s_ewma),
+            d_ewma,
+            np_.where(np_.isnan(d_ewma), s_ewma, d_ewma + s_ewma),
+        )
+        self._seen[dst_idx] = np_.maximum(self._seen[dst_idx], self._seen[src_idx])
+        s_active = self._active[src_idx]
+        d_active = self._active[dst_idx]
+        adopt = s_active & ~d_active
+        if adopt.any():
+            a_d = dst_idx[adopt]
+            a_s = src_idx[adopt]
+            self._level[a_d] = self._level[a_s]
+            self._trend[a_d] = self._trend[a_s]
+            for buf in self._seasonals:
+                buf[a_d, :] = buf[a_s, :]
+            self._phases[a_d, :] = self._phases[a_s, :]
+            self._active[a_d] = True
+        both = s_active & d_active
+        if both.any():
+            b_d = dst_idx[both]
+            b_s = src_idx[both]
+            self._level[b_d] = self._level[b_d] + self._level[b_s]
+            self._trend[b_d] = self._trend[b_d] + self._trend[b_s]
+            for k, (buf, p) in enumerate(
+                zip(self._seasonals, self.config.season_lengths)
+            ):
+                shift = (self._phases[b_s, k] - self._phases[b_d, k]) % p
+                cols = (np_.arange(p)[None, :] + shift[:, None]) % p
+                aligned = buf[b_s[:, None], cols]
+                buf[b_d, :] = buf[b_d, :] + aligned
+        for pos in vec_pos:
+            self.free_row(src_rows[pos])
+
     # ------------------------------------------------------------------
     # Canonical (pre-bank) checkpoint format
     # ------------------------------------------------------------------
@@ -773,4 +1084,10 @@ class ForecasterBank:
         self._adopt_model(row, model)
 
 
-__all__ = ["ForecasterBank", "HAS_VECTOR_BACKEND", "load_seasonal_state"]
+__all__ = [
+    "ForecasterBank",
+    "HAS_VECTOR_BACKEND",
+    "OBSERVE_VECTOR_MIN_ROWS",
+    "VECTOR_MIN_ROWS",
+    "load_seasonal_state",
+]

@@ -55,6 +55,9 @@ class HierarchyIndex:
         )
         depths = [node.depth for node in nodes]
         max_depth = max(depths)
+        #: Depth of every node (root is 0), as a dense integer vector.
+        self.depths = _np.array(depths, dtype=_np.intp)
+        self.max_depth = max_depth
         #: Node ids grouped by depth, deepest level first (depth >= 1).
         self.levels_deepest_first = [
             _np.array(
@@ -68,6 +71,32 @@ class HierarchyIndex:
             sorted(range(self.num_nodes), key=lambda i: self.paths[i]),
             dtype=_np.intp,
         )
+        #: All node ids ordered by ``(depth, path)`` — the deterministic
+        #: cascade order of ADA's adaptation (``sorted(key=(len(p), p))``).
+        self.depth_lex_order = _np.array(
+            sorted(range(self.num_nodes), key=lambda i: (depths[i], self.paths[i])),
+            dtype=_np.intp,
+        )
+        #: ``ancestors[i, d]`` is the id of node ``i``'s ancestor at depth
+        #: ``d`` (``d <= depth(i)``; entries beyond a node's depth repeat the
+        #: node itself).  Lets the adaptation cascade resolve "the child of
+        #: ``current`` on the path to ``target``" with one integer lookup.
+        ancestors = _np.empty((self.num_nodes, max_depth + 1), dtype=_np.intp)
+        for i, node in enumerate(nodes):
+            chain = [i]
+            while nodes[chain[-1]].parent is not None:
+                chain.append(nodes[chain[-1]].parent.index)
+            chain.reverse()  # root .. self
+            for d in range(max_depth + 1):
+                ancestors[i, d] = chain[min(d, len(chain) - 1)]
+        self.ancestors = ancestors
+        #: Per-node child ids as plain int lists, ascending (== the order of
+        #: ``children.values()`` because BFS assigns ids in child-insertion
+        #: order per parent).  Python ints: the adaptation planner iterates
+        #: these in tight loops.
+        self.child_ids: list[list[int]] = [
+            [c.index for c in node.children.values()] for node in nodes
+        ]
 
     # ------------------------------------------------------------------
     # Definition 1: raw weights
@@ -143,6 +172,24 @@ class HierarchyIndex:
     def sorted_ids(self, member_mask) -> list[int]:
         """Ids whose mask bit is set, in lexicographic path order."""
         return self.lex_order[member_mask[self.lex_order]].tolist()
+
+    def depth_lex_ids(self, member_mask) -> list[int]:
+        """Ids whose mask bit is set, in ``(depth, path)`` cascade order."""
+        return self.depth_lex_order[member_mask[self.depth_lex_order]].tolist()
+
+    def nearest_ancestor_in(self, node_id: int, mask) -> "int | None":
+        """Closest strict ancestor of ``node_id`` whose mask bit is set.
+
+        The integer twin of the tuple-slicing ancestor walks in
+        :mod:`repro.core.ada` (root included, the node itself excluded).
+        """
+        parent = self.parent
+        current = int(node_id)
+        while current != 0:
+            current = int(parent[current])
+            if mask[current]:
+                return current
+        return None
 
 
 #: Whether the vectorized hierarchy kernels can be used.

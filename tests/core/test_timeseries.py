@@ -213,3 +213,64 @@ class TestMultiScaleTimeSeries:
         for _ in range(10):
             series.append(4.0)
         assert series.forecast_at_scale(0)[-1] == pytest.approx(4.0)
+
+
+class TestFusedWindowStorage:
+    """The fused (2, length) actual/forecast storage must be value-identical
+    to the historical per-ring operations and degrade gracefully."""
+
+    def _series(self, values, length=8):
+        from repro.core.config import ForecastConfig
+        from repro.core.timeseries import NodeTimeSeries
+
+        config = ForecastConfig(season_lengths=(3,), fallback_alpha=0.4)
+        series = NodeTimeSeries(length, config)
+        for value in values:
+            series.append(float(value))
+        return series
+
+    def test_split_inplace_matches_scaled_pair(self):
+        donor = self._series(range(1, 12))
+        reference = self._series(range(1, 12))
+        child = donor.split_inplace(0.3)
+        ref_child = reference.scaled(0.3)
+        ref_parent = reference.scaled(0.7)
+        assert child.actual.tolist() == ref_child.actual.tolist()
+        assert child.forecast.tolist() == ref_child.forecast.tolist()
+        assert donor.actual.tolist() == ref_parent.actual.tolist()
+        assert donor.forecast.tolist() == ref_parent.forecast.tolist()
+
+    def test_merge_windows_matches_aligned_add(self):
+        for mine_n, theirs_n in [(11, 11), (11, 4), (3, 9), (0, 5), (6, 0)]:
+            mine = self._series(range(1, mine_n + 1))
+            theirs = self._series(range(100, 100 + theirs_n))
+            expected_actual = mine.actual.aligned_add(theirs.actual).tolist()
+            expected_forecast = mine.forecast.aligned_add(theirs.forecast).tolist()
+            mine.merge_windows_from(theirs)
+            assert mine.actual.tolist() == expected_actual
+            assert mine.forecast.tolist() == expected_forecast
+            # fused storage must survive both the in-place and growth paths
+            mine.record(7.0, 8.0)
+            assert mine.actual[-1] == 7.0
+            assert mine.forecast[-1] == 8.0
+
+    def test_record_matches_append_semantics(self):
+        fused = self._series(range(1, 15))  # wrapped ring
+        plain = self._series(range(1, 15))
+        plain._base = None  # force per-ring appends
+        fused.record(42.0, 43.0)
+        plain.record(42.0, 43.0)
+        assert fused.actual.tolist() == plain.actual.tolist()
+        assert fused.forecast.tolist() == plain.forecast.tolist()
+
+    def test_pickle_drops_base_but_keeps_values(self):
+        import pickle
+
+        series = self._series(range(1, 12))
+        clone = pickle.loads(pickle.dumps(series))
+        assert clone._base is None
+        assert clone.actual.tolist() == series.actual.tolist()
+        assert clone.forecast.tolist() == series.forecast.tolist()
+        # operations on the unfused clone still work
+        child = clone.split_inplace(0.5)
+        assert child.actual.tolist() == [v * 0.5 for v in series.actual.tolist()]

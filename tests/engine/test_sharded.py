@@ -326,3 +326,30 @@ class TestAdvanceTo:
         assert session.advance_to(3) == []
         assert session.advance_to(1) == []
         assert session._pending_unit == 3
+
+
+class TestAdaptationStatsQuery:
+    def test_stats_merge_across_subtree_shards(self, shardable_config):
+        tree = HierarchyTree.from_leaf_paths(
+            [("a", "a1"), ("a", "a2"), ("b", "b1"), ("c", "c1")]
+        )
+        with ShardedDetectionEngine(num_workers=2) as engine:
+            engine.add_session(
+                "s", tree, shardable_config, subtree_shards=2
+            )
+            engine.ingest_batch(records_for(tree, 6, per_unit=6))
+            engine.flush()
+            stats = engine.adaptation_stats()["s"]
+        assert stats["mode"] in ("delta", "legacy")
+        # Counters summed over both shard groups; six units closed per shard.
+        assert stats["planned_units"] + stats["fastpath_units"] >= 6
+        assert stats["split_operations"] >= 0
+
+    def test_whole_session_stats_pass_through(self, shardable_config):
+        tree = HierarchyTree.from_leaf_paths([("a", "a1"), ("b", "b1")])
+        with ShardedDetectionEngine(num_workers=1) as engine:
+            engine.add_session("w", tree, shardable_config)
+            engine.ingest_batch(records_for(tree, 4))
+            engine.flush()
+            stats = engine.adaptation_stats()["w"]
+        assert "split_operations" in stats

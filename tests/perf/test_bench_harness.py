@@ -90,3 +90,45 @@ def test_bank_kernel_backends_agree_and_report(rows):
     assert result["vector_seconds"] > 0
     assert result["scalar_seconds"] > 0
     assert "speedup" in result
+
+
+def test_churn_workload_rotates_heavy_hitters():
+    """The flash-crowd scenario actually rotates its crowds: anomalies cover
+    several distinct subtrees over distinct rotation windows."""
+    dataset = bench_ingest.build_churn_workload(
+        duration_days=0.5, rate_per_hour=200.0, delta_seconds=900.0,
+        rotation_units=4, crowds=2,
+    )
+    starts = {anomaly.start for anomaly in dataset.anomalies}
+    nodes = {tuple(anomaly.node_path) for anomaly in dataset.anomalies}
+    assert len(starts) >= 3  # several rotation windows
+    assert len(nodes) >= 3  # several distinct subtrees
+    assert len(dataset.record_list()) > 0
+
+
+def test_adaptation_bench_section_recorded(tmp_path, monkeypatch):
+    code, out = run_main(
+        tmp_path,
+        monkeypatch,
+        argv_extra=("--adaptation-bench", "--churn-days", "0.2"),
+    )
+    assert code == 0
+    entry = json.loads(out.read_text())[0]
+    adaptation = entry["adaptation"]
+    if "skipped" in adaptation:  # no vector backend in this environment
+        return
+    for scenario in ("table3", "churn"):
+        section = adaptation[scenario]
+        assert section["delta_creating_seconds"] > 0
+        assert section["legacy_creating_seconds"] > 0
+        assert section["delta_stats"]["mode"] == "delta"
+        assert section["legacy_stats"]["mode"] == "legacy"
+        assert (
+            section["delta_stats"]["split_operations"]
+            == section["legacy_stats"]["split_operations"]
+        )
+    assert adaptation["churn"]["stages"]["raw"]["creating_time_series"] >= 0
+    stable = adaptation["stable"]
+    assert stable["steps"] > 0
+    assert stable["delta_adapt_seconds"] > 0
+    assert stable["legacy_adapt_seconds"] > 0
