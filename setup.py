@@ -1,9 +1,40 @@
 """Setuptools entry point.
 
-Kept alongside ``pyproject.toml`` so that editable installs work in offline
-environments whose setuptools predates PEP 660 wheel-less editable support.
+Kept as an executable ``setup.py`` (rather than pyproject-only metadata) so
+that editable installs work in offline environments whose setuptools
+predates PEP 660 wheel-less editable support.  The version is read from
+``src/repro/__init__.py`` — the single source of truth.
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_INIT = Path(__file__).parent / "src" / "repro" / "__init__.py"
+VERSION = re.search(
+    r'^__version__ = "([^"]+)"', _INIT.read_text(encoding="utf-8"), re.MULTILINE
+).group(1)
+
+setup(
+    name="repro-tiresias",
+    version=VERSION,
+    description=(
+        "Reproduction of Tiresias (Hong et al., ICDCS 2012): online anomaly "
+        "detection over hierarchical operational data, with a multi-tenant "
+        "detection daemon"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    extras_require={
+        # The library runs without NumPy (pure-Python fallbacks); install the
+        # extra for the vectorized kernels.
+        "vector": ["numpy"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro-serve = repro.service.daemon:main",
+        ],
+    },
+)

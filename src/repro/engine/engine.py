@@ -304,6 +304,19 @@ class DetectionEngine:
         """Total memory cost proxy across all sessions."""
         return sum(session.memory_units() for session in self._sessions.values())
 
+    def adaptation_stats(self) -> dict[str, dict[str, Any]]:
+        """Per-session delta-adaptation counters, keyed by session name.
+
+        Mirrors :meth:`ShardedDetectionEngine.adaptation_stats
+        <repro.engine.sharded.ShardedDetectionEngine.adaptation_stats>` so
+        metrics consumers (the service layer's ``/metrics`` endpoint) read
+        both engines identically.
+        """
+        return {
+            name: session.adaptation_stats()
+            for name, session in self._sessions.items()
+        }
+
     # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------

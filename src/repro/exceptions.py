@@ -92,3 +92,34 @@ class DataGenerationError(ReproError):
 
 class CheckpointError(ReproError):
     """A checkpoint file is malformed, incompatible, or cannot be restored."""
+
+
+class CheckpointWriteError(CheckpointError):
+    """A checkpoint could not be durably written to disk.
+
+    Raised by the atomic checkpoint writer when the temp-file write, fsync or
+    rename fails (most commonly a full disk).  The partially written temp file
+    is removed before raising, so the previous checkpoint at the target path —
+    if any — is always left intact and loadable.
+    """
+
+    def __init__(self, path: str, errno: "int | None" = None, detail: str = ""):
+        import errno as _errno
+
+        self.path = str(path)
+        self.errno = errno
+        self.detail = detail
+        suffix = " (disk full)" if errno == _errno.ENOSPC else ""
+        message = f"failed to write checkpoint {self.path}{suffix}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+    @property
+    def is_disk_full(self) -> bool:
+        import errno as _errno
+
+        return self.errno == _errno.ENOSPC
+
+    def __reduce__(self):
+        return (type(self), (self.path, self.errno, self.detail))

@@ -48,7 +48,7 @@ from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from repro.core.config import ForecastConfig, TiresiasConfig
 from repro.core.detector import Anomaly
-from repro.exceptions import CheckpointError
+from repro.exceptions import CheckpointError, CheckpointWriteError
 from repro.hierarchy.tree import HierarchyTree
 from repro.streaming.clock import SimulationClock
 
@@ -613,17 +613,47 @@ def load_session_checkpoint(path: "str | Path") -> "DetectionSession":
 
 
 def _write_json(document: Mapping[str, Any], path: "str | Path") -> None:
-    """Write ``document`` atomically: full temp file, then one rename.
+    """Write ``document`` atomically and durably: temp file, fsync, rename.
 
     A monitoring process killed mid-checkpoint must never leave a truncated
     JSON document behind — the sharded engine checkpoints several worker
     states into one file, and a partial write would lose all of them.
-    ``os.replace`` is atomic on POSIX and Windows for same-directory targets.
+    ``os.replace`` is atomic on POSIX and Windows for same-directory targets,
+    and the temp file is fsync'd *before* the rename so a power loss right
+    after the replace cannot surface a named-but-empty checkpoint.  Write
+    failures (disk full, permissions, dead volume) raise
+    :class:`~repro.exceptions.CheckpointWriteError` after removing the temp
+    file; the previous checkpoint at ``path``, if any, survives untouched.
     """
     path = Path(path)
     tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
-    tmp.write_text(json.dumps(document), encoding="utf-8")
-    os.replace(tmp, path)
+    payload = json.dumps(document)
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError as exc:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise CheckpointWriteError(
+            str(path), errno=exc.errno, detail=str(exc)
+        ) from exc
+    # Best-effort directory fsync so the rename itself is durable; not all
+    # filesystems allow opening a directory, hence the silent fallback.
+    try:
+        dir_fd = os.open(str(path.parent) or ".", os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform dependent
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover - platform dependent
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def _read_json(path: "str | Path") -> Any:

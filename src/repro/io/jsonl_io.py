@@ -65,12 +65,10 @@ def read_batches_jsonl(
                 data = json.loads(line)
             except json.JSONDecodeError as exc:
                 raise StreamError(f"{path}:{line_number}: invalid JSON: {exc}") from exc
-            category = tuple(data["category"])
-            if not category:
-                raise StreamError(
-                    f"{path}:{line_number}: record with an empty category path"
-                )
-            acc.add(float(data["timestamp"]), category, data.get("attributes"))
+            try:
+                acc.add_json_object(data)
+            except StreamError as exc:
+                raise StreamError(f"{path}:{line_number}: {exc}") from exc
             if len(acc) >= batch_size:
                 yield acc.flush()
     if len(acc):

@@ -1,0 +1,53 @@
+"""repro.service: the always-on multi-tenant detection daemon.
+
+Everything before this package drove the engine from a script; this package
+runs it as an operational monitor — the deployment shape the paper's system
+actually has.  The pieces:
+
+* :class:`~repro.service.config.ServiceConfig` /
+  :class:`~repro.service.config.TenantSpec` — a JSON-file deployment
+  description (tenants, endpoints, queue bounds, checkpoint cadence);
+* :class:`~repro.service.manager.SessionManager` — thousands of named
+  tenants with lazy activation, LRU eviction-to-checkpoint and bit-identical
+  crash recovery;
+* :class:`~repro.service.worker.IngestWorker` — the bounded ingest queue
+  and single detection thread that define the backpressure contract;
+* :mod:`repro.service.http` — stdlib-asyncio HTTP (NDJSON ingest,
+  ``/healthz``, ``/metrics``, ``/checkpoint``, ``/flush``, ``/anomalies``)
+  and raw-socket front ends;
+* :mod:`repro.service.alerts` — anomaly egress through the engine's
+  lifecycle hooks (JSONL sink + webhook stub);
+* :class:`~repro.service.daemon.DetectionService` — the composition root,
+  runnable via ``repro-serve`` or ``python -m repro.service``.
+
+Quickstart::
+
+    from repro.service import DetectionService, ServiceConfig, TenantSpec
+
+    config = ServiceConfig(
+        tenants=(TenantSpec(name="ccd", tree=tree, config=detector_config),),
+        checkpoint_dir="checkpoints/",
+        port=0,                      # ephemeral
+        checkpoint_interval=30.0,    # rolling checkpoints every 30 s
+    )
+    with DetectionService(config).start_in_thread() as handle:
+        ...  # POST NDJSON to http://127.0.0.1:<handle.service.http_port>/ingest
+"""
+
+from repro.service.alerts import JsonlAlertSink, WebhookAlertSink
+from repro.service.config import ServiceConfig, TenantSpec
+from repro.service.daemon import DetectionService, ServiceHandle, main
+from repro.service.manager import SessionManager
+from repro.service.worker import IngestWorker
+
+__all__ = [
+    "DetectionService",
+    "ServiceHandle",
+    "ServiceConfig",
+    "TenantSpec",
+    "SessionManager",
+    "IngestWorker",
+    "JsonlAlertSink",
+    "WebhookAlertSink",
+    "main",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.service`` — same CLI as the ``repro-serve`` script."""
+
+import sys
+
+from repro.service.daemon import main
+
+sys.exit(main())

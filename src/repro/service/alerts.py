@@ -1,0 +1,112 @@
+"""Anomaly-alert egress: the PR 1 lifecycle hooks wired to the outside world.
+
+The daemon subscribes these :class:`~repro.engine.hooks.EngineObserver`
+implementations to every tenant session (fresh or resumed), turning the
+in-process ``on_anomaly`` hook into operational outputs:
+
+* :class:`JsonlAlertSink` appends one JSON line per anomaly to a file —
+  the durable, replayable alert log;
+* :class:`WebhookAlertSink` POSTs each anomaly to an HTTP endpoint — a
+  deliberately minimal webhook *stub* (synchronous, best-effort, short
+  timeout) marking the seam where a production deployment would plug in its
+  paging/queueing integration.
+
+Both run on the ingest worker thread, inside the detection close.  The JSONL
+sink is cheap (one buffered write).  The webhook stub swallows delivery
+failures by default (``failed_total`` / ``last_error`` surface them in
+``/metrics``): hooks propagate exceptions by design, and an unreachable
+alert receiver must not stall multi-tenant detection.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.engine.hooks import EngineObserver
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.detector import Anomaly
+    from repro.engine.session import DetectionSession
+
+
+def _alert_document(session: "DetectionSession", anomaly: "Anomaly") -> dict[str, Any]:
+    return {
+        "tenant": session.name,
+        "anomaly": anomaly.to_dict(),
+        "emitted_unix": time.time(),
+    }
+
+
+class JsonlAlertSink(EngineObserver):
+    """Append one JSON line per reported anomaly to a file."""
+
+    def __init__(self, path: "str | Path"):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("a", encoding="utf-8")
+        self._lock = threading.Lock()
+        self.delivered_total = 0
+
+    def on_anomaly(self, session: "DetectionSession", anomaly: "Anomaly") -> None:
+        line = json.dumps(_alert_document(session, anomaly), sort_keys=True)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self.delivered_total += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def counters(self) -> dict[str, Any]:
+        return {"path": str(self.path), "delivered_total": self.delivered_total}
+
+
+class WebhookAlertSink(EngineObserver):
+    """POST each reported anomaly to an HTTP endpoint (best-effort stub)."""
+
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 2.0,
+        raise_on_error: bool = False,
+    ):
+        self.url = url
+        self.timeout = timeout
+        self.raise_on_error = raise_on_error
+        self.delivered_total = 0
+        self.failed_total = 0
+        self.last_error: str | None = None
+
+    def on_anomaly(self, session: "DetectionSession", anomaly: "Anomaly") -> None:
+        payload = json.dumps(_alert_document(session, anomaly)).encode("utf-8")
+        request = urllib.request.Request(
+            self.url,
+            data=payload,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout):
+                pass
+            self.delivered_total += 1
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            self.failed_total += 1
+            self.last_error = repr(exc)
+            if self.raise_on_error:
+                raise
+
+    def counters(self) -> dict[str, Any]:
+        return {
+            "url": self.url,
+            "delivered_total": self.delivered_total,
+            "failed_total": self.failed_total,
+            "last_error": self.last_error,
+        }

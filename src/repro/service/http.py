@@ -1,0 +1,397 @@
+"""Asyncio network front ends: HTTP/NDJSON ingestion and a raw socket path.
+
+Both front ends are pure stdlib (``asyncio`` streams; no third-party HTTP
+framework, so the daemon runs on a bare interpreter) and both deserialize
+newline-delimited JSON records **straight into**
+:class:`~repro.streaming.batch.RecordBatch` columns through
+:meth:`ColumnAccumulator.add_json_object
+<repro.streaming.batch.ColumnAccumulator.add_json_object>` — no per-record
+objects are built on the ingest path.
+
+HTTP endpoints (``Connection: close``; one request per connection):
+
+``POST /ingest[?tenant=NAME]``
+    Body: NDJSON records.  Tenant resolution order: ``tenant`` query
+    parameter / ``X-Tenant`` header (whole request), per-record ``"tenant"``
+    key, configured default tenant.  Admission is all-or-nothing: a full
+    ingest queue rejects the entire request with **429** (and
+    ``Retry-After``) before any record is enqueued, so a retried request
+    never double-ingests a prefix.
+``POST /checkpoint``
+    Barrier: runs after everything already queued, checkpoints every active
+    session atomically; returns the files written.
+``POST /flush``
+    Barrier: closes the pending timeunit of one (``?tenant=``) or all
+    active sessions (end-of-stream semantics; never implicit).
+``GET /healthz`` / ``GET /metrics``
+    See :mod:`repro.service.metrics`.
+``GET /anomalies?tenant=NAME``
+    All reported anomalies of a tenant (activates it from checkpoint if
+    needed).
+``GET /tenants``
+    Known/active/resumable tenant inventory.
+``POST /shutdown``
+    Graceful stop (final checkpoint included).
+
+The raw socket path is for trusted high-volume producers: one JSON header
+line (``{"tenant": "name"}``) then NDJSON records.  Backpressure is
+*slow-reader*: while the ingest queue is full the server simply stops
+reading the connection (counted in ``backpressure_waits_total``), so a
+well-behaved producer blocks in ``send`` and no record is ever dropped.  On
+EOF the server flushes the tail batch and replies with one JSON summary
+line ``{"accepted": N}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+from urllib.parse import parse_qs, urlsplit
+
+from repro.exceptions import StreamError
+from repro.service.metrics import healthz_document, metrics_document
+from repro.streaming.batch import ColumnAccumulator, RecordBatch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.daemon import DetectionService
+
+#: Upper bound on an HTTP request body (NDJSON ingest chunk).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+#: Poll interval of the socket path while the ingest queue is full.
+BACKPRESSURE_POLL_SECONDS = 0.02
+
+
+class IngestParseError(StreamError):
+    """An NDJSON ingest payload is malformed (maps to HTTP 400)."""
+
+
+def parse_ndjson_batches(
+    payload: bytes,
+    *,
+    batch_size: int,
+    default_tenant: str | None,
+    is_known_tenant: Callable[[str], bool],
+) -> tuple[list[tuple[str, RecordBatch]], int]:
+    """Decode an NDJSON payload into per-tenant columnar batches.
+
+    Returns ``(batches, record_count)`` where ``batches`` preserves each
+    tenant's record order (batches flush in arrival order once they reach
+    ``batch_size``; tails flush in first-seen tenant order).  Raises
+    :class:`IngestParseError` with a 1-based line number on bad input, before
+    anything is admitted to the queue.
+    """
+    accumulators: dict[str, ColumnAccumulator] = {}
+    batches: list[tuple[str, RecordBatch]] = []
+    records = 0
+    for line_number, raw in enumerate(payload.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise IngestParseError(f"line {line_number}: invalid JSON: {exc}") from exc
+        if not isinstance(data, Mapping):
+            raise IngestParseError(
+                f"line {line_number}: expected a JSON object, got "
+                f"{type(data).__name__}"
+            )
+        tenant = data.get("tenant") or default_tenant
+        if tenant is None:
+            raise IngestParseError(
+                f"line {line_number}: record names no tenant and the service "
+                f"has no default tenant"
+            )
+        tenant = str(tenant)
+        if tenant not in accumulators:
+            if not is_known_tenant(tenant):
+                raise IngestParseError(f"line {line_number}: unknown tenant {tenant!r}")
+            accumulators[tenant] = ColumnAccumulator()
+        acc = accumulators[tenant]
+        try:
+            acc.add_json_object(data)
+        except StreamError as exc:
+            raise IngestParseError(f"line {line_number}: {exc}") from exc
+        records += 1
+        if len(acc) >= batch_size:
+            batches.append((tenant, acc.flush()))
+    for tenant, acc in accumulators.items():
+        if len(acc):
+            batches.append((tenant, acc.flush()))
+    return batches, records
+
+
+# ----------------------------------------------------------------------
+# HTTP front end
+# ----------------------------------------------------------------------
+class HttpFrontend:
+    """Minimal HTTP/1.1 server over asyncio streams."""
+
+    def __init__(self, service: "DetectionService"):
+        self.service = service
+        self._server: asyncio.AbstractServer | None = None
+        self.port: int | None = None
+
+    async def start(self, host: str, port: int) -> None:
+        self._server = await asyncio.start_server(self._handle, host, port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- request plumbing ----------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, query, body = request
+            status, document, extra = await self._dispatch(method, path, query, body)
+        except _HttpError as exc:
+            status, document, extra = exc.status, {"error": exc.message}, exc.headers
+        except (ConnectionError, asyncio.IncompleteReadError):
+            writer.close()
+            return
+        except Exception as exc:  # noqa: BLE001 - the daemon must not die
+            status, document, extra = 500, {"error": repr(exc)}, ()
+        try:
+            writer.write(_json_response(status, document, extra))
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError):
+            return None
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").strip().split(" ")
+        if len(parts) < 2:
+            raise _HttpError(400, "malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise _HttpError(400, "invalid Content-Length") from None
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length else b""
+        split = urlsplit(target)
+        query = {
+            key: values[-1] for key, values in parse_qs(split.query).items()
+        }
+        if "x-tenant" in headers and "tenant" not in query:
+            query["tenant"] = headers["x-tenant"]
+        return method, split.path, query, body
+
+    # -- routing -------------------------------------------------------
+    async def _dispatch(
+        self, method: str, path: str, query: dict[str, str], body: bytes
+    ) -> tuple[int, Any, tuple]:
+        service = self.service
+        route = (method, path)
+        if route == ("GET", "/healthz"):
+            return 200, healthz_document(service), ()
+        if route == ("GET", "/metrics"):
+            return 200, metrics_document(service), ()
+        if route == ("GET", "/tenants"):
+            return 200, service.tenant_inventory(), ()
+        if route == ("GET", "/anomalies"):
+            tenant = query.get("tenant") or service.config.default_tenant
+            if tenant is None:
+                raise _HttpError(400, "tenant parameter required")
+            if not service.manager.is_known(tenant):
+                raise _HttpError(404, f"unknown tenant {tenant!r}")
+            anomalies = await service.run_barrier(
+                lambda: service.manager.anomalies(tenant)
+            )
+            return 200, {"tenant": tenant, "anomalies": anomalies}, ()
+        if route == ("POST", "/ingest"):
+            return await self._handle_ingest(query, body)
+        if route == ("POST", "/checkpoint"):
+            written = await service.run_barrier(service.manager.checkpoint_all)
+            return 200, {"checkpoints": written}, ()
+        if route == ("POST", "/flush"):
+            tenant = query.get("tenant")
+            if tenant is not None and not service.manager.is_known(tenant):
+                raise _HttpError(404, f"unknown tenant {tenant!r}")
+            closed = await service.run_barrier(
+                lambda: service.manager.flush(tenant)
+            )
+            return 200, {"closed": closed}, ()
+        if route == ("POST", "/shutdown"):
+            service.request_shutdown()
+            return 202, {"status": "shutting down"}, ()
+        raise _HttpError(404, f"no route {method} {path}")
+
+    async def _handle_ingest(
+        self, query: dict[str, str], body: bytes
+    ) -> tuple[int, Any, tuple]:
+        service = self.service
+        service.counters.inc("ingest_requests_total")
+        default_tenant = query.get("tenant") or service.config.default_tenant
+        try:
+            batches, records = parse_ndjson_batches(
+                body,
+                batch_size=service.config.ingest_batch_size,
+                default_tenant=default_tenant,
+                is_known_tenant=service.manager.is_known,
+            )
+        except IngestParseError as exc:
+            service.counters.inc("ingest_bad_requests_total")
+            raise _HttpError(400, str(exc)) from exc
+        if not service.worker.try_submit(batches):
+            service.counters.inc("ingest_rejected_total")
+            raise _HttpError(
+                429,
+                f"ingest queue full ({service.worker.capacity} batches); retry",
+                headers=(("Retry-After", "1"),),
+            )
+        service.counters.inc("ingest_records_total", records)
+        service.counters.inc("ingest_batches_total", len(batches))
+        return 202, {"accepted": records, "batches": len(batches)}, ()
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str, headers: tuple = ()):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = headers
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+def _json_response(status: int, document: Any, extra_headers: tuple = ()) -> bytes:
+    body = json.dumps(document).encode("utf-8")
+    lines = [
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in extra_headers:
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+# ----------------------------------------------------------------------
+# Raw socket front end
+# ----------------------------------------------------------------------
+class SocketFrontend:
+    """Raw TCP NDJSON ingest with slow-reader backpressure."""
+
+    def __init__(self, service: "DetectionService"):
+        self.service = service
+        self._server: asyncio.AbstractServer | None = None
+        self.port: int | None = None
+
+    async def start(self, host: str, port: int) -> None:
+        self._server = await asyncio.start_server(self._handle, host, port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _submit_or_wait(self, tenant: str, batch: RecordBatch) -> None:
+        """Admit one batch, pausing (not dropping) while the queue is full."""
+        worker = self.service.worker
+        while not worker.try_submit([(tenant, batch)]):
+            worker.note_backpressure_wait()
+            await asyncio.sleep(BACKPRESSURE_POLL_SECONDS)
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        service = self.service
+        accepted = 0
+        try:
+            header_line = await reader.readline()
+            if not header_line:
+                writer.close()
+                return
+            try:
+                header = json.loads(header_line)
+                tenant = str(header["tenant"]) if "tenant" in header else None
+            except (json.JSONDecodeError, TypeError):
+                tenant, header = None, None
+            if header is None or (
+                tenant is None and service.config.default_tenant is None
+            ):
+                writer.write(
+                    json.dumps(
+                        {"error": 'first line must be a {"tenant": ...} header'}
+                    ).encode()
+                    + b"\n"
+                )
+                await writer.drain()
+                writer.close()
+                return
+            tenant = tenant or service.config.default_tenant
+            if not service.manager.is_known(tenant):
+                writer.write(
+                    json.dumps({"error": f"unknown tenant {tenant!r}"}).encode() + b"\n"
+                )
+                await writer.drain()
+                writer.close()
+                return
+            batch_size = int(header.get("batch_size", service.config.ingest_batch_size))
+            acc = ColumnAccumulator()
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    acc.add_json_object(json.loads(line))
+                except (json.JSONDecodeError, StreamError) as exc:
+                    writer.write(
+                        json.dumps({"error": str(exc), "accepted": accepted}).encode()
+                        + b"\n"
+                    )
+                    await writer.drain()
+                    writer.close()
+                    return
+                accepted += 1
+                if len(acc) >= batch_size:
+                    await self._submit_or_wait(tenant, acc.flush())
+            if len(acc):
+                await self._submit_or_wait(tenant, acc.flush())
+            service.counters.inc("socket_records_total", accepted)
+            writer.write(json.dumps({"accepted": accepted}).encode() + b"\n")
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()

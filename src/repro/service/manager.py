@@ -1,0 +1,280 @@
+"""Multi-tenant session management: lazy activation, LRU eviction, resume.
+
+The daemon may be configured with (or accumulate checkpoints for) thousands
+of tenants while only a working set is hot at any moment.
+:class:`SessionManager` keeps sessions cheap:
+
+* **Lazy activation** — a tenant's
+  :class:`~repro.engine.session.DetectionSession` is materialized on first
+  touch: from its latest checkpoint when one exists (crash recovery and
+  re-activation share one code path), else fresh from its
+  :class:`~repro.service.config.TenantSpec`.
+* **LRU eviction-to-checkpoint** — when ``max_active`` is exceeded, the
+  least-recently-used session is checkpointed (atomically, pending counts
+  and all) and dropped.  Because checkpoint resume is bit-identical, an
+  evicted-and-reactivated tenant produces exactly the detections of one that
+  stayed resident; eviction is purely a memory decision.
+* **Rolling/final checkpoints** — :meth:`checkpoint_all` persists every
+  active session; it is driven by the daemon's timer, the ``POST
+  /checkpoint`` barrier and graceful shutdown.  Checkpoints never close the
+  pending timeunit, so cadence does not affect detections.
+
+All public methods are thread-safe behind one re-entrant lock: the ingest
+worker thread mutates sessions while the asyncio front end reads metrics and
+activates tenants for queries.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+
+from repro.core.results import TimeunitResult
+from repro.engine.hooks import EngineObserver
+from repro.engine.session import DetectionSession
+from repro.exceptions import ConfigurationError
+from repro.io.checkpoint import load_session_checkpoint, save_session_checkpoint
+from repro.service.config import TenantSpec, validate_tenant_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.streaming.batch import RecordBatch
+
+CHECKPOINT_SUFFIX = ".ckpt.json"
+
+
+class SessionManager:
+    """Owns every tenant session of one daemon process.
+
+    Parameters
+    ----------
+    specs:
+        Tenant specifications for fresh starts.
+    checkpoint_dir:
+        Directory of per-tenant checkpoint files
+        (``<checkpoint_dir>/<tenant>.ckpt.json``); created if missing.
+        Tenants with a checkpoint but no spec (e.g. after a config change)
+        remain loadable — checkpoints are self-contained.
+    max_active:
+        LRU cap on materialized sessions; ``None`` = unlimited.
+    observers:
+        Lifecycle observers (alert sinks, counters) subscribed to every
+        session on activation — fresh or resumed.
+    """
+
+    def __init__(
+        self,
+        specs: Iterable[TenantSpec],
+        checkpoint_dir: "str | Path",
+        max_active: int | None = None,
+        observers: Sequence[EngineObserver] = (),
+    ):
+        self._specs: dict[str, TenantSpec] = {}
+        for spec in specs:
+            if spec.name in self._specs:
+                raise ConfigurationError(f"duplicate tenant spec {spec.name!r}")
+            self._specs[spec.name] = spec
+        if max_active is not None and max_active < 1:
+            raise ConfigurationError("max_active must be >= 1 or None")
+        self.checkpoint_dir = Path(checkpoint_dir)
+        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        self.max_active = max_active
+        self._observers = list(observers)
+        self._active: "OrderedDict[str, DetectionSession]" = OrderedDict()
+        self._lock = threading.RLock()
+        # Process-lifetime counters (survive eviction, not restarts).
+        self.activations_total = 0
+        self.resumes_total = 0
+        self.fresh_starts_total = 0
+        self.evictions_total = 0
+        self.checkpoints_written_total = 0
+        self.last_checkpoint_unix: float | None = None
+        self._records_ingested: dict[str, int] = {}
+        self._units_closed: dict[str, int] = {}
+        self._anomalies_total: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Tenant inventory
+    # ------------------------------------------------------------------
+    def checkpoint_path(self, name: str) -> Path:
+        validate_tenant_name(name)
+        return self.checkpoint_dir / f"{name}{CHECKPOINT_SUFFIX}"
+
+    def known_tenants(self) -> list[str]:
+        """Configured tenants plus tenants that left a checkpoint behind."""
+        with self._lock:
+            names = set(self._specs)
+            for path in self.checkpoint_dir.glob(f"*{CHECKPOINT_SUFFIX}"):
+                names.add(path.name[: -len(CHECKPOINT_SUFFIX)])
+            return sorted(names)
+
+    def active_tenants(self) -> list[str]:
+        with self._lock:
+            return list(self._active)
+
+    def is_known(self, name: str) -> bool:
+        with self._lock:
+            return name in self._specs or self.checkpoint_path(name).exists()
+
+    # ------------------------------------------------------------------
+    # Activation / eviction
+    # ------------------------------------------------------------------
+    def session(self, name: str) -> DetectionSession:
+        """The tenant's live session; activates (resume or fresh) on demand."""
+        with self._lock:
+            session = self._active.get(name)
+            if session is not None:
+                self._active.move_to_end(name)
+                return session
+            path = self.checkpoint_path(name)
+            if path.exists():
+                session = load_session_checkpoint(path)
+                self.resumes_total += 1
+            elif name in self._specs:
+                session = self._specs[name].build_session()
+                self.fresh_starts_total += 1
+            else:
+                raise ConfigurationError(
+                    f"unknown tenant {name!r}: no spec configured and no "
+                    f"checkpoint in {self.checkpoint_dir}"
+                )
+            for observer in self._observers:
+                session.subscribe(observer)
+            self._active[name] = session
+            self._active.move_to_end(name)
+            self.activations_total += 1
+            self._evict_over_cap(keep=name)
+            return session
+
+    def _evict_over_cap(self, keep: str) -> None:
+        if self.max_active is None:
+            return
+        while len(self._active) > self.max_active:
+            victim = next(name for name in self._active if name != keep)
+            self.evict(victim)
+
+    def evict(self, name: str) -> Path:
+        """Checkpoint the tenant's session and drop it from memory.
+
+        The checkpoint includes the pending (not yet closed) timeunit counts,
+        so a later :meth:`session` call resumes with zero state divergence —
+        the eviction/resume round trip is invisible to detections.
+        """
+        with self._lock:
+            try:
+                session = self._active.pop(name)
+            except KeyError:
+                raise ConfigurationError(f"tenant {name!r} is not active") from None
+            path = self.checkpoint_path(name)
+            save_session_checkpoint(session, path)
+            self.checkpoints_written_total += 1
+            self.last_checkpoint_unix = time.time()
+            self.evictions_total += 1
+            for observer in self._observers:
+                session.unsubscribe(observer)
+            return path
+
+    # ------------------------------------------------------------------
+    # Ingestion / control (called from the worker thread)
+    # ------------------------------------------------------------------
+    def ingest_batch(self, name: str, batch: "RecordBatch") -> list[TimeunitResult]:
+        """Feed one columnar batch to the tenant's session."""
+        with self._lock:
+            session = self.session(name)
+            results = session.ingest_record_batch(batch)
+            self._records_ingested[name] = (
+                self._records_ingested.get(name, 0) + len(batch)
+            )
+            self._note_results(name, results)
+            return results
+
+    def flush(self, name: str | None = None) -> dict[str, int]:
+        """Close the pending timeunit of one/every *active* session.
+
+        Returns per-tenant counts of timeunits closed.  Flushing is an
+        explicit end-of-stream action — eviction and shutdown never flush.
+        """
+        with self._lock:
+            names = list(self._active) if name is None else [name]
+            closed: dict[str, int] = {}
+            for tenant in names:
+                session = self.session(tenant)
+                results = session.flush()
+                self._note_results(tenant, results)
+                closed[tenant] = len(results)
+            return closed
+
+    def _note_results(self, name: str, results: Sequence[TimeunitResult]) -> None:
+        self._units_closed[name] = self._units_closed.get(name, 0) + len(results)
+        anomalies = sum(len(result.anomalies) for result in results)
+        if anomalies:
+            self._anomalies_total[name] = (
+                self._anomalies_total.get(name, 0) + anomalies
+            )
+
+    def checkpoint_all(self) -> dict[str, str]:
+        """Atomically checkpoint every active session; tenant -> file path."""
+        with self._lock:
+            written: dict[str, str] = {}
+            for name, session in self._active.items():
+                path = self.checkpoint_path(name)
+                save_session_checkpoint(session, path)
+                self.checkpoints_written_total += 1
+                written[name] = str(path)
+            if written:
+                self.last_checkpoint_unix = time.time()
+            return written
+
+    def anomalies(self, name: str) -> list[dict[str, Any]]:
+        """All reported anomalies of a tenant (activates it if needed)."""
+        with self._lock:
+            return [anomaly.to_dict() for anomaly in self.session(name).anomalies]
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def counters(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "activations_total": self.activations_total,
+                "resumes_total": self.resumes_total,
+                "fresh_starts_total": self.fresh_starts_total,
+                "evictions_total": self.evictions_total,
+                "checkpoints_written_total": self.checkpoints_written_total,
+                "last_checkpoint_unix": self.last_checkpoint_unix,
+                "active_sessions": len(self._active),
+                "known_tenants": len(self.known_tenants()),
+            }
+
+    def tenant_snapshot(self) -> dict[str, dict[str, Any]]:
+        """Per-tenant metrics document (the ``tenants`` section of /metrics).
+
+        Active tenants report live session state (units processed, pending
+        timeunit, memory proxy, per-stage close timings,
+        ``adaptation_stats()``); inactive ones report their ingest counters
+        and whether a checkpoint is available for reactivation.
+        """
+        with self._lock:
+            doc: dict[str, dict[str, Any]] = {}
+            for name in self.known_tenants():
+                session = self._active.get(name)
+                entry: dict[str, Any] = {
+                    "active": session is not None,
+                    "resumable": self.checkpoint_path(name).exists(),
+                    "records_ingested": self._records_ingested.get(name, 0),
+                    "units_closed": self._units_closed.get(name, 0),
+                    "anomalies_total": self._anomalies_total.get(name, 0),
+                }
+                if session is not None:
+                    entry.update(
+                        units_processed=session.units_processed,
+                        pending_unit=session._pending_unit,
+                        anomalies_reported=len(session.anomalies),
+                        memory_units=session.memory_units(),
+                        stage_seconds=session.stage_seconds(),
+                        adaptation_stats=session.adaptation_stats(),
+                    )
+                doc[name] = entry
+            return doc

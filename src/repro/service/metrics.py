@@ -1,0 +1,97 @@
+"""Live metrics for the detection daemon.
+
+``GET /metrics`` returns one JSON document assembled here from the moving
+parts of a :class:`~repro.service.daemon.DetectionService`:
+
+* ``service`` — identity, uptime, HTTP-front-end counters;
+* ``queue`` — the backpressure picture: depth vs. capacity, high-water
+  mark, admitted/rejected batch totals, socket-path read pauses,
+  worker errors;
+* ``checkpoint`` — cadence, totals, last-write time, resume/eviction
+  counters (the eviction lifecycle is observable here);
+* ``alerts`` — egress delivery counters per sink;
+* ``tenants`` — per-tenant state, including live
+  ``adaptation_stats()`` and per-stage close timings for active sessions
+  (see :meth:`SessionManager.tenant_snapshot
+  <repro.service.manager.SessionManager.tenant_snapshot>`).
+
+JSON (not Prometheus text) keeps the endpoint dependency-free and directly
+assertable in tests; a production wrapper can flatten it trivially.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.daemon import DetectionService
+
+
+class Counters:
+    """A tiny thread-safe named-counter bag for front-end bookkeeping."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._values: dict[str, int] = {}
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._values[name] = self._values.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._values.get(name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._values)
+
+
+def healthz_document(service: "DetectionService") -> dict[str, Any]:
+    """The ``GET /healthz`` body: liveness + the drain state of the queue."""
+    worker = service.worker
+    return {
+        "status": "ok" if worker.running else "stopped",
+        "drained": worker.drained(),
+        "queue_depth": worker.depth(),
+        "active_sessions": len(service.manager.active_tenants()),
+        "uptime_seconds": service.uptime_seconds(),
+    }
+
+
+def metrics_document(service: "DetectionService") -> dict[str, Any]:
+    """The full ``GET /metrics`` body."""
+    import repro
+
+    manager = service.manager
+    manager_counters = manager.counters()
+    alerts: dict[str, Any] = {}
+    if service.jsonl_sink is not None:
+        alerts["jsonl"] = service.jsonl_sink.counters()
+    if service.webhook_sink is not None:
+        alerts["webhook"] = service.webhook_sink.counters()
+    return {
+        "service": {
+            "version": repro.__version__,
+            "time_unix": time.time(),
+            "uptime_seconds": service.uptime_seconds(),
+            "active_sessions": manager_counters["active_sessions"],
+            "known_tenants": manager_counters["known_tenants"],
+            "http": service.counters.snapshot(),
+        },
+        "queue": service.worker.counters(),
+        "checkpoint": {
+            "dir": str(manager.checkpoint_dir),
+            "interval_seconds": service.config.checkpoint_interval,
+            "written_total": manager_counters["checkpoints_written_total"],
+            "last_write_unix": manager_counters["last_checkpoint_unix"],
+            "activations_total": manager_counters["activations_total"],
+            "resumes_total": manager_counters["resumes_total"],
+            "fresh_starts_total": manager_counters["fresh_starts_total"],
+            "evictions_total": manager_counters["evictions_total"],
+        },
+        "alerts": alerts,
+        "tenants": manager.tenant_snapshot(),
+    }

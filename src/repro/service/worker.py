@@ -1,0 +1,198 @@
+"""The ingest worker: one bounded queue, one detection thread.
+
+Detection is CPU-bound and strictly ordered per tenant, so the daemon runs
+it on a single dedicated thread fed by one bounded FIFO queue.  The asyncio
+front ends never touch a session directly — they enqueue work and read
+counters:
+
+* ``("batch", tenant, RecordBatch)`` items feed
+  :meth:`SessionManager.ingest_batch`;
+* ``("call", fn, ...)`` items are **barriers**: the callable runs on the
+  worker thread after every previously enqueued batch, which is what makes
+  ``POST /checkpoint`` / ``POST /flush`` deterministic — they observe
+  exactly the records accepted before them.
+
+The queue bound *is* the backpressure contract.  :meth:`try_submit` is
+all-or-nothing and non-blocking: either every batch of a request is
+admitted, or none is and the caller signals the producer (HTTP 429, socket
+read pause).  Nothing is ever dropped past admission.
+
+Ingestion errors (malformed batch, out-of-order raise, unknown tenant) are
+recorded in ``errors_total`` / ``last_error`` and do not kill the worker:
+one bad tenant stream must not take down the other tenants.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.manager import SessionManager
+    from repro.streaming.batch import RecordBatch
+
+
+class IngestWorker:
+    """Single consumer thread over a bounded ingest queue."""
+
+    def __init__(self, manager: "SessionManager", queue_max_batches: int = 64):
+        self.manager = manager
+        self.capacity = max(1, int(queue_max_batches))
+        self._queue: "queue.Queue[tuple]" = queue.Queue(maxsize=self.capacity)
+        self._submit_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        # ``_pending`` counts items admitted but not yet fully processed —
+        # unlike qsize() it covers the item currently in flight, so
+        # ``drained`` has no false positives.
+        self._pending = 0
+        self._pending_lock = threading.Lock()
+        self.submitted_batches_total = 0
+        self.rejected_batches_total = 0
+        self.processed_batches_total = 0
+        self.processed_records_total = 0
+        self.backpressure_waits_total = 0
+        self.errors_total = 0
+        self.last_error: str | None = None
+        self.depth_highwater = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="repro-ingest-worker", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Process everything already queued, then stop the thread."""
+        if self._thread is None:
+            return
+        self._track_put(("stop",), block=True)
+        self._thread.join(timeout)
+        self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    # ------------------------------------------------------------------
+    # Producers (front-end side)
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        return self._queue.qsize()
+
+    def free_slots(self) -> int:
+        return max(0, self.capacity - self._queue.qsize())
+
+    def drained(self) -> bool:
+        """True when every admitted item has been fully processed."""
+        with self._pending_lock:
+            return self._pending == 0
+
+    def try_submit(self, items: Sequence[tuple[str, "RecordBatch"]]) -> bool:
+        """Admit all batches or none (non-blocking).
+
+        Only the worker removes from the queue, so under the submit lock
+        ``free_slots()`` can only be an *underestimate* — a True return can
+        never overfill the queue, and a False return means genuine pressure.
+        """
+        if not items:
+            return True
+        with self._submit_lock:
+            if self.free_slots() < len(items):
+                self.rejected_batches_total += len(items)
+                return False
+            for tenant, batch in items:
+                self._track_put(("batch", tenant, batch))
+                self.submitted_batches_total += 1
+        return True
+
+    def note_backpressure_wait(self) -> None:
+        """The socket path paused reading because the queue was full."""
+        self.backpressure_waits_total += 1
+
+    def submit_call(
+        self, fn: Callable[[], Any], timeout: float | None = 60.0
+    ) -> Any:
+        """Run ``fn`` on the worker thread after all queued work; return its result.
+
+        Blocks the calling thread (the asyncio front end dispatches it via an
+        executor).  Raises whatever ``fn`` raised.
+        """
+        done = threading.Event()
+        box: list[Any] = [None, None]
+        self._track_put(("call", fn, box, done), block=True)
+        if not done.wait(timeout):
+            raise TimeoutError(
+                f"worker barrier did not complete within {timeout}s "
+                f"(queue depth {self.depth()})"
+            )
+        if box[1] is not None:
+            raise box[1]
+        return box[0]
+
+    def _track_put(self, item: tuple, block: bool = False) -> None:
+        with self._pending_lock:
+            self._pending += 1
+        try:
+            self._queue.put(item, block=block)
+        except BaseException:
+            with self._pending_lock:
+                self._pending -= 1
+            raise
+        self.depth_highwater = max(self.depth_highwater, self._queue.qsize())
+
+    # ------------------------------------------------------------------
+    # Consumer
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            kind = item[0]
+            try:
+                if kind == "stop":
+                    return
+                if kind == "batch":
+                    _, tenant, batch = item
+                    self.manager.ingest_batch(tenant, batch)
+                    self.processed_batches_total += 1
+                    self.processed_records_total += len(batch)
+                else:  # "call"
+                    _, fn, box, done = item
+                    try:
+                        box[0] = fn()
+                    except BaseException as exc:  # noqa: BLE001 - forwarded
+                        box[1] = exc
+                        self.errors_total += 1
+                        self.last_error = repr(exc)
+                    finally:
+                        done.set()
+            except Exception as exc:  # noqa: BLE001 - keep the daemon alive
+                self.errors_total += 1
+                self.last_error = repr(exc)
+            finally:
+                with self._pending_lock:
+                    self._pending -= 1
+                self._queue.task_done()
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def counters(self) -> dict[str, Any]:
+        return {
+            "depth": self.depth(),
+            "capacity": self.capacity,
+            "depth_highwater": self.depth_highwater,
+            "drained": self.drained(),
+            "submitted_batches_total": self.submitted_batches_total,
+            "rejected_batches_total": self.rejected_batches_total,
+            "processed_batches_total": self.processed_batches_total,
+            "processed_records_total": self.processed_records_total,
+            "backpressure_waits_total": self.backpressure_waits_total,
+            "errors_total": self.errors_total,
+            "last_error": self.last_error,
+        }

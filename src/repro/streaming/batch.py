@@ -355,6 +355,26 @@ class ColumnAccumulator:
     def add_record(self, record: OperationalRecord) -> None:
         self.add(record.timestamp, record.category, record.attributes)
 
+    def add_json_object(self, data: Mapping[str, Any]) -> None:
+        """Append one decoded JSONL record object straight into the columns.
+
+        ``data`` is the parsed form of one trace line —
+        ``{"timestamp": ..., "category": [...], "attributes": {...}}`` — as
+        produced by :func:`repro.io.jsonl_io.write_records_jsonl` and accepted
+        by the service ingestion endpoints.  No
+        :class:`~repro.streaming.record.OperationalRecord` is materialized.
+        Raises :class:`~repro.exceptions.StreamError` on a missing/empty
+        category or a non-numeric timestamp.
+        """
+        try:
+            category = tuple(data["category"])
+            timestamp = float(data["timestamp"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StreamError(f"malformed record object: {exc!r}") from exc
+        if not category:
+            raise StreamError("record with an empty category path")
+        self.add(timestamp, category, data.get("attributes"))
+
     def flush(self) -> RecordBatch:
         """The accumulated rows as a batch; the accumulator resets to empty."""
         batch = RecordBatch(

@@ -1,0 +1,140 @@
+"""Shared fixtures and helpers for the service-layer test suite."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Any
+
+import pytest
+
+from repro.core.config import ForecastConfig, TiresiasConfig
+from repro.datagen.ccd import CCDConfig, make_ccd_dataset
+from repro.service.config import ServiceConfig, TenantSpec
+
+
+def tiny_detector_config() -> TiresiasConfig:
+    return TiresiasConfig(
+        theta=5.0,
+        ratio_threshold=2.0,
+        difference_threshold=4.0,
+        delta_seconds=900.0,
+        window_units=48,
+        reference_levels=1,
+        track_root=False,
+        allow_root_heavy=False,
+        forecast=ForecastConfig(season_lengths=(8,), fallback_alpha=0.3),
+    )
+
+
+def tiny_dataset(seed: int = 7, duration_days: float = 0.5):
+    """A small deterministic CCD dataset (a few hundred records)."""
+    return make_ccd_dataset(
+        CCDConfig(
+            dimension="trouble",
+            duration_days=duration_days,
+            delta_seconds=900.0,
+            base_rate_per_hour=60.0,
+            num_anomalies=1,
+            anomaly_warmup_days=0.2,
+            seed=seed,
+        )
+    )
+
+
+def tenant_spec_for(name: str, dataset, **overrides) -> TenantSpec:
+    return TenantSpec(
+        name=name,
+        tree=dataset.tree,
+        config=tiny_detector_config(),
+        clock=dataset.clock,
+        **overrides,
+    )
+
+
+@pytest.fixture
+def tiny_tenant(tmp_path):
+    """(dataset, ServiceConfig) for one small tenant with ephemeral ports."""
+    dataset = tiny_dataset()
+    config = ServiceConfig(
+        tenants=(tenant_spec_for("tiny", dataset),),
+        checkpoint_dir=tmp_path / "ckpt",
+        port=0,
+        socket_port=0,
+        checkpoint_interval=0.0,
+    )
+    return dataset, config
+
+
+# ----------------------------------------------------------------------
+# Minimal HTTP client helpers (urllib; the daemon speaks Connection: close)
+# ----------------------------------------------------------------------
+@dataclass
+class HttpResult:
+    status: int
+    body: dict[str, Any]
+
+
+def http_call(
+    port: int, path: str, method: str = "GET", data: bytes | None = None
+) -> HttpResult:
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=data, method=method
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return HttpResult(response.status, json.loads(response.read()))
+    except urllib.error.HTTPError as exc:
+        return HttpResult(exc.code, json.loads(exc.read()))
+
+
+def ndjson_payload(records) -> bytes:
+    """Serialize records (objects or dicts) as an NDJSON request body."""
+    lines = []
+    for record in records:
+        data = record if isinstance(record, dict) else record.to_dict()
+        lines.append(json.dumps(data, sort_keys=True))
+    return ("\n".join(lines) + "\n").encode("utf-8")
+
+
+def wait_until(predicate, timeout: float = 15.0, interval: float = 0.02) -> None:
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError(f"condition not reached within {timeout}s")
+
+
+# ----------------------------------------------------------------------
+# Checkpoint-state canonicalization for bit-identical comparisons
+# ----------------------------------------------------------------------
+def normalized_session_state(state: dict) -> dict:
+    """A timing-free, order-canonical copy of a session state dict.
+
+    Wall-clock timings (``reading_seconds``, per-stage ``stage_seconds``) are
+    zeroed and path-keyed lists sorted — the checkpoint format documents that
+    their entry order is not significant.  Everything else (forecast floats,
+    pending counts, reports, split/merge counters) must match bit-for-bit.
+    """
+    state = json.loads(json.dumps(state))
+    state["reading_seconds"] = 0.0
+    algo = state["algorithm_state"]
+    algo["stage_seconds"] = {key: 0.0 for key in algo["stage_seconds"]}
+    for field in ("series", "reference", "stats", "stats_last_unit"):
+        if field in algo:
+            algo[field] = sorted(algo[field], key=lambda kv: kv[0])
+    if "unit_weights" in algo:
+        algo["unit_weights"] = [
+            sorted(table, key=lambda kv: kv[0]) for table in algo["unit_weights"]
+        ]
+    state["pending"] = sorted(state["pending"], key=lambda kv: kv[0])
+    return state
+
+
+def state_bytes(state: dict) -> bytes:
+    return json.dumps(normalized_session_state(state), sort_keys=True).encode()

@@ -1,0 +1,167 @@
+"""Kill-and-restart equivalence on the golden traces.
+
+The daemon is run as a real subprocess (``python -m repro.service``), fed the
+first half of a committed golden trace, checkpointed, and killed with SIGKILL
+— no chance to clean up.  A second daemon on the same checkpoint directory
+ingests the rest.  Its detections and final checkpointed state must be
+bit-identical to an uninterrupted in-process serial run over the whole trace.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine.session import DetectionSession
+from repro.service.config import ServiceConfig, TenantSpec
+
+from tests.service.conftest import http_call, state_bytes, wait_until
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_DIR = REPO_ROOT / "src"
+
+
+class DaemonProcess:
+    """A ``repro-serve`` subprocess plus its discovered endpoints."""
+
+    def __init__(self, config_path: Path, ready_file: Path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(SRC_DIR)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        ready_file.unlink(missing_ok=True)
+        self.process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.service",
+                "--config",
+                str(config_path),
+                "--ready-file",
+                str(ready_file),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+        )
+        try:
+            wait_until(ready_file.exists, timeout=30.0)
+        except AssertionError:
+            self.process.kill()
+            output = self.process.communicate(timeout=10)[0]
+            raise AssertionError(
+                f"daemon did not become ready; output:\n{output.decode()}"
+            )
+        ready = json.loads(ready_file.read_text(encoding="utf-8"))
+        self.port = ready["port"]
+        assert ready["pid"] == self.process.pid
+
+    def call(self, path, method="GET", data=None):
+        return http_call(self.port, path, method, data)
+
+    def sigkill(self) -> None:
+        os.kill(self.process.pid, signal.SIGKILL)
+        self.process.wait(timeout=30)
+
+    def terminate(self) -> None:
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait(timeout=10)
+
+
+@pytest.fixture
+def daemon_env(tmp_path, golden_spec, golden_trace_loader):
+    """(config_path, ready_file, trace_lines, serial_session) for one golden."""
+    tree, clock, records = golden_trace_loader(golden_spec)
+    spec = TenantSpec(
+        name=golden_spec.name,
+        tree=tree,
+        config=golden_spec.detector_config(),
+        algorithm=golden_spec.algorithm,
+        clock=clock,
+    )
+    config = ServiceConfig(
+        tenants=(spec,),
+        checkpoint_dir=tmp_path / "ckpt",
+        port=0,
+        checkpoint_interval=0.0,  # only explicit checkpoints -> deterministic
+    )
+    config_path = tmp_path / "service.json"
+    config.save(config_path)
+
+    # The golden trace file verbatim, split into ingestable halves.
+    lines = [
+        line
+        for line in golden_spec.trace_path.read_text(encoding="utf-8").splitlines()
+        if line
+    ]
+    assert len(lines) == len(records)
+
+    serial = spec.build_session()
+    serial.process_stream(iter(records))
+    return config_path, tmp_path / "ready.json", lines, serial
+
+
+def payload(lines) -> bytes:
+    return ("\n".join(lines) + "\n").encode("utf-8")
+
+
+def test_sigkill_then_restart_is_bit_identical(daemon_env, golden_spec):
+    config_path, ready_file, lines, serial = daemon_env
+    cut = len(lines) // 2
+
+    first = DaemonProcess(config_path, ready_file)
+    try:
+        result = first.call("/ingest", "POST", payload(lines[:cut]))
+        assert result.status == 202
+        assert result.body["accepted"] == cut
+        written = first.call("/checkpoint", "POST")
+        assert written.status == 200
+        assert golden_spec.name in written.body["checkpoints"]
+        # SIGKILL: no flush, no shutdown checkpoint, sockets torn down hard.
+        first.sigkill()
+    finally:
+        first.terminate()
+
+    second = DaemonProcess(config_path, ready_file)
+    try:
+        # The restarted daemon advertises the tenant as resumable and resumes
+        # it lazily on first ingest.
+        inventory = second.call("/tenants").body["tenants"][golden_spec.name]
+        assert inventory["resumable"] is True
+        assert inventory["active"] is False
+
+        result = second.call("/ingest", "POST", payload(lines[cut:]))
+        assert result.status == 202
+        assert result.body["accepted"] == len(lines) - cut
+        closed = second.call("/flush", "POST")
+        assert closed.status == 200
+
+        anomalies = second.call(
+            f"/anomalies?tenant={golden_spec.name}"
+        ).body["anomalies"]
+        assert anomalies == [a.to_dict() for a in serial.anomalies]
+
+        metrics = second.call("/metrics").body
+        tenant = metrics["tenants"][golden_spec.name]
+        assert tenant["records_ingested"] == len(lines) - cut
+        assert tenant["units_processed"] == serial.units_processed
+
+        final = second.call("/checkpoint", "POST").body["checkpoints"]
+        restored = DetectionSession.load_checkpoint(final[golden_spec.name])
+        assert state_bytes(restored.state_dict()) == state_bytes(
+            serial.state_dict()
+        )
+    finally:
+        second.terminate()

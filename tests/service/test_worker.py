@@ -1,0 +1,157 @@
+"""IngestWorker: bounded-queue backpressure, barriers, error isolation."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service.manager import SessionManager
+from repro.service.worker import IngestWorker
+from repro.streaming.batch import RecordBatch
+
+from tests.service.conftest import tenant_spec_for, tiny_dataset, wait_until
+
+
+@pytest.fixture
+def worker(tmp_path):
+    dataset = tiny_dataset()
+    manager = SessionManager([tenant_spec_for("t", dataset)], tmp_path / "ckpt")
+    worker = IngestWorker(manager, queue_max_batches=2)
+    worker.dataset = dataset  # stash for tests
+    yield worker
+    if worker.running:
+        worker.stop()
+
+
+def small_batch(dataset, start=0, n=10) -> RecordBatch:
+    return RecordBatch.from_records(list(dataset.records())[start : start + n])
+
+
+class _Gate:
+    """Blocks the worker thread inside a barrier until released."""
+
+    def __init__(self, worker):
+        self.release = threading.Event()
+        self.entered = threading.Event()
+
+        def blocker():
+            self.entered.set()
+            assert self.release.wait(30)
+
+        self._thread = threading.Thread(
+            target=lambda: worker.submit_call(blocker, timeout=60), daemon=True
+        )
+        self._thread.start()
+        assert self.entered.wait(10)
+
+    def open(self):
+        self.release.set()
+        self._thread.join(10)
+
+
+class TestBackpressure:
+    def test_all_or_nothing_admission(self, worker):
+        worker.start()
+        gate = _Gate(worker)  # worker busy -> queue stays as we fill it
+        batch = small_batch(worker.dataset)
+        assert worker.try_submit([("t", batch)])
+        assert worker.try_submit([("t", batch)])
+        # Queue (capacity 2) is now full: a two-batch request is rejected
+        # atomically — nothing of it is enqueued.
+        assert not worker.try_submit([("t", batch), ("t", batch)])
+        assert not worker.try_submit([("t", batch)])
+        assert worker.rejected_batches_total == 3
+        assert worker.submitted_batches_total == 2
+        assert worker.depth() == 2
+        gate.open()
+        wait_until(worker.drained)
+        # After drain, admission succeeds again and nothing was dropped.
+        assert worker.try_submit([("t", batch)])
+        wait_until(worker.drained)
+        assert worker.processed_batches_total == 3
+        assert worker.processed_records_total == 30
+
+    def test_empty_submit_is_trivially_admitted(self, worker):
+        assert worker.try_submit([])
+
+    def test_counters_shape(self, worker):
+        counters = worker.counters()
+        assert counters["capacity"] == 2
+        assert counters["drained"] is True
+        for key in (
+            "depth",
+            "depth_highwater",
+            "submitted_batches_total",
+            "rejected_batches_total",
+            "processed_batches_total",
+            "processed_records_total",
+            "backpressure_waits_total",
+            "errors_total",
+        ):
+            assert counters[key] == 0
+
+
+class TestBarriers:
+    def test_barrier_runs_after_queued_batches(self, worker):
+        worker.start()
+        order = []
+        gate = _Gate(worker)
+        batch = small_batch(worker.dataset)
+        manager_ingest = worker.manager.ingest_batch
+
+        def tracking_ingest(name, b):
+            order.append("batch")
+            return manager_ingest(name, b)
+
+        worker.manager.ingest_batch = tracking_ingest
+        assert worker.try_submit([("t", batch)])
+        barrier_done = threading.Event()
+
+        def run_barrier():
+            worker.submit_call(lambda: order.append("barrier"), timeout=60)
+            barrier_done.set()
+
+        threading.Thread(target=run_barrier, daemon=True).start()
+        gate.open()
+        assert barrier_done.wait(10)
+        assert order == ["batch", "barrier"]
+
+    def test_barrier_propagates_exceptions(self, worker):
+        worker.start()
+
+        def boom():
+            raise ValueError("kaboom")
+
+        with pytest.raises(ValueError, match="kaboom"):
+            worker.submit_call(boom, timeout=10)
+        assert worker.errors_total == 1
+        assert "kaboom" in worker.last_error
+
+    def test_barrier_result(self, worker):
+        worker.start()
+        assert worker.submit_call(lambda: 42, timeout=10) == 42
+
+
+class TestErrorIsolation:
+    def test_bad_tenant_batch_does_not_kill_worker(self, worker):
+        worker.start()
+        batch = small_batch(worker.dataset)
+        assert worker.try_submit([("ghost", batch)])  # unknown tenant
+        wait_until(worker.drained)
+        assert worker.errors_total == 1
+        assert "ghost" in worker.last_error
+        assert worker.running
+        # The next good batch is processed normally.
+        assert worker.try_submit([("t", batch)])
+        wait_until(worker.drained)
+        assert worker.processed_batches_total == 1
+
+    def test_stop_drains_pending_work(self, worker):
+        worker.start()
+        batch = small_batch(worker.dataset)
+        assert worker.try_submit([("t", batch)])
+        worker.stop()
+        assert worker.processed_batches_total == 1
+        assert worker.drained()
+        assert not worker.running
