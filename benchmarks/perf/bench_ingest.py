@@ -66,10 +66,12 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -77,6 +79,8 @@ ROOT = Path(__file__).resolve().parents[2]
 if str(ROOT / "src") not in sys.path:
     sys.path.insert(0, str(ROOT / "src"))
 
+import repro  # noqa: E402
+from repro._vector import backend_tier  # noqa: E402
 from repro.core.config import ForecastConfig, TiresiasConfig  # noqa: E402
 from repro.datagen.ccd import CCDConfig, make_ccd_dataset  # noqa: E402
 from repro.engine.session import DetectionSession  # noqa: E402
@@ -84,6 +88,35 @@ from repro.streaming.batch import HAS_VECTOR_BACKEND, RecordBatch  # noqa: E402
 from repro.streaming.window import SlidingWindow  # noqa: E402
 
 DEFAULT_OUT = ROOT / "BENCH_ingest.json"
+
+#: Metadata every entry records (older entries are backfilled with None on
+#: the next append so the trajectory file stays uniformly queryable).
+METADATA_KEYS = ("cpu_count", "version", "backend_tier")
+
+
+@contextlib.contextmanager
+def _env(**overrides):
+    """Temporarily set/unset environment variables (None = unset)."""
+    saved = {key: os.environ.get(key) for key in overrides}
+    for key, value in overrides.items():
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+#: Environment that forces the staged (pre-fused, NumPy-tier) close path —
+#: the PR 5 baseline the fused gates compare against, measured in the same
+#: run on the same machine.
+STAGED_BASELINE_ENV = {"REPRO_DISABLE_FUSED": "1", "REPRO_DISABLE_COMPILED": "1"}
 
 
 class EquivalenceError(RuntimeError):
@@ -533,6 +566,156 @@ def _stable_phase_speedup(dataset, config, steps: int = 256, warmup: int = 8) ->
     }
 
 
+def _fused_stable_speedup(
+    dataset, config, steps: int = 256, warmup: int | None = None
+) -> dict:
+    """Stable-phase close microbenchmark: fused dense close vs staged close.
+
+    One fixed dense timeunit repeated ``steps`` times against two ADA
+    instances: the fused path fed pre-built dense node-count vectors
+    (``process_timeunit_dense``, compiled kernels when available) and the
+    staged path fed the equivalent dict under the PR 5 baseline environment
+    (fused + compiled tiers disabled).  Warmup runs past the forecaster's
+    ``min_history`` so the timed steps measure the *steady* regime (every
+    tracked row active — the regime the fused path is built for), not the
+    warm-up bookkeeping.  Detections must be identical; the ratio is what
+    ``--check-fused-speedup`` gates.
+    """
+    from repro._vector import load_numpy
+    from repro.core.ada import ADAAlgorithm
+    from repro.datagen.generator import counts_per_timeunit
+
+    np_ = load_numpy()
+    if warmup is None:
+        warmup = config.forecast.min_history + 32
+    units = counts_per_timeunit(
+        dataset.record_list(), dataset.clock, dataset.num_timeunits + 1
+    )
+    counts = max(units, key=len)  # densest timeunit of the trace
+    seconds = {}
+    outputs = {}
+    profiles = {}
+
+    # Staged baseline: construction and run both under the baseline env
+    # (the compiled tier is consulted per close, not just at init).
+    with _env(**STAGED_BASELINE_ENV):
+        algo = ADAAlgorithm(dataset.tree, config, adaptation="delta")
+        for unit in range(warmup):
+            algo.process_timeunit(counts, unit)
+        start = time.perf_counter()
+        results = [
+            algo.process_timeunit(counts, warmup + step) for step in range(steps)
+        ]
+        seconds["staged"] = time.perf_counter() - start
+    outputs["staged"] = [
+        (r.timeunit, r.heavy_hitters, r.actuals, r.forecasts, r.anomalies)
+        for r in results
+    ]
+    profiles["staged"] = algo.close_profile()
+
+    algo = ADAAlgorithm(dataset.tree, config, adaptation="delta")
+    if not algo.supports_dense_close:
+        raise EquivalenceError(
+            "fused close unavailable (REPRO_DISABLE_FUSED set?) — the fused "
+            "stable-phase benchmark has nothing to measure"
+        )
+    index_ids = algo.dictionary_node_ids(list(counts.keys()))
+    known = index_ids >= 0
+    ids = index_ids[known]
+    values = np_.asarray(
+        [float(c) for c in counts.values()], dtype=np_.float64
+    )[known]
+    template = algo.dense_count_template()
+    for unit in range(warmup):
+        base = template.copy()
+        base[ids] = values
+        algo.process_timeunit_dense(base, unit)
+    start = time.perf_counter()
+    results = []
+    for step in range(steps):
+        base = template.copy()
+        base[ids] = values
+        results.append(algo.process_timeunit_dense(base, warmup + step))
+    seconds["fused"] = time.perf_counter() - start
+    outputs["fused"] = [
+        (r.timeunit, r.heavy_hitters, r.actuals, r.forecasts, r.anomalies)
+        for r in results
+    ]
+    profiles["fused"] = algo.close_profile()
+
+    if outputs["fused"] != outputs["staged"]:
+        raise EquivalenceError(
+            "stable-phase detections diverged between fused and staged close"
+        )
+    return {
+        "steps": steps,
+        "tracked": len(outputs["fused"][0][1]),
+        "fused_seconds": round(seconds["fused"], 6),
+        "staged_seconds": round(seconds["staged"], 6),
+        "speedup": round(seconds["staged"] / max(seconds["fused"], 1e-9), 2),
+        "fused_units": profiles["fused"]["fused_units"],
+        "staged_units": profiles["staged"]["staged_units"],
+    }
+
+
+def bench_fused_e2e(dataset, config, records, batch_size: int, reps: int = 2) -> dict:
+    """End-to-end: columnar trace + fused close vs the staged PR 5 baseline.
+
+    Writes the workload to a columnar trace file once, then interleaves
+    ``reps`` runs per mode (best-of): the fused mode streams zero-copy coded
+    batches from the file through the dense ingest path; the staged mode
+    replays the same trace through the classic dict path under the baseline
+    environment.  Detections must be identical; ``speedup_vs_staged`` is the
+    same-run, same-machine ratio ``--check-fused-e2e`` gates (the staged
+    path is the PR 5 code path, so this is the "vs PR 5 baseline" number
+    without cross-machine noise).
+    """
+    from repro.io import read_batches_columnar, write_trace_columnar
+
+    best = {"fused": None, "staged": None}
+    profile = None
+    anomalies = {}
+    with tempfile.TemporaryDirectory(prefix="bench-fused-") as tmp:
+        path = Path(tmp) / "trace.rcol"
+        start = time.perf_counter()
+        write_trace_columnar(records, path)
+        write_seconds = time.perf_counter() - start
+        staged_batches = [
+            RecordBatch.from_records(records[i : i + batch_size])
+            for i in range(0, len(records), batch_size)
+        ]
+        for _rep in range(reps):
+            with _env(**STAGED_BASELINE_ENV):
+                elapsed, session = time_end_to_end(
+                    dataset, config, staged_batches, batched=True
+                )
+            if best["staged"] is None or elapsed < best["staged"]:
+                best["staged"] = elapsed
+            anomalies["staged"] = [a.to_dict() for a in session.anomalies]
+
+            batches = read_batches_columnar(path, batch_size=batch_size)
+            elapsed, session = time_end_to_end(dataset, config, batches, batched=True)
+            if best["fused"] is None or elapsed < best["fused"]:
+                best["fused"] = elapsed
+            anomalies["fused"] = [a.to_dict() for a in session.anomalies]
+            profile = session.close_profile()
+    if anomalies["fused"] != anomalies["staged"]:
+        raise EquivalenceError(
+            "columnar+fused end-to-end detections diverged from the staged path"
+        )
+    n = len(records)
+    return {
+        "columnar_write_seconds": round(write_seconds, 6),
+        "fused_seconds": round(best["fused"], 6),
+        "staged_seconds": round(best["staged"], 6),
+        "fused_rps": round(n / best["fused"], 1),
+        "staged_rps": round(n / best["staged"], 1),
+        "speedup_vs_staged": round(best["staged"] / max(best["fused"], 1e-9), 2),
+        "anomalies": len(anomalies["fused"]),
+        "close_profile": profile,
+    }
+
+
 def bench_adaptation(args: argparse.Namespace) -> dict:
     """Delta-adaptation engine benchmarks: table3 close, churn scenario
     (close comparison + end-to-end stage breakdown), stable fast path."""
@@ -631,6 +814,9 @@ def run(args: argparse.Namespace) -> dict:
     entry = {
         "bench": "ingest",
         "unix_time": time.time(),
+        "cpu_count": os.cpu_count(),
+        "version": repro.__version__,
+        "backend_tier": backend_tier(),
         "workload": {
             "name": "table3-ccd-trouble",
             "duration_days": args.duration_days,
@@ -679,6 +865,18 @@ def run(args: argparse.Namespace) -> dict:
         }
     if args.bank_rows > 0:
         entry["bank_kernel"] = bench_bank_kernel(rows=args.bank_rows)
+    if args.profile_close:
+        # Close-time histogram + fused/staged hit counts of the main batch run.
+        entry["close_profile"] = batch_session.close_profile()
+    if args.fused_bench:
+        if HAS_VECTOR_BACKEND:
+            entry["fused"] = bench_fused_e2e(
+                dataset, config, records, args.batch_size
+            )
+            entry["fused"]["stable"] = _fused_stable_speedup(dataset, config)
+        else:
+            # Without NumPy there is no fused path — nothing to compare.
+            entry["fused"] = {"skipped": "no vector backend"}
     if args.adaptation_bench:
         if HAS_VECTOR_BACKEND:
             entry["adaptation"] = bench_adaptation(args)
@@ -700,6 +898,12 @@ def append_result(entry: dict, out: Path) -> None:
             history = json.loads(text)
             if not isinstance(history, list):
                 history = [history]
+    # One-shot backfill: older entries predate the metadata contract; give
+    # them explicit nulls so every entry carries the same keys.
+    for old in history:
+        if isinstance(old, dict):
+            for key in METADATA_KEYS:
+                old.setdefault(key, None)
     history.append(entry)
     out.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
 
@@ -761,6 +965,36 @@ def main(argv: "list[str] | None" = None) -> int:
         "faster than the legacy adaptation walk (implies --adaptation-bench)",
     )
     parser.add_argument(
+        "--fused-bench",
+        action="store_true",
+        help="also run the fused-close benchmarks: columnar+fused end-to-end "
+        "and the stable-phase close microbenchmark, both against the staged "
+        "(REPRO_DISABLE_FUSED + REPRO_DISABLE_COMPILED) baseline with "
+        "identical detections asserted",
+    )
+    parser.add_argument(
+        "--profile-close",
+        action="store_true",
+        help="record the per-timeunit close-time histogram and fused/staged "
+        "hit counts of the batch end-to-end run in the JSON entry",
+    )
+    parser.add_argument(
+        "--check-fused-speedup",
+        type=float,
+        default=None,
+        metavar="MIN",
+        help="exit non-zero unless the stable-phase fused close is >= MIN x "
+        "faster than the staged baseline (implies --fused-bench)",
+    )
+    parser.add_argument(
+        "--check-fused-e2e",
+        type=float,
+        default=None,
+        metavar="MIN",
+        help="exit non-zero unless columnar+fused end-to-end is >= MIN x the "
+        "staged baseline measured in the same run (implies --fused-bench)",
+    )
+    parser.add_argument(
         "--check-speedup",
         type=float,
         default=None,
@@ -786,6 +1020,8 @@ def main(argv: "list[str] | None" = None) -> int:
     args = parser.parse_args(argv)
     if args.check_adapt_speedup is not None:
         args.adaptation_bench = True
+    if args.check_fused_speedup is not None or args.check_fused_e2e is not None:
+        args.fused_bench = True
 
     if args.scalar_probe:
         print(json.dumps(run_scalar_probe(args)))
@@ -823,6 +1059,23 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"bank kernel ({k['rows']} rows x {k['steps']} units): vector "
               f"{k['vector_seconds']:.3f}s | scalar {k['scalar_seconds']:.3f}s | "
               f"speedup {k['speedup']:.2f}x")
+    if "fused" in entry and "skipped" not in entry["fused"]:
+        f = entry["fused"]
+        print(f"fused e2e:  columnar+fused {f['fused_rps']:>12,.0f} rec/s | "
+              f"staged {f['staged_rps']:>12,.0f} rec/s | "
+              f"{f['speedup_vs_staged']:.2f}x vs staged baseline "
+              f"({f['anomalies']} identical anomalies)")
+        fs = f["stable"]
+        print(f"fused stable: {fs['steps']} units, {fs['tracked']} tracked | "
+              f"{fs['fused_seconds']*1e3:.1f}ms fused vs "
+              f"{fs['staged_seconds']*1e3:.1f}ms staged | {fs['speedup']:.2f}x")
+    if "close_profile" in entry:
+        p = entry["close_profile"]
+        h = p["close_time"]
+        mean_us = 1e6 * h["total_seconds"] / max(h["count"], 1)
+        print(f"close profile: {p['fused_units']} fused / {p['staged_units']} "
+              f"staged units ({p['dense_close_units']} dense) | "
+              f"mean {mean_us:.0f}us, max {h['max_seconds']*1e3:.2f}ms per close")
     if "adaptation" in entry and "skipped" not in entry["adaptation"]:
         a = entry["adaptation"]
         for scenario in ("table3", "churn"):
@@ -867,6 +1120,26 @@ def main(argv: "list[str] | None" = None) -> int:
                       f"{achieved:.2f}x < required "
                       f"{args.check_adapt_speedup:.2f}x", file=sys.stderr)
                 return 1
+    if args.check_fused_speedup is not None or args.check_fused_e2e is not None:
+        fused = entry.get("fused", {})
+        if "skipped" in fused:
+            print("note: fused gates skipped (no vector backend)",
+                  file=sys.stderr)
+        else:
+            if args.check_fused_speedup is not None:
+                achieved = fused["stable"]["speedup"]
+                if achieved < args.check_fused_speedup:
+                    print(f"FAIL: fused stable-phase close speedup "
+                          f"{achieved:.2f}x < required "
+                          f"{args.check_fused_speedup:.2f}x", file=sys.stderr)
+                    return 1
+            if args.check_fused_e2e is not None:
+                achieved = fused["speedup_vs_staged"]
+                if achieved < args.check_fused_e2e:
+                    print(f"FAIL: columnar+fused end-to-end speedup "
+                          f"{achieved:.2f}x < required "
+                          f"{args.check_fused_e2e:.2f}x", file=sys.stderr)
+                    return 1
     if args.check_workers_speedup is not None:
         if not entry.get("sharded"):
             print("FAIL: --check-workers-speedup given without --workers",

@@ -1,0 +1,7 @@
+"""``python -m repro._ckernels build`` — compile the kernel extension."""
+
+import sys
+
+from repro._ckernels.build import main
+
+sys.exit(main())

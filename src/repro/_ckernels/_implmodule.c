@@ -1,0 +1,884 @@
+/* Compiled close-path kernels: the optional third backend tier.
+ *
+ * Every kernel here is a line-for-line transcription of a NumPy expression
+ * from the close path (``_SplitStatsStore.update_dense``, the steady branch
+ * of ``ForecasterBank.observe_rows``, ``NodeTimeSeries.record``).  NumPy
+ * element-wise arithmetic is per-element IEEE-754 double arithmetic, so the
+ * same expression evaluated per element in C produces bit-identical results
+ * — PROVIDED the build forbids FMA contraction and fast-math reassociation.
+ * The builder therefore compiles with ``-O2 -ffp-contract=off`` and nothing
+ * else that touches floating point; see ``repro/_ckernels/build.py``.
+ *
+ * Kernels deliberately do only element-wise work, gathers and scatters.
+ * Anything NumPy computes with pairwise-block reductions (np.sum, np.mean)
+ * stays out of this module: a naive C loop would NOT be bit-identical.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#define NPY_NO_DEPRECATED_API NPY_1_7_API_VERSION
+#include <Python.h>
+#include <numpy/arrayobject.h>
+
+static int
+check_1d(PyArrayObject *arr, int typenum, const char *name)
+{
+    if (PyArray_NDIM(arr) != 1 || PyArray_TYPE(arr) != typenum ||
+        !PyArray_IS_C_CONTIGUOUS(arr)) {
+        PyErr_Format(PyExc_ValueError,
+                     "%s must be a 1-d C-contiguous array of the expected "
+                     "dtype", name);
+        return 0;
+    }
+    return 1;
+}
+
+/* update_stats_dense(raw, timeunit, alpha, decay, cumulative, ewma,
+ *                    last_weight, observations, last_unit, seen, has_last)
+ *
+ * Mirror of _SplitStatsStore.update_dense.  Returns 0 on success, or the
+ * needed decay-table length (a positive gap) when ``decay`` is too short —
+ * the caller then extends the table with Python ``**`` (the bit-contract:
+ * decay factors always come from Python pow) and retries.  Nothing is
+ * mutated on the retry return.
+ */
+static PyObject *
+update_stats_dense(PyObject *self, PyObject *args)
+{
+    PyArrayObject *raw, *decay, *cumulative, *ewma, *last_weight;
+    PyArrayObject *observations, *last_unit, *seen, *has_last;
+    long long timeunit;
+    double alpha;
+
+    if (!PyArg_ParseTuple(args, "O!LdO!O!O!O!O!O!O!O!",
+                          &PyArray_Type, &raw, &timeunit, &alpha,
+                          &PyArray_Type, &decay,
+                          &PyArray_Type, &cumulative,
+                          &PyArray_Type, &ewma,
+                          &PyArray_Type, &last_weight,
+                          &PyArray_Type, &observations,
+                          &PyArray_Type, &last_unit,
+                          &PyArray_Type, &seen,
+                          &PyArray_Type, &has_last))
+        return NULL;
+    if (!check_1d(raw, NPY_DOUBLE, "raw") ||
+        !check_1d(decay, NPY_DOUBLE, "decay") ||
+        !check_1d(cumulative, NPY_DOUBLE, "cumulative") ||
+        !check_1d(ewma, NPY_DOUBLE, "ewma") ||
+        !check_1d(last_weight, NPY_DOUBLE, "last_weight") ||
+        !check_1d(observations, NPY_INT64, "observations") ||
+        !check_1d(last_unit, NPY_INT64, "last_unit") ||
+        !check_1d(seen, NPY_BOOL, "seen") ||
+        !check_1d(has_last, NPY_BOOL, "has_last"))
+        return NULL;
+
+    npy_intp n = PyArray_DIM(raw, 0);
+    if (PyArray_DIM(cumulative, 0) != n || PyArray_DIM(ewma, 0) != n ||
+        PyArray_DIM(last_weight, 0) != n || PyArray_DIM(observations, 0) != n ||
+        PyArray_DIM(last_unit, 0) != n || PyArray_DIM(seen, 0) != n ||
+        PyArray_DIM(has_last, 0) != n) {
+        PyErr_SetString(PyExc_ValueError, "stats arrays must share one length");
+        return NULL;
+    }
+
+    const double *rw = (const double *)PyArray_DATA(raw);
+    const double *dk = (const double *)PyArray_DATA(decay);
+    double *cum = (double *)PyArray_DATA(cumulative);
+    double *ew = (double *)PyArray_DATA(ewma);
+    double *lw = (double *)PyArray_DATA(last_weight);
+    npy_int64 *obs = (npy_int64 *)PyArray_DATA(observations);
+    npy_int64 *lu = (npy_int64 *)PyArray_DATA(last_unit);
+    npy_bool *sn = (npy_bool *)PyArray_DATA(seen);
+    npy_bool *hl = (npy_bool *)PyArray_DATA(has_last);
+    npy_intp dlen = PyArray_DIM(decay, 0);
+    long long t = timeunit;
+
+    /* Pass 1: is the decay table long enough for every silent gap?  Checked
+     * up front so a short table mutates nothing (the caller retries). */
+    long long needed = 0;
+    for (npy_intp i = 0; i < n; i++) {
+        if (rw[i] > 0.0 && hl[i] && lu[i] < t - 1) {
+            long long gap = t - lu[i] - 1;
+            if (gap >= dlen && gap > needed)
+                needed = gap;
+        }
+    }
+    if (needed > 0)
+        return PyLong_FromLongLong(needed);
+
+    const double one_minus_alpha = 1.0 - alpha;
+    for (npy_intp i = 0; i < n; i++) {
+        double w = rw[i];
+        if (!(w > 0.0))
+            continue;
+        if (hl[i] && lu[i] < t - 1)
+            ew[i] = ew[i] * dk[t - lu[i] - 1];
+        cum[i] += w;
+        ew[i] = obs[i] > 0 ? alpha * w + one_minus_alpha * ew[i] : w;
+        lw[i] = w;
+        obs[i] += 1;
+        sn[i] = 1;
+        hl[i] = 1;
+        lu[i] = t;
+    }
+    return PyLong_FromLong(0);
+}
+
+/* observe_steady(idx, v, level, trend, seasonal, phases, phase_cols, ewma,
+ *                seen, alpha, beta, gamma, fallback_alpha, season_len, out)
+ *
+ * The single-season steady-state branch of ForecasterBank.observe_rows:
+ * every row active, no NaN EWMA, rows distinct.  ``seasonal`` is the
+ * (capacity, season_len) buffer, ``phases`` the (capacity, K) phase matrix
+ * of which only column 0 is used (K passed as phase_cols).  Forecasts for
+ * each row land in ``out``.
+ */
+static PyObject *
+observe_steady(PyObject *self, PyObject *args)
+{
+    PyArrayObject *idx, *v, *level, *trend, *seasonal, *phases;
+    PyArrayObject *ewma, *seen, *out;
+    double alpha, beta, gamma, fallback_alpha;
+    long long phase_cols, season_len;
+
+    if (!PyArg_ParseTuple(args, "O!O!O!O!O!O!LO!O!ddddLO!",
+                          &PyArray_Type, &idx,
+                          &PyArray_Type, &v,
+                          &PyArray_Type, &level,
+                          &PyArray_Type, &trend,
+                          &PyArray_Type, &seasonal,
+                          &PyArray_Type, &phases, &phase_cols,
+                          &PyArray_Type, &ewma,
+                          &PyArray_Type, &seen,
+                          &alpha, &beta, &gamma, &fallback_alpha,
+                          &season_len,
+                          &PyArray_Type, &out))
+        return NULL;
+    if (!check_1d(idx, NPY_INTP, "idx") || !check_1d(v, NPY_DOUBLE, "v") ||
+        !check_1d(level, NPY_DOUBLE, "level") ||
+        !check_1d(trend, NPY_DOUBLE, "trend") ||
+        !check_1d(ewma, NPY_DOUBLE, "ewma") ||
+        !check_1d(seen, NPY_INT64, "seen") ||
+        !check_1d(out, NPY_DOUBLE, "out"))
+        return NULL;
+    if (PyArray_NDIM(seasonal) != 2 || PyArray_TYPE(seasonal) != NPY_DOUBLE ||
+        !PyArray_IS_C_CONTIGUOUS(seasonal) ||
+        PyArray_NDIM(phases) != 2 || PyArray_TYPE(phases) != NPY_INT64 ||
+        !PyArray_IS_C_CONTIGUOUS(phases)) {
+        PyErr_SetString(PyExc_ValueError,
+                        "seasonal/phases must be 2-d C-contiguous");
+        return NULL;
+    }
+    npy_intp m = PyArray_DIM(idx, 0);
+    npy_intp cap = PyArray_DIM(level, 0);
+    if (PyArray_DIM(v, 0) != m || PyArray_DIM(out, 0) != m ||
+        PyArray_DIM(seasonal, 1) != (npy_intp)season_len ||
+        PyArray_DIM(phases, 1) != (npy_intp)phase_cols ||
+        PyArray_DIM(seasonal, 0) != cap || PyArray_DIM(phases, 0) != cap ||
+        PyArray_DIM(trend, 0) != cap || PyArray_DIM(ewma, 0) != cap ||
+        PyArray_DIM(seen, 0) != cap) {
+        PyErr_SetString(PyExc_ValueError, "observe_steady shape mismatch");
+        return NULL;
+    }
+
+    const npy_intp *ix = (const npy_intp *)PyArray_DATA(idx);
+    const double *vv = (const double *)PyArray_DATA(v);
+    double *lv = (double *)PyArray_DATA(level);
+    double *tr = (double *)PyArray_DATA(trend);
+    double *seas = (double *)PyArray_DATA(seasonal);
+    npy_int64 *ph = (npy_int64 *)PyArray_DATA(phases);
+    double *ew = (double *)PyArray_DATA(ewma);
+    npy_int64 *sn = (npy_int64 *)PyArray_DATA(seen);
+    double *fc = (double *)PyArray_DATA(out);
+    const long long p = season_len;
+    const long long K = phase_cols;
+    const double oma = 1.0 - alpha, omb = 1.0 - beta, omg = 1.0 - gamma;
+    const double omf = 1.0 - fallback_alpha;
+
+    for (npy_intp j = 0; j < m; j++) {
+        npy_intp row = ix[j];
+        if (row < 0 || row >= cap) {
+            PyErr_SetString(PyExc_IndexError, "row index out of range");
+            return NULL;
+        }
+        double val = vv[j];
+        npy_int64 phase = ph[row * K];
+        double sea = seas[row * p + phase];
+        double lev = lv[row];
+        double trd = tr[row];
+        fc[j] = lev + trd + sea;
+        ew[row] = fallback_alpha * val + omf * ew[row];
+        sn[row] += 1;
+        double new_level = alpha * (val - sea) + oma * (lev + trd);
+        lv[row] = new_level;
+        tr[row] = beta * (new_level - lev) + omb * trd;
+        seas[row * p + phase] = gamma * (val - new_level) + omg * sea;
+        ph[row * K] = (phase + 1) % p;
+    }
+    Py_RETURN_NONE;
+}
+
+/* fused_record(bases, starts, sizes, maxlens, values, forecasts)
+ *
+ * The batched form of NodeTimeSeries.record's fused-storage branch: one call
+ * appends this timeunit's (actual, forecast) pair to every tracked series.
+ * ``bases`` is a list of (2, maxlen) float64 arrays (row 0 actuals, row 1
+ * forecasts); ``starts``/``sizes`` are int64 ring cursors read from the
+ * FloatRing pairs before the call and written back after it (the caller owns
+ * that sync — the arrays are authoritative only inside this call).
+ */
+static PyObject *
+fused_record(PyObject *self, PyObject *args)
+{
+    PyObject *bases;
+    PyArrayObject *starts, *sizes, *maxlens, *values, *forecasts;
+
+    if (!PyArg_ParseTuple(args, "O!O!O!O!O!O!",
+                          &PyList_Type, &bases,
+                          &PyArray_Type, &starts,
+                          &PyArray_Type, &sizes,
+                          &PyArray_Type, &maxlens,
+                          &PyArray_Type, &values,
+                          &PyArray_Type, &forecasts))
+        return NULL;
+    if (!check_1d(starts, NPY_INT64, "starts") ||
+        !check_1d(sizes, NPY_INT64, "sizes") ||
+        !check_1d(maxlens, NPY_INT64, "maxlens") ||
+        !check_1d(values, NPY_DOUBLE, "values") ||
+        !check_1d(forecasts, NPY_DOUBLE, "forecasts"))
+        return NULL;
+    npy_intp m = PyList_GET_SIZE(bases);
+    if (PyArray_DIM(starts, 0) != m || PyArray_DIM(sizes, 0) != m ||
+        PyArray_DIM(maxlens, 0) != m || PyArray_DIM(values, 0) != m ||
+        PyArray_DIM(forecasts, 0) != m) {
+        PyErr_SetString(PyExc_ValueError, "fused_record length mismatch");
+        return NULL;
+    }
+    npy_int64 *st = (npy_int64 *)PyArray_DATA(starts);
+    npy_int64 *sz = (npy_int64 *)PyArray_DATA(sizes);
+    const npy_int64 *ml = (const npy_int64 *)PyArray_DATA(maxlens);
+    const double *vv = (const double *)PyArray_DATA(values);
+    const double *ff = (const double *)PyArray_DATA(forecasts);
+
+    for (npy_intp j = 0; j < m; j++) {
+        PyObject *obj = PyList_GET_ITEM(bases, j);
+        if (!PyArray_Check(obj)) {
+            PyErr_SetString(PyExc_TypeError, "bases must hold ndarrays");
+            return NULL;
+        }
+        PyArrayObject *base = (PyArrayObject *)obj;
+        npy_int64 L = ml[j];
+        if (PyArray_NDIM(base) != 2 || PyArray_TYPE(base) != NPY_DOUBLE ||
+            !PyArray_IS_C_CONTIGUOUS(base) || PyArray_DIM(base, 0) != 2 ||
+            PyArray_DIM(base, 1) != (npy_intp)L) {
+            PyErr_SetString(PyExc_ValueError,
+                            "each base must be a C-contiguous (2, maxlen) "
+                            "float64 array");
+            return NULL;
+        }
+        double *data = (double *)PyArray_DATA(base);
+        npy_int64 pos = st[j] + sz[j];
+        if (pos >= L)
+            pos -= L;
+        data[pos] = vv[j];
+        data[L + pos] = ff[j];
+        if (sz[j] == L) {
+            npy_int64 s = st[j] + 1;
+            if (s == L)
+                s = 0;
+            st[j] = s;
+        } else {
+            sz[j] += 1;
+        }
+    }
+    Py_RETURN_NONE;
+}
+
+static int
+check_base(PyArrayObject *arr, npy_intp maxlen, const char *name)
+{
+    if (PyArray_NDIM(arr) != 2 || PyArray_TYPE(arr) != NPY_DOUBLE ||
+        !PyArray_IS_C_CONTIGUOUS(arr) || PyArray_DIM(arr, 0) != 2 ||
+        PyArray_DIM(arr, 1) != maxlen) {
+        PyErr_Format(PyExc_ValueError,
+                     "%s must be a C-contiguous (2, maxlen) float64 array",
+                     name);
+        return 0;
+    }
+    return 1;
+}
+
+/* split_windows(base, child_base, start, size, maxlen, ratio)
+ *
+ * Mirror of NodeTimeSeries._split_windows' fused branch: the live region of
+ * ``base`` (ring order, possibly wrapped) is copied times ``ratio`` into the
+ * head of ``child_base`` and scaled by ``1 - ratio`` in place.  Entries of
+ * ``child_base`` beyond ``size`` stay uninitialized, exactly like the
+ * ``np.empty`` the NumPy branch leaves behind (the child ring's size hides
+ * them).
+ */
+static PyObject *
+split_windows(PyObject *self, PyObject *args)
+{
+    PyArrayObject *base, *child;
+    long long start, size, maxlen;
+    double ratio;
+
+    if (!PyArg_ParseTuple(args, "O!O!LLLd",
+                          &PyArray_Type, &base,
+                          &PyArray_Type, &child,
+                          &start, &size, &maxlen, &ratio))
+        return NULL;
+    if (!check_base(base, (npy_intp)maxlen, "base") ||
+        !check_base(child, (npy_intp)maxlen, "child_base"))
+        return NULL;
+    if (start < 0 || start >= maxlen || size < 0 || size > maxlen) {
+        PyErr_SetString(PyExc_ValueError, "split_windows cursor out of range");
+        return NULL;
+    }
+    double *bd = (double *)PyArray_DATA(base);
+    double *cd = (double *)PyArray_DATA(child);
+    const double rest = 1.0 - ratio;
+    const long long L = maxlen;
+
+    for (int row = 0; row < 2; row++) {
+        double *b = bd + (npy_intp)row * L;
+        double *c = cd + (npy_intp)row * L;
+        for (long long j = 0; j < size; j++) {
+            long long src = start + j;
+            if (src >= L)
+                src -= L;
+            c[j] = b[src] * ratio;
+            b[src] *= rest;
+        }
+    }
+    Py_RETURN_NONE;
+}
+
+/* merge_windows(base, n_start, n_size, other, o_start, o_size, maxlen,
+ *               o_maxlen)
+ *
+ * Mirror of NodeTimeSeries.merge_windows_from's in-place branch
+ * (``m <= n``): ``other``'s live region adds into the newest ``m`` slots of
+ * ``base``, both in ring order.  Per-element independent additions — order
+ * cannot matter.
+ */
+static PyObject *
+merge_windows(PyObject *self, PyObject *args)
+{
+    PyArrayObject *base, *other;
+    long long n_start, n_size, o_start, o_size, maxlen, o_maxlen;
+
+    if (!PyArg_ParseTuple(args, "O!LLO!LLLL",
+                          &PyArray_Type, &base, &n_start, &n_size,
+                          &PyArray_Type, &other, &o_start, &o_size,
+                          &maxlen, &o_maxlen))
+        return NULL;
+    if (!check_base(base, (npy_intp)maxlen, "base") ||
+        !check_base(other, (npy_intp)o_maxlen, "other"))
+        return NULL;
+    if (o_size > n_size || n_size > maxlen || o_size > o_maxlen ||
+        n_start < 0 || n_start >= maxlen || o_start < 0 ||
+        o_start >= o_maxlen || o_size < 0) {
+        PyErr_SetString(PyExc_ValueError, "merge_windows cursor out of range");
+        return NULL;
+    }
+    double *bd = (double *)PyArray_DATA(base);
+    const double *od = (const double *)PyArray_DATA(other);
+    const long long L = maxlen, OL = o_maxlen, m = o_size;
+    long long dst0 = n_start + (n_size - m);
+    if (dst0 >= L)
+        dst0 -= L;
+
+    for (int row = 0; row < 2; row++) {
+        double *b = bd + (npy_intp)row * L;
+        const double *o = od + (npy_intp)row * OL;
+        for (long long j = 0; j < m; j++) {
+            long long src = o_start + j;
+            if (src >= OL)
+                src -= OL;
+            long long dst = dst0 + j;
+            if (dst >= L)
+                dst -= L;
+            b[dst] += o[src];
+        }
+    }
+    Py_RETURN_NONE;
+}
+
+/* accumulate_up(raw, parent, order, bounds, scratch)
+ *
+ * Mirror of HierarchyIndex._accumulate_up: one bottom-up level sweep adding
+ * each level's weights onto parents.  ``order`` is the concatenation of
+ * levels_deepest_first and ``bounds`` its level boundaries (L+1 entries).
+ * Per level the child contributions accumulate into ``scratch`` in child
+ * order (exactly bincount's accumulation order) and the whole scratch vector
+ * is then added to ``raw`` — including the zero entries, matching
+ * ``raw += bincount(...)`` bit for bit (-0.0 + 0.0 normalization included).
+ */
+static PyObject *
+accumulate_up(PyObject *self, PyObject *args)
+{
+    PyArrayObject *raw, *parent, *order, *bounds, *scratch;
+
+    if (!PyArg_ParseTuple(args, "O!O!O!O!O!",
+                          &PyArray_Type, &raw,
+                          &PyArray_Type, &parent,
+                          &PyArray_Type, &order,
+                          &PyArray_Type, &bounds,
+                          &PyArray_Type, &scratch))
+        return NULL;
+    if (!check_1d(raw, NPY_DOUBLE, "raw") ||
+        !check_1d(parent, NPY_INTP, "parent") ||
+        !check_1d(order, NPY_INTP, "order") ||
+        !check_1d(bounds, NPY_INTP, "bounds") ||
+        !check_1d(scratch, NPY_DOUBLE, "scratch"))
+        return NULL;
+    npy_intp n = PyArray_DIM(raw, 0);
+    if (PyArray_DIM(parent, 0) != n || PyArray_DIM(scratch, 0) != n ||
+        PyArray_DIM(bounds, 0) < 1) {
+        PyErr_SetString(PyExc_ValueError, "accumulate_up shape mismatch");
+        return NULL;
+    }
+    double *rw = (double *)PyArray_DATA(raw);
+    const npy_intp *pa = (const npy_intp *)PyArray_DATA(parent);
+    const npy_intp *od = (const npy_intp *)PyArray_DATA(order);
+    const npy_intp *bd = (const npy_intp *)PyArray_DATA(bounds);
+    double *sc = (double *)PyArray_DATA(scratch);
+    npy_intp total = PyArray_DIM(order, 0);
+    npy_intp levels = PyArray_DIM(bounds, 0) - 1;
+
+    for (npy_intp l = 0; l < levels; l++) {
+        npy_intp lo = bd[l], hi = bd[l + 1];
+        if (lo < 0 || hi < lo || hi > total) {
+            PyErr_SetString(PyExc_ValueError, "accumulate_up bad bounds");
+            return NULL;
+        }
+        memset(sc, 0, (size_t)n * sizeof(double));
+        for (npy_intp i = lo; i < hi; i++) {
+            npy_intp c = od[i];
+            if (c < 0 || c >= n || pa[c] < 0 || pa[c] >= n) {
+                PyErr_SetString(PyExc_IndexError, "accumulate_up id range");
+                return NULL;
+            }
+            sc[pa[c]] += rw[c];
+        }
+        for (npy_intp j = 0; j < n; j++)
+            rw[j] += sc[j];
+    }
+    Py_RETURN_NONE;
+}
+
+/* succinct_sweep(raw, modified, heavy, parent, order, bounds, theta,
+ *                scratch_raw, scratch_mod)
+ *
+ * Mirror of HierarchyIndex.succinct (Definition 2).  ``modified`` arrives as
+ * a copy of ``raw`` and ``heavy`` zeroed; both are filled in place.  Each
+ * level reads its children's raw and non-heavy modified sums (accumulated in
+ * child order, as bincount does) and evaluates
+ * ``modified = (raw - child_raw) + child_modified`` left to right, then
+ * ``heavy = modified >= theta``; the root closes the sweep from the depth-1
+ * level.
+ */
+static PyObject *
+succinct_sweep(PyObject *self, PyObject *args)
+{
+    PyArrayObject *raw, *modified, *heavy, *parent, *order, *bounds;
+    PyArrayObject *scratch_raw, *scratch_mod;
+    double theta;
+
+    if (!PyArg_ParseTuple(args, "O!O!O!O!O!O!dO!O!",
+                          &PyArray_Type, &raw,
+                          &PyArray_Type, &modified,
+                          &PyArray_Type, &heavy,
+                          &PyArray_Type, &parent,
+                          &PyArray_Type, &order,
+                          &PyArray_Type, &bounds,
+                          &theta,
+                          &PyArray_Type, &scratch_raw,
+                          &PyArray_Type, &scratch_mod))
+        return NULL;
+    if (!check_1d(raw, NPY_DOUBLE, "raw") ||
+        !check_1d(modified, NPY_DOUBLE, "modified") ||
+        !check_1d(heavy, NPY_BOOL, "heavy") ||
+        !check_1d(parent, NPY_INTP, "parent") ||
+        !check_1d(order, NPY_INTP, "order") ||
+        !check_1d(bounds, NPY_INTP, "bounds") ||
+        !check_1d(scratch_raw, NPY_DOUBLE, "scratch_raw") ||
+        !check_1d(scratch_mod, NPY_DOUBLE, "scratch_mod"))
+        return NULL;
+    npy_intp n = PyArray_DIM(raw, 0);
+    if (PyArray_DIM(modified, 0) != n || PyArray_DIM(heavy, 0) != n ||
+        PyArray_DIM(parent, 0) != n || PyArray_DIM(scratch_raw, 0) != n ||
+        PyArray_DIM(scratch_mod, 0) != n || PyArray_DIM(bounds, 0) < 1) {
+        PyErr_SetString(PyExc_ValueError, "succinct_sweep shape mismatch");
+        return NULL;
+    }
+    const double *rw = (const double *)PyArray_DATA(raw);
+    double *md = (double *)PyArray_DATA(modified);
+    npy_bool *hv = (npy_bool *)PyArray_DATA(heavy);
+    const npy_intp *pa = (const npy_intp *)PyArray_DATA(parent);
+    const npy_intp *od = (const npy_intp *)PyArray_DATA(order);
+    const npy_intp *bd = (const npy_intp *)PyArray_DATA(bounds);
+    double *sr = (double *)PyArray_DATA(scratch_raw);
+    double *sm = (double *)PyArray_DATA(scratch_mod);
+    npy_intp total = PyArray_DIM(order, 0);
+    npy_intp levels = PyArray_DIM(bounds, 0) - 1;
+
+    for (npy_intp l = 0; l < levels; l++) {
+        npy_intp lo = bd[l], hi = bd[l + 1];
+        if (lo < 0 || hi < lo || hi > total) {
+            PyErr_SetString(PyExc_ValueError, "succinct_sweep bad bounds");
+            return NULL;
+        }
+        if (l > 0) {
+            npy_intp clo = bd[l - 1], chi = bd[l];
+            memset(sr, 0, (size_t)n * sizeof(double));
+            memset(sm, 0, (size_t)n * sizeof(double));
+            for (npy_intp i = clo; i < chi; i++) {
+                npy_intp c = od[i];
+                npy_intp p = pa[c];
+                sr[p] += rw[c];
+                sm[p] += hv[c] ? 0.0 : md[c];
+            }
+            for (npy_intp i = lo; i < hi; i++) {
+                npy_intp nid = od[i];
+                if (nid < 0 || nid >= n) {
+                    PyErr_SetString(PyExc_IndexError, "succinct_sweep id");
+                    return NULL;
+                }
+                md[nid] = (rw[nid] - sr[nid]) + sm[nid];
+            }
+        }
+        for (npy_intp i = lo; i < hi; i++) {
+            npy_intp nid = od[i];
+            if (nid < 0 || nid >= n) {
+                PyErr_SetString(PyExc_IndexError, "succinct_sweep id");
+                return NULL;
+            }
+            hv[nid] = md[nid] >= theta;
+        }
+    }
+    if (levels > 0) {
+        npy_intp clo = bd[levels - 1], chi = bd[levels];
+        memset(sr, 0, (size_t)n * sizeof(double));
+        memset(sm, 0, (size_t)n * sizeof(double));
+        for (npy_intp i = clo; i < chi; i++) {
+            npy_intp c = od[i];
+            npy_intp p = pa[c];
+            sr[p] += rw[c];
+            sm[p] += hv[c] ? 0.0 : md[c];
+        }
+        md[0] = (rw[0] - sr[0]) + sm[0];
+    }
+    hv[0] = md[0] >= theta;
+    Py_RETURN_NONE;
+}
+
+/* seed_steady(hist, row, alpha, p, ewma, level, trend, seasonal, phases, K,
+ *             active)
+ *
+ * ForecasterBank.seed_fast's steady branch for a contiguous float64 history:
+ * the EWMA tail fold, the sequential Holt-Winters window sums (the
+ * np.cumsum[-1] arithmetic is a left-to-right fold, replicated exactly) and
+ * the seasonal-row write, all in one call.  Single-season layout only.
+ */
+static PyObject *
+seed_steady(PyObject *self, PyObject *args)
+{
+    PyArrayObject *hist, *ewma, *level, *trend, *seasonal, *phases, *active;
+    double alpha;
+    long long row, p, K;
+
+    if (!PyArg_ParseTuple(args, "O!LdLO!O!O!O!O!LO!",
+                          &PyArray_Type, &hist, &row, &alpha, &p,
+                          &PyArray_Type, &ewma,
+                          &PyArray_Type, &level,
+                          &PyArray_Type, &trend,
+                          &PyArray_Type, &seasonal,
+                          &PyArray_Type, &phases, &K,
+                          &PyArray_Type, &active))
+        return NULL;
+    if (!check_1d(hist, NPY_DOUBLE, "hist") ||
+        !check_1d(ewma, NPY_DOUBLE, "ewma") ||
+        !check_1d(level, NPY_DOUBLE, "level") ||
+        !check_1d(trend, NPY_DOUBLE, "trend") ||
+        !check_1d(active, NPY_BOOL, "active"))
+        return NULL;
+    if (PyArray_NDIM(seasonal) != 2 || PyArray_TYPE(seasonal) != NPY_DOUBLE ||
+        !PyArray_IS_C_CONTIGUOUS(seasonal) ||
+        PyArray_NDIM(phases) != 2 || PyArray_TYPE(phases) != NPY_INT64 ||
+        !PyArray_IS_C_CONTIGUOUS(phases)) {
+        PyErr_SetString(PyExc_ValueError,
+                        "seasonal/phases must be 2-d C-contiguous");
+        return NULL;
+    }
+    npy_intp L = PyArray_DIM(hist, 0);
+    npy_intp cap = PyArray_DIM(level, 0);
+    if (row < 0 || row >= cap || p <= 0 || L < 2 * p ||
+        PyArray_DIM(seasonal, 1) != (npy_intp)p ||
+        PyArray_DIM(phases, 1) != (npy_intp)K ||
+        PyArray_DIM(seasonal, 0) != cap || PyArray_DIM(phases, 0) != cap ||
+        PyArray_DIM(trend, 0) != cap || PyArray_DIM(ewma, 0) != cap ||
+        PyArray_DIM(active, 0) != cap) {
+        PyErr_SetString(PyExc_ValueError, "seed_steady shape mismatch");
+        return NULL;
+    }
+    const double *h = (const double *)PyArray_DATA(hist);
+    double *ew = (double *)PyArray_DATA(ewma);
+    double *lv = (double *)PyArray_DATA(level);
+    double *tr = (double *)PyArray_DATA(trend);
+    double *seas = (double *)PyArray_DATA(seasonal);
+    npy_int64 *ph = (npy_int64 *)PyArray_DATA(phases);
+    npy_bool *ac = (npy_bool *)PyArray_DATA(active);
+
+    npy_intp tlen = L < 64 ? L : 64;
+    const double rest = 1.0 - alpha;
+    double ew_level = h[L - tlen];
+    for (npy_intp j = L - tlen; j < L; j++)
+        ew_level = alpha * h[j] + rest * ew_level;
+    ew[row] = ew_level;
+
+    const double *w = h + (L - 2 * p);
+    double total = 0.0, first = 0.0, second = 0.0;
+    for (npy_intp j = 0; j < 2 * p; j++)
+        total += w[j];
+    for (npy_intp j = 0; j < p; j++)
+        first += w[j];
+    for (npy_intp j = p; j < 2 * p; j++)
+        second += w[j];
+    double hw_level = total / (double)(2 * p);
+    ac[row] = 1;
+    lv[row] = hw_level;
+    tr[row] = (second - first) / (double)(p * p);
+    double *srow = seas + (npy_intp)row * p;
+    for (npy_intp j = 0; j < p; j++)
+        srow[j] = w[p + j] - hw_level;
+    ph[(npy_intp)row * K] = 0;
+    Py_RETURN_NONE;
+}
+
+/* split_row_state(row, dst, ratio, ewma, seen, active, level, trend,
+ *                 seasonal, phases, K)
+ *
+ * The array side of ForecasterBank.split_row (no object-overflow state):
+ * ``dst`` takes ``ratio`` of the row's EWMA / Holt-Winters components and
+ * the donor keeps the complementary share.  Warm-up histories stay in
+ * Python (they are lists either way).  Single-season layout only.
+ */
+static PyObject *
+split_row_state(PyObject *self, PyObject *args)
+{
+    PyArrayObject *ewma, *seen, *active, *level, *trend, *seasonal, *phases;
+    double ratio;
+    long long row, dst, K;
+
+    if (!PyArg_ParseTuple(args, "LLdO!O!O!O!O!O!O!L",
+                          &row, &dst, &ratio,
+                          &PyArray_Type, &ewma,
+                          &PyArray_Type, &seen,
+                          &PyArray_Type, &active,
+                          &PyArray_Type, &level,
+                          &PyArray_Type, &trend,
+                          &PyArray_Type, &seasonal,
+                          &PyArray_Type, &phases, &K))
+        return NULL;
+    if (!check_1d(ewma, NPY_DOUBLE, "ewma") ||
+        !check_1d(seen, NPY_INT64, "seen") ||
+        !check_1d(active, NPY_BOOL, "active") ||
+        !check_1d(level, NPY_DOUBLE, "level") ||
+        !check_1d(trend, NPY_DOUBLE, "trend"))
+        return NULL;
+    if (PyArray_NDIM(seasonal) != 2 || PyArray_TYPE(seasonal) != NPY_DOUBLE ||
+        !PyArray_IS_C_CONTIGUOUS(seasonal) ||
+        PyArray_NDIM(phases) != 2 || PyArray_TYPE(phases) != NPY_INT64 ||
+        !PyArray_IS_C_CONTIGUOUS(phases)) {
+        PyErr_SetString(PyExc_ValueError,
+                        "seasonal/phases must be 2-d C-contiguous");
+        return NULL;
+    }
+    npy_intp cap = PyArray_DIM(level, 0);
+    npy_intp p = PyArray_DIM(seasonal, 1);
+    if (row < 0 || row >= cap || dst < 0 || dst >= cap || row == dst ||
+        PyArray_DIM(seasonal, 0) != cap || PyArray_DIM(phases, 0) != cap ||
+        PyArray_DIM(phases, 1) != (npy_intp)K ||
+        PyArray_DIM(trend, 0) != cap || PyArray_DIM(ewma, 0) != cap ||
+        PyArray_DIM(seen, 0) != cap || PyArray_DIM(active, 0) != cap) {
+        PyErr_SetString(PyExc_ValueError, "split_row_state shape mismatch");
+        return NULL;
+    }
+    double *ew = (double *)PyArray_DATA(ewma);
+    npy_int64 *sn = (npy_int64 *)PyArray_DATA(seen);
+    npy_bool *ac = (npy_bool *)PyArray_DATA(active);
+    double *lv = (double *)PyArray_DATA(level);
+    double *tr = (double *)PyArray_DATA(trend);
+    double *seas = (double *)PyArray_DATA(seasonal);
+    npy_int64 *ph = (npy_int64 *)PyArray_DATA(phases);
+    const double rest = 1.0 - ratio;
+
+    sn[dst] = sn[row];
+    double e = ew[row];
+    if (e != e) {
+        ew[dst] = Py_NAN;
+    } else {
+        ew[dst] = e * ratio;
+        ew[row] = e * rest;
+    }
+    if (ac[row]) {
+        ac[dst] = 1;
+        double lev = lv[row], trd = tr[row];
+        lv[dst] = lev * ratio;
+        lv[row] = lev * rest;
+        tr[dst] = trd * ratio;
+        tr[row] = trd * rest;
+        double *srow = seas + (npy_intp)row * p;
+        double *sdst = seas + (npy_intp)dst * p;
+        for (npy_intp j = 0; j < p; j++) {
+            double v = srow[j];
+            sdst[j] = v * ratio;
+            srow[j] = v * rest;
+        }
+        for (npy_intp k = 0; k < (npy_intp)K; k++)
+            ph[dst * K + k] = ph[row * K + k];
+    } else {
+        ac[dst] = 0;
+    }
+    Py_RETURN_NONE;
+}
+
+/* fold_row_steady(dst, src, p, ewma, seen, active, level, trend, seasonal,
+ *                 phases, K)
+ *
+ * ForecasterBank._fold_direct for a source row without warm-up history
+ * (the common MERGE shape): EWMA sum, seen max, and the phase-aligned
+ * Holt-Winters component fold.  Warm-up histories and the activation check
+ * stay in Python.  Single-season layout only.
+ */
+static PyObject *
+fold_row_steady(PyObject *self, PyObject *args)
+{
+    PyArrayObject *ewma, *seen, *active, *level, *trend, *seasonal, *phases;
+    long long dst, src, p, K;
+
+    if (!PyArg_ParseTuple(args, "LLLO!O!O!O!O!O!O!L",
+                          &dst, &src, &p,
+                          &PyArray_Type, &ewma,
+                          &PyArray_Type, &seen,
+                          &PyArray_Type, &active,
+                          &PyArray_Type, &level,
+                          &PyArray_Type, &trend,
+                          &PyArray_Type, &seasonal,
+                          &PyArray_Type, &phases, &K))
+        return NULL;
+    if (!check_1d(ewma, NPY_DOUBLE, "ewma") ||
+        !check_1d(seen, NPY_INT64, "seen") ||
+        !check_1d(active, NPY_BOOL, "active") ||
+        !check_1d(level, NPY_DOUBLE, "level") ||
+        !check_1d(trend, NPY_DOUBLE, "trend"))
+        return NULL;
+    if (PyArray_NDIM(seasonal) != 2 || PyArray_TYPE(seasonal) != NPY_DOUBLE ||
+        !PyArray_IS_C_CONTIGUOUS(seasonal) ||
+        PyArray_NDIM(phases) != 2 || PyArray_TYPE(phases) != NPY_INT64 ||
+        !PyArray_IS_C_CONTIGUOUS(phases)) {
+        PyErr_SetString(PyExc_ValueError,
+                        "seasonal/phases must be 2-d C-contiguous");
+        return NULL;
+    }
+    npy_intp cap = PyArray_DIM(level, 0);
+    if (dst < 0 || dst >= cap || src < 0 || src >= cap || dst == src ||
+        p <= 0 || PyArray_DIM(seasonal, 1) != (npy_intp)p ||
+        PyArray_DIM(seasonal, 0) != cap || PyArray_DIM(phases, 0) != cap ||
+        PyArray_DIM(phases, 1) != (npy_intp)K ||
+        PyArray_DIM(trend, 0) != cap || PyArray_DIM(ewma, 0) != cap ||
+        PyArray_DIM(seen, 0) != cap || PyArray_DIM(active, 0) != cap) {
+        PyErr_SetString(PyExc_ValueError, "fold_row_steady shape mismatch");
+        return NULL;
+    }
+    double *ew = (double *)PyArray_DATA(ewma);
+    npy_int64 *sn = (npy_int64 *)PyArray_DATA(seen);
+    npy_bool *ac = (npy_bool *)PyArray_DATA(active);
+    double *lv = (double *)PyArray_DATA(level);
+    double *tr = (double *)PyArray_DATA(trend);
+    double *seas = (double *)PyArray_DATA(seasonal);
+    npy_int64 *ph = (npy_int64 *)PyArray_DATA(phases);
+
+    double s = ew[src];
+    if (s == s) {
+        double d = ew[dst];
+        ew[dst] = (d == d) ? d + s : s;
+    }
+    if (sn[src] > sn[dst])
+        sn[dst] = sn[src];
+    if (ac[src]) {
+        double *sdst = seas + (npy_intp)dst * p;
+        const double *ssrc = seas + (npy_intp)src * p;
+        if (!ac[dst]) {
+            ac[dst] = 1;
+            lv[dst] = lv[src];
+            tr[dst] = tr[src];
+            memcpy(sdst, ssrc, (size_t)p * sizeof(double));
+            for (npy_intp k = 0; k < (npy_intp)K; k++)
+                ph[dst * K + k] = ph[src * K + k];
+        } else {
+            lv[dst] += lv[src];
+            tr[dst] += tr[src];
+            npy_intp shift = (npy_intp)((ph[src * K] - ph[dst * K]) % p);
+            if (shift < 0)
+                shift += p;
+            if (shift == 0) {
+                for (npy_intp j = 0; j < p; j++)
+                    sdst[j] += ssrc[j];
+            } else {
+                npy_intp split_at = p - shift;
+                for (npy_intp j = 0; j < split_at; j++)
+                    sdst[j] += ssrc[shift + j];
+                for (npy_intp j = 0; j < shift; j++)
+                    sdst[split_at + j] += ssrc[j];
+            }
+        }
+    }
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef Methods[] = {
+    {"update_stats_dense", update_stats_dense, METH_VARARGS,
+     "Dense split-statistics update (mirror of _SplitStatsStore.update_dense)."},
+    {"observe_steady", observe_steady, METH_VARARGS,
+     "Single-season steady-state Holt-Winters batch observe."},
+    {"fused_record", fused_record, METH_VARARGS,
+     "Batched (actual, forecast) ring append over fused series storage."},
+    {"split_windows", split_windows, METH_VARARGS,
+     "Fused-storage window split (NodeTimeSeries._split_windows)."},
+    {"merge_windows", merge_windows, METH_VARARGS,
+     "Fused-storage in-place window merge (NodeTimeSeries.merge_windows_from)."},
+    {"accumulate_up", accumulate_up, METH_VARARGS,
+     "Bottom-up hierarchy weight aggregation (HierarchyIndex._accumulate_up)."},
+    {"succinct_sweep", succinct_sweep, METH_VARARGS,
+     "Succinct heavy-hitter level sweep (HierarchyIndex.succinct)."},
+    {"seed_steady", seed_steady, METH_VARARGS,
+     "Holt-Winters warm-start from a contiguous history (seed_fast)."},
+    {"split_row_state", split_row_state, METH_VARARGS,
+     "In-place forecaster-row SPLIT (ForecasterBank.split_row)."},
+    {"fold_row_steady", fold_row_steady, METH_VARARGS,
+     "History-free forecaster-row MERGE fold (ForecasterBank._fold_direct)."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef moduledef = {
+    PyModuleDef_HEAD_INIT, "_impl",
+    "Compiled close-path kernels (bit-identical third backend tier).",
+    -1, Methods,
+};
+
+PyMODINIT_FUNC
+PyInit__impl(void)
+{
+    PyObject *module = PyModule_Create(&moduledef);
+    if (module == NULL)
+        return NULL;
+    import_array();
+    if (PyErr_Occurred()) {
+        Py_DECREF(module);
+        return NULL;
+    }
+    return module;
+}

@@ -52,7 +52,7 @@ from collections import deque
 from typing import Deque, Mapping
 
 from repro._types import CategoryPath, TimeunitIndex, Weight
-from repro._vector import load_numpy
+from repro._vector import load_kernels, load_numpy, pinned_kernels
 from repro.core.adapt import (
     FOLD,
     FRESH,
@@ -61,6 +61,7 @@ from repro.core.adapt import (
     batched_split_runs,
     plan_adaptation,
 )
+from repro.core import fused
 from repro.core.config import TiresiasConfig
 from repro.core.detector import ThresholdDetector
 from repro.core.hhh import accumulate_raw_weights, compute_shhh
@@ -113,6 +114,9 @@ class _SplitStatsStore:
         #: ``(1 - alpha) ** g`` for g = 0..; grown lazily with Python pow so
         #: the decay factors match the scalar path bit for bit.
         self._decay = [1.0]
+        #: Array mirror of ``_decay`` for the compiled kernel (rebuilt when
+        #: the list grows; the length check keeps it in sync).
+        self._decay_arr = None
         #: Rows restored from a foreign state whose paths are not in the tree.
         self._extra_stats: dict[CategoryPath, NodeUsageStats] = {}
         self._extra_last: dict[CategoryPath, int] = {}
@@ -127,6 +131,45 @@ class _SplitStatsStore:
 
     def update_dense(self, timeunit: int, raw_vec) -> None:
         """Fold one timeunit of dense raw weights into the statistics."""
+        kernels = load_kernels()
+        if kernels is not None:
+            # Compiled tier: one C pass over the vector.  The kernel returns
+            # the needed decay-table length (mutating nothing) when a silent
+            # gap outruns the table; decay factors always come from Python
+            # ``**`` so all three tiers share the exact same constants.
+            decay_arr = self._decay_arr
+            if decay_arr is None or len(decay_arr) != len(self._decay):
+                decay_arr = self._decay_arr = _np.asarray(self._decay)
+            needed = kernels.update_stats_dense(
+                raw_vec,
+                int(timeunit),
+                self.alpha,
+                decay_arr,
+                self.cumulative,
+                self.ewma,
+                self.last_weight,
+                self.observations,
+                self.last_unit_arr,
+                self.seen,
+                self.has_last,
+            )
+            if needed:
+                self._extend_decay(int(needed))
+                decay_arr = self._decay_arr = _np.asarray(self._decay)
+                kernels.update_stats_dense(
+                    raw_vec,
+                    int(timeunit),
+                    self.alpha,
+                    decay_arr,
+                    self.cumulative,
+                    self.ewma,
+                    self.last_weight,
+                    self.observations,
+                    self.last_unit_arr,
+                    self.seen,
+                    self.has_last,
+                )
+            return
         ids = _np.flatnonzero(raw_vec > 0.0)
         if ids.size == 0:
             return
@@ -651,6 +694,19 @@ class ADAAlgorithm:
         self.fastpath_units = 0
         self.planned_units = 0
         self.adapt_seconds = 0.0
+        #: Fused close path (resolved once at construction, like the delta
+        #: switch): array-native observe + compiled ring record on delta
+        #: closes, plus the dense columnar ingest entry point.  Execution
+        #: strategy only — values are bit-identical to the staged close.
+        self._fused_active = self._index is not None and fused.fused_enabled()
+        self._fused_pack = None
+        #: Close-profile counters (not checkpointed): units closed through
+        #: the fused vs staged path, units fed by dense columnar counts, and
+        #: a close-latency histogram for --profile-close / service metrics.
+        self.fused_units = 0
+        self.staged_units = 0
+        self.dense_close_units = 0
+        self.close_histogram = fused.CloseHistogram()
         #: Raw root weight of the most recent timeunit.  Additive across
         #: disjoint subtree shards; the sharded engine sums it to replay the
         #: root's split-rule bookkeeping coordinator-side.
@@ -685,13 +741,66 @@ class ADAAlgorithm:
         self, leaf_counts: Mapping[CategoryPath, Weight], timeunit: TimeunitIndex | None = None
     ) -> TimeunitResult:
         """Ingest one timeunit of data, adapt the heavy hitter series, detect."""
+        return self._process_timeunit_impl(leaf_counts, None, timeunit)
+
+    def process_timeunit_dense(
+        self,
+        base_vec,
+        timeunit: TimeunitIndex | None = None,
+        leaf_counts: "Mapping[CategoryPath, Weight] | None" = None,
+    ) -> TimeunitResult:
+        """Close one timeunit from a per-node dense count vector.
+
+        The columnar ingest path aggregates a batch's dictionary codes with
+        one ``bincount`` per run and hands the resulting node-id count vector
+        here, skipping the per-record Counter and the per-path dict loop of
+        :meth:`HierarchyIndex.raw_weights`.  ``leaf_counts`` folds in a dict
+        remainder (counts that arrived through the classic route for the
+        same timeunit).  Callers must check :attr:`supports_dense_close`;
+        results are bit-identical to :meth:`process_timeunit` on the
+        equivalent mapping.
+        """
+        if self._index is None:  # pragma: no cover - guarded by callers
+            raise RuntimeError("dense close requires the vector backend")
+        return self._process_timeunit_impl(leaf_counts or {}, base_vec, timeunit)
+
+    @property
+    def supports_dense_close(self) -> bool:
+        """Whether :meth:`process_timeunit_dense` may be used (fused path on)."""
+        return self._fused_active
+
+    def dense_count_template(self):
+        """A zeroed per-node float64 count vector for the dense ingest path."""
+        return _np.zeros(self._index.num_nodes)
+
+    def dictionary_node_ids(self, dictionary):
+        """Node id per path of a batch string-dictionary (-1 for unknown)."""
+        return self._index.dictionary_ids(dictionary)
+
+    def _process_timeunit_impl(
+        self, leaf_counts, base_vec, timeunit: TimeunitIndex | None
+    ) -> TimeunitResult:
+        # One environment read pins the kernel tier for the whole close; the
+        # nested probes (hierarchy sweeps, window splits/merges, row seeds)
+        # all reuse the pinned resolution.
+        with pinned_kernels():
+            return self._process_timeunit_pinned(leaf_counts, base_vec, timeunit)
+
+    def _process_timeunit_pinned(
+        self, leaf_counts, base_vec, timeunit: TimeunitIndex | None
+    ) -> TimeunitResult:
         self._timeunit = self._timeunit + 1 if timeunit is None else timeunit
         delta_close = self.delta_adaptation_active
+        close_start = time.perf_counter()
 
         start = time.perf_counter()
         if self._index is not None:
             index = self._index
-            raw_vec = index.raw_weights(leaf_counts)
+            if base_vec is None:
+                raw_vec = index.raw_weights(leaf_counts)
+            else:
+                raw_vec = index.raw_weights_dense(base_vec, leaf_counts)
+                self.dense_close_units += 1
             modified_vec, heavy_mask = index.succinct(raw_vec, self.config.theta)
             if self.config.track_root:
                 heavy_mask[0] = True
@@ -756,7 +865,29 @@ class ADAAlgorithm:
         result = self._detect(heavy_set, heavy_paths, actuals, forecasts)
         self.stage_seconds["detecting_anomalies"] += time.perf_counter() - start
         self.last_result = result
+        if delta_close and self._fused_active:
+            self.fused_units += 1
+        else:
+            self.staged_units += 1
+        self.close_histogram.observe(time.perf_counter() - close_start)
         return result
+
+    def close_profile(self) -> dict:
+        """Close-path execution profile for ``--profile-close`` / metrics.
+
+        ``fused_units`` / ``staged_units`` count timeunits closed through the
+        fused vs staged path (every close increments exactly one),
+        ``dense_close_units`` those fed a dense columnar count vector, and
+        ``close_time`` is a log-bucketed histogram of per-timeunit close wall
+        times.  Not checkpointed — these describe this process's execution,
+        not algorithm state.
+        """
+        return {
+            "fused_units": self.fused_units,
+            "staged_units": self.staged_units,
+            "dense_close_units": self.dense_close_units,
+            "close_time": self.close_histogram.to_dict(),
+        }
 
     # ------------------------------------------------------------------
     # Delta-driven close path (id-based fast path + batched planner)
@@ -852,10 +983,26 @@ class ADAAlgorithm:
             # weight; the root is lexicographically first when present.
             values_vec = values_vec.copy()
             values_vec[0] = raw_vec[0]
-        values = values_vec.tolist()
-        forecasts = self.bank.observe_rows(rows, values)
-        for series, value, predicted in zip(series_list, values, forecasts):
-            series.record(value, predicted)
+        if self._fused_active:
+            # Fused tail: array-native observe (compiled steady kernel when
+            # built) and one compiled ring append for the whole heavy set.
+            # Same values, same operation order as the staged tail below.
+            forecasts_vec = self.bank.observe_rows_arrays(rows, values_vec)
+            values = values_vec.tolist()
+            forecasts = forecasts_vec.tolist()
+            pack = self._fused_pack
+            if pack is None or pack.series_list is not series_list:
+                pack = self._fused_pack = fused.build_record_pack(series_list)
+            if not fused.record_fused(
+                pack, load_kernels(), values_vec, forecasts_vec
+            ):
+                for series, value, predicted in zip(series_list, values, forecasts):
+                    series.record(value, predicted)
+        else:
+            values = values_vec.tolist()
+            forecasts = self.bank.observe_rows(rows, values)
+            for series, value, predicted in zip(series_list, values, forecasts):
+                series.record(value, predicted)
         self._stats.update_dense(self._timeunit, raw_vec)
         return values, forecasts
 
@@ -1410,6 +1557,18 @@ class ADAAlgorithm:
             "merge_operations": self.merge_operations,
             "adapt_seconds": self.adapt_seconds,
         }
+
+    # Pickling / deepcopy: the record pack caches references to the series'
+    # fused base arrays, which NodeTimeSeries.__getstate__ drops — a
+    # transported pack would write into detached copies while the ring
+    # cursors advance.  Drop it; the next fused close rebuilds it.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_fused_pack"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------
     # Checkpointing

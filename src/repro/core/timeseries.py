@@ -32,7 +32,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterator, Sequence
 
-from repro._vector import load_numpy
+from repro._vector import load_kernels, load_numpy
 from repro.exceptions import ConfigurationError
 from repro.forecasting.bank import ForecasterBank
 from repro.forecasting.bank import load_seasonal_state  # noqa: F401  (re-export)
@@ -596,6 +596,16 @@ class NodeTimeSeries:
             base = self._base
             child_base = _np.empty((2, maxlen))
             start = actual._start
+            kernels = load_kernels()
+            if kernels is not None:
+                kernels.split_windows(
+                    base, child_base, start, size, maxlen, ratio
+                )
+                return (
+                    FloatRing._view(child_base[0], size, maxlen),
+                    FloatRing._view(child_base[1], size, maxlen),
+                    child_base,
+                )
             end = start + size
             if end <= maxlen:
                 live = base[:, start:end]
@@ -662,6 +672,14 @@ class NodeTimeSeries:
                 return
             ob = other._base
             o_start = theirs_ring._start
+            if m <= n:
+                kernels = load_kernels()
+                if kernels is not None:
+                    kernels.merge_windows(
+                        self._base, mine._start, n, ob, o_start, m,
+                        mine.maxlen, theirs_ring.maxlen,
+                    )
+                    return
             o_end = o_start + m
             if o_end <= theirs_ring.maxlen:
                 theirs = ob[:, o_start:o_end]

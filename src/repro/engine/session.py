@@ -30,6 +30,7 @@ from collections import Counter
 from typing import Any, Iterable, Mapping
 
 from repro._types import CategoryPath, TimeunitIndex, Weight
+from repro._vector import load_numpy
 from repro.core.config import TiresiasConfig
 from repro.core.detector import Anomaly
 from repro.core.registry import create_algorithm
@@ -41,6 +42,8 @@ from repro.hierarchy.tree import HierarchyTree
 from repro.streaming.batch import RecordBatch
 from repro.streaming.clock import SimulationClock
 from repro.streaming.record import OperationalRecord
+
+_np = load_numpy()
 
 
 class DetectionSession:
@@ -114,6 +117,11 @@ class DetectionSession:
         self._warmup_announced = False
         self._observers: list[EngineObserver] = []
         self.reading_seconds = 0.0
+        #: Dense columnar ingest: resolved lazily on the first coded batch
+        #: (None = undecided); caches the last batch dictionary's node-id map
+        #: and decoded paths (columnar readers share one dictionary per file).
+        self._dense_ready: bool | None = None
+        self._dense_dict: tuple | None = None
 
     # ------------------------------------------------------------------
     # Observers
@@ -189,7 +197,11 @@ class DetectionSession:
         clamped / raised on.  Detections are bit-for-bit identical to the
         per-record path.
         """
-        closed: list[TimeunitResult] = []
+        if batch.category_codes is not None and self._dense_ingest_ready():
+            closed = self._ingest_batch_dense(batch)
+            if closed is not None:
+                return closed
+        closed = []
         for unit, start, counts in batch.group_runs_by_timeunit(self.clock):
             if self._pending_unit is None:
                 self._pending_unit = unit
@@ -207,6 +219,118 @@ class DetectionSession:
                 closed.append(self._close_pending())
             self._pending.update(counts)
         return closed
+
+    def _dense_ingest_ready(self) -> bool:
+        """Whether the code-column dense ingest path may serve coded batches."""
+        ready = self._dense_ready
+        if ready is None:
+            ready = self._dense_ready = bool(
+                _np is not None
+                and getattr(self.algorithm, "supports_dense_close", False)
+            )
+        return ready
+
+    def _dense_mapping(self, dictionary):
+        """``(node_id_per_code, path_per_code)`` for a batch dictionary.
+
+        Cached by dictionary object identity — a columnar file yields one
+        shared dictionary for every batch, so the map is built once per file.
+        """
+        cached = self._dense_dict
+        if cached is not None and cached[0] is dictionary:
+            return cached[1], cached[2]
+        id_map = self.algorithm.dictionary_node_ids(dictionary)
+        paths = [tuple(path) for path in dictionary]
+        self._dense_dict = (dictionary, id_map, paths)
+        return id_map, paths
+
+    def _ingest_batch_dense(self, batch: RecordBatch) -> "list[TimeunitResult] | None":
+        """Code-column ingest: one ``bincount`` per run instead of a Counter.
+
+        Counts of a timeunit that fully closes *within this call* accumulate
+        in dictionary-code space and reach the algorithm as a dense node
+        vector (:meth:`~repro.core.ada.ADAAlgorithm.process_timeunit_dense`);
+        such counts can never appear in a checkpoint, so the insertion-order
+        contract of ``_pending`` is untouched.  Runs of the still-open
+        trailing timeunit decode into the ``_pending`` Counter in arrival
+        order, exactly like the classic path.  Returns None to delegate the
+        whole batch to the classic path when a late run could raise
+        mid-batch (out_of_order_policy == "raise") — the cold path keeps the
+        exception-time session state authoritative.
+        """
+        runs = batch.timeunit_runs(self.clock)
+        if not runs:
+            return []
+        policy = self.config.out_of_order_policy
+        # Pre-pass: effective unit per run under the policy, no state touched.
+        simulated = self._pending_unit
+        effective: list[TimeunitIndex | None] = []
+        for unit, _, _ in runs:
+            if simulated is None:
+                simulated = unit
+            if unit < simulated:
+                if policy == "raise":
+                    return None
+                if policy == "drop":
+                    effective.append(None)
+                    continue
+                unit = simulated  # clamp
+            elif unit > simulated:
+                simulated = unit
+            effective.append(unit)
+        if simulated is None:  # pragma: no cover - every run dropped
+            return []
+        last_unit = simulated
+        codes = batch.category_codes
+        id_map, paths = self._dense_mapping(batch.code_dictionary)
+        num_codes = len(paths)
+        np_ = _np
+        closed: list[TimeunitResult] = []
+        code_counts = None  # open unit's accumulator, dictionary-code space
+        pending = self._pending
+        for (unit, start, stop), eff in zip(runs, effective):
+            if eff is None:
+                continue
+            if self._pending_unit is None:
+                self._pending_unit = eff
+            while eff > self._pending_unit:
+                if code_counts is not None:
+                    closed.append(self._close_pending_dense(code_counts, id_map))
+                    code_counts = None
+                    pending = self._pending
+                else:
+                    closed.append(self._close_pending())
+                    pending = self._pending
+            if eff < last_unit:
+                # This timeunit closes before the call returns: aggregate in
+                # code space (int64 counts — exact in float64 later).
+                segment = np_.bincount(codes[start:stop], minlength=num_codes)
+                if code_counts is None:
+                    code_counts = segment
+                else:
+                    code_counts += segment
+            else:
+                # Trailing (still-open) unit: arrival-order Counter, the
+                # checkpointable representation.
+                for code in codes[start:stop].tolist():
+                    pending[paths[code]] += 1
+        return closed
+
+    def _close_pending_dense(self, code_counts, id_map) -> TimeunitResult:
+        """Close the pending unit from a code-space count accumulator."""
+        assert self._pending_unit is not None
+        counts = dict(self._pending)
+        unit = self._pending_unit
+        self._pending = Counter()
+        self._pending_unit = unit + 1
+        np_ = _np
+        base_vec = self.algorithm.dense_count_template()
+        nonzero = np_.flatnonzero(code_counts)
+        ids = id_map[nonzero]
+        known = ids >= 0
+        base_vec[ids[known]] = code_counts[nonzero][known]
+        result = self.algorithm.process_timeunit_dense(base_vec, unit, counts)
+        return self._finish_result(result)
 
     def process_batches(self, batches: Iterable[RecordBatch]) -> list[TimeunitResult]:
         """Consume a stream of columnar batches, then flush (batch analogue of
@@ -263,7 +387,10 @@ class DetectionSession:
         self, counts: dict[CategoryPath, Weight], timeunit: TimeunitIndex | None = None
     ) -> TimeunitResult:
         """Process one timeunit worth of per-leaf counts."""
-        result = self.algorithm.process_timeunit(counts, timeunit)
+        return self._finish_result(self.algorithm.process_timeunit(counts, timeunit))
+
+    def _finish_result(self, result: TimeunitResult) -> TimeunitResult:
+        """Shared post-close bookkeeping: warm-up, reports, observers."""
         self._units_processed += 1
         if self._units_processed <= self.warmup_units and result.anomalies:
             result = dataclasses.replace(result, anomalies=())
@@ -310,6 +437,12 @@ class DetectionSession:
         Algorithms without an adaptation engine report ``{}``.
         """
         getter = getattr(self.algorithm, "adaptation_stats", None)
+        return getter() if getter is not None else {}
+
+    def close_profile(self) -> dict[str, Any]:
+        """The algorithm's close-path profile (fused/staged counts, latency
+        histogram); ``{}`` for algorithms without one."""
+        getter = getattr(self.algorithm, "close_profile", None)
         return getter() if getter is not None else {}
 
     def memory_units(self) -> int:

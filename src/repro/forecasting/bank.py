@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
-from repro._vector import load_numpy
+from repro._vector import load_kernels, load_numpy
 from repro.core.config import ForecastConfig
 from repro.exceptions import ConfigurationError
 from repro.forecasting.holt_winters import (
@@ -428,12 +428,57 @@ class ForecasterBank:
         np_ = _np
         idx = np_.asarray(rows, dtype=np_.intp)
         v = np_.asarray(values, dtype=np_.float64)
+        return self._observe_vector(idx, v).tolist()
+
+    def observe_rows_arrays(self, idx, v):
+        """Array-native :meth:`observe_rows`: ndarrays in, float64 ndarray out.
+
+        The fused close path already holds its row indices and values as
+        arrays; this entry point skips the list round-trips.  Semantics are
+        identical — small batches and object-overflow rows take the exact
+        scalar/list path of :meth:`observe_rows`.
+        """
+        np_ = _np
+        if not self.vectorized or idx.size < OBSERVE_VECTOR_MIN_ROWS or self._obj:
+            forecasts = self.observe_rows(idx.tolist(), v.tolist())
+            return np_.asarray(forecasts, dtype=np_.float64)
+        return self._observe_vector(idx, v)
+
+    def _observe_vector(self, idx, v):
+        """Shared vector kernel behind :meth:`observe_rows` (no ``_obj`` rows)."""
+        np_ = _np
         ewma = self._ewma[idx]
         active = self._active[idx]
         fallback_alpha = self.config.fallback_alpha
         alpha, beta, gamma = self.config.alpha, self.config.beta, self.config.gamma
         if active.all() and not np_.isnan(ewma).any():
             # Steady state (every row warm): no masks, no history bookkeeping.
+            kernels = load_kernels() if self._single else None
+            if kernels is not None:
+                # Compiled tier: same arithmetic, same operation order (see
+                # _implmodule.c); rows are unique so in-place per-row updates
+                # match the gather/scatter NumPy expressions bit for bit.
+                out = np_.empty(idx.size, dtype=np_.float64)
+                idx_c = np_.ascontiguousarray(idx, dtype=np_.intp)
+                v_c = np_.ascontiguousarray(v, dtype=np_.float64)
+                kernels.observe_steady(
+                    idx_c,
+                    v_c,
+                    self._level,
+                    self._trend,
+                    self._seasonals[0],
+                    self._phases,
+                    self._phases.shape[1],
+                    self._ewma,
+                    self._seen,
+                    alpha,
+                    beta,
+                    gamma,
+                    fallback_alpha,
+                    self.config.season_lengths[0],
+                    out,
+                )
+                return out
             level = self._level[idx]
             trend = self._trend[idx]
             if self._single:
@@ -457,7 +502,7 @@ class ForecasterBank:
                     idx, phase
                 ]
                 self._phases[idx, k] = (phase + 1) % p
-            return forecasts.tolist()
+            return forecasts
         has_ewma = ~np_.isnan(ewma)
         forecasts = np_.where(has_ewma, ewma, 0.0)
         active_pos = np_.flatnonzero(active)
@@ -497,7 +542,7 @@ class ForecasterBank:
             hist.append(float(v[pos]))
             if len(hist) >= self._min_history:
                 self._activate(row)
-        return forecasts.tolist()
+        return forecasts
 
     def _activate(self, row: int) -> None:
         """Initialize the seasonal components from ``row``'s warm-up history."""
@@ -543,6 +588,34 @@ class ForecasterBank:
         if not n:
             return
         alpha = self.config.fallback_alpha
+        if (
+            self._single
+            and n >= self._min_history
+            and isinstance(history, _np.ndarray)
+            and history.dtype == _np.float64
+            and history.flags.c_contiguous
+        ):
+            p = self.config.season_lengths[0]
+            if self._min_history >= 2 * p:
+                kernels = load_kernels()
+                if kernels is not None:
+                    # Compiled tier: the EWMA tail fold and the sequential
+                    # cumsum window sums below, same operation order (see
+                    # _implmodule.c), straight off the history array.
+                    kernels.seed_steady(
+                        history,
+                        row,
+                        alpha,
+                        p,
+                        self._ewma,
+                        self._level,
+                        self._trend,
+                        self._seasonals[0],
+                        self._phases,
+                        self._phases.shape[1],
+                        self._active,
+                    )
+                    return
         # Lazy tail-only float conversion (see _ScalarRow.seed_fast): the
         # whole-series conversion of the historical code is skipped because
         # only the EWMA tail, the seasonal window and (short histories) the
@@ -759,6 +832,33 @@ class ForecasterBank:
             return dst
         dst = self._alloc_row()
         self._obj.pop(dst, None)
+        if self._single and row not in self._obj:
+            kernels = load_kernels()
+            if kernels is not None:
+                # Compiled tier: the array side of the split in one call
+                # (same arithmetic, see _implmodule.c); warm-up history
+                # lists are scaled here either way.
+                hist = self._hist[row]
+                if hist:
+                    krest = 1.0 - ratio
+                    self._hist[dst] = [v * ratio for v in hist]
+                    self._hist[row] = [v * krest for v in hist]
+                else:
+                    self._hist[dst] = []
+                kernels.split_row_state(
+                    row,
+                    dst,
+                    ratio,
+                    self._ewma,
+                    self._seen,
+                    self._active,
+                    self._level,
+                    self._trend,
+                    self._seasonals[0],
+                    self._phases,
+                    self._phases.shape[1],
+                )
+                return dst
         seen = self._seen
         ewma_col = self._ewma
         seen[dst] = seen[row]
@@ -820,8 +920,11 @@ class ForecasterBank:
                 vec_pos.append(pos)
         if not vec_pos:
             return dsts
-        if len(vec_pos) < 4:
-            # Below the gather/scatter crossover the per-row op is faster.
+        if len(vec_pos) < 4 or (self._single and load_kernels() is not None):
+            # Below the gather/scatter crossover the per-row op is faster —
+            # and on the compiled tier the split kernel wins at any size.
+            # Canonical row states are identical either way (the batched
+            # route differs only in unreadable stale-slot writes).
             for pos in vec_pos:
                 dsts[pos] = self.split_row(rows[pos], ratios[pos])
             return dsts
@@ -869,6 +972,33 @@ class ForecasterBank:
         histories included) — callers guarantee neither row has
         object-overflow state.
         """
+        if self._single and not self._hist[src]:
+            kernels = load_kernels()
+            if kernels is not None:
+                # Compiled tier: EWMA sum, seen max and the phase-aligned
+                # component fold (same arithmetic, see _implmodule.c); the
+                # source carries no warm-up history, so only the activation
+                # check on the destination remains.
+                kernels.fold_row_steady(
+                    dst,
+                    src,
+                    self.config.season_lengths[0],
+                    self._ewma,
+                    self._seen,
+                    self._active,
+                    self._level,
+                    self._trend,
+                    self._seasonals[0],
+                    self._phases,
+                    self._phases.shape[1],
+                )
+                if (
+                    not self._active[dst]
+                    and dst not in self._obj
+                    and len(self._hist[dst]) >= self._min_history
+                ):
+                    self._activate(dst)
+                return
         np_ = _np
         s_ewma = self._ewma[src]
         if not np_.isnan(s_ewma):
@@ -965,9 +1095,11 @@ class ForecasterBank:
                 vec_pos.append(pos)
         if not vec_pos:
             return
-        if len(vec_pos) < 4:
-            # Below the gather/scatter crossover: fold the pairs directly on
-            # scalar reads (no canonical-snapshot round trip), same values.
+        if len(vec_pos) < 4 or (self._single and load_kernels() is not None):
+            # Below the gather/scatter crossover — or on the compiled tier,
+            # where the per-pair fold kernel beats the batched fancy
+            # indexing at any size: fold the pairs directly on scalar reads
+            # (no canonical-snapshot round trip), same values.
             for pos in vec_pos:
                 self._fold_direct(dst_rows[pos], src_rows[pos])
                 self.free_row(src_rows[pos])

@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Mapping
 
 from repro._types import CategoryPath, Weight
-from repro._vector import load_numpy
+from repro._vector import load_kernels, load_numpy
 from repro.hierarchy.tree import HierarchyTree
 
 _np = load_numpy()
@@ -97,6 +97,33 @@ class HierarchyIndex:
         self.child_ids: list[list[int]] = [
             [c.index for c in node.children.values()] for node in nodes
         ]
+        # Flattened level layout + scratch vectors for the compiled sweep
+        # kernels; built lazily on first compiled-tier close.
+        self._compiled_layout_cache = None
+
+    def _compiled_layout(self):
+        """``(order, bounds, scratch_a, scratch_b)`` for the C sweep kernels.
+
+        ``order`` concatenates :attr:`levels_deepest_first`; ``bounds`` holds
+        the level boundaries (L+1 entries).  The two scratch vectors are
+        reused across calls — the kernels zero them before use.
+        """
+        cached = self._compiled_layout_cache
+        if cached is None:
+            if self.levels_deepest_first:
+                order = _np.concatenate(self.levels_deepest_first)
+            else:
+                order = _np.empty(0, dtype=_np.intp)
+            sizes = [len(ids) for ids in self.levels_deepest_first]
+            bounds = _np.zeros(len(sizes) + 1, dtype=_np.intp)
+            bounds[1:] = _np.cumsum(sizes, dtype=_np.intp)
+            cached = self._compiled_layout_cache = (
+                _np.ascontiguousarray(order, dtype=_np.intp),
+                bounds,
+                _np.empty(self.num_nodes),
+                _np.empty(self.num_nodes),
+            )
+        return cached
 
     # ------------------------------------------------------------------
     # Definition 1: raw weights
@@ -116,11 +143,58 @@ class HierarchyIndex:
             node_id = lookup(path if isinstance(path, tuple) else tuple(path))
             if node_id is not None:
                 raw[node_id] += float(count)
+        return self._accumulate_up(raw)
+
+    def raw_weights_dense(
+        self, base_vec, leaf_counts: "Mapping[CategoryPath, Weight] | None" = None
+    ):
+        """``A_n`` from a per-node direct-count vector (dense ingest path).
+
+        ``base_vec`` is a float64 vector of this timeunit's direct counts per
+        node id, as accumulated by the columnar ingest path with one
+        ``bincount`` per run (codes whose paths are not in the tree were
+        dropped at the code→id mapping stage, exactly like the dict path
+        ignores unknown paths).  ``leaf_counts`` optionally folds a dict
+        remainder in — the open-unit ``Counter`` carried across batch
+        boundaries.  Counts are integers, so the result is bit-identical to
+        :meth:`raw_weights` on the equivalent dict regardless of which route
+        each count arrived by.  The vector is consumed (mutated and
+        returned).
+        """
+        if leaf_counts:
+            lookup = self.path_to_id.get
+            for path, count in leaf_counts.items():
+                if count == 0:
+                    continue
+                node_id = lookup(path if isinstance(path, tuple) else tuple(path))
+                if node_id is not None:
+                    base_vec[node_id] += float(count)
+        return self._accumulate_up(base_vec)
+
+    def _accumulate_up(self, raw):
+        """Bottom-up level sweep adding each level's weights onto parents."""
+        kernels = load_kernels()
+        if kernels is not None:
+            order, bounds, scratch_a, _ = self._compiled_layout()
+            kernels.accumulate_up(raw, self.parent, order, bounds, scratch_a)
+            return raw
         for ids in self.levels_deepest_first:
             raw += _np.bincount(
                 self.parent[ids], weights=raw[ids], minlength=self.num_nodes
             )
         return raw
+
+    def dictionary_ids(self, dictionary):
+        """Node id of every path in a category string-dictionary (-1 unknown).
+
+        The columnar ingest path maps a batch's code column to node ids once
+        per dictionary via this vector, after which per-run aggregation is a
+        single ``bincount`` over integer codes.
+        """
+        lookup = self.path_to_id.get
+        return _np.array(
+            [lookup(tuple(path), -1) for path in dictionary], dtype=_np.intp
+        )
 
     # ------------------------------------------------------------------
     # Definition 2: succinct heavy hitters
@@ -135,6 +209,14 @@ class HierarchyIndex:
         """
         modified = raw.copy()
         heavy = _np.zeros(self.num_nodes, dtype=bool)
+        kernels = load_kernels()
+        if kernels is not None:
+            order, bounds, scratch_a, scratch_b = self._compiled_layout()
+            kernels.succinct_sweep(
+                raw, modified, heavy, self.parent, order, bounds,
+                float(theta), scratch_a, scratch_b,
+            )
+            return modified, heavy
         child_ids = None
         for ids in self.levels_deepest_first:
             if child_ids is not None:

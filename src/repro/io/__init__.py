@@ -1,6 +1,9 @@
 """Persistence: trace readers/writers and detector checkpoints.
 
 * CSV / JSON Lines readers and writers for operational records;
+* the memory-mapped columnar trace format (:mod:`repro.io.columnar`) with
+  zero-copy batch materialization and a format-dispatching
+  :func:`read_trace_batches`;
 * JSON checkpoint/restore for detection engines and sessions
   (:mod:`repro.io.checkpoint`).
 """
@@ -10,6 +13,13 @@ from repro.io.checkpoint import (
     load_session_checkpoint,
     save_checkpoint,
     save_session_checkpoint,
+)
+from repro.io.columnar import (
+    convert_trace,
+    read_batches_columnar,
+    read_records_columnar,
+    read_trace_batches,
+    write_trace_columnar,
 )
 from repro.io.csv_io import read_batches_csv, read_records_csv, write_records_csv
 from repro.io.jsonl_io import read_batches_jsonl, read_records_jsonl, write_records_jsonl
@@ -21,6 +31,11 @@ __all__ = [
     "read_records_jsonl",
     "read_batches_jsonl",
     "write_records_jsonl",
+    "read_batches_columnar",
+    "read_records_columnar",
+    "write_trace_columnar",
+    "read_trace_batches",
+    "convert_trace",
     "save_checkpoint",
     "load_checkpoint",
     "save_session_checkpoint",

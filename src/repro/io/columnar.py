@@ -1,0 +1,436 @@
+"""Memory-mapped columnar trace format (``.rcol``).
+
+The line formats (CSV / JSONL) pay a per-line parse on every read; the
+columnar format pays it once, at conversion time.  A trace file is an
+npy-style container:
+
+* a magic + version preamble and one JSON header (record count, the category
+  **string dictionary**, per-column dtypes and byte offsets);
+* fixed-dtype little-endian columns, each 64-byte aligned: ``timestamps``
+  (``<f8``) and ``codes`` (``<i4``, indices into the dictionary);
+* an optional attributes section (concatenated JSON blobs + an ``<i8``
+  offsets column) for traces whose records carry attribute mappings.
+
+Reading maps the columns with ``numpy.memmap`` and materializes
+:class:`~repro.streaming.batch.RecordBatch` chunks whose timestamp and code
+columns are zero-copy views — no per-line parsing, no per-record tuples
+(category tuples decode lazily, and the dense close path never asks for
+them).  Without NumPy a pure-Python ``array``-module reader keeps the format
+usable, just without the zero-copy property.
+
+Convert existing traces with the module CLI::
+
+    python -m repro.io.columnar convert trace.jsonl trace.rcol
+    python -m repro.io.columnar info trace.rcol
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import sys
+from array import array
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro._vector import load_numpy
+from repro.exceptions import StreamError
+from repro.streaming.batch import RecordBatch
+from repro.streaming.record import OperationalRecord
+
+MAGIC = b"\x93RCOL"
+VERSION = (1, 0)
+_ALIGN = 64
+
+#: File suffixes the trace dispatcher treats as columnar.
+COLUMNAR_SUFFIXES = (".rcol", ".columnar")
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+# ----------------------------------------------------------------------
+# Writing
+# ----------------------------------------------------------------------
+def _le_bytes(values: array) -> bytes:
+    """The array's buffer as little-endian bytes regardless of host order."""
+    if sys.byteorder == "little":
+        return values.tobytes()
+    swapped = array(values.typecode, values)  # pragma: no cover - BE hosts
+    swapped.byteswap()  # pragma: no cover - BE hosts
+    return swapped.tobytes()  # pragma: no cover - BE hosts
+
+
+def write_trace_columnar(
+    source: "Iterable[OperationalRecord] | Iterable[RecordBatch]",
+    path: "str | Path",
+) -> int:
+    """Write records (or batches of records) as a columnar trace file.
+
+    ``source`` may be any iterable of :class:`OperationalRecord` or of
+    :class:`RecordBatch` (the converter streams reader output straight in).
+    Returns the number of records written.  The whole trace's columns are
+    accumulated in memory before the single write — traces are bounded by
+    what the detection replay itself can hold, so this is not a constraint
+    the reader does not already have.
+    """
+    timestamps = array("d")
+    codes = array("i")
+    dictionary: list[tuple] = []
+    code_of: dict[tuple, int] = {}
+    attributes: list[Mapping[str, Any] | None] = []
+    any_attrs = False
+
+    def add(timestamp: float, category: tuple, attrs) -> None:
+        nonlocal any_attrs
+        code = code_of.get(category)
+        if code is None:
+            code = len(dictionary)
+            code_of[category] = code
+            dictionary.append(category)
+        timestamps.append(timestamp)
+        codes.append(code)
+        attributes.append(attrs)
+        if attrs:
+            any_attrs = True
+
+    for item in source:
+        if isinstance(item, RecordBatch):
+            batch_attrs = item.attributes
+            item_codes = item.category_codes
+            if item._categories is None and item_codes is not None:
+                # Coded batch: translate codes dictionary-to-dictionary
+                # without materializing category tuples per record.
+                translate = [None] * len(item.code_dictionary)
+                for src_code, category in enumerate(item.code_dictionary):
+                    dst = code_of.get(category)
+                    if dst is None:
+                        dst = len(dictionary)
+                        code_of[category] = dst
+                        dictionary.append(category)
+                    translate[src_code] = dst
+                codes_list = (
+                    item_codes.tolist()
+                    if hasattr(item_codes, "tolist")
+                    else item_codes
+                )
+                ts_list = (
+                    item.timestamps.tolist()
+                    if hasattr(item.timestamps, "tolist")
+                    else item.timestamps
+                )
+                for i, (ts, code) in enumerate(zip(ts_list, codes_list)):
+                    timestamps.append(ts)
+                    codes.append(translate[code])
+                    attrs = batch_attrs[i] if batch_attrs is not None else None
+                    attributes.append(attrs)
+                    if attrs:
+                        any_attrs = True
+                continue
+            cats = item.categories
+            for i in range(len(item)):
+                add(
+                    float(item.timestamps[i]),
+                    cats[i],
+                    batch_attrs[i] if batch_attrs is not None else None,
+                )
+        else:
+            add(float(item.timestamp), tuple(item.category), item.attributes)
+
+    count = len(timestamps)
+    columns: dict[str, dict[str, Any]] = {}
+    attr_blob = b""
+    attr_offsets = array("q")
+    if any_attrs:
+        chunks = []
+        position = 0
+        attr_offsets.append(0)
+        for attrs in attributes:
+            if attrs:
+                encoded = json.dumps(dict(attrs), sort_keys=True).encode("utf-8")
+                chunks.append(encoded)
+                position += len(encoded)
+            attr_offsets.append(position)
+        attr_blob = b"".join(chunks)
+
+    # Lay the sections out: header first (its own size feeds the offsets, so
+    # iterate the layout until it fixes — it converges on the second pass).
+    header_struct = struct.Struct("<5sBBI")
+    payload = {
+        "count": count,
+        "dictionary": [list(path_) for path_ in dictionary],
+        "columns": columns,
+    }
+    header_bytes = b""
+    for _ in range(3):
+        data_start = _align(header_struct.size + len(header_bytes))
+        offset = data_start
+        columns.clear()
+        columns["timestamps"] = {"dtype": "<f8", "offset": offset}
+        offset = _align(offset + 8 * count)
+        columns["codes"] = {"dtype": "<i4", "offset": offset}
+        offset = _align(offset + 4 * count)
+        if any_attrs:
+            columns["attr_offsets"] = {"dtype": "<i8", "offset": offset}
+            offset = _align(offset + 8 * (count + 1))
+            columns["attr_blob"] = {
+                "dtype": "bytes",
+                "offset": offset,
+                "size": len(attr_blob),
+            }
+            offset += len(attr_blob)
+        encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
+        padding = _align(header_struct.size + len(encoded) + 1) - (
+            header_struct.size + len(encoded) + 1
+        )
+        candidate = encoded + b" " * padding + b"\n"
+        if len(candidate) == len(header_bytes):
+            header_bytes = candidate
+            break
+        header_bytes = candidate
+    if columns["timestamps"]["offset"] != _align(
+        header_struct.size + len(header_bytes)
+    ):  # pragma: no cover - the 64-byte padding absorbs offset-digit churn
+        raise StreamError("columnar header layout failed to converge")
+
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("wb") as handle:
+        handle.write(
+            header_struct.pack(MAGIC, VERSION[0], VERSION[1], len(header_bytes))
+        )
+        handle.write(header_bytes)
+
+        def seek_pad(target: int) -> None:
+            gap = target - handle.tell()
+            if gap:
+                handle.write(b"\x00" * gap)
+
+        seek_pad(columns["timestamps"]["offset"])
+        handle.write(_le_bytes(timestamps))
+        seek_pad(columns["codes"]["offset"])
+        handle.write(_le_bytes(codes))
+        if any_attrs:
+            seek_pad(columns["attr_offsets"]["offset"])
+            handle.write(_le_bytes(attr_offsets))
+            seek_pad(columns["attr_blob"]["offset"])
+            handle.write(attr_blob)
+        handle.flush()
+    tmp.replace(path)
+    return count
+
+
+# ----------------------------------------------------------------------
+# Reading
+# ----------------------------------------------------------------------
+def read_columnar_header(path: "str | Path") -> dict[str, Any]:
+    """Parse and validate the header of a columnar trace file."""
+    path = Path(path)
+    header_struct = struct.Struct("<5sBBI")
+    with path.open("rb") as handle:
+        preamble = handle.read(header_struct.size)
+        if len(preamble) < header_struct.size:
+            raise StreamError(f"{path}: not a columnar trace (truncated preamble)")
+        magic, major, minor, header_len = header_struct.unpack(preamble)
+        if magic != MAGIC:
+            raise StreamError(f"{path}: not a columnar trace (bad magic)")
+        if major != VERSION[0]:
+            raise StreamError(
+                f"{path}: unsupported columnar format version {major}.{minor}"
+            )
+        header_bytes = handle.read(header_len)
+        if len(header_bytes) < header_len:
+            raise StreamError(f"{path}: truncated columnar header")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StreamError(f"{path}: malformed columnar header: {exc}") from exc
+    for key in ("count", "dictionary", "columns"):
+        if key not in header:
+            raise StreamError(f"{path}: columnar header missing {key!r}")
+    return header
+
+
+def _attribute_rows(blob: bytes, offsets, start: int, stop: int):
+    """Decode attribute mappings for rows [start, stop) from the blob."""
+    # One bulk copy out of the (possibly memory-mapped) offsets column;
+    # per-element memmap indexing is pathologically slow.
+    window = offsets[start : stop + 1]
+    bounds = window.tolist() if hasattr(window, "tolist") else list(window)
+    if bounds[0] == bounds[-1]:
+        return None
+    rows = []
+    begin = bounds[0]
+    for end in bounds[1:]:
+        if end > begin:
+            rows.append(json.loads(blob[begin:end].decode("utf-8")))
+            begin = end
+        else:
+            rows.append({})
+    return rows
+
+
+def read_batches_columnar(
+    path: "str | Path", batch_size: int = 8192
+) -> Iterator[RecordBatch]:
+    """Yield :class:`RecordBatch` chunks from a columnar trace file.
+
+    With NumPy the timestamp and code columns are ``memmap`` views sliced
+    per batch — zero copies, zero per-record parsing.  The category
+    dictionary is shared by every yielded batch.
+    """
+    if batch_size < 1:
+        raise StreamError(f"batch_size must be >= 1, got {batch_size}")
+    path = Path(path)
+    header = read_columnar_header(path)
+    count = int(header["count"])
+    dictionary = [tuple(entry) for entry in header["dictionary"]]
+    for category in dictionary:
+        if not category:
+            raise StreamError(f"{path}: dictionary entry with empty category")
+    columns = header["columns"]
+    np_ = load_numpy()
+
+    attr_offsets = None
+    attr_blob = None
+    if np_ is not None:
+        timestamps = np_.memmap(
+            path,
+            dtype=np_.dtype("<f8"),
+            mode="r",
+            offset=columns["timestamps"]["offset"],
+            shape=(count,),
+        )
+        codes = np_.memmap(
+            path,
+            dtype=np_.dtype("<i4"),
+            mode="r",
+            offset=columns["codes"]["offset"],
+            shape=(count,),
+        )
+        if "attr_offsets" in columns:
+            attr_offsets = np_.memmap(
+                path,
+                dtype=np_.dtype("<i8"),
+                mode="r",
+                offset=columns["attr_offsets"]["offset"],
+                shape=(count + 1,),
+            )
+    else:
+        with path.open("rb") as handle:
+            handle.seek(columns["timestamps"]["offset"])
+            timestamps = array("d")
+            timestamps.frombytes(handle.read(8 * count))
+            handle.seek(columns["codes"]["offset"])
+            codes = array("i")
+            codes.frombytes(handle.read(4 * count))
+            if "attr_offsets" in columns:
+                handle.seek(columns["attr_offsets"]["offset"])
+                attr_offsets = array("q")
+                attr_offsets.frombytes(handle.read(8 * (count + 1)))
+        if sys.byteorder != "little":  # pragma: no cover - BE hosts
+            timestamps.byteswap()
+            codes.byteswap()
+            if attr_offsets is not None:
+                attr_offsets.byteswap()
+    if attr_offsets is not None:
+        with path.open("rb") as handle:
+            handle.seek(columns["attr_blob"]["offset"])
+            attr_blob = handle.read(columns["attr_blob"]["size"])
+
+    if count:
+        if np_ is not None:
+            lo, hi = int(codes.min()), int(codes.max())
+        else:
+            lo, hi = min(codes), max(codes)
+        if lo < 0 or hi >= len(dictionary):
+            raise StreamError(f"{path}: category code out of dictionary range")
+
+    for start in range(0, count, batch_size):
+        stop = min(start + batch_size, count)
+        attrs = (
+            None
+            if attr_blob is None
+            else _attribute_rows(attr_blob, attr_offsets, start, stop)
+        )
+        yield RecordBatch.from_dictionary_codes(
+            timestamps[start:stop], codes[start:stop], dictionary, attrs
+        )
+
+
+def read_records_columnar(path: "str | Path") -> Iterator[OperationalRecord]:
+    """Yield one :class:`OperationalRecord` per row (compatibility reader)."""
+    for batch in read_batches_columnar(path):
+        yield from batch
+
+
+# ----------------------------------------------------------------------
+# Format dispatch (the service file-replay path and the converter use this)
+# ----------------------------------------------------------------------
+def read_trace_batches(
+    path: "str | Path", batch_size: int = 8192
+) -> Iterator[RecordBatch]:
+    """Columnar batches from any supported trace file, picked by suffix.
+
+    ``.jsonl``/``.ndjson`` → the JSONL reader, ``.csv`` → the CSV reader,
+    ``.rcol``/``.columnar`` → the memory-mapped columnar reader.
+    """
+    suffix = Path(path).suffix.lower()
+    if suffix in (".jsonl", ".ndjson"):
+        from repro.io.jsonl_io import read_batches_jsonl
+
+        return read_batches_jsonl(path, batch_size)
+    if suffix == ".csv":
+        from repro.io.csv_io import read_batches_csv
+
+        return read_batches_csv(path, batch_size)
+    if suffix in COLUMNAR_SUFFIXES:
+        return read_batches_columnar(path, batch_size)
+    raise StreamError(
+        f"unknown trace format {suffix!r} (expected .jsonl, .ndjson, .csv, "
+        f"{' or '.join(COLUMNAR_SUFFIXES)})"
+    )
+
+
+def convert_trace(
+    source: "str | Path", target: "str | Path", batch_size: int = 8192
+) -> int:
+    """Convert a CSV/JSONL (or columnar) trace to the columnar format."""
+    return write_trace_columnar(read_trace_batches(source, batch_size), target)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI: ``convert SOURCE TARGET`` and ``info PATH`` subcommands."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.io.columnar",
+        description="Columnar trace conversion and inspection.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    convert = sub.add_parser("convert", help="convert a CSV/JSONL trace")
+    convert.add_argument("source", help="input trace (.jsonl/.ndjson/.csv)")
+    convert.add_argument("target", help="output columnar file (.rcol)")
+    convert.add_argument("--batch-size", type=int, default=8192)
+    info = sub.add_parser("info", help="print a columnar file's header")
+    info.add_argument("path")
+    options = parser.parse_args(argv)
+
+    if options.command == "convert":
+        count = convert_trace(options.source, options.target, options.batch_size)
+        print(f"wrote {count} records to {options.target}")
+        return 0
+    header = read_columnar_header(options.path)
+    summary = {
+        "count": header["count"],
+        "dictionary_size": len(header["dictionary"]),
+        "columns": sorted(header["columns"]),
+        "has_attributes": "attr_blob" in header["columns"],
+    }
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

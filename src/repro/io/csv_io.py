@@ -111,16 +111,21 @@ def read_batches_csv(
         ts_index = header.index(TIMESTAMP_COLUMN)
         columns = [header.index(name) for name in _sorted_level_columns(header)]
         acc = ColumnAccumulator()
-        for row in reader:
+        for row_number, row in enumerate(reader, start=2):
             labels = []
             for i in columns:
                 value = row[i].strip() if i < len(row) else ""
                 if not value:
                     break
                 labels.append(value)
-            if not labels:
-                raise StreamError(f"{path}: row with no category labels: {row!r}")
-            acc.add(float(row[ts_index]), tuple(labels))
+            # Timestamp coercion and the empty-category check live in the
+            # shared accumulation path (ColumnAccumulator.add_trace_row),
+            # exactly as for JSONL objects — only the cell layout is CSV's.
+            try:
+                timestamp = row[ts_index] if ts_index < len(row) else ""
+                acc.add_trace_row(timestamp, labels)
+            except StreamError as exc:
+                raise StreamError(f"{path}:{row_number}: {exc}") from exc
             if len(acc) >= batch_size:
                 yield acc.flush()
         if len(acc):

@@ -320,12 +320,35 @@ def build_arg_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a JSON file with the bound ports once serving",
     )
+    parser.add_argument(
+        "--replay",
+        action="append",
+        default=None,
+        metavar="TENANT=PATH",
+        help=(
+            "replay a trace file (CSV/JSONL/columnar) into a tenant before "
+            "serving; repeatable, files replay in order"
+        ),
+    )
     return parser
+
+
+def _parse_replays(specs: "list[str] | None") -> list[tuple[str, str]]:
+    replays: list[tuple[str, str]] = []
+    for spec in specs or []:
+        tenant, sep, path = spec.partition("=")
+        if not sep or not tenant or not path:
+            raise ConfigurationError(
+                f"--replay expects TENANT=PATH, got {spec!r}"
+            )
+        replays.append((tenant, path))
+    return replays
 
 
 def main(argv: "list[str] | None" = None) -> int:
     args = build_arg_parser().parse_args(argv)
     try:
+        replays = _parse_replays(args.replay)
         config = ServiceConfig.from_file(args.config)
         overrides: dict[str, Any] = {}
         if args.checkpoint_dir is not None:
@@ -363,6 +386,16 @@ def main(argv: "list[str] | None" = None) -> int:
             with contextlib.suppress(NotImplementedError, ValueError):
                 loop.add_signal_handler(signum, service._shutdown_event.set)
         await service.start()
+        for tenant, path in replays:
+            summary = await asyncio.get_running_loop().run_in_executor(
+                None, service.manager.replay_file, tenant, path
+            )
+            print(
+                f"repro-serve: replayed {summary['records']} records into "
+                f"{tenant!r} ({summary['units_closed']} units, "
+                f"{summary['records_per_second']:.0f} rec/s)",
+                flush=True,
+            )
         announce()
         if args.ready_file is not None:
             _write_ready_file(service, args.ready_file)

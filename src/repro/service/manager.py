@@ -190,6 +190,39 @@ class SessionManager:
             self._note_results(name, results)
             return results
 
+    def replay_file(
+        self, name: str, path, batch_size: int = 8192
+    ) -> dict[str, Any]:
+        """Replay a trace file (CSV/JSONL/columnar) into a tenant's session.
+
+        The file-replay twin of the streaming ingest endpoints: batches go
+        through :meth:`ingest_batch` (one lock hold per batch, so metrics and
+        checkpoints stay live during long replays) and the trailing timeunit
+        is left open, exactly like a paused stream.  Columnar files take the
+        dense zero-copy path end to end.  Returns a summary document.
+        """
+        from repro.io import read_trace_batches
+
+        start = time.perf_counter()
+        records = 0
+        units_closed = 0
+        anomalies = 0
+        for batch in read_trace_batches(path, batch_size=batch_size):
+            results = self.ingest_batch(name, batch)
+            records += len(batch)
+            units_closed += len(results)
+            anomalies += sum(len(result.anomalies) for result in results)
+        elapsed = time.perf_counter() - start
+        return {
+            "tenant": name,
+            "path": str(path),
+            "records": records,
+            "units_closed": units_closed,
+            "anomalies": anomalies,
+            "seconds": elapsed,
+            "records_per_second": records / elapsed if elapsed > 0 else 0.0,
+        }
+
     def flush(self, name: str | None = None) -> dict[str, int]:
         """Close the pending timeunit of one/every *active* session.
 
@@ -275,6 +308,7 @@ class SessionManager:
                         memory_units=session.memory_units(),
                         stage_seconds=session.stage_seconds(),
                         adaptation_stats=session.adaptation_stats(),
+                        close_profile=session.close_profile(),
                     )
                 doc[name] = entry
             return doc

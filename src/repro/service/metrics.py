@@ -72,9 +72,12 @@ def metrics_document(service: "DetectionService") -> dict[str, Any]:
         alerts["jsonl"] = service.jsonl_sink.counters()
     if service.webhook_sink is not None:
         alerts["webhook"] = service.webhook_sink.counters()
+    from repro._vector import backend_tier
+
     return {
         "service": {
             "version": repro.__version__,
+            "backend_tier": backend_tier(),
             "time_unix": time.time(),
             "uptime_seconds": service.uptime_seconds(),
             "active_sessions": manager_counters["active_sessions"],

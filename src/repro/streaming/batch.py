@@ -65,7 +65,13 @@ class RecordBatch:
         trace files), which lets routing short-circuit without touching rows.
     """
 
-    __slots__ = ("timestamps", "categories", "attributes")
+    __slots__ = (
+        "timestamps",
+        "_categories",
+        "attributes",
+        "category_codes",
+        "code_dictionary",
+    )
 
     def __init__(
         self,
@@ -79,20 +85,41 @@ class RecordBatch:
             self.timestamps = (
                 timestamps if isinstance(timestamps, array) else array("d", timestamps)
             )
-        self.categories: list[CategoryPath] = (
+        self._categories: list[CategoryPath] = (
             categories if isinstance(categories, list) else list(categories)
         )
-        if len(self.timestamps) != len(self.categories):
+        self.category_codes = None
+        self.code_dictionary = None
+        if len(self.timestamps) != len(self._categories):
             raise StreamError(
                 f"column length mismatch: {len(self.timestamps)} timestamps vs "
-                f"{len(self.categories)} categories"
+                f"{len(self._categories)} categories"
             )
-        if attributes is not None and len(attributes) != len(self.categories):
+        if attributes is not None and len(attributes) != len(self._categories):
             raise StreamError(
                 f"column length mismatch: {len(attributes)} attribute rows vs "
-                f"{len(self.categories)} categories"
+                f"{len(self._categories)} categories"
             )
         self.attributes = attributes
+
+    @property
+    def categories(self) -> list[CategoryPath]:
+        """Per-record category paths, materialized lazily for coded batches.
+
+        A batch built by :meth:`from_dictionary_codes` stores one ``int32``
+        code per record plus the shared string dictionary; the tuple list is
+        only decoded the first time something actually asks for it.  The
+        dense close path never does, which is where the columnar reader's
+        parse savings come from.
+        """
+        cats = self._categories
+        if cats is None:
+            codes = self.category_codes
+            dictionary = self.code_dictionary
+            codes_list = codes.tolist() if hasattr(codes, "tolist") else codes
+            cats = [dictionary[code] for code in codes_list]
+            self._categories = cats
+        return cats
 
     # ------------------------------------------------------------------
     # Construction
@@ -129,6 +156,44 @@ class RecordBatch:
         return cls(timestamps, normalized, attributes)
 
     @classmethod
+    def from_dictionary_codes(
+        cls,
+        timestamps,
+        codes,
+        dictionary: Sequence[CategoryPath],
+        attributes: Sequence[Mapping[str, Any]] | None = None,
+    ) -> "RecordBatch":
+        """Build a batch from dictionary-encoded categories (columnar reader).
+
+        ``codes`` holds one index into ``dictionary`` per record (an ``int32``
+        NumPy array on vector installs, any int sequence otherwise) and
+        ``dictionary`` the distinct category paths as tuples.  Category tuples
+        are decoded lazily — see :attr:`categories`.
+        """
+        batch = cls.__new__(cls)
+        if _np is not None:
+            batch.timestamps = _np.asarray(timestamps, dtype=_np.float64)
+        else:
+            batch.timestamps = (
+                timestamps if isinstance(timestamps, array) else array("d", timestamps)
+            )
+        batch._categories = None
+        batch.category_codes = codes
+        batch.code_dictionary = dictionary
+        batch.attributes = attributes
+        if len(batch.timestamps) != len(codes):
+            raise StreamError(
+                f"column length mismatch: {len(batch.timestamps)} timestamps "
+                f"vs {len(codes)} category codes"
+            )
+        if attributes is not None and len(attributes) != len(codes):
+            raise StreamError(
+                f"column length mismatch: {len(attributes)} attribute rows vs "
+                f"{len(codes)} category codes"
+            )
+        return batch
+
+    @classmethod
     def empty(cls) -> "RecordBatch":
         return cls([], [], None)
 
@@ -136,7 +201,7 @@ class RecordBatch:
     # Row access (compatibility layer)
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self.categories)
+        return len(self.timestamps)
 
     def record(self, index: int) -> OperationalRecord:
         """Materialize row ``index`` as an :class:`OperationalRecord`."""
@@ -155,6 +220,15 @@ class RecordBatch:
     def slice(self, start: int, stop: int) -> "RecordBatch":
         """A contiguous sub-batch (columns are sliced, rows never built)."""
         attrs = None if self.attributes is None else self.attributes[start:stop]
+        if self._categories is None:
+            # Coded batch not yet decoded: slice the code column (a zero-copy
+            # view on vector installs) and keep sharing the dictionary.
+            return RecordBatch.from_dictionary_codes(
+                self.timestamps[start:stop],
+                self.category_codes[start:stop],
+                self.code_dictionary,
+                attrs,
+            )
         return RecordBatch(
             self.timestamps[start:stop], self.categories[start:stop], attrs
         )
@@ -200,6 +274,30 @@ class RecordBatch:
             ).astype(_np.int64)
         epoch, delta = clock.epoch, clock.delta
         return [int((t - epoch) // delta) for t in self.timestamps]
+
+    def timeunit_runs(self, clock: SimulationClock) -> list[tuple[int, int, int]]:
+        """Run boundaries only: ``(timeunit, start_row, stop_row)`` per run.
+
+        The same runs :meth:`group_runs_by_timeunit` yields, without building
+        a ``Counter`` per run — the dense ingest path aggregates each run
+        with one ``bincount`` over the code column instead.
+        """
+        n = len(self)
+        if n == 0:
+            return []
+        units = self.timeunit_indices(clock)
+        if _np is not None:
+            boundaries = _np.flatnonzero(_np.diff(units)) + 1
+            starts = [0, *boundaries.tolist(), n]
+        else:
+            starts = [0]
+            for i in range(1, n):
+                if units[i] != units[i - 1]:
+                    starts.append(i)
+            starts.append(n)
+        return [
+            (int(units[a]), a, b) for a, b in zip(starts, starts[1:])
+        ]
 
     def group_runs_by_timeunit(
         self, clock: SimulationClock
@@ -355,6 +453,29 @@ class ColumnAccumulator:
     def add_record(self, record: OperationalRecord) -> None:
         self.add(record.timestamp, record.category, record.attributes)
 
+    def add_trace_row(
+        self,
+        timestamp: Any,
+        labels: Any,
+        attributes: "Mapping[str, Any] | None" = None,
+    ) -> None:
+        """Coerce and append one raw trace row — THE shared ingestion path.
+
+        Every trace reader (CSV cells, decoded JSONL objects, the service
+        ingestion endpoints) funnels through this method so the coercion and
+        validation rules live in exactly one place: the timestamp must parse
+        as a float, the category must be a non-empty sequence of labels.
+        Raises :class:`~repro.exceptions.StreamError` otherwise.
+        """
+        try:
+            category = tuple(labels)
+            timestamp = float(timestamp)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StreamError(f"malformed record object: {exc!r}") from exc
+        if not category:
+            raise StreamError("record with an empty category path")
+        self.add(timestamp, category, attributes)
+
     def add_json_object(self, data: Mapping[str, Any]) -> None:
         """Append one decoded JSONL record object straight into the columns.
 
@@ -367,13 +488,11 @@ class ColumnAccumulator:
         category or a non-numeric timestamp.
         """
         try:
-            category = tuple(data["category"])
-            timestamp = float(data["timestamp"])
-        except (KeyError, TypeError, ValueError) as exc:
+            labels = data["category"]
+            timestamp = data["timestamp"]
+        except (KeyError, TypeError) as exc:
             raise StreamError(f"malformed record object: {exc!r}") from exc
-        if not category:
-            raise StreamError("record with an empty category path")
-        self.add(timestamp, category, data.get("attributes"))
+        self.add_trace_row(timestamp, labels, data.get("attributes"))
 
     def flush(self) -> RecordBatch:
         """The accumulated rows as a batch; the accumulator resets to empty."""

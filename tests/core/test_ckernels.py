@@ -1,0 +1,269 @@
+"""Compiled-tier equivalence: every C kernel is bit-identical to NumPy.
+
+Each test runs the same seeded scenario twice through the *public* hooks —
+once on the compiled tier, once with ``REPRO_DISABLE_COMPILED=1`` pinning
+the NumPy tier — and compares the observable state byte-for-byte.  The
+whole module skips when the extension is absent (no compiler, no NumPy):
+the NumPy and pure-Python tiers remain canonical and are covered by the
+rest of the suite.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from contextlib import contextmanager
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro import _ckernels
+from repro.core.config import ForecastConfig
+from repro.core.timeseries import NodeTimeSeries
+from repro.forecasting.bank import ForecasterBank
+from repro.hierarchy.index import HierarchyIndex
+from repro.hierarchy.tree import HierarchyTree
+
+pytestmark = pytest.mark.skipif(
+    _ckernels.load() is None, reason="compiled kernel extension unavailable"
+)
+
+EXPECTED_KERNELS = (
+    "update_stats_dense",
+    "observe_steady",
+    "fused_record",
+    "split_windows",
+    "merge_windows",
+    "accumulate_up",
+    "succinct_sweep",
+    "seed_steady",
+    "split_row_state",
+    "fold_row_steady",
+)
+
+
+@contextmanager
+def numpy_tier():
+    """Force the NumPy tier for the duration (kernels resolve per call)."""
+    os.environ["REPRO_DISABLE_COMPILED"] = "1"
+    try:
+        yield
+    finally:
+        del os.environ["REPRO_DISABLE_COMPILED"]
+
+
+def test_extension_exposes_all_kernels():
+    kernels = _ckernels.load()
+    for name in EXPECTED_KERNELS:
+        assert callable(getattr(kernels, name))
+
+
+# ----------------------------------------------------------------------
+# Forecaster bank kernels
+# ----------------------------------------------------------------------
+
+SEASON = 12
+
+
+def make_bank(rows, seed, active_p=0.7, hist_p=0.3):
+    """A deterministic randomized bank (same seed => same state)."""
+    rng = random.Random(seed)
+    bank = ForecasterBank(ForecastConfig(season_lengths=(SEASON,)))
+    handles = [bank.new_row() for _ in range(rows)]
+    for row in handles:
+        bank._seen[row] = rng.randrange(0, 500)
+        bank._ewma[row] = np.nan if rng.random() < 0.2 else rng.uniform(-5, 50)
+        if rng.random() < active_p:
+            bank._active[row] = True
+            bank._level[row] = rng.uniform(-3, 30)
+            bank._trend[row] = rng.uniform(-1, 1)
+            bank._seasonals[0][row, :] = [
+                rng.gauss(0, 1) for _ in range(SEASON)
+            ]
+            bank._phases[row, 0] = rng.randrange(0, SEASON)
+        elif rng.random() < hist_p:
+            bank._hist[row] = [rng.uniform(0, 10) for _ in range(rng.randrange(1, 30))]
+    return bank, handles
+
+
+def canonical_rows(bank, rows):
+    return [bank.row_state_dict(row) for row in rows]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_seed_fast_matches_numpy_tier(seed):
+    rng = random.Random(seed)
+    length = rng.choice([2 * SEASON, 40, 100])
+    history = np.array([rng.uniform(0, 20) for _ in range(length)])
+    outputs = []
+    for compiled in (True, False):
+        bank = ForecasterBank(ForecastConfig(season_lengths=(SEASON,)))
+        row = bank.new_row()
+        if compiled:
+            bank.seed_fast(row, history)
+        else:
+            with numpy_tier():
+                bank.seed_fast(row, history)
+        outputs.append(canonical_rows(bank, [row]))
+    assert outputs[0] == outputs[1]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_split_row_matches_numpy_tier(seed):
+    rng = random.Random(seed * 31 + 7)
+    donor = rng.randrange(0, 4)
+    ratio = rng.uniform(0.05, 0.95)
+    outputs = []
+    for compiled in (True, False):
+        bank, rows = make_bank(4, seed)
+        if compiled:
+            dst = bank.split_row(rows[donor], ratio)
+        else:
+            with numpy_tier():
+                dst = bank.split_row(rows[donor], ratio)
+        outputs.append((dst, canonical_rows(bank, rows + [dst])))
+    assert outputs[0] == outputs[1]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_split_rows_many_matches_numpy_tier(seed):
+    rng = random.Random(seed * 17 + 3)
+    ratios = [rng.uniform(0.1, 0.9) for _ in range(6)]
+    outputs = []
+    for compiled in (True, False):
+        bank, rows = make_bank(6, seed)
+        if compiled:
+            dsts = bank.split_rows_many(rows, ratios)
+        else:
+            with numpy_tier():
+                dsts = bank.split_rows_many(rows, ratios)
+        outputs.append((dsts, canonical_rows(bank, rows + dsts)))
+    assert outputs[0] == outputs[1]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_merge_rows_many_matches_numpy_tier(seed):
+    outputs = []
+    for compiled in (True, False):
+        bank, rows = make_bank(12, seed)
+        dsts, srcs = rows[:6], rows[6:]
+        if compiled:
+            bank.merge_rows_many(dsts, srcs)
+        else:
+            with numpy_tier():
+                bank.merge_rows_many(dsts, srcs)
+        outputs.append(canonical_rows(bank, dsts))
+    assert outputs[0] == outputs[1]
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_observe_rows_steady_matches_numpy_tier(seed):
+    rng = random.Random(seed + 101)
+    history = np.array([5.0 + rng.uniform(-1, 1) for _ in range(2 * SEASON)])
+    values = [[rng.uniform(0, 12) for _ in range(8)] for _ in range(5)]
+    outputs = []
+    for compiled in (True, False):
+        bank = ForecasterBank(ForecastConfig(season_lengths=(SEASON,)))
+        rows = [bank.new_row() for _ in range(8)]
+        forecasts = []
+        for row in rows:
+            bank.seed_fast(row, history)  # all rows warm => steady branch
+        for step_values in values:
+            if compiled:
+                forecasts.append(bank.observe_rows(rows, step_values))
+            else:
+                with numpy_tier():
+                    forecasts.append(bank.observe_rows(rows, step_values))
+        outputs.append((forecasts, canonical_rows(bank, rows)))
+    assert outputs[0] == outputs[1]
+
+
+# ----------------------------------------------------------------------
+# Hierarchy index kernels
+# ----------------------------------------------------------------------
+
+
+def make_index(seed):
+    rng = random.Random(seed)
+    paths = [
+        (f"t{a}", f"m{a}{b}", f"l{a}{b}{c}")
+        for a in range(rng.randint(2, 4))
+        for b in range(rng.randint(1, 3))
+        for c in range(rng.randint(1, 4))
+    ]
+    tree = HierarchyTree.from_leaf_paths(paths)
+    counts = {
+        path: float(rng.randrange(0, 30)) for path in paths if rng.random() < 0.8
+    }
+    return HierarchyIndex(tree), counts
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_raw_weights_and_succinct_match_numpy_tier(seed):
+    theta = 10.0
+    outputs = []
+    for compiled in (True, False):
+        index, counts = make_index(seed)
+        if compiled:
+            raw = index.raw_weights(counts)
+            modified, heavy = index.succinct(raw.copy(), theta)
+        else:
+            with numpy_tier():
+                raw = index.raw_weights(counts)
+                modified, heavy = index.succinct(raw.copy(), theta)
+        outputs.append((raw.tobytes(), modified.tobytes(), heavy.tobytes()))
+    assert outputs[0] == outputs[1]
+
+
+# ----------------------------------------------------------------------
+# Window (ring storage) kernels
+# ----------------------------------------------------------------------
+
+
+def make_series(seed, length=16):
+    rng = random.Random(seed)
+    config = ForecastConfig(season_lengths=(4,))
+    series = NodeTimeSeries(length, config)
+    # Run past the window length so the ring wraps (start > 0).
+    for _ in range(rng.randrange(3, 3 * length)):
+        series.append(float(rng.randrange(0, 12)))
+    return series
+
+
+def series_snapshot(series):
+    return (
+        list(series.actual),
+        list(series.forecast),
+        series.forecaster.state_dict(),
+    )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_split_inplace_matches_numpy_tier(seed):
+    ratio = random.Random(seed).uniform(0.1, 0.9)
+    outputs = []
+    for compiled in (True, False):
+        series = make_series(seed)
+        if compiled:
+            child = series.split_inplace(ratio)
+        else:
+            with numpy_tier():
+                child = series.split_inplace(ratio)
+        outputs.append((series_snapshot(series), series_snapshot(child)))
+    assert outputs[0] == outputs[1]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_merge_windows_matches_numpy_tier(seed):
+    outputs = []
+    for compiled in (True, False):
+        mine = make_series(seed)
+        other = make_series(seed + 1000, length=mine.length)
+        if compiled:
+            mine.merge_windows_from(other)
+        else:
+            with numpy_tier():
+                mine.merge_windows_from(other)
+        outputs.append(series_snapshot(mine))
+    assert outputs[0] == outputs[1]

@@ -1,0 +1,125 @@
+"""Property-based equivalence: fused close path == staged close path.
+
+The fused megakernel (``repro.core.fused``) and the compiled backend tier
+are pure performance work — they must never change a detection, a counter
+or a checkpoint byte.  A seeded generator produces random hierarchies and
+bursty workloads (reusing :mod:`tests.integration.test_sharded_equivalence`'s
+generator) and every example runs the same session once per backend leg:
+
+* default — fused close, compiled kernels when the extension is present;
+* ``REPRO_DISABLE_COMPILED=1`` — fused close on the NumPy tier;
+* ``REPRO_DISABLE_FUSED=1`` + ``REPRO_DISABLE_COMPILED=1`` — the staged
+  per-series close on the NumPy tier (the pre-megakernel reference path);
+* ``REPRO_DISABLE_NUMPY=1`` — staged close on the pure-Python tier
+  (deterministic smoke matrix only; it is slow).
+
+Compared per leg: per-unit detection results, anomaly dicts, adaptation
+counters (minus wall-clock seconds) and the canonicalized checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine.engine import DetectionEngine
+from tests.integration.test_sharded_equivalence import make_config, make_workload
+
+LEG_DEFAULT = {}
+LEG_FUSED_NUMPY = {"REPRO_DISABLE_COMPILED": "1"}
+LEG_STAGED_NUMPY = {"REPRO_DISABLE_FUSED": "1", "REPRO_DISABLE_COMPILED": "1"}
+LEG_STAGED_PYTHON = {"REPRO_DISABLE_NUMPY": "1"}
+
+_GATES = ("REPRO_DISABLE_FUSED", "REPRO_DISABLE_COMPILED", "REPRO_DISABLE_NUMPY")
+
+
+@contextmanager
+def backend_leg(env):
+    """Pin one backend combination (fused-vs-staged resolves at session
+    construction, so the flags must be set before ``add_session``)."""
+    saved = {name: os.environ.pop(name, None) for name in _GATES}
+    os.environ.update(env)
+    try:
+        yield
+    finally:
+        for name in _GATES:
+            os.environ.pop(name, None)
+            if saved[name] is not None:
+                os.environ[name] = saved[name]
+
+
+def canonical_checkpoint(engine):
+    """Checkpoint bytes minus wall-clock fields (the only legitimate
+    difference between backend legs)."""
+    state = engine.state_dict()
+    for session in state["sessions"]:
+        session.pop("reading_seconds", None)
+        session["algorithm_state"].pop("stage_seconds", None)
+    return json.dumps(state, sort_keys=True).encode()
+
+
+def run_leg(env, seed, lateness, algorithm="ada"):
+    with backend_leg(env):
+        tree, clock, records = make_workload(seed, lateness)
+        config = make_config(seed, "drop")
+        engine = DetectionEngine()
+        engine.add_session("p", tree, config, algorithm=algorithm, clock=clock)
+        results = engine.process_stream(records)["p"]
+        anomalies = [a.to_dict() for a in engine.anomalies()["p"]]
+        stats = dict(engine.adaptation_stats()["p"])
+        stats.pop("adapt_seconds", None)
+        return results, anomalies, stats, canonical_checkpoint(engine)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    lateness=st.sampled_from([0.0, 0.08]),
+)
+def test_fused_legs_agree(seed, lateness):
+    reference = run_leg(LEG_STAGED_NUMPY, seed, lateness)
+    for env in (LEG_DEFAULT, LEG_FUSED_NUMPY):
+        leg = run_leg(env, seed, lateness)
+        assert leg[0] == reference[0]  # per-unit results
+        assert leg[1] == reference[1]  # anomaly dicts
+        assert leg[2] == reference[2]  # adaptation counters
+        assert leg[3] == reference[3]  # checkpoint bytes
+
+
+@pytest.mark.parametrize("algorithm", ["ada", "sta"])
+def test_seeded_matrix_all_tiers_agree(algorithm):
+    """Deterministic sweep including the slow pure-Python leg."""
+    for seed in (3, 11):
+        reference = run_leg(LEG_STAGED_NUMPY, seed, 0.05, algorithm)
+        for env in (LEG_DEFAULT, LEG_FUSED_NUMPY, LEG_STAGED_PYTHON):
+            leg = run_leg(env, seed, 0.05, algorithm)
+            assert leg == reference, env
+
+
+def test_fused_profile_counts_closes():
+    """The default leg actually takes the fused path (the equivalence above
+    would be vacuous if it silently fell back to staged)."""
+    with backend_leg(LEG_DEFAULT):
+        tree, clock, records = make_workload(5, 0.0)
+        engine = DetectionEngine()
+        engine.add_session("p", tree, make_config(5, "drop"), clock=clock)
+        engine.process_stream(records)
+        profile = engine.sessions["p"].close_profile()
+    assert profile["fused_units"] > 0
+    with backend_leg(LEG_STAGED_NUMPY):
+        tree, clock, records = make_workload(5, 0.0)
+        engine = DetectionEngine()
+        engine.add_session("p", tree, make_config(5, "drop"), clock=clock)
+        engine.process_stream(records)
+        profile = engine.sessions["p"].close_profile()
+    assert profile["fused_units"] == 0
+    assert profile["staged_units"] > 0

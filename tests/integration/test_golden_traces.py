@@ -78,6 +78,27 @@ def test_golden_trace_batch_path_matches(golden_spec, golden_trace_loader):
     ]
 
 
+def test_golden_trace_fused_matches_staged(golden_spec, golden_trace_loader):
+    """The fused close megakernel must be bit-identical to the staged close
+    on every golden trace (the broader random-space check lives in
+    test_fused_equivalence.py)."""
+    from tests.integration.test_fused_equivalence import (
+        LEG_STAGED_NUMPY,
+        backend_leg,
+    )
+
+    with backend_leg({}):
+        fused_results, fused_anomalies = run_serial(golden_spec, golden_trace_loader)
+    with backend_leg(LEG_STAGED_NUMPY):
+        staged_results, staged_anomalies = run_serial(
+            golden_spec, golden_trace_loader
+        )
+    assert fused_results == staged_results
+    assert detection_digest(fused_results, fused_anomalies) == detection_digest(
+        staged_results, staged_anomalies
+    )
+
+
 def test_golden_trace_sharded_path_matches(golden_spec, golden_trace_loader):
     tree, clock, records = golden_trace_loader(golden_spec)
     record_results, record_anomalies = run_serial(golden_spec, golden_trace_loader)

@@ -1,0 +1,149 @@
+"""Unit tests for :mod:`repro.io.columnar` (the mmap columnar trace format)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import StreamError
+from repro.io.columnar import (
+    COLUMNAR_SUFFIXES,
+    convert_trace,
+    main,
+    read_batches_columnar,
+    read_columnar_header,
+    read_records_columnar,
+    read_trace_batches,
+    write_trace_columnar,
+)
+from repro.io.jsonl_io import write_records_jsonl
+from repro.streaming.record import OperationalRecord
+
+
+def sample_records(n=10, attrs=False):
+    records = []
+    for i in range(n):
+        category = ("region", f"site-{i % 3}")
+        if attrs and i % 2:
+            records.append(
+                OperationalRecord.create(float(i), category, stream=f"s{i}")
+            )
+        else:
+            records.append(OperationalRecord.create(float(i), category))
+    return records
+
+
+class TestRoundTrip:
+    def test_records_round_trip(self, tmp_path):
+        path = tmp_path / "trace.rcol"
+        records = sample_records(25)
+        assert write_trace_columnar(records, path) == 25
+        assert list(read_records_columnar(path)) == records
+
+    def test_attributes_round_trip(self, tmp_path):
+        path = tmp_path / "trace.rcol"
+        records = sample_records(12, attrs=True)
+        write_trace_columnar(records, path)
+        restored = list(read_records_columnar(path))
+        assert restored == records
+        assert restored[1].attributes == {"stream": "s1"}
+
+    def test_attribute_free_trace_drops_the_column(self, tmp_path):
+        path = tmp_path / "trace.rcol"
+        write_trace_columnar(sample_records(6), path)
+        header = read_columnar_header(path)
+        assert "attr_blob" not in header["columns"]
+        [batch] = list(read_batches_columnar(path, batch_size=64))
+        assert batch.attributes is None
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.rcol"
+        assert write_trace_columnar([], path) == 0
+        assert list(read_records_columnar(path)) == []
+
+    def test_pure_python_reader_matches(self, tmp_path, monkeypatch):
+        path = tmp_path / "trace.rcol"
+        records = sample_records(30, attrs=True)
+        write_trace_columnar(records, path)
+        vectorized = list(read_records_columnar(path))
+        monkeypatch.setenv("REPRO_DISABLE_NUMPY", "1")
+        assert list(read_records_columnar(path)) == vectorized == records
+
+
+class TestBatches:
+    def test_batch_size_chunking(self, tmp_path):
+        path = tmp_path / "trace.rcol"
+        write_trace_columnar(sample_records(23), path)
+        batches = list(read_batches_columnar(path, batch_size=10))
+        assert [len(b) for b in batches] == [10, 10, 3]
+
+    def test_dictionary_shared_across_batches(self, tmp_path):
+        path = tmp_path / "trace.rcol"
+        write_trace_columnar(sample_records(20), path)
+        batches = list(read_batches_columnar(path, batch_size=7))
+        assert all(
+            b.code_dictionary is batches[0].code_dictionary for b in batches[1:]
+        )
+
+    def test_bad_batch_size(self, tmp_path):
+        path = tmp_path / "trace.rcol"
+        write_trace_columnar(sample_records(3), path)
+        with pytest.raises(StreamError):
+            list(read_batches_columnar(path, batch_size=0))
+
+
+class TestConvertAndDispatch:
+    def test_convert_from_jsonl_preserves_records(self, tmp_path):
+        records = sample_records(40, attrs=True)
+        jsonl = tmp_path / "trace.jsonl"
+        rcol = tmp_path / "trace.rcol"
+        write_records_jsonl(records, jsonl)
+        assert convert_trace(jsonl, rcol) == 40
+        assert list(read_records_columnar(rcol)) == records
+
+    def test_dispatch_by_suffix(self, tmp_path):
+        records = sample_records(8)
+        jsonl = tmp_path / "trace.jsonl"
+        write_records_jsonl(records, jsonl)
+        for suffix in COLUMNAR_SUFFIXES:
+            target = tmp_path / f"trace{suffix}"
+            convert_trace(jsonl, target)
+            batches = list(read_trace_batches(target, batch_size=64))
+            assert [r for b in batches for r in b.to_records()] == records
+
+    def test_unknown_suffix_raises(self, tmp_path):
+        with pytest.raises(StreamError):
+            read_trace_batches(tmp_path / "trace.parquet")
+
+    def test_truncated_file_raises(self, tmp_path):
+        path = tmp_path / "trace.rcol"
+        write_trace_columnar(sample_records(10), path)
+        path.write_bytes(path.read_bytes()[:20])
+        with pytest.raises(StreamError):
+            read_columnar_header(path)
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "trace.rcol"
+        write_trace_columnar(sample_records(4), path)
+        data = bytearray(path.read_bytes())
+        data[0] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(StreamError):
+            read_columnar_header(path)
+
+
+class TestCli:
+    def test_convert_and_info(self, tmp_path, capsys):
+        records = sample_records(15, attrs=True)
+        jsonl = tmp_path / "trace.jsonl"
+        rcol = tmp_path / "trace.rcol"
+        write_records_jsonl(records, jsonl)
+        assert main(["convert", str(jsonl), str(rcol)]) == 0
+        out = capsys.readouterr().out
+        assert "15 records" in out
+        assert main(["info", str(rcol)]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["count"] == 15
+        assert summary["has_attributes"] is True
+        assert summary["dictionary_size"] == 3

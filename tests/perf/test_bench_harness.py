@@ -80,7 +80,13 @@ def test_append_result_accumulates(tmp_path):
     out = tmp_path / "bench.json"
     bench_ingest.append_result({"a": 1}, out)
     bench_ingest.append_result({"b": 2}, out)
-    assert json.loads(out.read_text()) == [{"a": 1}, {"b": 2}]
+    # Older entries are normalized in place: the metadata keys newer
+    # harness versions record are backfilled as null so consumers can rely
+    # on a uniform schema.
+    assert json.loads(out.read_text()) == [
+        {"a": 1, "cpu_count": None, "version": None, "backend_tier": None},
+        {"b": 2},
+    ]
 
 
 @pytest.mark.parametrize("rows", [64])

@@ -190,3 +190,41 @@ class TestCheckpointAll:
         assert inactive["resumable"] is True
         # Ingest counters survive eviction (process-lifetime).
         assert inactive["records_ingested"] == len(records)
+
+
+class TestReplayFile:
+    def test_replay_matches_streaming_ingest(self, tmp_path):
+        """replay_file == the same records pushed through ingest_batch, for
+        both JSONL and columnar sources (the columnar one takes the dense
+        zero-copy path end to end)."""
+        from repro.io.columnar import convert_trace
+        from repro.io.jsonl_io import write_records_jsonl
+
+        dataset = tiny_dataset()
+        records = list(dataset.records())
+        jsonl = tmp_path / "trace.jsonl"
+        write_records_jsonl(records, jsonl)
+        rcol = tmp_path / "trace.rcol"
+        convert_trace(jsonl, rcol)
+
+        streamed = make_manager(tmp_path / "m0", [tenant_spec_for("t", dataset)])
+        for batch in iter_record_batches(records, 512):
+            streamed.ingest_batch("t", batch)
+        reference = state_bytes(streamed.session("t").state_dict())
+
+        for tag, path in (("jsonl", jsonl), ("rcol", rcol)):
+            manager = make_manager(
+                tmp_path / f"m_{tag}", [tenant_spec_for("t", dataset)]
+            )
+            summary = manager.replay_file("t", path, batch_size=512)
+            assert summary["records"] == len(records)
+            assert summary["units_closed"] > 0
+            assert state_bytes(manager.session("t").state_dict()) == reference, tag
+
+    def test_snapshot_reports_close_profile(self, tmp_path):
+        dataset = tiny_dataset()
+        manager = make_manager(tmp_path, [tenant_spec_for("t", dataset)])
+        manager.ingest_batch("t", batch_of(list(dataset.records())))
+        profile = manager.tenant_snapshot()["t"]["close_profile"]
+        assert profile["fused_units"] + profile["staged_units"] > 0
+        assert sum(profile["close_time"]["counts"]) > 0
