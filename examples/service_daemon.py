@@ -238,9 +238,72 @@ def main() -> int:
             f"{len(WebhookReceiver.alerts)} webhook deliveries"
         )
 
+        print("\n[5] online reconfiguration + shadow experiment cycle")
+        config2_path = workdir / "service2.json"
+        config.replace(checkpoint_dir=workdir / "checkpoints2").save(config2_path)
+        process, port = launch_daemon(config2_path, ready_file)
+        try:
+            stream_ndjson(port, lines[:cut])
+            wait_drained(port)
+            new_config = http_json(
+                port,
+                f"/reconfigure?tenant={spec.name}",
+                "POST",
+                json.dumps({"difference_threshold": 3.5}).encode(),
+            )["config"]
+            print(
+                f"    reconfigured live: difference_threshold -> "
+                f"{new_config['difference_threshold']}"
+            )
+            http_json(
+                port,
+                f"/shadow?tenant={spec.name}",
+                "POST",
+                json.dumps(
+                    {
+                        "action": "start",
+                        "config": {"theta": 2.0, "ratio_threshold": 1.2},
+                    }
+                ).encode(),
+            )
+            stream_ndjson(port, lines[cut:])
+            wait_drained(port)
+            http_json(port, "/flush", "POST")
+            report = http_json(port, f"/shadow?tenant={spec.name}")
+            print(
+                f"    shadow compared {report['units_compared']} units, "
+                f"divergent: {report['units_divergent']} "
+                f"(agreement {report['agreement']:.2f})"
+            )
+            promoted = http_json(
+                port,
+                f"/shadow?tenant={spec.name}",
+                "POST",
+                json.dumps({"action": "promote"}).encode(),
+            )
+            reconf_metrics = http_json(port, "/metrics")["reconfiguration"]
+            print(
+                f"    promoted the candidate; reconfiguration counters: "
+                f"{reconf_metrics}"
+            )
+            http_json(port, "/shutdown", "POST")
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+
         receiver.shutdown()
         receiver.server_close()
 
+        if report["units_compared"] == 0 or report["units_divergent"] == 0:
+            print("FAIL: the shadow experiment never diverged")
+            return 1
+        if promoted["report"]["units_compared"] != report["units_compared"]:
+            print("FAIL: promote returned a different experiment report")
+            return 1
+        if reconf_metrics["shadows_promoted_total"] != 1:
+            print("FAIL: promotion not visible in /metrics")
+            return 1
         if not identical:
             print("FAIL: daemon detections diverged from the serial run")
             return 1

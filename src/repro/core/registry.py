@@ -251,3 +251,17 @@ def create_forecaster(name: str, config: "ForecastConfig") -> Any:
 def available_forecasters() -> tuple[str, ...]:
     """Names of all registered forecasting models, sorted."""
     return tuple(sorted(_FORECASTERS))
+
+
+def ensure_forecaster_resolvable(name: str) -> None:
+    """Raise unless ``name`` is ``"auto"`` or a registered forecaster.
+
+    :class:`~repro.core.config.ForecastConfig` accepts any non-empty model
+    name (the registry entry may be loaded later); online reconfiguration
+    cannot afford that laxity — swapping a live session onto an unregistered
+    model would only fail at the next seasonal activation, long after the
+    reconfigure call reported success.  Used by
+    :func:`repro.engine.reconfig.check_reconfigurable`.
+    """
+    if name != "auto":
+        forecaster_factory(name)

@@ -10,7 +10,12 @@ dispatch events to subscribed observers as they happen:
   anomalies suppressed during warm-up);
 * ``on_warmup_complete(session, timeunit)`` — the warm-up period ended; fired
   once, after the last suppressed timeunit closes (immediately after the
-  first timeunit when ``warmup_units`` is 0).
+  first timeunit when ``warmup_units`` is 0);
+* ``on_shadow_divergence(primary, shadow, timeunit, only_in_primary,
+  only_in_shadow)`` — a running shadow experiment
+  (:meth:`~repro.engine.session.DetectionSession.start_shadow`) closed a
+  timeunit whose anomaly set differs from the primary's; the two tuples hold
+  the anomalies reported by only one side.
 
 Observers subclass :class:`EngineObserver` and override what they need, or
 wrap plain callables with :class:`CallbackObserver`.  Subscribing at the
@@ -49,6 +54,16 @@ class EngineObserver:
     ) -> None:
         """``session`` finished its warm-up period at ``timeunit``."""
 
+    def on_shadow_divergence(
+        self,
+        primary: "DetectionSession",
+        shadow: "DetectionSession",
+        timeunit: "TimeunitIndex",
+        only_in_primary: "tuple[Anomaly, ...]",
+        only_in_shadow: "tuple[Anomaly, ...]",
+    ) -> None:
+        """``primary`` and its ``shadow`` disagree on ``timeunit``'s anomalies."""
+
 
 class CallbackObserver(EngineObserver):
     """Adapter wrapping plain callables into the observer protocol.
@@ -66,10 +81,12 @@ class CallbackObserver(EngineObserver):
         on_warmup_complete: Optional[
             Callable[["DetectionSession", "TimeunitIndex"], None]
         ] = None,
+        on_shadow_divergence: Optional[Callable[..., None]] = None,
     ):
         self._on_anomaly = on_anomaly
         self._on_timeunit_closed = on_timeunit_closed
         self._on_warmup_complete = on_warmup_complete
+        self._on_shadow_divergence = on_shadow_divergence
 
     def on_timeunit_closed(
         self, session: "DetectionSession", result: "TimeunitResult"
@@ -86,3 +103,16 @@ class CallbackObserver(EngineObserver):
     ) -> None:
         if self._on_warmup_complete is not None:
             self._on_warmup_complete(session, timeunit)
+
+    def on_shadow_divergence(
+        self,
+        primary: "DetectionSession",
+        shadow: "DetectionSession",
+        timeunit: "TimeunitIndex",
+        only_in_primary: "tuple[Anomaly, ...]",
+        only_in_shadow: "tuple[Anomaly, ...]",
+    ) -> None:
+        if self._on_shadow_divergence is not None:
+            self._on_shadow_divergence(
+                primary, shadow, timeunit, only_in_primary, only_in_shadow
+            )

@@ -27,7 +27,7 @@ from __future__ import annotations
 import dataclasses
 import time
 from collections import Counter
-from typing import Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from repro._types import CategoryPath, TimeunitIndex, Weight
 from repro._vector import load_numpy
@@ -42,6 +42,9 @@ from repro.hierarchy.tree import HierarchyTree
 from repro.streaming.batch import RecordBatch
 from repro.streaming.clock import SimulationClock
 from repro.streaming.record import OperationalRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.shadow import ShadowTracker
 
 _np = load_numpy()
 
@@ -122,6 +125,11 @@ class DetectionSession:
         #: and decoded paths (columnar readers share one dictionary per file).
         self._dense_ready: bool | None = None
         self._dense_dict: tuple | None = None
+        #: Shadow experiment: a cloned session running a candidate config
+        #: against the identical stream (see :meth:`start_shadow`), plus the
+        #: detection-diff tracker.  Both checkpoint with the session.
+        self._shadow: "DetectionSession | None" = None
+        self._shadow_tracker: "ShadowTracker | None" = None
 
     # ------------------------------------------------------------------
     # Observers
@@ -157,6 +165,14 @@ class DetectionSession:
 
     def ingest_record(self, record: OperationalRecord) -> list[TimeunitResult]:
         """Add one record; returns results for any timeunits that closed."""
+        closed = self._ingest_record_primary(record)
+        if self._shadow is not None:
+            self._mirror(closed, lambda shadow: shadow.ingest_record(record))
+        return closed
+
+    def _ingest_record_primary(
+        self, record: OperationalRecord
+    ) -> list[TimeunitResult]:
         unit = self.clock.timeunit_of(record.timestamp)
         if self._pending_unit is None:
             self._pending_unit = unit
@@ -196,7 +212,19 @@ class DetectionSession:
         already-closed timeunit splits, and only the late run is dropped /
         clamped / raised on.  Detections are bit-for-bit identical to the
         per-record path.
+
+        A running shadow session (:meth:`start_shadow`) ingests the *same*
+        :class:`RecordBatch` object right after the primary — zero-copy
+        fan-out, the batch columns are never duplicated.
         """
+        closed = self._ingest_record_batch_primary(batch)
+        if self._shadow is not None:
+            self._mirror(closed, lambda shadow: shadow.ingest_record_batch(batch))
+        return closed
+
+    def _ingest_record_batch_primary(
+        self, batch: RecordBatch
+    ) -> list[TimeunitResult]:
         if batch.category_codes is not None and self._dense_ingest_ready():
             closed = self._ingest_batch_dense(batch)
             if closed is not None:
@@ -358,6 +386,12 @@ class DetectionSession:
         the serial session would have.
         """
         unit = int(unit)
+        closed = self._advance_to_primary(unit)
+        if self._shadow is not None:
+            self._mirror(closed, lambda shadow: shadow.advance_to(unit))
+        return closed
+
+    def _advance_to_primary(self, unit: int) -> list[TimeunitResult]:
         if self._pending_unit is None:
             self._pending_unit = unit
             return []
@@ -368,6 +402,12 @@ class DetectionSession:
 
     def flush(self) -> list[TimeunitResult]:
         """Close the currently accumulating timeunit (end of stream)."""
+        closed = self._flush_primary()
+        if self._shadow is not None:
+            self._mirror(closed, lambda shadow: shadow.flush())
+        return closed
+
+    def _flush_primary(self) -> list[TimeunitResult]:
         if self._pending_unit is None:
             return []
         return [self._close_pending(final=True)]
@@ -409,6 +449,161 @@ class DetectionSession:
             for observer in self._observers:
                 observer.on_warmup_complete(self, result.timeunit)
         return result
+
+    # ------------------------------------------------------------------
+    # Online reconfiguration
+    # ------------------------------------------------------------------
+    def reconfigure(self, new_config: TiresiasConfig) -> "DetectionSession":
+        """Hot-swap this session's configuration at the timeunit boundary.
+
+        ``new_config`` must be a compatible delta of the current config
+        (:func:`repro.engine.reconfig.check_reconfigurable`): thresholds,
+        split rule and forecasting parameters may change; the timeunit grid
+        (``delta_seconds``/``window_units``) and the tracked-node policy are
+        frozen.  When the forecasting configuration changes, every tracked
+        node's model is re-seeded from its live actual-value window instead
+        of re-warming.  Takes effect at the next timeunit close; clock
+        position, pending counts, warm-up bookkeeping, reports and observers
+        are untouched, and a running shadow experiment keeps running.
+        Returns ``self``.
+        """
+        from repro.engine.reconfig import reconfigured_state
+        from repro.io.checkpoint import session_from_state_dict, session_state_dict
+
+        state = session_state_dict(self, include_shadow=False)
+        rebuilt = session_from_state_dict(reconfigured_state(state, new_config))
+        self._adopt(rebuilt, full=False)
+        return self
+
+    # ------------------------------------------------------------------
+    # Shadow experiments
+    # ------------------------------------------------------------------
+    @property
+    def has_shadow(self) -> bool:
+        return self._shadow is not None
+
+    @property
+    def shadow(self) -> "DetectionSession | None":
+        """The running shadow session (None when no experiment is active)."""
+        return self._shadow
+
+    def start_shadow(
+        self, candidate_config: TiresiasConfig, name: "str | None" = None
+    ) -> "DetectionSession":
+        """Start a shadow experiment with ``candidate_config``.
+
+        The shadow is a full clone of this session's live state (clock,
+        pending counts, forecaster history, reports) placed under the
+        candidate config through the checkpoint machinery — exactly the
+        state a standalone session restored from this session's checkpoint
+        and reconfigured would have.  From now on every ingest call fans out
+        to the shadow (same records, zero-copy for columnar batches) and
+        detections are diffed per timeunit (:meth:`shadow_report`,
+        ``on_shadow_divergence``).  Shadow-side errors are contained and
+        counted; they never disturb the primary.  Returns the shadow session.
+        """
+        from repro.engine.reconfig import reconfigured_state
+        from repro.engine.shadow import ShadowStateError, ShadowTracker
+        from repro.io.checkpoint import session_from_state_dict, session_state_dict
+
+        if self._shadow is not None:
+            raise ShadowStateError(
+                f"session {self.name!r} already runs a shadow experiment "
+                f"({self._shadow.name!r}); stop or promote it first"
+            )
+        state = session_state_dict(self, include_shadow=False)
+        shadow_state = reconfigured_state(
+            state, candidate_config, name=name or f"{self.name}::shadow"
+        )
+        self._shadow = session_from_state_dict(shadow_state)
+        self._shadow_tracker = ShadowTracker()
+        return self._shadow
+
+    def stop_shadow(self) -> dict[str, Any]:
+        """Abandon the shadow experiment; returns the final report."""
+        report = self.shadow_report()
+        self._shadow = None
+        self._shadow_tracker = None
+        return report
+
+    def promote_shadow(self) -> dict[str, Any]:
+        """Swap the shadow in as primary; returns the final report.
+
+        The shadow has ingested the identical stream, so its clock, pending
+        counts and warm-up state are in lockstep — promotion adopts its
+        config, algorithm state, reports and results wholesale.  The
+        session's name, observers and report-retention policy stay; the
+        experiment ends.
+        """
+        shadow = self._shadow
+        report = self.shadow_report()
+        self._shadow = None
+        self._shadow_tracker = None
+        self._adopt(shadow, full=True)
+        return report
+
+    def shadow_report(self) -> dict[str, Any]:
+        """Agreement document of the running experiment (see
+        :meth:`ShadowTracker.report <repro.engine.shadow.ShadowTracker.report>`).
+        """
+        from repro.engine.shadow import ShadowStateError
+        from repro.io.checkpoint import config_to_dict
+
+        if self._shadow is None or self._shadow_tracker is None:
+            raise ShadowStateError(
+                f"session {self.name!r} has no running shadow experiment"
+            )
+        report: dict[str, Any] = {
+            "primary": self.name,
+            "shadow": self._shadow.name,
+            "primary_config": config_to_dict(self.config),
+            "shadow_config": config_to_dict(self._shadow.config),
+        }
+        report.update(self._shadow_tracker.report())
+        return report
+
+    def _mirror(self, primary_closed: list[TimeunitResult], op) -> None:
+        """Run one ingest operation on the shadow and diff the closed units.
+
+        Shadow failures are contained: recorded in the tracker (visible in
+        ``shadow_report()``), never raised into the primary's ingest path.
+        """
+        shadow, tracker = self._shadow, self._shadow_tracker
+        assert shadow is not None and tracker is not None
+        try:
+            shadow_closed = op(shadow)
+        except Exception as exc:  # noqa: BLE001 - the experiment must not
+            tracker.note_error(exc)  # take down live detection
+            return
+        tracker.observe(self, shadow, primary_closed, shadow_closed, self._observers)
+
+    def _adopt(self, other: "DetectionSession", full: bool) -> None:
+        """Take over ``other``'s detection state (reconfigure / promote).
+
+        ``full=False`` adopts only what a config swap rebuilt — config, tree
+        and algorithm (clock, pending counts and reports are this session's
+        own objects and were passed through the state surgery unchanged).
+        ``full=True`` additionally adopts the stream-position and report
+        state, which is what promotion needs.  The dense-ingest caches are
+        reset either way — they are keyed to the old algorithm instance.
+        """
+        self.config = other.config
+        self.tree = other.tree
+        self.algorithm = other.algorithm
+        self.algorithm_name = other.algorithm_name
+        self._dense_ready = None
+        self._dense_dict = None
+        if full:
+            self.clock = other.clock
+            self.warmup_units = other.warmup_units
+            self.max_results = other.max_results
+            self._units_processed = other._units_processed
+            self._warmup_announced = other._warmup_announced
+            self._pending = other._pending
+            self._pending_unit = other._pending_unit
+            self.reading_seconds = other.reading_seconds
+            self.reports = other.reports
+            self.results = other.results
 
     # ------------------------------------------------------------------
     # Introspection

@@ -1,0 +1,209 @@
+"""Shadow sessions: A/B a candidate configuration against the live stream.
+
+The paper's parameter studies (split rule, θ, forecasting model — Section
+VII) are offline replays; a production monitor wants the same comparison
+*online* and at zero extra ingest cost.  A shadow session is a clone of a
+live session's full state (through the checkpoint machinery) running a
+candidate config against the identical record stream: the primary session
+fans every ingest call out to its shadow, and this module's
+:class:`ShadowTracker` diffs the two detection streams timeunit by timeunit.
+
+Divergences surface three ways:
+
+* the ``on_shadow_divergence`` observer hook
+  (:class:`~repro.engine.hooks.EngineObserver`) fires on every timeunit whose
+  anomaly sets differ;
+* :meth:`ShadowTracker.report` aggregates per-timeunit agreement and the
+  anomalies seen only by one side (the substrate of ``shadow_report()`` and
+  the service's ``GET /shadow``);
+* shadow ingest errors are contained — recorded in the tracker, never
+  propagated into the primary's ingest path.
+
+The tracker state is JSON-safe and checkpoints with the owning session, so a
+crash-resumed daemon continues its experiment bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+
+from repro.core.detector import Anomaly
+from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.results import TimeunitResult
+    from repro.engine.hooks import EngineObserver
+    from repro.engine.session import DetectionSession
+
+#: Cap on retained per-timeunit divergence detail entries (counters are
+#: exact regardless; oldest detail entries are dropped first).
+MAX_DIVERGENCE_DETAILS = 256
+
+
+class ShadowStateError(ConfigurationError):
+    """A shadow operation conflicts with the session's shadow state
+    (starting a second shadow, stopping/promoting a non-existent one).
+    Maps to HTTP 409 in the service layer."""
+
+
+def _anomaly_key(data: Mapping[str, Any]) -> str:
+    return json.dumps(data, sort_keys=True)
+
+
+class ShadowTracker:
+    """Per-timeunit detection diff between a primary session and its shadow.
+
+    Closed results of both sides are buffered by timeunit index and compared
+    as soon as a timeunit has closed on both (in lockstep operation that is
+    within the same ingest call).  Comparison is by the anomalies' full
+    JSON form, the same canonical content the checkpoints persist.
+    """
+
+    def __init__(self) -> None:
+        self.units_compared = 0
+        self.units_agreeing = 0
+        self.units_divergent = 0
+        self.anomalies_only_in_primary = 0
+        self.anomalies_only_in_shadow = 0
+        self.shadow_errors = 0
+        self.last_error: "str | None" = None
+        #: Bounded detail log: ``{"timeunit", "only_in_primary",
+        #: "only_in_shadow"}`` with anomaly dicts, newest last.
+        self.divergences: list[dict[str, Any]] = []
+        # Timeunits closed on one side but not yet on the other
+        # (anomaly dicts, JSON-safe so a checkpoint can land in between).
+        self._primary_pending: dict[int, list[dict[str, Any]]] = {}
+        self._shadow_pending: dict[int, list[dict[str, Any]]] = {}
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def note_error(self, exc: BaseException) -> None:
+        """Record a contained shadow-side ingest failure."""
+        self.shadow_errors += 1
+        self.last_error = repr(exc)
+
+    def observe(
+        self,
+        primary: "DetectionSession",
+        shadow: "DetectionSession",
+        primary_results: Sequence["TimeunitResult"],
+        shadow_results: Sequence["TimeunitResult"],
+        observers: Iterable["EngineObserver"] = (),
+    ) -> None:
+        """Fold one ingest call's closed results from both sides and compare.
+
+        Fires ``on_shadow_divergence(primary, shadow, timeunit,
+        only_in_primary, only_in_shadow)`` on every timeunit whose anomaly
+        sets differ (anomalies as :class:`~repro.core.detector.Anomaly`).
+        """
+        for result in primary_results:
+            self._primary_pending[int(result.timeunit)] = [
+                anomaly.to_dict() for anomaly in result.anomalies
+            ]
+        for result in shadow_results:
+            self._shadow_pending[int(result.timeunit)] = [
+                anomaly.to_dict() for anomaly in result.anomalies
+            ]
+        ready = sorted(self._primary_pending.keys() & self._shadow_pending.keys())
+        for unit in ready:
+            primary_anomalies = self._primary_pending.pop(unit)
+            shadow_anomalies = self._shadow_pending.pop(unit)
+            primary_keys = {_anomaly_key(a): a for a in primary_anomalies}
+            shadow_keys = {_anomaly_key(a): a for a in shadow_anomalies}
+            only_primary = [
+                data for key, data in primary_keys.items() if key not in shadow_keys
+            ]
+            only_shadow = [
+                data for key, data in shadow_keys.items() if key not in primary_keys
+            ]
+            self.units_compared += 1
+            if not only_primary and not only_shadow:
+                self.units_agreeing += 1
+                continue
+            self.units_divergent += 1
+            self.anomalies_only_in_primary += len(only_primary)
+            self.anomalies_only_in_shadow += len(only_shadow)
+            self.divergences.append(
+                {
+                    "timeunit": unit,
+                    "only_in_primary": only_primary,
+                    "only_in_shadow": only_shadow,
+                }
+            )
+            if len(self.divergences) > MAX_DIVERGENCE_DETAILS:
+                del self.divergences[: len(self.divergences) - MAX_DIVERGENCE_DETAILS]
+            for observer in observers:
+                observer.on_shadow_divergence(
+                    primary,
+                    shadow,
+                    unit,
+                    tuple(Anomaly.from_dict(data) for data in only_primary),
+                    tuple(Anomaly.from_dict(data) for data in only_shadow),
+                )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self) -> dict[str, Any]:
+        """Aggregate agreement document (the body of ``shadow_report()``)."""
+        return {
+            "units_compared": self.units_compared,
+            "units_agreeing": self.units_agreeing,
+            "units_divergent": self.units_divergent,
+            "agreement": (
+                self.units_agreeing / self.units_compared
+                if self.units_compared
+                else None
+            ),
+            "anomalies_only_in_primary": self.anomalies_only_in_primary,
+            "anomalies_only_in_shadow": self.anomalies_only_in_shadow,
+            "shadow_errors": self.shadow_errors,
+            "last_error": self.last_error,
+            "divergences": [dict(entry) for entry in self.divergences],
+        }
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-safe snapshot (pending buffers included, for exact resume)."""
+        return {
+            "units_compared": self.units_compared,
+            "units_agreeing": self.units_agreeing,
+            "units_divergent": self.units_divergent,
+            "anomalies_only_in_primary": self.anomalies_only_in_primary,
+            "anomalies_only_in_shadow": self.anomalies_only_in_shadow,
+            "shadow_errors": self.shadow_errors,
+            "last_error": self.last_error,
+            "divergences": [dict(entry) for entry in self.divergences],
+            "primary_pending": [
+                [unit, rows] for unit, rows in sorted(self._primary_pending.items())
+            ],
+            "shadow_pending": [
+                [unit, rows] for unit, rows in sorted(self._shadow_pending.items())
+            ],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: Mapping[str, Any]) -> "ShadowTracker":
+        tracker = cls()
+        tracker.units_compared = int(state["units_compared"])
+        tracker.units_agreeing = int(state["units_agreeing"])
+        tracker.units_divergent = int(state["units_divergent"])
+        tracker.anomalies_only_in_primary = int(state["anomalies_only_in_primary"])
+        tracker.anomalies_only_in_shadow = int(state["anomalies_only_in_shadow"])
+        tracker.shadow_errors = int(state["shadow_errors"])
+        last_error = state.get("last_error")
+        tracker.last_error = None if last_error is None else str(last_error)
+        tracker.divergences = [dict(entry) for entry in state["divergences"]]
+        tracker._primary_pending = {
+            int(unit): [dict(row) for row in rows]
+            for unit, rows in state.get("primary_pending", [])
+        }
+        tracker._shadow_pending = {
+            int(unit): [dict(row) for row in rows]
+            for unit, rows in state.get("shadow_pending", [])
+        }
+        return tracker

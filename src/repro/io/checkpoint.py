@@ -161,15 +161,26 @@ def tree_from_dict(data: Mapping[str, Any]) -> HierarchyTree:
 # ----------------------------------------------------------------------
 # Session state
 # ----------------------------------------------------------------------
-def session_state_dict(session: "DetectionSession") -> dict[str, Any]:
-    """JSON-safe snapshot of one detection session (see module docstring)."""
+def session_state_dict(
+    session: "DetectionSession", include_shadow: bool = True
+) -> dict[str, Any]:
+    """JSON-safe snapshot of one detection session (see module docstring).
+
+    A running shadow experiment
+    (:meth:`~repro.engine.session.DetectionSession.start_shadow`) is included
+    under an optional ``"shadow"`` key — its full session state plus the
+    divergence tracker — so a crash-resumed process continues the experiment
+    bit-identically.  Pre-shadow readers ignore the key.  ``include_shadow=
+    False`` snapshots the primary alone (the substrate of reconfiguration
+    and shadow cloning, which operate on core state).
+    """
     if not hasattr(session.algorithm, "state_dict"):
         raise CheckpointError(
             f"algorithm {session.algorithm_name!r} does not implement "
             f"state_dict(); custom algorithms must provide state_dict()/"
             f"load_state_dict() to support checkpointing"
         )
-    return {
+    state = {
         "name": session.name,
         "algorithm": session.algorithm_name,
         "tree": tree_to_dict(session.tree),
@@ -187,6 +198,12 @@ def session_state_dict(session: "DetectionSession") -> dict[str, Any]:
         "reports": [anomaly.to_dict() for anomaly in session.reports],
         "algorithm_state": session.algorithm.state_dict(),
     }
+    if include_shadow and session._shadow is not None:
+        state["shadow"] = {
+            "session": session_state_dict(session._shadow),
+            "tracker": session._shadow_tracker.state_dict(),
+        }
+    return state
 
 
 def session_from_state_dict(state: Mapping[str, Any]) -> "DetectionSession":
@@ -223,6 +240,14 @@ def session_from_state_dict(state: Mapping[str, Any]) -> "DetectionSession":
                 f"load_state_dict(); cannot restore its checkpointed state"
             )
         session.algorithm.load_state_dict(state["algorithm_state"])
+        shadow_state = state.get("shadow")
+        if shadow_state is not None:
+            from repro.engine.shadow import ShadowTracker
+
+            session._shadow = session_from_state_dict(shadow_state["session"])
+            session._shadow_tracker = ShadowTracker.from_state_dict(
+                shadow_state["tracker"]
+            )
     except (KeyError, TypeError, ValueError) as exc:
         raise CheckpointError(f"malformed session state: {exc!r}") from exc
     return session
@@ -309,6 +334,11 @@ def split_session_state(
     unsupported algorithm, ``track_root`` enabled, a root-held time series,
     or an incomplete group cover.
     """
+    if "shadow" in state:
+        raise CheckpointError(
+            "cannot subtree-shard a session that runs a shadow experiment; "
+            "stop or promote the shadow before sharding"
+        )
     algorithm = str(state["algorithm"])
     if algorithm not in SHARDABLE_ALGORITHMS:
         raise CheckpointError(

@@ -184,7 +184,14 @@ class DetectionService:
                 await self.run_barrier(self.manager.checkpoint_all)
             except Exception:  # noqa: BLE001 - best effort on the way down
                 self.counters.inc("checkpoint_timer_failures_total")
-            await asyncio.get_running_loop().run_in_executor(None, self.worker.stop)
+            try:
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self.worker.stop
+                )
+            except TimeoutError:
+                # The worker keeps draining on its (daemon) thread; shutdown
+                # proceeds and the stall stays visible in the counters.
+                self.counters.inc("worker_stop_timeouts_total")
         if self.jsonl_sink is not None:
             self.jsonl_sink.close()
 

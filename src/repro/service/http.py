@@ -30,6 +30,15 @@ HTTP endpoints (``Connection: close``; one request per connection):
     needed).
 ``GET /tenants``
     Known/active/resumable tenant inventory.
+``POST /reconfigure?tenant=NAME``
+    Barrier: apply a JSON config delta (body) to a running session at the
+    next timeunit boundary — frozen structural fields are rejected with 400.
+``POST /shadow?tenant=NAME`` / ``GET /shadow?tenant=NAME``
+    Shadow experiments: body ``{"action": "start", "config": {...}}`` clones
+    the live session under a candidate config, ``"stop"`` / ``"promote"``
+    end it (promote swaps the shadow in as primary).  GET returns the live
+    divergence report.  Conflicting actions (start while running, stop with
+    none) map to 409.
 ``POST /shutdown``
     Graceful stop (final checkpoint included).
 
@@ -49,7 +58,8 @@ import json
 from typing import TYPE_CHECKING, Any, Callable, Mapping
 from urllib.parse import parse_qs, urlsplit
 
-from repro.exceptions import StreamError
+from repro.engine.shadow import ShadowStateError
+from repro.exceptions import ConfigurationError, StreamError
 from repro.service.metrics import healthz_document, metrics_document
 from repro.streaming.batch import ColumnAccumulator, RecordBatch
 
@@ -97,13 +107,23 @@ def parse_ndjson_batches(
                 f"line {line_number}: expected a JSON object, got "
                 f"{type(data).__name__}"
             )
-        tenant = data.get("tenant") or default_tenant
+        # "key absent" (or null) falls back to the default tenant; an
+        # explicit empty string is a routing bug on the producer side and is
+        # rejected rather than silently re-routed to the default.
+        if "tenant" in data and data["tenant"] is not None:
+            tenant = str(data["tenant"])
+            if not tenant:
+                raise IngestParseError(
+                    f"line {line_number}: tenant must not be empty (omit the "
+                    f"key to use the default tenant)"
+                )
+        else:
+            tenant = default_tenant
         if tenant is None:
             raise IngestParseError(
                 f"line {line_number}: record names no tenant and the service "
                 f"has no default tenant"
             )
-        tenant = str(tenant)
         if tenant not in accumulators:
             if not is_known_tenant(tenant):
                 raise IngestParseError(f"line {line_number}: unknown tenant {tenant!r}")
@@ -190,12 +210,19 @@ class HttpFrontend:
             length = int(headers.get("content-length", "0") or "0")
         except ValueError:
             raise _HttpError(400, "invalid Content-Length") from None
+        if length < 0:
+            # int("-5") parses fine but readexactly(-5) raises ValueError,
+            # which the blanket handler would turn into a 500.
+            raise _HttpError(400, "invalid Content-Length: must be >= 0")
         if length > MAX_BODY_BYTES:
             raise _HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
         body = await reader.readexactly(length) if length else b""
         split = urlsplit(target)
+        # keep_blank_values: ``?tenant=`` must surface as an (invalid) empty
+        # string, not silently vanish into the default tenant.
         query = {
-            key: values[-1] for key, values in parse_qs(split.query).items()
+            key: values[-1]
+            for key, values in parse_qs(split.query, keep_blank_values=True).items()
         }
         if "x-tenant" in headers and "tenant" not in query:
             query["tenant"] = headers["x-tenant"]
@@ -214,11 +241,8 @@ class HttpFrontend:
         if route == ("GET", "/tenants"):
             return 200, service.tenant_inventory(), ()
         if route == ("GET", "/anomalies"):
-            tenant = query.get("tenant") or service.config.default_tenant
-            if tenant is None:
-                raise _HttpError(400, "tenant parameter required")
-            if not service.manager.is_known(tenant):
-                raise _HttpError(404, f"unknown tenant {tenant!r}")
+            tenant = self._resolve_tenant(query, required=True)
+            self._require_known(tenant)
             anomalies = await service.run_barrier(
                 lambda: service.manager.anomalies(tenant)
             )
@@ -229,24 +253,138 @@ class HttpFrontend:
             written = await service.run_barrier(service.manager.checkpoint_all)
             return 200, {"checkpoints": written}, ()
         if route == ("POST", "/flush"):
-            tenant = query.get("tenant")
-            if tenant is not None and not service.manager.is_known(tenant):
-                raise _HttpError(404, f"unknown tenant {tenant!r}")
+            tenant = self._resolve_tenant(query, default_to_config=False)
+            if tenant is not None:
+                self._require_known(tenant)
             closed = await service.run_barrier(
                 lambda: service.manager.flush(tenant)
             )
             return 200, {"closed": closed}, ()
+        if route == ("POST", "/reconfigure"):
+            return await self._handle_reconfigure(query, body)
+        if route == ("POST", "/shadow"):
+            return await self._handle_shadow(query, body)
+        if route == ("GET", "/shadow"):
+            tenant = self._resolve_tenant(query, required=True)
+            self._require_known(tenant)
+            report = await self._run_tenant_op(
+                lambda: service.manager.shadow_report(tenant)
+            )
+            return 200, report, ()
         if route == ("POST", "/shutdown"):
             service.request_shutdown()
             return 202, {"status": "shutting down"}, ()
         raise _HttpError(404, f"no route {method} {path}")
+
+    # -- tenant resolution / shared plumbing ---------------------------
+    def _resolve_tenant(
+        self,
+        query: dict[str, str],
+        *,
+        default_to_config: bool = True,
+        required: bool = False,
+    ) -> "str | None":
+        """The request's tenant: explicit param/header, else the default.
+
+        An *empty* tenant (``?tenant=`` or an empty ``X-Tenant`` header) is
+        an explicit 400 — silently falling through to the default tenant
+        would misroute the request.
+        """
+        tenant = query.get("tenant")
+        if tenant is not None:
+            if not tenant:
+                raise _HttpError(
+                    400,
+                    "tenant must not be empty (name a tenant or omit the "
+                    "parameter)",
+                )
+            return tenant
+        if default_to_config:
+            tenant = self.service.config.default_tenant
+        if tenant is None and required:
+            raise _HttpError(400, "tenant parameter required")
+        return tenant
+
+    def _require_known(self, tenant: str) -> None:
+        if not self.service.manager.is_known(tenant):
+            raise _HttpError(404, f"unknown tenant {tenant!r}")
+
+    @staticmethod
+    def _parse_json_body(body: bytes) -> dict[str, Any]:
+        if not body:
+            return {}
+        try:
+            data = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise _HttpError(400, f"invalid JSON body: {exc}") from None
+        if not isinstance(data, Mapping):
+            raise _HttpError(400, "request body must be a JSON object")
+        return dict(data)
+
+    async def _run_tenant_op(self, fn: Callable[[], Any]) -> Any:
+        """Run a manager operation behind the ingest barrier; map shadow
+        conflicts to 409 and config problems (frozen fields, bad deltas,
+        unknown models) to 400."""
+        try:
+            return await self.service.run_barrier(fn)
+        except ShadowStateError as exc:
+            raise _HttpError(409, str(exc)) from exc
+        except ConfigurationError as exc:
+            raise _HttpError(400, str(exc)) from exc
+
+    async def _handle_reconfigure(
+        self, query: dict[str, str], body: bytes
+    ) -> tuple[int, Any, tuple]:
+        service = self.service
+        tenant = self._resolve_tenant(query, required=True)
+        self._require_known(tenant)
+        delta = self._parse_json_body(body)
+        if not delta:
+            raise _HttpError(400, "reconfigure requires a JSON config delta body")
+        config = await self._run_tenant_op(
+            lambda: service.manager.reconfigure(tenant, delta)
+        )
+        service.counters.inc("reconfigure_requests_total")
+        return 200, {"tenant": tenant, "config": config}, ()
+
+    async def _handle_shadow(
+        self, query: dict[str, str], body: bytes
+    ) -> tuple[int, Any, tuple]:
+        service = self.service
+        tenant = self._resolve_tenant(query, required=True)
+        self._require_known(tenant)
+        document = self._parse_json_body(body)
+        action = document.get("action")
+        if action == "start":
+            delta = document.get("config")
+            if not isinstance(delta, Mapping):
+                raise _HttpError(
+                    400, 'shadow start requires a "config" object (a config delta)'
+                )
+            report = await self._run_tenant_op(
+                lambda: service.manager.start_shadow(tenant, delta)
+            )
+        elif action == "stop":
+            report = await self._run_tenant_op(
+                lambda: service.manager.stop_shadow(tenant)
+            )
+        elif action == "promote":
+            report = await self._run_tenant_op(
+                lambda: service.manager.promote_shadow(tenant)
+            )
+        else:
+            raise _HttpError(
+                400, 'shadow action must be one of "start", "stop", "promote"'
+            )
+        service.counters.inc(f"shadow_{action}_requests_total")
+        return 200, {"tenant": tenant, "action": action, "report": report}, ()
 
     async def _handle_ingest(
         self, query: dict[str, str], body: bytes
     ) -> tuple[int, Any, tuple]:
         service = self.service
         service.counters.inc("ingest_requests_total")
-        default_tenant = query.get("tenant") or service.config.default_tenant
+        default_tenant = self._resolve_tenant(query)
         try:
             batches, records = parse_ndjson_batches(
                 body,
@@ -282,6 +420,7 @@ _STATUS_TEXT = {
     202: "Accepted",
     400: "Bad Request",
     404: "Not Found",
+    409: "Conflict",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
@@ -339,9 +478,30 @@ class SocketFrontend:
             if not header_line:
                 writer.close()
                 return
+            first_record = None
             try:
                 header = json.loads(header_line)
-                tenant = str(header["tenant"]) if "tenant" in header else None
+                if not isinstance(header, Mapping):
+                    raise TypeError("header must be a JSON object")
+                if header.get("tenant") is not None:
+                    tenant = str(header["tenant"])
+                    if not tenant:
+                        writer.write(
+                            json.dumps(
+                                {"error": "tenant must not be empty"}
+                            ).encode()
+                            + b"\n"
+                        )
+                        await writer.drain()
+                        writer.close()
+                        return
+                elif "timestamp" in header or "category" in header:
+                    # A producer that skips the header line sends its first
+                    # *data* record here.  Treat it as data under the default
+                    # tenant instead of silently swallowing it.
+                    tenant, first_record, header = None, header, {}
+                else:
+                    tenant = None
             except (json.JSONDecodeError, TypeError):
                 tenant, header = None, None
             if header is None or (
@@ -366,6 +526,17 @@ class SocketFrontend:
                 return
             batch_size = int(header.get("batch_size", service.config.ingest_batch_size))
             acc = ColumnAccumulator()
+            if first_record is not None:
+                try:
+                    acc.add_json_object(first_record)
+                except StreamError as exc:
+                    writer.write(
+                        json.dumps({"error": str(exc), "accepted": 0}).encode() + b"\n"
+                    )
+                    await writer.drain()
+                    writer.close()
+                    return
+                accepted += 1
             while True:
                 raw = await reader.readline()
                 if not raw:

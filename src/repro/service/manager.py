@@ -89,6 +89,10 @@ class SessionManager:
         self.resumes_total = 0
         self.fresh_starts_total = 0
         self.evictions_total = 0
+        self.reconfigures_total = 0
+        self.shadows_started_total = 0
+        self.shadows_stopped_total = 0
+        self.shadows_promoted_total = 0
         self.checkpoints_written_total = 0
         self.last_checkpoint_unix: float | None = None
         self._records_ingested: dict[str, int] = {}
@@ -266,6 +270,54 @@ class SessionManager:
             return [anomaly.to_dict() for anomaly in self.session(name).anomalies]
 
     # ------------------------------------------------------------------
+    # Online reconfiguration / shadow experiments
+    # ------------------------------------------------------------------
+    def reconfigure(self, name: str, delta: Mapping[str, Any]) -> dict[str, Any]:
+        """Apply a JSON config delta to a running session; return the new config.
+
+        Runs on the worker thread (behind the ingest barrier), so the swap
+        lands at a deterministic point in the record stream.  Frozen
+        structural fields raise :class:`ConfigurationError`.
+        """
+        from repro.engine.reconfig import config_with_updates
+        from repro.io.checkpoint import config_to_dict
+
+        with self._lock:
+            session = self.session(name)
+            new_config = config_with_updates(session.config, delta)
+            session.reconfigure(new_config)
+            self.reconfigures_total += 1
+            return config_to_dict(session.config)
+
+    def start_shadow(self, name: str, delta: Mapping[str, Any]) -> dict[str, Any]:
+        """Start a shadow experiment under ``delta`` applied to the live config."""
+        from repro.engine.reconfig import config_with_updates
+
+        with self._lock:
+            session = self.session(name)
+            candidate = config_with_updates(session.config, delta)
+            session.start_shadow(candidate)
+            self.shadows_started_total += 1
+            return session.shadow_report()
+
+    def stop_shadow(self, name: str) -> dict[str, Any]:
+        with self._lock:
+            report = self.session(name).stop_shadow()
+            self.shadows_stopped_total += 1
+            return report
+
+    def promote_shadow(self, name: str) -> dict[str, Any]:
+        """Swap the shadow in as the tenant's primary session state."""
+        with self._lock:
+            report = self.session(name).promote_shadow()
+            self.shadows_promoted_total += 1
+            return report
+
+    def shadow_report(self, name: str) -> dict[str, Any]:
+        with self._lock:
+            return self.session(name).shadow_report()
+
+    # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
     def counters(self) -> dict[str, Any]:
@@ -275,6 +327,13 @@ class SessionManager:
                 "resumes_total": self.resumes_total,
                 "fresh_starts_total": self.fresh_starts_total,
                 "evictions_total": self.evictions_total,
+                "reconfigures_total": self.reconfigures_total,
+                "shadows_started_total": self.shadows_started_total,
+                "shadows_stopped_total": self.shadows_stopped_total,
+                "shadows_promoted_total": self.shadows_promoted_total,
+                "shadows_active": sum(
+                    1 for session in self._active.values() if session.has_shadow
+                ),
                 "checkpoints_written_total": self.checkpoints_written_total,
                 "last_checkpoint_unix": self.last_checkpoint_unix,
                 "active_sessions": len(self._active),
@@ -309,6 +368,11 @@ class SessionManager:
                         stage_seconds=session.stage_seconds(),
                         adaptation_stats=session.adaptation_stats(),
                         close_profile=session.close_profile(),
+                        shadow=(
+                            session.shadow_report()
+                            if session.has_shadow
+                            else None
+                        ),
                     )
                 doc[name] = entry
             return doc

@@ -9,6 +9,8 @@ parts of a :class:`~repro.service.daemon.DetectionService`:
   worker errors;
 * ``checkpoint`` — cadence, totals, last-write time, resume/eviction
   counters (the eviction lifecycle is observable here);
+* ``reconfiguration`` — online config swaps and shadow-experiment
+  lifecycle counters (started/stopped/promoted/active);
 * ``alerts`` — egress delivery counters per sink;
 * ``tenants`` — per-tenant state, including live
   ``adaptation_stats()`` and per-stage close timings for active sessions
@@ -94,6 +96,13 @@ def metrics_document(service: "DetectionService") -> dict[str, Any]:
             "resumes_total": manager_counters["resumes_total"],
             "fresh_starts_total": manager_counters["fresh_starts_total"],
             "evictions_total": manager_counters["evictions_total"],
+        },
+        "reconfiguration": {
+            "reconfigures_total": manager_counters["reconfigures_total"],
+            "shadows_started_total": manager_counters["shadows_started_total"],
+            "shadows_stopped_total": manager_counters["shadows_stopped_total"],
+            "shadows_promoted_total": manager_counters["shadows_promoted_total"],
+            "shadows_active": manager_counters["shadows_active"],
         },
         "alerts": alerts,
         "tenants": manager.tenant_snapshot(),

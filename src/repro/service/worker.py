@@ -42,6 +42,7 @@ class IngestWorker:
         self._queue: "queue.Queue[tuple]" = queue.Queue(maxsize=self.capacity)
         self._submit_lock = threading.Lock()
         self._thread: threading.Thread | None = None
+        self._stop_requested = False
         # ``_pending`` counts items admitted but not yet fully processed —
         # unlike qsize() it covers the item currently in flight, so
         # ``drained`` has no false positives.
@@ -68,12 +69,28 @@ class IngestWorker:
         self._thread.start()
 
     def stop(self, timeout: float = 30.0) -> None:
-        """Process everything already queued, then stop the thread."""
+        """Process everything already queued, then stop the thread.
+
+        Raises :class:`TimeoutError` when the consumer has not exited within
+        ``timeout`` — and keeps ``_thread`` set in that case, so ``running``
+        stays True and a subsequent :meth:`start` cannot spawn a second
+        consumer racing the live one (which would break the strict per-tenant
+        ordering contract).  A later :meth:`stop` retry joins the same
+        thread.
+        """
         if self._thread is None:
             return
-        self._track_put(("stop",), block=True)
+        if not self._stop_requested:
+            self._track_put(("stop",), block=True)
+            self._stop_requested = True
         self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TimeoutError(
+                f"ingest worker did not stop within {timeout}s "
+                f"(queue depth {self.depth()}); still draining"
+            )
         self._thread = None
+        self._stop_requested = False
 
     @property
     def running(self) -> bool:

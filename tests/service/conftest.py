@@ -133,6 +133,11 @@ def normalized_session_state(state: dict) -> dict:
             sorted(table, key=lambda kv: kv[0]) for table in algo["unit_weights"]
         ]
     state["pending"] = sorted(state["pending"], key=lambda kv: kv[0])
+    if state.get("shadow") is not None:
+        state["shadow"] = {
+            "session": normalized_session_state(state["shadow"]["session"]),
+            "tracker": state["shadow"]["tracker"],
+        }
     return state
 
 

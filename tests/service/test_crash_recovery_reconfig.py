@@ -1,0 +1,142 @@
+"""SIGKILL-and-restart equivalence for reconfigured and shadowed daemons.
+
+Companion of :mod:`tests.service.test_crash_recovery`: the daemon is killed
+hard *after* an online reconfigure (resp. mid shadow experiment), restarted
+on the same checkpoint directory, and fed the rest of a golden trace.  Its
+final state must be bit-identical to an uninterrupted in-process run that
+performed the same reconfigure/shadow at the same stream position.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine.reconfig import config_with_updates
+from repro.engine.session import DetectionSession
+from repro.service.config import ServiceConfig, TenantSpec
+
+from tests.service.conftest import state_bytes, wait_until  # noqa: F401
+from tests.service.test_crash_recovery import DaemonProcess, payload
+
+CANDIDATE_DELTA = {"theta": 2.0, "ratio_threshold": 1.2}
+
+
+@pytest.fixture
+def golden_env(tmp_path, golden_specs_by_name, golden_trace_loader):
+    """(config_path, ready_file, lines, spec_session_factory) for one golden."""
+    spec = golden_specs_by_name["ccd_trouble"]
+    tree, clock, records = golden_trace_loader(spec)
+    tenant = TenantSpec(
+        name=spec.name,
+        tree=tree,
+        config=spec.detector_config(),
+        algorithm=spec.algorithm,
+        clock=clock,
+    )
+    config = ServiceConfig(
+        tenants=(tenant,),
+        checkpoint_dir=tmp_path / "ckpt",
+        port=0,
+        checkpoint_interval=0.0,
+    )
+    config_path = tmp_path / "service.json"
+    config.save(config_path)
+    lines = [
+        line
+        for line in spec.trace_path.read_text(encoding="utf-8").splitlines()
+        if line
+    ]
+    assert len(lines) == len(records)
+    return spec, config_path, tmp_path / "ready.json", lines, records, tenant
+
+
+def post_json(daemon, path, document):
+    return daemon.call(path, "POST", json.dumps(document).encode())
+
+
+def test_sigkill_after_reconfigure_is_bit_identical(golden_env):
+    spec, config_path, ready_file, lines, records, tenant = golden_env
+    cut = len(lines) // 2
+
+    first = DaemonProcess(config_path, ready_file)
+    try:
+        assert first.call("/ingest", "POST", payload(lines[:cut])).status == 202
+        result = post_json(first, f"/reconfigure?tenant={spec.name}", CANDIDATE_DELTA)
+        assert result.status == 200
+        assert result.body["config"]["theta"] == 2.0
+        assert first.call("/checkpoint", "POST").status == 200
+        first.sigkill()
+    finally:
+        first.terminate()
+
+    second = DaemonProcess(config_path, ready_file)
+    try:
+        # The restarted daemon resumes under the *new* config.
+        assert second.call("/ingest", "POST", payload(lines[cut:])).status == 202
+        second.call("/flush", "POST")
+        final = second.call("/checkpoint", "POST").body["checkpoints"]
+    finally:
+        second.terminate()
+
+    serial = tenant.build_session()
+    serial.ingest_batch(records[:cut])
+    serial.reconfigure(config_with_updates(serial.config, CANDIDATE_DELTA))
+    serial.ingest_batch(records[cut:])
+    serial.flush()
+
+    restored = DetectionSession.load_checkpoint(final[spec.name])
+    assert restored.config.theta == 2.0
+    assert state_bytes(restored.state_dict()) == state_bytes(serial.state_dict())
+
+
+def test_sigkill_mid_shadow_experiment_is_bit_identical(golden_env):
+    spec, config_path, ready_file, lines, records, tenant = golden_env
+    third = len(lines) // 3
+
+    first = DaemonProcess(config_path, ready_file)
+    try:
+        assert first.call("/ingest", "POST", payload(lines[:third])).status == 202
+        started = post_json(
+            first,
+            f"/shadow?tenant={spec.name}",
+            {"action": "start", "config": CANDIDATE_DELTA},
+        )
+        assert started.status == 200
+        # Let the experiment accumulate comparisons before the crash.
+        assert first.call(
+            "/ingest", "POST", payload(lines[third : 2 * third])
+        ).status == 202
+        assert first.call("/checkpoint", "POST").status == 200
+        first.sigkill()
+    finally:
+        first.terminate()
+
+    second = DaemonProcess(config_path, ready_file)
+    try:
+        # The resumed daemon still runs the experiment.
+        assert second.call("/ingest", "POST", payload(lines[2 * third :])).status == 202
+        second.call("/flush", "POST")
+        report = second.call(f"/shadow?tenant={spec.name}").body
+        metrics = second.call("/metrics").body
+        assert metrics["reconfiguration"]["shadows_active"] == 1
+        final = second.call("/checkpoint", "POST").body["checkpoints"]
+    finally:
+        second.terminate()
+
+    serial = tenant.build_session()
+    serial.ingest_batch(records[:third])
+    serial.start_shadow(config_with_updates(serial.config, CANDIDATE_DELTA))
+    serial.ingest_batch(records[third:])
+    serial.flush()
+
+    assert report == serial.shadow_report()
+    assert report["units_compared"] > 0
+
+    restored = DetectionSession.load_checkpoint(final[spec.name])
+    assert restored.has_shadow
+    assert state_bytes(restored.state_dict()) == state_bytes(serial.state_dict())
+    assert state_bytes(restored.shadow.state_dict()) == state_bytes(
+        serial.shadow.state_dict()
+    )

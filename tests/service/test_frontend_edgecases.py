@@ -1,0 +1,258 @@
+"""Front-end bugfix sweep: malformed headers, empty tenants, socket framing,
+worker stop races.  Every test here failed before the corresponding fix."""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.service import DetectionService
+from repro.service.http import IngestParseError, parse_ndjson_batches
+from repro.service.worker import IngestWorker
+
+from tests.service.conftest import http_call, ndjson_payload, wait_until
+
+
+@pytest.fixture
+def daemon(tiny_tenant):
+    dataset, config = tiny_tenant
+    service = DetectionService(config)
+    with service.start_in_thread():
+        yield dataset, service
+    assert not service.worker.running
+
+
+def raw_http(port: int, request: bytes) -> tuple[int, dict]:
+    """Send a hand-built HTTP request (urllib refuses malformed headers)."""
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as sock:
+        sock.sendall(request)
+        sock.shutdown(socket.SHUT_WR)
+        reply = b""
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                break
+            reply += data
+    head, _, body = reply.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, json.loads(body)
+
+
+# ----------------------------------------------------------------------
+# Bugfix 1: negative Content-Length must be a 400, not a 500
+# ----------------------------------------------------------------------
+class TestContentLength:
+    def test_negative_content_length_is_400(self, daemon):
+        _, service = daemon
+        status, body = raw_http(
+            service.http_port,
+            b"POST /ingest HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Content-Length: -5\r\n"
+            b"\r\n",
+        )
+        assert status == 400
+        assert "Content-Length" in body["error"]
+
+    def test_garbage_content_length_is_400(self, daemon):
+        _, service = daemon
+        status, body = raw_http(
+            service.http_port,
+            b"POST /ingest HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+        )
+        assert status == 400
+        assert "Content-Length" in body["error"]
+
+
+# ----------------------------------------------------------------------
+# Bugfix 2: empty tenants are explicit 400s, never the default tenant
+# ----------------------------------------------------------------------
+class TestEmptyTenant:
+    def test_empty_query_tenant_is_400(self, daemon):
+        dataset, service = daemon
+        records = list(dataset.records())[:5]
+        result = http_call(
+            service.http_port, "/ingest?tenant=", "POST", ndjson_payload(records)
+        )
+        assert result.status == 400
+        assert "tenant must not be empty" in result.body["error"]
+        # On every route, not just ingest.
+        assert http_call(service.http_port, "/anomalies?tenant=").status == 400
+        assert (
+            http_call(service.http_port, "/flush?tenant=", "POST").status == 400
+        )
+
+    def test_empty_x_tenant_header_is_400(self, daemon):
+        _, service = daemon
+        status, body = raw_http(
+            service.http_port,
+            b"GET /anomalies HTTP/1.1\r\nX-Tenant:\r\n\r\n",
+        )
+        assert status == 400
+        assert "tenant must not be empty" in body["error"]
+
+    def test_empty_record_tenant_is_400_with_line_number(self, daemon):
+        dataset, service = daemon
+        records = [r.to_dict() for r in list(dataset.records())[:3]]
+        records[1]["tenant"] = ""
+        result = http_call(
+            service.http_port, "/ingest", "POST", ndjson_payload(records)
+        )
+        assert result.status == 400
+        assert "line 2" in result.body["error"]
+        assert "tenant must not be empty" in result.body["error"]
+
+    def test_absent_and_null_tenant_fall_back_to_default(self, daemon):
+        """The key-absent (and explicit-null) forms still mean 'default'."""
+        dataset, service = daemon
+        records = [r.to_dict() for r in list(dataset.records())[:4]]
+        records[1]["tenant"] = None
+        result = http_call(
+            service.http_port, "/ingest", "POST", ndjson_payload(records)
+        )
+        assert result.status == 202
+        assert result.body["accepted"] == 4
+
+    def test_parse_distinguishes_absent_from_empty(self):
+        record = {"timestamp": 0.5, "category": ["a"]}
+        batches, count = parse_ndjson_batches(
+            ndjson_payload([record]),
+            batch_size=10,
+            default_tenant="dflt",
+            is_known_tenant=lambda name: True,
+        )
+        assert count == 1 and batches[0][0] == "dflt"
+        with pytest.raises(IngestParseError, match="must not be empty"):
+            parse_ndjson_batches(
+                ndjson_payload([dict(record, tenant="")]),
+                batch_size=10,
+                default_tenant="dflt",
+                is_known_tenant=lambda name: True,
+            )
+
+
+# ----------------------------------------------------------------------
+# Bugfix 3: the socket path must not swallow a header-less first record
+# ----------------------------------------------------------------------
+class TestSocketFirstLine:
+    def socket_send(self, port, lines):
+        with socket.create_connection(("127.0.0.1", port), timeout=30) as sock:
+            for line in lines:
+                sock.sendall(line)
+            sock.shutdown(socket.SHUT_WR)
+            reply = b""
+            while not reply.endswith(b"\n"):
+                data = sock.recv(65536)
+                if not data:
+                    break
+                reply += data
+        return json.loads(reply)
+
+    def test_headerless_first_record_is_counted(self, daemon):
+        dataset, service = daemon
+        records = list(dataset.records())[:10]
+        lines = [
+            (json.dumps(r.to_dict(), sort_keys=True) + "\n").encode()
+            for r in records
+        ]
+        # No header line at all: the first line is already a data record.
+        reply = self.socket_send(service.socket_port, lines)
+        assert reply == {"accepted": len(records)}
+        wait_until(service.worker.drained)
+        snapshot = service.manager.tenant_snapshot()["tiny"]
+        assert snapshot["records_ingested"] == len(records)
+
+    def test_empty_header_tenant_is_an_error(self, daemon):
+        _, service = daemon
+        reply = self.socket_send(
+            service.socket_port, [b'{"tenant": ""}\n']
+        )
+        assert "tenant must not be empty" in reply["error"]
+
+    def test_explicit_header_still_works(self, daemon):
+        dataset, service = daemon
+        records = list(dataset.records())[:6]
+        lines = [b'{"tenant": "tiny"}\n'] + [
+            (json.dumps(r.to_dict(), sort_keys=True) + "\n").encode()
+            for r in records
+        ]
+        reply = self.socket_send(service.socket_port, lines)
+        assert reply == {"accepted": len(records)}
+
+
+# ----------------------------------------------------------------------
+# Bugfix 4: IngestWorker.stop must not orphan a still-draining thread
+# ----------------------------------------------------------------------
+class _BlockingManager:
+    """Stub manager whose ingest blocks until released."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.processed = 0
+
+    def ingest_batch(self, tenant, batch):
+        self.release.wait(30)
+        self.processed += 1
+        return []
+
+
+class _FakeBatch(list):
+    pass
+
+
+class TestWorkerStopRace:
+    def test_stop_timeout_raises_and_keeps_the_thread(self):
+        manager = _BlockingManager()
+        worker = IngestWorker(manager)
+        worker.start()
+        assert worker.try_submit([("t", _FakeBatch([1]))])
+        with pytest.raises(TimeoutError, match="did not stop"):
+            worker.stop(timeout=0.2)
+        # The bug: _thread was cleared here, making `running` lie and
+        # letting start() spawn a duplicate consumer over the live one.
+        assert worker.running
+        worker.start()  # must be a no-op while the old consumer drains
+        manager.release.set()
+        worker.stop(timeout=30.0)
+        assert not worker.running
+        assert manager.processed == 1
+        assert worker.drained()
+
+    def test_stop_retry_does_not_enqueue_a_second_sentinel(self):
+        manager = _BlockingManager()
+        worker = IngestWorker(manager)
+        worker.start()
+        assert worker.try_submit([("t", _FakeBatch([1]))])
+        for _ in range(3):  # repeated timed-out stops
+            with pytest.raises(TimeoutError):
+                worker.stop(timeout=0.05)
+        manager.release.set()
+        worker.stop(timeout=30.0)
+        # Exactly one stop sentinel was consumed: pending bookkeeping is
+        # clean, so drained() is truthful (a stray sentinel would pin
+        # _pending above zero forever).
+        assert worker.drained()
+        assert worker.depth() == 0
+
+    def test_stop_when_never_started_is_a_noop(self):
+        worker = IngestWorker(_BlockingManager())
+        worker.stop()
+        assert not worker.running
+
+    def test_worker_restart_after_clean_stop(self):
+        manager = _BlockingManager()
+        manager.release.set()
+        worker = IngestWorker(manager)
+        worker.start()
+        assert worker.try_submit([("t", _FakeBatch([1]))])
+        wait_until(worker.drained)
+        worker.stop(timeout=30.0)
+        worker.start()
+        assert worker.running
+        assert worker.try_submit([("t", _FakeBatch([2]))])
+        wait_until(lambda: manager.processed == 2)
+        worker.stop(timeout=30.0)
