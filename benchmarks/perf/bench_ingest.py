@@ -44,6 +44,17 @@ PRs accumulate a throughput trajectory.  **Entries are only appended when
 every equivalence check passed** — a run that produced wrong detections
 exits non-zero without recording a result.
 
+Shard transport overhead (``--check-shard-overhead``)
+-----------------------------------------------------
+Runs the table3 workload through the subtree-sharded engine twice — once
+over the ``pipe`` transport (whole operations pickled, batches included)
+and once over ``shm`` (columns shipped as raw little-endian buffers through
+shared memory; only the operation skeleton is pickled) — asserts both
+reproduce the batch path's detections exactly, and records a ``sharding``
+section with each transport's ``ship_serialized_bytes``.  The headline
+``serialized_ratio`` (pipe / shm pickled bytes) is the zero-copy claim; the
+CI perf-smoke gate requires it to be at least 5x.
+
 Adaptation-engine benchmarks (``--adaptation-bench``)
 -----------------------------------------------------
 Three delta-vs-legacy close comparisons with identical detections and
@@ -59,6 +70,7 @@ Usage::
     python benchmarks/perf/bench_ingest.py                 # full table3 workload
     python benchmarks/perf/bench_ingest.py --duration-days 0.5 --check-speedup 1.0
     python benchmarks/perf/bench_ingest.py --workers 2,4 --check-workers-speedup 1.0
+    python benchmarks/perf/bench_ingest.py --check-shard-overhead 5.0
     python benchmarks/perf/bench_ingest.py --compare-scalar --check-bank-speedup 2.0
     python benchmarks/perf/bench_ingest.py --adaptation-bench --check-adapt-speedup 2.0
 """
@@ -323,6 +335,70 @@ def time_sharded(dataset, config, batches, workers: int) -> tuple[float, list]:
         elapsed = time.perf_counter() - start
         anomalies = [a.to_dict() for a in engine.anomalies()["bench"]]
     return elapsed, anomalies
+
+
+def bench_shard_overhead(
+    dataset, config, batches, batch_anomalies, workers: int = 2
+) -> dict:
+    """Transport shipping overhead: pipe pickling vs shm zero-copy columns.
+
+    The identical ingest stream runs through a subtree-sharded engine over
+    the ``pipe`` transport (whole ``(verb, ops)`` pickles, batch columns
+    included) and the ``shm`` transport (columns placed in shared memory as
+    raw little-endian buffers; only the operation skeleton passes through
+    pickle).  Both runs must reproduce the batch path's detections exactly
+    — a diverging transport raises :class:`EquivalenceError` and nothing is
+    recorded.  ``serialized_ratio`` is pipe-pickled bytes over shm-pickled
+    bytes: how many times fewer bytes the zero-copy path serializes, which
+    the ``--check-shard-overhead MIN`` CI gate bounds from below.
+    """
+    from repro.engine.sharded import ShardedDetectionEngine
+
+    section: dict = {"workers": workers, "subtree_shards": workers, "transports": {}}
+    for transport in ("pipe", "shm"):
+        with ShardedDetectionEngine(
+            num_workers=workers, transport=transport
+        ) as engine:
+            engine.add_session(
+                "bench",
+                dataset.tree,
+                config,
+                clock=dataset.clock,
+                subtree_shards=workers,
+            )
+            engine.units_processed()  # spawns the workers before timing starts
+            # Session-state shipping at startup is a pickle of identical size
+            # on every transport; the zero-copy claim is about the *ingest
+            # stream*, so the counters are measured as deltas from here.
+            baseline = engine.transport_stats()
+            start = time.perf_counter()
+            for batch in batches:
+                engine.ingest_record_batch(batch)
+            engine.flush()
+            elapsed = time.perf_counter() - start
+            anomalies = [a.to_dict() for a in engine.anomalies()["bench"]]
+            stats = engine.transport_stats()
+        if anomalies != batch_anomalies:
+            raise EquivalenceError(
+                f"sharded detections over the {transport!r} transport "
+                f"diverged from the batch path"
+            )
+        section["transports"][transport] = {
+            "seconds": round(elapsed, 6),
+            "ships": stats["ships"] - baseline["ships"],
+            "ship_bytes": stats["ship_bytes"] - baseline["ship_bytes"],
+            "ship_serialized_bytes": (
+                stats["ship_serialized_bytes"]
+                - baseline["ship_serialized_bytes"]
+            ),
+            "collect_bytes": stats["collect_bytes"] - baseline["collect_bytes"],
+            "startup_serialized_bytes": baseline["ship_serialized_bytes"],
+            "identical_detections": True,
+        }
+    pipe_bytes = section["transports"]["pipe"]["ship_serialized_bytes"]
+    shm_bytes = section["transports"]["shm"]["ship_serialized_bytes"]
+    section["serialized_ratio"] = round(pipe_bytes / max(shm_bytes, 1), 2)
+    return section
 
 
 def run_scalar_probe(args: argparse.Namespace) -> dict:
@@ -887,6 +963,10 @@ def run(args: argparse.Namespace) -> dict:
     if sharded:
         entry["sharded"] = sharded
         entry["cpu_count"] = os.cpu_count()
+    if args.shard_overhead:
+        entry["sharding"] = bench_shard_overhead(
+            dataset, config, batches, batch_anomalies
+        )
     return entry
 
 
@@ -1010,6 +1090,21 @@ def main(argv: "list[str] | None" = None) -> int:
         "reaches MIN x over the scalar loop",
     )
     parser.add_argument(
+        "--shard-overhead",
+        action="store_true",
+        help="also run the pipe-vs-shm transport overhead comparison and "
+        "record the 'sharding' section (identical detections asserted)",
+    )
+    parser.add_argument(
+        "--check-shard-overhead",
+        type=float,
+        default=None,
+        metavar="MIN",
+        help="exit non-zero unless the shm transport serializes >= MIN x "
+        "fewer bytes than the pipe transport for the identical ingest "
+        "stream (implies --shard-overhead)",
+    )
+    parser.add_argument(
         "--check-workers-speedup",
         type=float,
         default=None,
@@ -1022,6 +1117,8 @@ def main(argv: "list[str] | None" = None) -> int:
         args.adaptation_bench = True
     if args.check_fused_speedup is not None or args.check_fused_e2e is not None:
         args.fused_bench = True
+    if args.check_shard_overhead is not None:
+        args.shard_overhead = True
 
     if args.scalar_probe:
         print(json.dumps(run_scalar_probe(args)))
@@ -1092,6 +1189,16 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"sharded({workers}w): {stats['rps']:>12,.0f} rec/s | "
               f"{stats['speedup_vs_batch']:.2f}x vs single-process batch "
               f"(identical anomalies, {entry['cpu_count']} cpus visible)")
+    if "sharding" in entry:
+        sh = entry["sharding"]
+        pipe_t = sh["transports"]["pipe"]
+        shm_t = sh["transports"]["shm"]
+        print(f"shard overhead ({sh['workers']}w): pipe pickled "
+              f"{pipe_t['ship_serialized_bytes']:,} B | shm pickled "
+              f"{shm_t['ship_serialized_bytes']:,} B "
+              f"(of {shm_t['ship_bytes']:,} B shipped) | "
+              f"{sh['serialized_ratio']:.2f}x fewer serialized bytes "
+              f"(identical anomalies)")
     print(f"results appended to {args.out}")
 
     if args.check_speedup is not None and c["speedup"] < args.check_speedup:
@@ -1140,6 +1247,13 @@ def main(argv: "list[str] | None" = None) -> int:
                           f"{achieved:.2f}x < required "
                           f"{args.check_fused_e2e:.2f}x", file=sys.stderr)
                     return 1
+    if args.check_shard_overhead is not None:
+        achieved = entry["sharding"]["serialized_ratio"]
+        if achieved < args.check_shard_overhead:
+            print(f"FAIL: shm transport serializes only {achieved:.2f}x fewer "
+                  f"bytes than pipe; required {args.check_shard_overhead:.2f}x",
+                  file=sys.stderr)
+            return 1
     if args.check_workers_speedup is not None:
         if not entry.get("sharded"):
             print("FAIL: --check-workers-speedup given without --workers",

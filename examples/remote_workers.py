@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Run shard workers in *separate processes* that dial in over TCP.
+
+The pipe and shared-memory transports spawn their own workers; the TCP
+transport can instead coordinate workers it did **not** start — other
+processes, containers, or hosts.  The contract is small:
+
+* the coordinator builds ``TcpTransport(spawn_workers=False)``, calls
+  :meth:`~repro.engine.transport.tcp.TcpTransport.listen` to learn its
+  port, and hands the transport to a :class:`ShardedDetectionEngine`;
+* each worker runs :func:`repro.engine.transport.run_worker(host, port)`
+  — a blocking loop that serves shard sessions until the coordinator
+  stops it.  Workers retry the dial briefly, so start order is free.
+
+This example demonstrates both roles and proves the cross-process claim:
+``--mode smoke`` (the default, used by CI) launches two *independent*
+worker processes with ``subprocess`` — fresh interpreters, no inherited
+state, exactly like remote hosts — ingests a CCD workload through them,
+and asserts the detections and the merged checkpoint equal a serial run.
+
+Run the one-command smoke::
+
+    python examples/remote_workers.py
+
+or play coordinator/worker by hand in three terminals::
+
+    terminal 1:  python examples/remote_workers.py --mode coordinator --workers 2
+                 # prints "listening on 127.0.0.1:PORT"
+    terminal 2:  python examples/remote_workers.py --mode worker --port PORT
+    terminal 3:  python examples/remote_workers.py --mode worker --port PORT
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+import time
+
+from repro import (
+    CCDConfig,
+    DetectionEngine,
+    ShardedDetectionEngine,
+    TiresiasConfig,
+    ForecastConfig,
+    make_ccd_dataset,
+)
+from repro.engine.transport import TcpTransport, run_worker
+from repro.streaming.batch import iter_record_batches
+
+DELTA = 900.0
+UNITS_PER_DAY = int(86400 / DELTA)
+
+
+def make_workload():
+    dataset = make_ccd_dataset(
+        CCDConfig(
+            dimension="trouble",
+            duration_days=2.0,
+            delta_seconds=DELTA,
+            base_rate_per_hour=300.0,
+            num_anomalies=3,
+            anomaly_warmup_days=1.0,
+            seed=4242,
+        )
+    )
+    config = TiresiasConfig(
+        theta=6.0,
+        ratio_threshold=2.8,
+        difference_threshold=8.0,
+        delta_seconds=DELTA,
+        window_units=UNITS_PER_DAY,
+        reference_levels=2,
+        track_root=False,
+        allow_root_heavy=False,
+        forecast=ForecastConfig(season_lengths=(UNITS_PER_DAY,), fallback_alpha=0.3),
+    )
+    return dataset, config
+
+
+def run_coordinator(host: str, port: int, workers: int, quiet: bool = False):
+    """Serve a workload through externally-started TCP workers.
+
+    Returns ``(results, anomalies, state)`` for the caller to compare.
+    """
+    dataset, config = make_workload()
+    transport = TcpTransport(host=host, port=port, spawn_workers=False)
+    bound = transport.listen()
+    print(f"listening on {host}:{bound} — waiting for {workers} worker(s)")
+    sys.stdout.flush()
+    with ShardedDetectionEngine(num_workers=workers, transport=transport) as engine:
+        engine.add_session(
+            "ccd", dataset.tree, config, clock=dataset.clock, subtree_shards=workers
+        )
+        results = engine.process_batches(
+            iter_record_batches(dataset.record_list(), 8192)
+        )["ccd"]
+        anomalies = [a.to_dict() for a in engine.anomalies()["ccd"]]
+        state = engine.state_dict()
+        stats = engine.transport_stats()
+    if not quiet:
+        print(
+            f"coordinator: {len(results)} timeunits, {len(anomalies)} anomalies "
+            f"through {stats['ships']} tcp frames "
+            f"({stats['ship_bytes']} B shipped, "
+            f"{stats['ship_serialized_bytes']} B of it pickled)"
+        )
+    return results, anomalies, state
+
+
+def run_smoke(workers: int) -> None:
+    """Cross-process proof: subprocess workers, serial-equality asserts."""
+    transport = TcpTransport(spawn_workers=False)
+    port = transport.listen()
+    print(f"smoke: coordinator listening on 127.0.0.1:{port}")
+    procs = [
+        subprocess.Popen(
+            [
+                sys.executable,
+                __file__,
+                "--mode",
+                "worker",
+                "--port",
+                str(port),
+            ]
+        )
+        for _ in range(workers)
+    ]
+    try:
+        dataset, config = make_workload()
+        records = dataset.record_list()  # resamples per call — take one draw
+        with ShardedDetectionEngine(
+            num_workers=workers, transport=transport
+        ) as engine:
+            engine.add_session(
+                "ccd",
+                dataset.tree,
+                config,
+                clock=dataset.clock,
+                subtree_shards=workers,
+            )
+            results = engine.process_batches(
+                iter_record_batches(records, 8192)
+            )["ccd"]
+            anomalies = [a.to_dict() for a in engine.anomalies()["ccd"]]
+            state = engine.state_dict()
+    finally:
+        deadline = time.monotonic() + 10
+        for proc in procs:
+            proc.wait(timeout=max(0.1, deadline - time.monotonic()))
+
+    serial = DetectionEngine()
+    serial.add_session("ccd", dataset.tree, config, clock=dataset.clock)
+    serial_results = serial.process_batches(
+        iter_record_batches(records, 8192)
+    )["ccd"]
+    serial_anomalies = [a.to_dict() for a in serial.anomalies()["ccd"]]
+
+    assert results == serial_results, "remote-worker detections diverged!"
+    assert anomalies == serial_anomalies, "remote-worker anomalies diverged!"
+    resumed = DetectionEngine.from_state_dict(state)
+    assert "ccd" in resumed.session_names
+    print(
+        f"smoke OK: {workers} subprocess workers, {len(results)} timeunits, "
+        f"{len(anomalies)} anomalies — identical to serial, checkpoint loads "
+        f"serially"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--mode",
+        choices=("smoke", "coordinator", "worker"),
+        default="smoke",
+        help="smoke = coordinator + subprocess workers + equality asserts",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0, help="coordinator: bind port (0 = pick); "
+        "worker: the coordinator's port (required)"
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args()
+    if args.mode == "worker":
+        if not args.port:
+            parser.error("--mode worker requires --port")
+        run_worker(args.host, args.port)
+    elif args.mode == "coordinator":
+        run_coordinator(args.host, args.port, args.workers)
+    else:
+        run_smoke(args.workers)
+
+
+if __name__ == "__main__":
+    main()

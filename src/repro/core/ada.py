@@ -711,6 +711,32 @@ class ADAAlgorithm:
         #: disjoint subtree shards; the sharded engine sums it to replay the
         #: root's split-rule bookkeeping coordinator-side.
         self.last_root_raw = 0.0
+        #: Frontier-band capture for depth-k sharding: when the sharded
+        #: engine calls :meth:`capture_frontier`, every close also records
+        #: the raw weights of the shared ancestor band (root + depths
+        #: 1..k-1) so the coordinator can replay their split-rule stats and
+        #: reference series exactly.  Off (``None``) outside sharded workers.
+        self._frontier_paths: tuple[CategoryPath, ...] | None = None
+        self._frontier_ids = None
+        self.last_frontier_raw: tuple[float, ...] | None = None
+        #: Band exclusion for ``min_heavy_depth > 1``: node ids at depths
+        #: 1..m-1 can never qualify as heavy (the root is handled by the
+        #: track_root/allow_root_heavy flags above).
+        m = config.min_heavy_depth
+        if self._index is not None and m > 1:
+            depths = self._index.depths
+            self._shallow_ids = _np.flatnonzero((depths >= 1) & (depths < m))
+        else:
+            self._shallow_ids = None
+        self._band_excluded: frozenset[CategoryPath] = (
+            frozenset(
+                node.path
+                for depth in range(1, m)
+                for node in tree.nodes_at_depth(depth)
+            )
+            if m > 1
+            else frozenset()
+        )
         #: Nodes in the top h levels, cached once: these keep reference series.
         self._reference_nodes: tuple[CategoryPath, ...] = tuple(
             node.path
@@ -777,6 +803,27 @@ class ADAAlgorithm:
         """Node id per path of a batch string-dictionary (-1 for unknown)."""
         return self._index.dictionary_ids(dictionary)
 
+    def capture_frontier(self, paths) -> None:
+        """Record the raw weight of each of ``paths`` on every close.
+
+        Used by depth-k sharded workers: ``paths`` is the shard's slice of
+        the shared ancestor band (root plus ancestors above the cut depth),
+        in (depth, lex) order.  After each closed timeunit
+        :attr:`last_frontier_raw` holds one float per path; the coordinator
+        sums them across shards to replay the band's split-rule statistics
+        and reference series exactly as the serial cascade would.
+        """
+        self._frontier_paths = tuple(tuple(p) for p in paths)
+        self._frontier_ids = (
+            None
+            if self._index is None
+            else _np.array(
+                [self._index.path_to_id[path] for path in self._frontier_paths],
+                dtype=_np.intp,
+            )
+        )
+        self.last_frontier_raw = None
+
     def _process_timeunit_impl(
         self, leaf_counts, base_vec, timeunit: TimeunitIndex | None
     ) -> TimeunitResult:
@@ -806,7 +853,16 @@ class ADAAlgorithm:
                 heavy_mask[0] = True
             elif not self.config.allow_root_heavy:
                 heavy_mask[0] = False
+            if self._shallow_ids is not None:
+                # The shared ancestor band above min_heavy_depth never
+                # qualifies; must precede _prepare_delta (its cache keys on
+                # the mask bytes).
+                heavy_mask[self._shallow_ids] = False
             self.last_root_raw = float(raw_vec[0])
+            if self._frontier_ids is not None:
+                self.last_frontier_raw = tuple(
+                    float(v) for v in raw_vec[self._frontier_ids]
+                )
             raw = None
             modified_weights = None
             if delta_close:
@@ -833,9 +889,15 @@ class ADAAlgorithm:
                 heavy.add(self.tree.root.path)
             elif not self.config.allow_root_heavy:
                 heavy.discard(self.tree.root.path)
+            if self._band_excluded:
+                heavy -= self._band_excluded
             heavy_paths = sorted(heavy)
             modified_weights = shhh_result.modified_weights
             self.last_root_raw = float(raw.get(self.tree.root.path, 0.0))
+            if self._frontier_paths is not None:
+                self.last_frontier_raw = tuple(
+                    float(raw.get(path, 0.0)) for path in self._frontier_paths
+                )
             heavy_set = set(heavy_paths)
         self.stage_seconds["updating_hierarchies"] += time.perf_counter() - start
 

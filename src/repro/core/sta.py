@@ -67,6 +67,37 @@ class STAAlgorithm:
         #: disjoint subtree shards; the sharded engine sums it to replay the
         #: root's split-rule bookkeeping coordinator-side.
         self.last_root_raw = 0.0
+        #: Frontier-band capture for depth-k sharding (see
+        #: :meth:`capture_frontier`); off outside sharded workers.
+        self._frontier_paths: "tuple[CategoryPath, ...] | None" = None
+        self.last_frontier_raw: "tuple[float, ...] | None" = None
+        #: Band exclusion for ``min_heavy_depth > 1``: nodes at depths
+        #: 1..m-1 never qualify as heavy.
+        m = config.min_heavy_depth
+        self._band_excluded = (
+            frozenset(
+                node.path
+                for depth in range(1, m)
+                for node in tree.nodes_at_depth(depth)
+            )
+            if m > 1
+            else frozenset()
+        )
+        self._shallow_ids = None
+        if self._index is not None and m > 1:
+            depths = self._index.depths
+            self._shallow_ids = _np.flatnonzero((depths >= 1) & (depths < m))
+
+    def capture_frontier(self, paths) -> None:
+        """Record the raw weight of each of ``paths`` on every close.
+
+        Same contract as :meth:`ADAAlgorithm.capture_frontier
+        <repro.core.ada.ADAAlgorithm.capture_frontier>`: the depth-k sharded
+        coordinator sums these per-shard tuples to validate the merged band
+        weights.
+        """
+        self._frontier_paths = tuple(tuple(p) for p in paths)
+        self.last_frontier_raw = None
 
     # ------------------------------------------------------------------
     # Online interface
@@ -91,6 +122,8 @@ class STAAlgorithm:
                 heavy_mask[0] = True
             elif not self.config.allow_root_heavy:
                 heavy_mask[0] = False
+            if self._shallow_ids is not None:
+                heavy_mask[self._shallow_ids] = False
             paths = index.paths
             heavy = {paths[i] for i in _np.flatnonzero(heavy_mask).tolist()}
         else:
@@ -102,7 +135,13 @@ class STAAlgorithm:
                 heavy.add(self.tree.root.path)
             elif not self.config.allow_root_heavy:
                 heavy.discard(self.tree.root.path)
+        if self._band_excluded:
+            heavy -= self._band_excluded
         self.last_root_raw = float(raw.get(self.tree.root.path, 0.0))
+        if self._frontier_paths is not None:
+            self.last_frontier_raw = tuple(
+                float(raw.get(path, 0.0)) for path in self._frontier_paths
+            )
         self.stage_seconds["updating_hierarchies"] += time.perf_counter() - start
 
         start = time.perf_counter()

@@ -1,0 +1,102 @@
+"""The :class:`ShardTransport` contract shared by every shard transport.
+
+A transport moves coordinator verbs to shard workers and replies back —
+nothing more.  Verb *semantics* live in :mod:`repro.engine.shard_worker`;
+the engine only ever calls :meth:`connect` / :meth:`ship` / :meth:`collect`
+/ :meth:`close`, so transports are interchangeable and the sharded engine's
+bit-identical-to-serial guarantee holds for all of them (the CI
+``sharded-transports`` job asserts exactly that).
+
+The engine's protocol is strict request/reply per worker: after
+:meth:`ship`\\ ping to a worker it always :meth:`collect`\\ s that worker's
+reply before shipping to it again.  Transports may rely on this (the
+shared-memory transport reuses one segment per worker because of it).
+
+Byte accounting
+---------------
+Each transport tracks two ship-side byte counters:
+
+``ship_bytes``
+    Total payload bytes handed to the OS (frames, pickles, notifies).
+``ship_serialized_bytes``
+    Bytes that passed through a serializer (``pickle``).  The pipe
+    transport pickles entire operations — batches included — so both
+    counters coincide; the shared-memory and TCP transports ship
+    ``RecordBatch`` columns as raw little-endian buffers and serialize only
+    the operation skeleton, which is what the ``--check-shard-overhead``
+    benchmark gate measures.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.exceptions import ShardingError
+
+
+class ShardTransport:
+    """Abstract coordinator<->worker byte mover (see module docstring)."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.ships = 0
+        self.collects = 0
+        self.ship_bytes = 0
+        self.ship_serialized_bytes = 0
+        self.collect_bytes = 0
+        self.ship_seconds = 0.0
+        self.collect_seconds = 0.0
+
+    # -- lifecycle ------------------------------------------------------
+    def connect(self, num_workers: int, start_method: "str | None" = None) -> None:
+        """Start (or accept) ``num_workers`` workers and open channels."""
+        raise NotImplementedError
+
+    def ship(self, worker_id: int, verb: str, ops: Any) -> None:
+        """Send one ``(verb, ops)`` command to ``worker_id``."""
+        raise NotImplementedError
+
+    def collect(self, worker_id: int) -> tuple:
+        """Receive ``worker_id``'s ``(status, payload)`` reply (blocking)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Stop workers / close channels.  Idempotent."""
+        raise NotImplementedError
+
+    # -- accounting -----------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Cumulative transfer counters (see module docstring)."""
+        return {
+            "transport": self.name,
+            "ships": self.ships,
+            "collects": self.collects,
+            "ship_bytes": self.ship_bytes,
+            "ship_serialized_bytes": self.ship_serialized_bytes,
+            "collect_bytes": self.collect_bytes,
+            "ship_seconds": self.ship_seconds,
+            "collect_seconds": self.collect_seconds,
+        }
+
+    def _note_ship(self, nbytes: int, serialized: int, seconds: float) -> None:
+        self.ships += 1
+        self.ship_bytes += nbytes
+        self.ship_serialized_bytes += serialized
+        self.ship_seconds += seconds
+
+    def _note_collect(self, nbytes: int, seconds: float) -> None:
+        self.collects += 1
+        self.collect_bytes += nbytes
+        self.collect_seconds += seconds
+
+    def _dead(self, worker_id: int, exc: BaseException) -> ShardingError:
+        return ShardingError(
+            f"worker {worker_id} died mid-command ({exc!r}); the engine "
+            f"state is unrecoverable — restore from the last checkpoint"
+        )
+
+    @staticmethod
+    def _clock() -> float:
+        return time.perf_counter()

@@ -1,0 +1,109 @@
+"""In-process pipe transport: one duplex pipe per forked/spawned worker.
+
+This is the default transport and the behavioural baseline: every command
+is pickled whole — record batches included — and sent over a
+``multiprocessing`` pipe.  Simple and portable, but pickle walks every
+timestamp and category of every shipped batch, which is exactly the
+overhead the shared-memory transport avoids (and the
+``--check-shard-overhead`` benchmark gate quantifies).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from typing import Any
+
+from repro.engine.shard_worker import handle_message
+from repro.engine.transport.base import ShardTransport
+
+
+def _pipe_worker_main(conn, worker_id: int) -> None:  # pragma: no cover - subprocess
+    """Worker loop: executes coordinator commands until told to stop."""
+    units: dict[Any, Any] = {}
+    while True:
+        try:
+            data = conn.recv_bytes()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        verb, ops = pickle.loads(data)
+        if verb == "stop":
+            try:
+                conn.send_bytes(
+                    pickle.dumps(("ok", None), protocol=pickle.HIGHEST_PROTOCOL)
+                )
+            except (BrokenPipeError, OSError):
+                pass
+            return
+        reply = handle_message(units, verb, ops)
+        try:
+            conn.send_bytes(pickle.dumps(reply, protocol=pickle.HIGHEST_PROTOCOL))
+        except (BrokenPipeError, OSError):
+            return
+
+
+class PipeTransport(ShardTransport):
+    """Pickle-everything duplex-pipe transport (the default)."""
+
+    name = "pipe"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._procs: "list[Any] | None" = None
+        self._conns: "list[Any] | None" = None
+
+    def connect(self, num_workers: int, start_method: "str | None" = None) -> None:
+        ctx = multiprocessing.get_context(start_method)
+        self._procs, self._conns = [], []
+        for worker_id in range(num_workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            process = ctx.Process(
+                target=_pipe_worker_main,
+                args=(child_conn, worker_id),
+                name=f"repro-shard-{worker_id}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._procs.append(process)
+            self._conns.append(parent_conn)
+
+    def ship(self, worker_id: int, verb: str, ops: Any) -> None:
+        start = self._clock()
+        data = pickle.dumps((verb, ops), protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            self._conns[worker_id].send_bytes(data)
+        except (BrokenPipeError, OSError) as exc:
+            raise self._dead(worker_id, exc) from exc
+        self._note_ship(len(data), len(data), self._clock() - start)
+
+    def collect(self, worker_id: int) -> tuple:
+        start = self._clock()
+        try:
+            data = self._conns[worker_id].recv_bytes()
+        except (EOFError, OSError) as exc:
+            raise self._dead(worker_id, exc) from exc
+        self._note_collect(len(data), self._clock() - start)
+        return pickle.loads(data)
+
+    def close(self) -> None:
+        if self._procs is None:
+            return
+        stop = pickle.dumps(("stop", None), protocol=pickle.HIGHEST_PROTOCOL)
+        for conn in self._conns:
+            try:
+                conn.send_bytes(stop)
+            except (BrokenPipeError, OSError):
+                pass
+        for process, conn in zip(self._procs, self._conns):
+            try:
+                conn.recv_bytes()
+            except (EOFError, OSError):
+                pass
+            conn.close()
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=5)
+        self._procs = None
+        self._conns = None

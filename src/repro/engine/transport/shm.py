@@ -1,0 +1,181 @@
+"""Shared-memory transport: zero-copy batch shipping through ``shm`` rings.
+
+Commands are encoded with the :mod:`~repro.engine.transport.wire` frame
+format into one ``multiprocessing.shared_memory`` segment per worker; the
+control pipe carries only a tiny pickled notify ``(segment name, frame
+length)``.  The worker maps the same segment and — on NumPy installs —
+wraps the batch columns with ``numpy.frombuffer`` straight out of the
+mapping: record timestamps and category codes cross the process boundary
+without ever being pickled or copied coordinator-side.
+
+The engine's strict request/reply protocol (one in-flight command per
+worker) is what makes a single reusable segment per worker safe: the
+coordinator only rewrites a segment after collecting the reply to the
+previous frame, by which point the worker has fully consumed it.  Segments
+grow by replacement — a too-small segment is unlinked and a doubled one
+created; the worker notices the new name in the notify and re-attaches.
+
+Replies flow back pickled over the control pipe: they are small (closed
+timeunit results, state dicts at checkpoint time) and carry no record
+columns.
+"""
+
+from __future__ import annotations
+
+import pickle
+from multiprocessing import shared_memory
+from typing import Any
+
+from repro.engine.shard_worker import handle_message
+from repro.engine.transport.pipe import PipeTransport
+from repro.engine.transport.wire import (
+    DictDecoder,
+    DictEncoder,
+    decode_frame,
+    encode_frame,
+)
+
+#: Initial per-worker segment size; grows by doubling when a frame exceeds it.
+DEFAULT_SEGMENT_BYTES = 1 << 20
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to a coordinator-owned segment without tracker side effects.
+
+    ``SharedMemory(name=...)`` registers the mapping with the attaching
+    process' resource tracker, which would unlink coordinator-owned
+    segments (and warn) when the worker exits.  The coordinator is the
+    sole owner, so registration is suppressed for the attach (the 3.13
+    ``track=False`` flag, backported by monkeypatch; the tracker API is
+    internal but this is the standard recipe for 3.8-3.12)."""
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _shm_worker_main(conn, worker_id: int) -> None:  # pragma: no cover - subprocess
+    """Worker loop: decode frames out of the shared segment, reply by pipe."""
+    units: dict[Any, Any] = {}
+    attached: "tuple[str, shared_memory.SharedMemory] | None" = None
+    decoder = DictDecoder()  # cumulative delta-dictionary mirror (see wire.py)
+    while True:
+        try:
+            data = conn.recv_bytes()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        message = pickle.loads(data)
+        if message[0] == "stop":
+            try:
+                conn.send_bytes(
+                    pickle.dumps(("ok", None), protocol=pickle.HIGHEST_PROTOCOL)
+                )
+            except (BrokenPipeError, OSError):
+                pass
+            break
+        _, segment_name, frame_len = message
+        if attached is None or attached[0] != segment_name:
+            if attached is not None:
+                try:
+                    attached[1].close()
+                except BufferError:  # pragma: no cover - lingering views
+                    pass
+            attached = (segment_name, _attach_untracked(segment_name))
+        frame = attached[1].buf[:frame_len]
+        verb, ops = decode_frame(frame, decoder)
+        reply = handle_message(units, verb, ops)
+        # Decoded columns may be views into the mapping; drop them before
+        # acknowledging so the coordinator is free to rewrite the segment.
+        del verb, ops, frame
+        try:
+            conn.send_bytes(pickle.dumps(reply, protocol=pickle.HIGHEST_PROTOCOL))
+        except (BrokenPipeError, OSError):
+            break
+    if attached is not None:
+        try:
+            attached[1].close()
+        except BufferError:  # pragma: no cover - lingering views
+            pass
+
+
+class SharedMemoryTransport(PipeTransport):
+    """Frame commands through per-worker shared-memory segments."""
+
+    name = "shm"
+
+    def __init__(self, segment_bytes: int = DEFAULT_SEGMENT_BYTES) -> None:
+        super().__init__()
+        self._segment_bytes = max(int(segment_bytes), 4096)
+        self._segments: "list[shared_memory.SharedMemory | None]" = []
+        self._encoders: list[DictEncoder] = []
+
+    def connect(self, num_workers: int, start_method: "str | None" = None) -> None:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context(start_method)
+        self._procs, self._conns = [], []
+        self._segments = [None] * num_workers
+        self._encoders = [DictEncoder() for _ in range(num_workers)]
+        for worker_id in range(num_workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            process = ctx.Process(
+                target=_shm_worker_main,
+                args=(child_conn, worker_id),
+                name=f"repro-shard-{worker_id}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._procs.append(process)
+            self._conns.append(parent_conn)
+
+    def ship(self, worker_id: int, verb: str, ops: Any) -> None:
+        start = self._clock()
+        frame, serialized = encode_frame((verb, ops), self._encoders[worker_id])
+        segment = self._segments[worker_id]
+        if segment is None or segment.size < len(frame):
+            wanted = max(
+                len(frame),
+                self._segment_bytes,
+                0 if segment is None else 2 * segment.size,
+            )
+            if segment is not None:
+                self._drop_segment(segment)
+            segment = shared_memory.SharedMemory(create=True, size=wanted)
+            self._segments[worker_id] = segment
+        segment.buf[: len(frame)] = frame
+        notify = pickle.dumps(
+            ("frame", segment.name, len(frame)), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        try:
+            self._conns[worker_id].send_bytes(notify)
+        except (BrokenPipeError, OSError) as exc:
+            raise self._dead(worker_id, exc) from exc
+        # Only the notify and the frame's skeleton pass through pickle; the
+        # batch columns live in the segment as raw buffers.
+        self._note_ship(
+            len(frame) + len(notify), serialized + len(notify),
+            self._clock() - start,
+        )
+
+    @staticmethod
+    def _drop_segment(segment: shared_memory.SharedMemory) -> None:
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - lingering views
+            pass
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def close(self) -> None:
+        super().close()
+        for segment in self._segments:
+            if segment is not None:
+                self._drop_segment(segment)
+        self._segments = []

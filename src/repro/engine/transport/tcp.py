@@ -1,0 +1,239 @@
+"""TCP transport: length-prefixed wire frames over sockets.
+
+The coordinator listens on ``host:port`` (port 0 picks a free one) and
+waits for ``num_workers`` workers to dial in.  Both directions carry
+:mod:`~repro.engine.transport.wire` frames prefixed with a ``<Q`` length,
+so batch columns cross the socket as raw little-endian buffers and only
+command skeletons are pickled — same byte discipline as the shared-memory
+transport, minus the shared mapping.
+
+Two modes:
+
+* **self-spawn** (default): :meth:`connect` forks/spawns the workers
+  locally, exactly like the other transports — useful to exercise the
+  framing and for single-host deployments.
+* **external** (``spawn_workers=False``): the coordinator only listens;
+  workers are started elsewhere (other processes, other hosts) with
+  :func:`run_worker` — see ``examples/remote_workers.py``, which the CI
+  smoke job runs cross-process on localhost.
+
+Worker ids are assigned in connection-arrival order.  That order is
+nondeterministic, but shard placement affects only *where* a unit runs,
+never its results — the engine's merge discipline is id-independent.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+import struct
+import time
+from typing import Any
+
+from repro.engine.shard_worker import handle_message
+from repro.engine.transport.base import ShardTransport
+from repro.engine.transport.wire import (
+    DictDecoder,
+    DictEncoder,
+    decode_frame,
+    encode_frame,
+)
+from repro.exceptions import ShardingError
+
+_LEN = struct.Struct("<Q")
+
+
+def _recv_exact(sock: socket.socket, nbytes: int) -> bytes:
+    buf = bytearray(nbytes)
+    view = memoryview(buf)
+    got = 0
+    while got < nbytes:
+        n = sock.recv_into(view[got:], nbytes - got)
+        if n == 0:
+            raise EOFError("peer closed the shard connection")
+        got += n
+    return bytes(buf)
+
+
+def send_frame(
+    sock: socket.socket, obj: Any, encoder: "DictEncoder | None" = None
+) -> tuple[int, int]:
+    """Ship one framed object; returns (wire bytes, serialized bytes)."""
+    frame, serialized = encode_frame(obj, encoder)
+    sock.sendall(_LEN.pack(len(frame)) + frame)
+    return _LEN.size + len(frame), _LEN.size + serialized
+
+
+def recv_frame(
+    sock: socket.socket, decoder: "DictDecoder | None" = None
+) -> tuple[Any, int]:
+    """Receive one framed object; returns (object, wire bytes)."""
+    (length,) = _LEN.unpack(_recv_exact(sock, _LEN.size))
+    data = _recv_exact(sock, length)
+    return decode_frame(data, decoder), _LEN.size + length
+
+
+def serve_connection(sock: socket.socket) -> None:
+    """Serve one coordinator connection until a stop verb or disconnect."""
+    units: dict[Any, Any] = {}
+    decoder = DictDecoder()  # cumulative delta-dictionary mirror (see wire.py)
+    while True:
+        try:
+            (verb, ops), _ = recv_frame(sock, decoder)
+        except (EOFError, ConnectionError, OSError):
+            return
+        if verb == "stop":
+            try:
+                send_frame(sock, ("ok", None))
+            except OSError:
+                pass
+            return
+        reply = handle_message(units, verb, ops)
+        try:
+            send_frame(sock, reply)
+        except OSError:
+            return
+
+
+def run_worker(
+    host: str, port: int, *, retries: int = 40, retry_delay: float = 0.25
+) -> None:
+    """Dial a sharded-engine coordinator and serve until stopped.
+
+    This is the remote-worker entry point (``examples/remote_workers.py``
+    wraps it in a CLI): run it once per worker, pointing at the
+    coordinator's listen address, *before* the coordinator engine first
+    ingests.  Connection attempts retry briefly so worker and coordinator
+    processes can start in any order.
+    """
+    last_error: "OSError | None" = None
+    for _ in range(max(1, retries)):
+        try:
+            sock = socket.create_connection((host, port))
+            break
+        except OSError as exc:
+            last_error = exc
+            time.sleep(retry_delay)
+    else:
+        raise ShardingError(
+            f"could not reach shard coordinator at {host}:{port}: {last_error!r}"
+        )
+    with sock:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        serve_connection(sock)
+
+
+def _tcp_worker_main(host: str, port: int) -> None:  # pragma: no cover - subprocess
+    run_worker(host, port)
+
+
+class TcpTransport(ShardTransport):
+    """Length-prefixed wire frames over localhost (or LAN) sockets."""
+
+    name = "tcp"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        spawn_workers: bool = True,
+        accept_timeout: float = 60.0,
+    ) -> None:
+        super().__init__()
+        self.host = host
+        self.port = int(port)  # 0 until connect() binds
+        self.spawn_workers = bool(spawn_workers)
+        self.accept_timeout = float(accept_timeout)
+        self._listener: "socket.socket | None" = None
+        self._socks: "list[socket.socket] | None" = None
+        self._procs: list[Any] = []
+        self._encoders: list[DictEncoder] = []
+
+    def listen(self) -> int:
+        """Bind the coordinator socket; returns the bound port.
+
+        Called implicitly by :meth:`connect`; external deployments call it
+        first to learn the port their workers must dial.
+        """
+        if self._listener is None:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.host, self.port))
+            self.port = listener.getsockname()[1]
+            self._listener = listener
+        return self.port
+
+    def connect(self, num_workers: int, start_method: "str | None" = None) -> None:
+        self.listen()
+        self._listener.listen(num_workers)
+        if self.spawn_workers:
+            ctx = multiprocessing.get_context(start_method)
+            for worker_id in range(num_workers):
+                process = ctx.Process(
+                    target=_tcp_worker_main,
+                    args=(self.host, self.port),
+                    name=f"repro-shard-tcp-{worker_id}",
+                    daemon=True,
+                )
+                process.start()
+                self._procs.append(process)
+        self._listener.settimeout(self.accept_timeout)
+        self._socks = []
+        self._encoders = [DictEncoder() for _ in range(num_workers)]
+        try:
+            for _ in range(num_workers):
+                sock, _addr = self._listener.accept()
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                self._socks.append(sock)
+        except socket.timeout as exc:
+            raise ShardingError(
+                f"only {len(self._socks)} of {num_workers} shard workers "
+                f"connected to {self.host}:{self.port} within "
+                f"{self.accept_timeout:.0f}s"
+            ) from exc
+
+    def ship(self, worker_id: int, verb: str, ops: Any) -> None:
+        start = self._clock()
+        try:
+            nbytes, serialized = send_frame(
+                self._socks[worker_id], (verb, ops), self._encoders[worker_id]
+            )
+        except OSError as exc:
+            raise self._dead(worker_id, exc) from exc
+        self._note_ship(nbytes, serialized, self._clock() - start)
+
+    def collect(self, worker_id: int) -> tuple:
+        start = self._clock()
+        try:
+            reply, nbytes = recv_frame(self._socks[worker_id])
+        except (EOFError, ConnectionError, OSError) as exc:
+            raise self._dead(worker_id, exc) from exc
+        self._note_collect(nbytes, self._clock() - start)
+        return reply
+
+    def close(self) -> None:
+        if self._socks is not None:
+            for sock in self._socks:
+                try:
+                    send_frame(sock, ("stop", None))
+                    sock.settimeout(5.0)
+                    recv_frame(sock)
+                except (EOFError, ConnectionError, OSError):
+                    pass
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            self._socks = None
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        for process in self._procs:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=5)
+        self._procs = []

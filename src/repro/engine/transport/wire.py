@@ -1,0 +1,363 @@
+"""Zero-copy wire format for shard commands carrying record batches.
+
+A shard command is an arbitrary picklable structure (tuples, lists, dicts,
+scalars) with :class:`~repro.streaming.batch.RecordBatch` objects embedded
+wherever the engine routed record columns.  Pickling batches is wasteful —
+pickle walks every float — so :func:`encode_frame` separates the two:
+
+* the **skeleton**: the command structure with every batch replaced by a
+  picklable :class:`_BatchRef` placeholder (carrying the category
+  dictionary, attribute rows and column indices), serialized with pickle;
+* the **columns**: each batch's timestamps (``<f8``) and dictionary codes
+  (``<i4``) as raw little-endian buffers, 8-byte aligned so the receiver
+  can wrap them with ``numpy.frombuffer`` without copying.
+
+Uncoded batches are dictionary-encoded here in first-appearance order, so
+the decoded batch is a coded batch over the same records — the sessions
+downstream decode categories identically either way.
+
+Delta dictionaries
+------------------
+Category paths repeat from ship to ship, so per-frame dictionaries would
+dominate the skeleton once columns stop being pickled.  A transport that
+holds one :class:`DictEncoder` per worker channel (shm and tcp do) ships
+*cumulative* dictionaries instead: the encoder assigns every path a stable
+code for the lifetime of the channel, each frame carries only the paths
+the worker has not seen yet (``("delta", base, new_paths)``), and the
+worker extends its :class:`DictDecoder` mirror on decode.  After the
+category set saturates — a few frames into any steady workload —
+dictionaries cost zero serialized bytes.  ``base`` is a desync guard: it
+must equal the worker's current dictionary length or the frame is
+rejected.
+
+The decoder grows *copy-on-write*: applying a non-empty delta builds a new
+list object rather than extending in place, because decoded batches hand
+their dictionary to identity-keyed caches downstream (e.g. the session's
+dense code→node map) — a dictionary object must never change size after a
+batch has seen it.  In the steady state every batch shares one saturated
+list, so those caches hit every time.
+
+Frame layout (all integers little-endian)::
+
+    b"RSF1" | <I skeleton_len> | <I ncols> | ncols * <Q col_len>
+    | skeleton | [pad to 8] col_0 | [pad to 8] col_1 | ...
+
+The shared-memory transport writes frames into a
+``multiprocessing.shared_memory`` segment (the worker decodes straight out
+of the mapping); the TCP transport length-prefixes them onto the socket.
+:func:`encode_frame` also reports how many bytes actually passed through
+pickle, which is the number the ``--check-shard-overhead`` benchmark gate
+compares against the pickle-everything pipe transport.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import sys
+from array import array
+from typing import Any
+
+from repro.exceptions import ShardingError
+from repro.streaming.batch import RecordBatch
+
+try:  # pragma: no cover - exercised implicitly by the whole suite
+    import numpy as _np
+except ImportError:  # pragma: no cover - minimal installs
+    _np = None
+
+_MAGIC = b"RSF1"
+_HEADER = struct.Struct("<II")
+_COL_LEN = struct.Struct("<Q")
+
+if array("i").itemsize == 4:
+    _CODE_TYPECODE = "i"
+elif array("l").itemsize == 4:  # pragma: no cover - platform-dependent
+    _CODE_TYPECODE = "l"
+else:  # pragma: no cover - no 4-byte int array type
+    _CODE_TYPECODE = None
+
+
+class _BatchRef:
+    """Picklable stand-in for a :class:`RecordBatch` inside a skeleton.
+
+    ``dictionary`` is either a plain list of category paths (stateless
+    encode) or a ``("delta", base, new_paths)`` triple referencing the
+    receiving channel's cumulative dictionary (see module docstring).
+    """
+
+    __slots__ = ("index", "length", "dictionary", "attributes")
+
+    def __init__(self, index, length, dictionary, attributes):
+        self.index = index
+        self.length = length
+        self.dictionary = dictionary
+        self.attributes = attributes
+
+
+class DictEncoder:
+    """Coordinator-side cumulative category dictionary for one channel.
+
+    Mirrors, path for path, the list the worker builds from the deltas it
+    receives — both sides walk frames in the same order, so the code
+    assignments agree by construction.  One encoder per worker channel;
+    never share an encoder across channels.
+    """
+
+    __slots__ = ("lookup", "_translations")
+
+    def __init__(self) -> None:
+        self.lookup: dict = {}
+        # id(code_dictionary) -> (dictionary, translation) — the strong
+        # reference keeps the id stable; translations saturate to the
+        # distinct dictionary objects flowing through (columnar readers
+        # reuse one per file).
+        self._translations: dict = {}
+
+    def __len__(self) -> int:
+        return len(self.lookup)
+
+    def code_paths(self, paths, delta: list) -> list:
+        """Cumulative codes for ``paths``; unseen paths are appended to
+        ``delta`` (and to the cumulative dictionary) in first-appearance
+        order."""
+        lookup = self.lookup
+        codes = []
+        for path in paths:
+            code = lookup.get(path)
+            if code is None:
+                code = lookup[path] = len(lookup)
+                delta.append(path)
+            codes.append(code)
+        return codes
+
+    def translation_for(self, dictionary, delta: list):
+        """Per-batch-dictionary code translation table, computed once per
+        distinct dictionary object."""
+        key = id(dictionary)
+        cached = self._translations.get(key)
+        if cached is not None and cached[0] is dictionary:
+            return cached[1]
+        translation = self.code_paths([tuple(path) for path in dictionary], delta)
+        if _np is not None:
+            translation = _np.asarray(translation, dtype="<i4")
+        self._translations[key] = (dictionary, translation)
+        return translation
+
+
+class DictDecoder:
+    """Receiver-side cumulative dictionary mirror for one channel.
+
+    ``entries`` is the current dictionary list.  :meth:`apply` swaps in a
+    *new* list object whenever a delta is non-empty (copy-on-write — see
+    module docstring); previously decoded batches keep the object they were
+    given, whose codes are all within its length by construction.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        self.entries: list = []
+
+    def apply(self, base: int, delta) -> list:
+        if len(self.entries) != base:
+            raise ShardingError(
+                f"shard dictionary desync: channel holds {len(self.entries)} "
+                f"entries but the frame expects {base}"
+            )
+        if delta:
+            self.entries = self.entries + [tuple(path) for path in delta]
+        return self.entries
+
+
+def _le_f8(values: Any) -> bytes:
+    if _np is not None:
+        return _np.ascontiguousarray(values, dtype="<f8").tobytes()
+    arr = (
+        values
+        if isinstance(values, array) and values.typecode == "d"
+        else array("d", values)
+    )
+    if sys.byteorder == "big":  # pragma: no cover - big-endian hosts
+        arr = array("d", arr)
+        arr.byteswap()
+    return arr.tobytes()
+
+
+def _le_i4(values: Any) -> bytes:
+    if _np is not None:
+        return _np.ascontiguousarray(values, dtype="<i4").tobytes()
+    if _CODE_TYPECODE is None:  # pragma: no cover - no 4-byte int array type
+        raise ShardingError("no 4-byte integer array type on this platform")
+    arr = array(_CODE_TYPECODE, values)
+    if sys.byteorder == "big":  # pragma: no cover - big-endian hosts
+        arr.byteswap()
+    return arr.tobytes()
+
+
+def _encode_batch(
+    batch: RecordBatch, columns: list, encoder: "DictEncoder | None"
+) -> _BatchRef:
+    codes = batch.category_codes
+    if encoder is None:
+        if codes is None:
+            # Dictionary-encode in first-appearance order (deterministic).
+            dictionary: Any = []
+            lookup: dict = {}
+            codes = []
+            for category in batch.categories:
+                code = lookup.get(category)
+                if code is None:
+                    code = lookup[category] = len(dictionary)
+                    dictionary.append(category)
+                codes.append(code)
+        else:
+            dictionary = list(batch.code_dictionary)
+    else:
+        delta: list = []
+        base = len(encoder)
+        if codes is None:
+            codes = encoder.code_paths(batch.categories, delta)
+        else:
+            translation = encoder.translation_for(batch.code_dictionary, delta)
+            if _np is not None:
+                codes = translation[_np.asarray(codes)]
+            else:
+                codes = [translation[int(code)] for code in codes]
+        dictionary = ("delta", base, delta)
+    attributes = batch.attributes
+    if attributes is not None:
+        attributes = list(attributes)
+        if not any(attributes):
+            # All rows empty: the None column means exactly that (see
+            # RecordBatch), so don't pickle thousands of empty dicts.
+            attributes = None
+    ref = _BatchRef(
+        len(columns) // 2,
+        len(batch),
+        dictionary,
+        attributes,
+    )
+    columns.append(_le_f8(batch.timestamps))
+    columns.append(_le_i4(codes))
+    return ref
+
+
+def _strip(obj: Any, columns: list, encoder: "DictEncoder | None") -> Any:
+    if isinstance(obj, RecordBatch):
+        return _encode_batch(obj, columns, encoder)
+    if isinstance(obj, tuple):
+        return tuple(_strip(item, columns, encoder) for item in obj)
+    if isinstance(obj, list):
+        return [_strip(item, columns, encoder) for item in obj]
+    if isinstance(obj, dict):
+        return {key: _strip(value, columns, encoder) for key, value in obj.items()}
+    return obj
+
+
+def _restore(obj: Any, columns: list, decoder: "DictDecoder | None") -> Any:
+    if isinstance(obj, _BatchRef):
+        ts_buf = columns[2 * obj.index]
+        code_buf = columns[2 * obj.index + 1]
+        if _np is not None:
+            timestamps = _np.frombuffer(ts_buf, dtype="<f8")
+            codes = _np.frombuffer(code_buf, dtype="<i4")
+        else:
+            timestamps = array("d")
+            timestamps.frombytes(ts_buf)
+            codes = array(_CODE_TYPECODE)
+            codes.frombytes(code_buf)
+            if sys.byteorder == "big":  # pragma: no cover - big-endian hosts
+                timestamps.byteswap()
+                codes.byteswap()
+        dictionary = obj.dictionary
+        if isinstance(dictionary, tuple):
+            _, base, delta = dictionary
+            if decoder is None:
+                raise ShardingError(
+                    "delta-coded shard frame decoded without a channel "
+                    "dictionary — pass decode_frame a per-connection "
+                    "DictDecoder"
+                )
+            dictionary = decoder.apply(base, delta)
+        else:
+            dictionary = [tuple(path) for path in dictionary]
+        return RecordBatch.from_dictionary_codes(
+            timestamps,
+            codes,
+            dictionary,
+            attributes=obj.attributes,
+        )
+    if isinstance(obj, tuple):
+        return tuple(_restore(item, columns, decoder) for item in obj)
+    if isinstance(obj, list):
+        return [_restore(item, columns, decoder) for item in obj]
+    if isinstance(obj, dict):
+        return {
+            key: _restore(value, columns, decoder) for key, value in obj.items()
+        }
+    return obj
+
+
+def encode_frame(
+    obj: Any, encoder: "DictEncoder | None" = None
+) -> tuple[bytes, int]:
+    """Encode ``obj`` into one frame.
+
+    Returns ``(frame_bytes, serialized_bytes)`` where ``serialized_bytes``
+    counts only what went through pickle (the skeleton); batch columns ride
+    along as raw buffers.  With an ``encoder`` (one per worker channel),
+    batch dictionaries are shipped as cumulative deltas — the receiver must
+    then decode with the matching per-connection dictionary list.
+    """
+    columns: list[bytes] = []
+    skeleton = pickle.dumps(
+        _strip(obj, columns, encoder), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    parts = [
+        _MAGIC,
+        _HEADER.pack(len(skeleton), len(columns)),
+        b"".join(_COL_LEN.pack(len(col)) for col in columns),
+        skeleton,
+    ]
+    offset = sum(len(part) for part in parts)
+    for col in columns:
+        pad = (-offset) % 8
+        if pad:
+            parts.append(b"\x00" * pad)
+            offset += pad
+        parts.append(col)
+        offset += len(col)
+    return b"".join(parts), len(skeleton)
+
+
+def decode_frame(buf: Any, decoder: "DictDecoder | None" = None) -> Any:
+    """Decode a frame produced by :func:`encode_frame`.
+
+    ``buf`` may be ``bytes`` or a ``memoryview`` (e.g. a slice of a
+    shared-memory mapping); on NumPy installs the decoded batch columns are
+    views into ``buf`` — the caller must keep the backing buffer alive
+    until the decoded command has been fully consumed.
+
+    ``decoder`` is the connection's cumulative :class:`DictDecoder` for
+    delta-coded frames; it must be the same object for every frame of the
+    connection.
+    """
+    view = memoryview(buf)
+    if bytes(view[: len(_MAGIC)]) != _MAGIC:
+        raise ShardingError("corrupt shard frame: bad magic")
+    skeleton_len, ncols = _HEADER.unpack_from(view, len(_MAGIC))
+    offset = len(_MAGIC) + _HEADER.size
+    col_lens = [
+        _COL_LEN.unpack_from(view, offset + i * _COL_LEN.size)[0]
+        for i in range(ncols)
+    ]
+    offset += ncols * _COL_LEN.size
+    skeleton = pickle.loads(view[offset : offset + skeleton_len])
+    offset += skeleton_len
+    columns: list = []
+    for length in col_lens:
+        offset += (-offset) % 8
+        columns.append(view[offset : offset + length])
+        offset += length
+    return _restore(skeleton, columns, decoder)

@@ -64,9 +64,14 @@ CHECKPOINT_VERSION = 1
 # Config / clock / tree serialization helpers
 # ----------------------------------------------------------------------
 def config_to_dict(config: TiresiasConfig) -> dict[str, Any]:
-    """JSON-safe representation of a full detector configuration."""
+    """JSON-safe representation of a full detector configuration.
+
+    ``min_heavy_depth`` is emitted only when it differs from the default so
+    checkpoints written by configurations that never touch it keep their
+    exact historical bytes.
+    """
     forecast = config.forecast
-    return {
+    document = {
         "theta": config.theta,
         "ratio_threshold": config.ratio_threshold,
         "difference_threshold": config.difference_threshold,
@@ -92,6 +97,9 @@ def config_to_dict(config: TiresiasConfig) -> dict[str, Any]:
             "model": forecast.model,
         },
     }
+    if config.min_heavy_depth != 1:
+        document["min_heavy_depth"] = config.min_heavy_depth
+    return document
 
 
 def config_from_dict(data: Mapping[str, Any]) -> TiresiasConfig:
@@ -123,6 +131,7 @@ def config_from_dict(data: Mapping[str, Any]) -> TiresiasConfig:
         track_root=bool(data["track_root"]),
         allow_root_heavy=bool(data.get("allow_root_heavy", True)),
         out_of_order_policy=str(data.get("out_of_order_policy", "raise")),
+        min_heavy_depth=int(data.get("min_heavy_depth", 1)),
     )
 
 
@@ -299,40 +308,136 @@ def _check_header(state: Mapping[str, Any]) -> None:
 # ----------------------------------------------------------------------
 # Subtree-shard state surgery (used by repro.engine.sharded)
 # ----------------------------------------------------------------------
-#: Algorithms whose checkpointed state partitions cleanly by depth-1 subtree.
+#: Algorithms whose checkpointed state partitions cleanly by depth-k subtree.
 SHARDABLE_ALGORITHMS: frozenset[str] = frozenset({"ada", "sta"})
 
 
-def _route_gid(path: Sequence[str], label_to_gid: Mapping[str, int]) -> "int | None":
-    """Shard group owning ``path`` (None = the root itself).
+def frontier_band_paths(
+    leaves: Sequence[Sequence[str]], depth: int
+) -> list[tuple]:
+    """The shared ancestor band of a depth-``depth`` cut, in (depth, lex) order.
 
-    Paths whose first label matches no group (records outside the monitored
-    hierarchy, counted but never detected on) belong to group 0 by convention.
+    These are the root plus every *proper* ancestor of a cut unit above the
+    cut depth — the nodes whose state spans more than one shard and is
+    therefore replayed coordinator-side.  Cut units themselves (depth-k
+    prefixes and leaves shallower than the cut) are excluded: they live
+    wholly inside one shard.  Workers and the coordinator derive the same
+    list from the same leaf sets, so only weight tuples ever cross the
+    transport.
     """
-    if not path:
-        return None
-    return label_to_gid.get(path[0], 0)
+    band = {
+        tuple(leaf[:d])
+        for leaf in leaves
+        for d in range(0, min(depth, len(leaf)))
+    }
+    return sorted(band, key=lambda p: (len(p), p))
+
+
+class SubtreePartition:
+    """Deterministic path -> shard-group routing for a depth-``depth`` cut.
+
+    ``groups`` assigns cut-unit path prefixes to shard groups; depth-1
+    string labels are accepted and normalized to 1-tuples.  A prefix may be
+    shorter than ``depth`` when a *leaf* sits above the cut (it is then its
+    own cut unit).  Band paths — proper ancestors of cut units — route to
+    the group owning the lexicographically smallest cut prefix beneath them,
+    so directly-classified interior records land on a shard whose
+    sub-hierarchy contains that node.  Paths outside the monitored hierarchy
+    (counted but never detected on) belong to group 0 by convention; the
+    root routes to ``None``.
+    """
+
+    def __init__(self, groups: Sequence[Sequence[Any]], depth: int = 1):
+        if depth < 1:
+            raise CheckpointError(f"cut depth must be >= 1, got {depth}")
+        self.depth = int(depth)
+        self.groups: list[list[tuple]] = []
+        self.prefix_to_gid: dict[tuple, int] = {}
+        for gid, prefixes in enumerate(groups):
+            normalized: list[tuple] = []
+            for prefix in prefixes:
+                t = (prefix,) if isinstance(prefix, str) else tuple(prefix)
+                if not 1 <= len(t) <= self.depth:
+                    raise CheckpointError(
+                        f"cut prefix {t!r} does not fit a depth-{depth} cut"
+                    )
+                if t in self.prefix_to_gid:
+                    raise CheckpointError(
+                        f"subtree prefix {t!r} assigned to two shard groups"
+                    )
+                self.prefix_to_gid[t] = gid
+                normalized.append(t)
+            self.groups.append(normalized)
+        self.num_groups = len(self.groups)
+        # Band ownership: first-wins over lexicographically sorted cut
+        # prefixes, i.e. a band node belongs with its smallest cut child.
+        self.band_owner: dict[tuple, int] = {}
+        for prefix in sorted(self.prefix_to_gid):
+            gid = self.prefix_to_gid[prefix]
+            for d in range(1, len(prefix)):
+                self.band_owner.setdefault(prefix[:d], gid)
+
+    def route(self, path: Sequence[str], default: "int | None" = 0) -> "int | None":
+        """The shard group that receives records/state rows for ``path``."""
+        if not path:
+            return None
+        t = tuple(path)
+        top = min(len(t), self.depth)
+        for d in range(top, 0, -1):
+            gid = self.prefix_to_gid.get(t[:d])
+            if gid is not None:
+                return gid
+        for d in range(top, 0, -1):
+            gid = self.band_owner.get(t[:d])
+            if gid is not None:
+                return gid
+        return default
+
+    def owner(self, path: Sequence[str]) -> "int | str | None":
+        """Like :meth:`route` but distinguishes the shared band.
+
+        Returns a group id for shard-owned paths (at or below a cut unit),
+        the string ``"band"`` for shared ancestors above the cut, and
+        ``None`` for the root.
+        """
+        if not path:
+            return None
+        t = tuple(path)
+        if len(t) >= self.depth:
+            return self.route(t)
+        gid = self.prefix_to_gid.get(t)
+        if gid is not None:
+            return gid
+        if t in self.band_owner:
+            return "band"
+        return self.route(t)
 
 
 def split_session_state(
-    state: Mapping[str, Any], groups: Sequence[Sequence[str]]
+    state: Mapping[str, Any],
+    groups: Sequence[Sequence[Any]],
+    depth: int = 1,
 ) -> tuple[list[dict[str, Any]], dict[str, Any]]:
     """Partition one serial session state into disjoint subtree-shard states.
 
-    ``groups`` assigns every depth-1 label of the session's hierarchy to one
-    shard group.  Each returned sub-state is a complete, loadable session
-    state over the sub-hierarchy of its group's subtrees: path-keyed
-    collections (series, reference buffers, split statistics, pending counts,
-    STA weight tables) are routed by their first label, scalar clock/warm-up
+    ``groups`` assigns every depth-``depth`` cut prefix of the session's
+    hierarchy to one shard group (depth-1 string labels accepted).  Each
+    returned sub-state is a complete, loadable session state over the
+    sub-hierarchy of its group's cut units: path-keyed collections (series,
+    reference buffers, split statistics, pending counts, STA weight tables)
+    are routed through a :class:`SubtreePartition`, scalar clock/warm-up
     bookkeeping is replicated, and timing/operation counters start from zero
     so that merging later can add them back onto the serial baseline.
 
-    The second return value holds the root-path split-rule statistics (ADA)
-    that no shard owns; the sharded engine maintains them coordinator-side
-    from the per-timeunit root weights its shards report.  Raises
+    The second return value holds the shared-ancestor-band bookkeeping no
+    shard owns — split-rule statistics for the root and every band path, and
+    (for ``depth > 1``) the band's reference series — as path-keyed row
+    lists.  The sharded engine maintains these coordinator-side from the
+    per-timeunit frontier weights its shards report.  Raises
     :class:`CheckpointError` when the session cannot be subtree-sharded:
-    unsupported algorithm, ``track_root`` enabled, a root-held time series,
-    or an incomplete group cover.
+    unsupported algorithm, ``track_root`` enabled, ``min_heavy_depth``
+    shallower than the cut, a root- or band-held time series, or an
+    incomplete group cover.
     """
     if "shadow" in state:
         raise CheckpointError(
@@ -355,24 +460,25 @@ def split_session_state(
             "excluded from tracking for shard detections to equal a serial "
             "run"
         )
-    label_to_gid: dict[str, int] = {}
-    for gid, labels in enumerate(groups):
-        for label in labels:
-            if label in label_to_gid:
-                raise CheckpointError(
-                    f"depth-1 label {label!r} assigned to two shard groups"
-                )
-            label_to_gid[label] = gid
-    k = len(groups)
+    if depth > 1 and int(state["config"].get("min_heavy_depth", 1)) < depth:
+        raise CheckpointError(
+            f"depth-{depth} subtree sharding requires min_heavy_depth >= "
+            f"{depth}: ancestors above the cut span several shards, so they "
+            f"must be excluded from tracking for shard detections to equal "
+            f"a serial run"
+        )
+    part = SubtreePartition(groups, depth)
+    k = part.num_groups
     if k < 2:
         raise CheckpointError("subtree sharding needs at least two groups")
 
     leaves_by_gid: list[list[list[str]]] = [[] for _ in range(k)]
     for path in state["tree"]["leaves"]:
-        gid = label_to_gid.get(path[0])
+        gid = part.route(path, default=None)
         if gid is None:
             raise CheckpointError(
-                f"shard groups do not cover depth-1 label {path[0]!r}"
+                f"shard groups do not cover subtree prefix "
+                f"{tuple(path[:depth])!r}"
             )
         leaves_by_gid[gid].append(list(path))
     for gid, leaves in enumerate(leaves_by_gid):
@@ -381,7 +487,7 @@ def split_session_state(
 
     pending_by_gid: list[list[Any]] = [[] for _ in range(k)]
     for path, count in state["pending"]:
-        gid = _route_gid(path, label_to_gid)
+        gid = part.route(path)
         pending_by_gid[0 if gid is None else gid].append([list(path), count])
 
     algo_state = state["algorithm_state"]
@@ -389,24 +495,31 @@ def split_session_state(
     withheld: dict[str, Any] = {}
     algo_by_gid: list[dict[str, Any]] = []
     if algorithm == "ada":
+        withheld = {"stats": [], "stats_last_unit": [], "reference": []}
         split_lists: dict[str, list[list[list[Any]]]] = {
             field: [[] for _ in range(k)]
             for field in ("series", "reference", "stats", "stats_last_unit")
         }
         for field, routed in split_lists.items():
             for path, value in algo_state[field]:
-                gid = _route_gid(path, label_to_gid)
-                if gid is None:
-                    if field in ("series", "reference"):
+                owner = part.owner(path)
+                if owner is None or owner == "band":
+                    if field == "series":
                         raise CheckpointError(
-                            "the hierarchy root holds a time series; its "
-                            "adaptation couples every subtree and cannot be "
-                            "sharded (was the session run with an earlier "
-                            "track_root=True config?)"
+                            "the hierarchy root or shared ancestor band "
+                            "holds a time series; its adaptation couples "
+                            "several subtrees and cannot be sharded (was "
+                            "the session run with an earlier track_root "
+                            "or min_heavy_depth config?)"
                         )
-                    withheld[field] = value
+                    if field == "reference" and owner is None:
+                        raise CheckpointError(
+                            "the hierarchy root holds a reference series; "
+                            "this cannot come from a root-excluded run"
+                        )
+                    withheld[field].append([list(path), value])
                     continue
-                routed[gid].append([list(path), value])
+                routed[owner].append([list(path), value])
         for gid in range(k):
             algo_by_gid.append(
                 {
@@ -421,23 +534,54 @@ def split_session_state(
                 }
             )
     else:  # sta
+        # Per-shard band weights are recomputed from the serial table: a
+        # shard's local weight for a band node b is the sum of the raw
+        # weights of its cut units beneath b plus the *direct* weight
+        # (records classified exactly to an interior band node) of every
+        # band node beneath-or-equal b that routes to this shard — exactly
+        # what a from-scratch run over the sub-hierarchy would record.
+        all_leaves = [tuple(p) for p in state["tree"]["leaves"]]
+        band_paths = frontier_band_paths(all_leaves, depth)
+        nodes: set = set()
+        for leaf in all_leaves:
+            for d in range(len(leaf) + 1):
+                nodes.add(leaf[:d])
+        children: dict[tuple, list] = {b: [] for b in part.band_owner}
+        for node in nodes:
+            if node and node[:-1] in children:
+                children[node[:-1]].append(node)
+        cut_sources: list[list[list]] = [
+            [[] for _ in band_paths] for _ in range(k)
+        ]
+        direct_sources: list[list[list]] = [
+            [[] for _ in band_paths] for _ in range(k)
+        ]
+        for i, band in enumerate(band_paths):
+            lb = len(band)
+            for prefix, gid in part.prefix_to_gid.items():
+                if prefix[:lb] == band:
+                    cut_sources[gid][i].append(prefix)
+            for below, gid in part.band_owner.items():
+                if below[:lb] == band:
+                    direct_sources[gid][i].append(below)
         tables_by_gid: list[list[list[list[Any]]]] = [[] for _ in range(k)]
         for unit_table in algo_state["unit_weights"]:
+            raw = {tuple(p): float(w) for p, w in unit_table}
             routed: list[list[list[Any]]] = [[] for _ in range(k)]
-            root_by_gid = [0.0] * k
             for path, weight in unit_table:
-                gid = _route_gid(path, label_to_gid)
-                if gid is None:
+                owner = part.owner(path)
+                if owner is None or owner == "band":
                     continue  # recomputed per group below
-                routed[gid].append([list(path), weight])
-                if len(path) == 1:
-                    root_by_gid[gid] += float(weight)
+                routed[owner].append([list(path), weight])
             for gid in range(k):
-                # The group's local root weight is the sum of its depth-1
-                # weights — exactly what a from-scratch run over the
-                # sub-hierarchy would have recorded.
-                if root_by_gid[gid] > 0:
-                    routed[gid].append([[], root_by_gid[gid]])
+                for i, band in enumerate(band_paths):
+                    total = sum(raw.get(p, 0.0) for p in cut_sources[gid][i])
+                    for below in direct_sources[gid][i]:
+                        total += raw.get(below, 0.0) - sum(
+                            raw.get(c, 0.0) for c in children[below]
+                        )
+                    if total > 0:
+                        routed[gid].append([list(band), total])
                 tables_by_gid[gid].append(routed[gid])
         for gid in range(k):
             algo_by_gid.append(
@@ -491,17 +635,22 @@ def merge_session_states(
     *,
     reports: Sequence[Mapping[str, Any]],
     withheld: "Mapping[str, Any] | None" = None,
+    depth: int = 1,
 ) -> dict[str, Any]:
     """Inverse of :func:`split_session_state`: one serial-format session state.
 
     ``base`` is the serial state the shards were split from (identity fields
     and pre-split counter baselines come from it), ``reports`` the
-    coordinator-side merged anomaly store, and ``withheld`` the root-path
-    bookkeeping returned by the split (updated by the coordinator while the
-    shards ran).  The merged state loads into a plain
+    coordinator-side merged anomaly store, and ``withheld`` the
+    shared-band bookkeeping returned by the split (updated by the
+    coordinator while the shards ran): path-keyed row lists, or the legacy
+    root-only scalar form.  Shard-local rows for band paths — partial by
+    construction — are dropped and replaced by the coordinator's exact
+    replica rows; path-keyed collections are therefore order-insensitive
+    (loaders key them by path).  The merged state loads into a plain
     :class:`~repro.engine.session.DetectionSession` whose subsequent
-    detections equal an unsharded run — sharded and serial checkpoints are
-    the same format and are mutually restorable.
+    detections equal an unsharded run — sharded, depth-k sharded and serial
+    checkpoints are the same format and are mutually restorable.
     """
     if not sub_states:
         raise CheckpointError("cannot merge an empty list of shard states")
@@ -523,6 +672,11 @@ def merge_session_states(
     timeunits = {sub["algorithm_state"]["timeunit"] for sub in sub_states}
     if len(timeunits) > 1:
         raise CheckpointError("torn sharded session state: shards disagree on timeunit")
+    band_set = set(
+        frontier_band_paths(
+            [tuple(p) for p in base["tree"]["leaves"]], depth
+        )
+    )
 
     if algorithm == "ada":
         algo_state: dict[str, Any] = {
@@ -537,20 +691,24 @@ def merge_session_states(
             merged_list = []
             for sub in sub_states:
                 for path, value in sub["algorithm_state"][field]:
-                    if not path:
-                        # Shards keep local-root bookkeeping (their raw
-                        # weights feed it); the serial equivalent is the
-                        # coordinator-maintained ``withheld`` entry summed
-                        # over every shard, inserted below.
-                        if field in ("series", "reference"):
-                            raise CheckpointError(
-                                f"shard state holds a root {field} entry; "
-                                f"this cannot come from a root-excluded run"
-                            )
+                    if not path and field in ("series", "reference"):
+                        raise CheckpointError(
+                            f"shard state holds a root {field} entry; "
+                            f"this cannot come from a root-excluded run"
+                        )
+                    if not path or tuple(path) in band_set:
+                        # Shards keep local root/band bookkeeping (their own
+                        # raw weights feed it) but each copy is partial; the
+                        # serial equivalent is the coordinator-maintained
+                        # ``withheld`` replica, inserted below.
                         continue
                     merged_list.append([list(path), value])
             if withheld and field in withheld:
-                merged_list.append([[], withheld[field]])
+                value = withheld[field]
+                if isinstance(value, list):
+                    merged_list.extend([[list(p), v] for p, v in value])
+                else:  # legacy root-only form
+                    merged_list.append([[], value])
             algo_state[field] = merged_list
     else:  # sta
         lengths = {len(sub["algorithm_state"]["unit_weights"]) for sub in sub_states}
@@ -560,17 +718,21 @@ def merge_session_states(
                 "of timeunit weight tables"
             )
         unit_weights = []
+        band_order = sorted(band_set, key=lambda p: (len(p), p))
         for tables in zip(*(sub["algorithm_state"]["unit_weights"] for sub in sub_states)):
             merged_table = []
-            root_total = 0.0
+            band_totals: dict[tuple, float] = {}
             for table in tables:
                 for path, weight in table:
-                    if path:
-                        merged_table.append([list(path), weight])
+                    t = tuple(path)
+                    if t in band_set:
+                        band_totals[t] = band_totals.get(t, 0.0) + float(weight)
                     else:
-                        root_total += float(weight)
-            if root_total > 0:
-                merged_table.append([[], root_total])
+                        merged_table.append([list(path), weight])
+            for band in band_order:
+                total = band_totals.get(band, 0.0)
+                if total > 0:
+                    merged_table.append([list(band), total])
             unit_weights.append(merged_table)
         algo_state = {
             "timeunit": first_algo["timeunit"],
@@ -618,20 +780,27 @@ def load_checkpoint(
     return engine_from_state_dict(_read_json(path), stream_key=stream_key)
 
 
-def save_session_checkpoint(session: "DetectionSession", path: "str | Path") -> None:
-    """Write a single-session checkpoint (used by the ``Tiresias`` facade)."""
+def save_session_checkpoint(session, path: "str | Path") -> None:
+    """Write a single-session checkpoint (used by the ``Tiresias`` facade).
+
+    ``session`` is duck-typed on ``state_dict()`` so session-shaped objects
+    (e.g. the service's sharded-tenant adapter, whose snapshot is the merged
+    serial state) checkpoint through the same code path and format.
+    """
+    getter = getattr(session, "state_dict", None)
+    state = getter() if callable(getter) else session_state_dict(session)
     _write_json(
         {
             "format": CHECKPOINT_FORMAT,
             "version": CHECKPOINT_VERSION,
-            "sessions": [session_state_dict(session)],
+            "sessions": [state],
         },
         path,
     )
 
 
-def load_session_checkpoint(path: "str | Path") -> "DetectionSession":
-    """Restore the single session of a :func:`save_session_checkpoint` file."""
+def load_session_checkpoint_state(path: "str | Path") -> dict[str, Any]:
+    """The raw session state of a :func:`save_session_checkpoint` file."""
     state = _read_json(path)
     _check_header(state)
     sessions = state.get("sessions", [])
@@ -639,7 +808,12 @@ def load_session_checkpoint(path: "str | Path") -> "DetectionSession":
         raise CheckpointError(
             f"expected exactly one session in the checkpoint, found {len(sessions)}"
         )
-    return session_from_state_dict(sessions[0])
+    return sessions[0]
+
+
+def load_session_checkpoint(path: "str | Path") -> "DetectionSession":
+    """Restore the single session of a :func:`save_session_checkpoint` file."""
+    return session_from_state_dict(load_session_checkpoint_state(path))
 
 
 def _write_json(document: Mapping[str, Any], path: "str | Path") -> None:

@@ -70,9 +70,20 @@ class TenantSpec:
     #: Bounded result retention — an always-on tenant must not grow its
     #: ``results`` list without bound; consumers use hooks and ``/metrics``.
     max_results: int | None = 256
+    #: Optional scale-out block: when set, the tenant is backed by a
+    #: :class:`~repro.engine.sharded.ShardedDetectionEngine` instead of an
+    #: in-process session.  Keys: ``workers``, ``subtree_shards``,
+    #: ``subtree_depth``, ``transport`` (``pipe``/``shm``/``tcp``),
+    #: ``transport_options``.  Detections and checkpoints stay bit-identical
+    #: to a serial tenant.
+    sharding: Mapping[str, Any] | None = None
 
     def __post_init__(self) -> None:
         validate_tenant_name(self.name)
+        if self.sharding is not None:
+            from repro.service.sharded_adapter import validate_sharding
+
+            object.__setattr__(self, "sharding", validate_sharding(self.sharding))
 
     def build_session(self):
         """A fresh :class:`~repro.engine.session.DetectionSession` for this tenant."""
@@ -89,7 +100,7 @@ class TenantSpec:
         )
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        doc = {
             "name": self.name,
             "algorithm": self.algorithm,
             "warmup_units": self.warmup_units,
@@ -98,6 +109,9 @@ class TenantSpec:
             "config": config_to_dict(self.config),
             "clock": None if self.clock is None else clock_to_dict(self.clock),
         }
+        if self.sharding is not None:
+            doc["sharding"] = dict(self.sharding)
+        return doc
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "TenantSpec":
@@ -105,6 +119,7 @@ class TenantSpec:
             warmup = data.get("warmup_units")
             max_results = data.get("max_results", 256)
             clock = data.get("clock")
+            sharding = data.get("sharding")
             return cls(
                 name=str(data["name"]),
                 tree=tree_from_dict(data["tree"]),
@@ -113,6 +128,7 @@ class TenantSpec:
                 clock=None if clock is None else clock_from_dict(clock),
                 warmup_units=None if warmup is None else int(warmup),
                 max_results=None if max_results is None else int(max_results),
+                sharding=None if sharding is None else dict(sharding),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ConfigurationError(f"malformed tenant spec: {exc!r}") from exc

@@ -36,7 +36,11 @@ from repro.core.results import TimeunitResult
 from repro.engine.hooks import EngineObserver
 from repro.engine.session import DetectionSession
 from repro.exceptions import ConfigurationError
-from repro.io.checkpoint import load_session_checkpoint, save_session_checkpoint
+from repro.io.checkpoint import (
+    load_session_checkpoint,
+    load_session_checkpoint_state,
+    save_session_checkpoint,
+)
 from repro.service.config import TenantSpec, validate_tenant_name
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -133,11 +137,25 @@ class SessionManager:
                 self._active.move_to_end(name)
                 return session
             path = self.checkpoint_path(name)
+            spec = self._specs.get(name)
+            sharding = None if spec is None else spec.sharding
             if path.exists():
-                session = load_session_checkpoint(path)
+                if sharding is not None:
+                    from repro.service.sharded_adapter import ShardedSessionAdapter
+
+                    session = ShardedSessionAdapter.from_session_state(
+                        load_session_checkpoint_state(path), sharding
+                    )
+                else:
+                    session = load_session_checkpoint(path)
                 self.resumes_total += 1
-            elif name in self._specs:
-                session = self._specs[name].build_session()
+            elif spec is not None:
+                if sharding is not None:
+                    from repro.service.sharded_adapter import ShardedSessionAdapter
+
+                    session = ShardedSessionAdapter.from_spec(spec)
+                else:
+                    session = spec.build_session()
                 self.fresh_starts_total += 1
             else:
                 raise ConfigurationError(
@@ -178,6 +196,11 @@ class SessionManager:
             self.evictions_total += 1
             for observer in self._observers:
                 session.unsubscribe(observer)
+            # Sharded tenants own worker processes; release them on eviction
+            # (serial sessions have no close and skip this).
+            closer = getattr(session, "close", None)
+            if callable(closer):
+                closer()
             return path
 
     # ------------------------------------------------------------------
@@ -374,5 +397,10 @@ class SessionManager:
                             else None
                         ),
                     )
+                    # Sharded tenants additionally surface their transport
+                    # and shard layout (depth, groups, rebalance counters).
+                    layout = getattr(session, "sharding_info", None)
+                    if callable(layout):
+                        entry["sharding"] = layout()
                 doc[name] = entry
             return doc

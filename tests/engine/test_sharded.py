@@ -25,8 +25,15 @@ from repro.exceptions import (
     ConfigurationError,
     ShardingError,
 )
+from repro.engine.shadow import ShadowStateError
 from repro.hierarchy.tree import HierarchyTree
-from repro.io.checkpoint import merge_session_states, split_session_state
+from repro.io.checkpoint import (
+    SubtreePartition,
+    frontier_band_paths,
+    merge_session_states,
+    split_session_state,
+)
+from repro.streaming.batch import iter_record_batches
 from repro.streaming.record import OperationalRecord
 
 
@@ -78,6 +85,58 @@ class TestPlanSubtreeGroups:
     def test_rejects_nonpositive(self):
         with pytest.raises(ConfigurationError):
             plan_subtree_groups([("a", "x")], 0)
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ConfigurationError, match="depth"):
+            plan_subtree_groups([("a", "x")], 2, depth=0)
+
+    def test_depth2_units_are_path_tuples(self):
+        leaves = (
+            [("a", "x", f"l{i}") for i in range(4)]
+            + [("a", "y", f"l{i}") for i in range(2)]
+            + [("b", "z", "l0")]
+        )
+        groups = plan_subtree_groups(leaves, 2, depth=2)
+        assert groups == [[("a", "x")], [("a", "y"), ("b", "z")]]
+
+    def test_leaf_above_the_cut_is_its_own_unit(self):
+        leaves = [("a", "x", "l0"), ("a", "x", "l1"), ("top",)]
+        groups = plan_subtree_groups(leaves, 2, depth=2)
+        assert ("top",) in {unit for group in groups for unit in group}
+
+
+# ----------------------------------------------------------------------
+# SubtreePartition routing / frontier band
+# ----------------------------------------------------------------------
+class TestSubtreePartition:
+    def test_depth2_routing(self):
+        part = SubtreePartition([[("a", "x")], [("a", "y"), ("b", "z")]], depth=2)
+        assert part.route(("a", "x", "l0")) == 0
+        assert part.route(("a", "y", "l9", "deeper")) == 1
+        assert part.route(("b", "z")) == 1
+        assert part.route(()) is None
+        # A band node rides with its lexicographically smallest cut child.
+        assert part.route(("a",)) == 0
+        assert part.owner(("a",)) == "band"
+        assert part.owner(("a", "x", "l0")) == 0
+
+    def test_depth1_string_labels_normalized(self):
+        part = SubtreePartition([["a"], ["b"]], depth=1)
+        assert part.route(("a", "anything")) == 0
+        assert part.route(("b",)) == 1
+
+    def test_duplicate_prefix_rejected(self):
+        with pytest.raises(CheckpointError, match="two shard groups"):
+            SubtreePartition([[("a", "x")], [("a", "x")]], depth=2)
+
+    def test_prefix_deeper_than_cut_rejected(self):
+        with pytest.raises(CheckpointError, match="depth-2"):
+            SubtreePartition([[("a", "x", "too-deep")]], depth=2)
+
+    def test_frontier_band_paths(self):
+        leaves = [("a", "x", "l0"), ("a", "y", "l1"), ("b", "z", "l2")]
+        assert frontier_band_paths(leaves, 1) == [()]
+        assert frontier_band_paths(leaves, 2) == [(), ("a",), ("b",)]
 
 
 # ----------------------------------------------------------------------
@@ -353,3 +412,194 @@ class TestAdaptationStatsQuery:
             engine.flush()
             stats = engine.adaptation_stats()["w"]
         assert "split_operations" in stats
+
+    def test_stats_aggregate_over_more_groups_than_workers(self, shardable_config):
+        tree = HierarchyTree.from_leaf_paths(
+            [(top, f"{top}{i}") for top in "abcd" for i in range(2)]
+        )
+        with ShardedDetectionEngine(num_workers=2) as engine:
+            engine.add_session("s", tree, shardable_config, subtree_shards=4)
+            engine.ingest_batch(records_for(tree, 6, per_unit=8))
+            engine.flush()
+            stats = engine.adaptation_stats()["s"]
+            assert len(engine.sharding_info()["sessions"]["s"]["groups"]) == 4
+        # Four shard groups each closed six units; the counters are summed
+        # across all of them, not just one group per worker.
+        assert stats["planned_units"] + stats["fastpath_units"] >= 24
+        assert stats["rebalances"] == 0
+
+
+# ----------------------------------------------------------------------
+# Depth-k cuts
+# ----------------------------------------------------------------------
+class TestDepthKCuts:
+    def test_depth2_requires_min_heavy_depth(self, deep_tree, shardable_config, clock):
+        with ShardedDetectionEngine(num_workers=2) as engine:
+            with pytest.raises(ConfigurationError, match="min_heavy_depth"):
+                engine.add_session(
+                    "d",
+                    deep_tree,
+                    shardable_config,
+                    clock=clock,
+                    subtree_shards=2,
+                    subtree_depth=2,
+                )
+
+    def test_depth_validated(self, deep_tree, shardable_config):
+        with ShardedDetectionEngine(num_workers=1) as engine:
+            with pytest.raises(ConfigurationError, match="depth"):
+                engine.add_session(
+                    "d", deep_tree, shardable_config, subtree_shards=2, subtree_depth=0
+                )
+
+    def test_depth2_matches_serial(self, deep_tree, shardable_config, clock):
+        config = shardable_config.replace(min_heavy_depth=2)
+        records = records_for(deep_tree, 10, per_unit=8)
+        serial = DetectionEngine()
+        serial.add_session("d", deep_tree, config, clock=clock)
+        serial_results = serial.process_stream(records)["d"]
+        with ShardedDetectionEngine(num_workers=2) as engine:
+            engine.add_session(
+                "d",
+                deep_tree,
+                config,
+                clock=clock,
+                subtree_shards=3,
+                subtree_depth=2,
+            )
+            results = engine.process_stream(records)["d"]
+            layout = engine.sharding_info()["sessions"]["d"]
+        assert results == serial_results
+        assert layout["kind"] == "subtree" and layout["depth"] == 2
+        assert all(
+            len(prefix) <= 2 for group in layout["groups"] for prefix in group
+        )
+
+
+# ----------------------------------------------------------------------
+# Churn-driven rebalancing
+# ----------------------------------------------------------------------
+class TestRebalance:
+    def test_forced_migration_is_state_preserving(self, shardable_config, clock):
+        tree = HierarchyTree.from_leaf_paths(
+            [("a", "a1"), ("a", "a2"), ("b", "b1"), ("c", "c1"), ("d", "d1")]
+        )
+        records = records_for(tree, 12, per_unit=6)
+        cut = len(records) // 2
+        serial = DetectionEngine()
+        serial.add_session("s", tree, shardable_config, clock=clock)
+        serial_results = serial.process_stream(records)["s"]
+        serial_anomalies = [a.to_dict() for a in serial.anomalies()["s"]]
+        with ShardedDetectionEngine(num_workers=2) as engine:
+            engine.add_session(
+                "s", tree, shardable_config, clock=clock, subtree_shards=2
+            )
+            before = engine.sharding_info()["sessions"]["s"]["groups"]
+            results = []
+            for batch in iter_record_batches(iter(records[:cut]), 64):
+                results.extend(engine.ingest_record_batch(batch)["s"])
+            report = engine.rebalance_session("s", churn_threshold=0.0)
+            after = engine.sharding_info()["sessions"]["s"]["groups"]
+            for batch in iter_record_batches(iter(records[cut:]), 64):
+                results.extend(engine.ingest_record_batch(batch)["s"])
+            results.extend(engine.flush()["s"])
+            anomalies = [a.to_dict() for a in engine.anomalies()["s"]]
+            stats = engine.adaptation_stats()["s"]
+            info = engine.sharding_info()
+        assert report["moved"] is not None
+        assert after != before  # the layout actually changed...
+        assert report["moved"] in after[report["to_group"]]
+        assert results == serial_results  # ...and the outputs did not
+        assert anomalies == serial_anomalies
+        assert stats["rebalances"] == 1
+        assert info["rebalances"] == 1
+        assert info["sessions"]["s"]["rebalances"] == 1
+
+    def test_balanced_layout_is_a_noop(self, shardable_config, clock):
+        tree = HierarchyTree.from_leaf_paths(
+            [("a", "a1"), ("b", "b1"), ("c", "c1"), ("d", "d1")]
+        )
+        with ShardedDetectionEngine(num_workers=2) as engine:
+            engine.add_session(
+                "s", tree, shardable_config, clock=clock, subtree_shards=2
+            )
+            engine.ingest_batch(records_for(tree, 6))
+            engine.flush()
+            report = engine.rebalance_session("s", churn_threshold=1e9)
+            info = engine.sharding_info()
+        assert report["moved"] is None
+        assert report["from_group"] is None and report["to_group"] is None
+        assert info["rebalances"] == 0
+
+    def test_whole_session_rejected(self, small_tree, shardable_config, clock):
+        with ShardedDetectionEngine(num_workers=1) as engine:
+            engine.add_session("w", small_tree, shardable_config, clock=clock)
+            with pytest.raises(ShardingError, match="not subtree-sharded"):
+                engine.rebalance_session("w")
+
+    def test_unknown_session_rejected(self, small_tree, shardable_config):
+        with ShardedDetectionEngine(num_workers=1) as engine:
+            engine.add_session("w", small_tree, shardable_config)
+            with pytest.raises(ConfigurationError, match="no session named"):
+                engine.rebalance_session("ghost")
+
+
+# ----------------------------------------------------------------------
+# Shadowed sessions are refused up front
+# ----------------------------------------------------------------------
+class TestShadowGuard:
+    def test_attach_shadowed_session_rejected_before_any_work(
+        self, small_tree, shardable_config, clock
+    ):
+        session = DetectionSession(
+            small_tree, shardable_config, clock=clock, name="sh"
+        )
+        session.ingest_batch(records_for(small_tree, 4))
+        session.start_shadow(shardable_config.replace(theta=4.0))
+        engine = ShardedDetectionEngine(num_workers=2)
+        try:
+            # Typed, up-front refusal — for subtree-sharded attaches...
+            with pytest.raises(ShadowStateError, match="shadow"):
+                engine.attach_session(session, subtree_shards=2)
+            # ...and for whole-session attaches, where nothing downstream
+            # would otherwise have complained until much later.
+            with pytest.raises(ShadowStateError, match="shadow"):
+                engine.attach_session_state(session.state_dict())
+            assert len(engine) == 0  # nothing was half-registered
+        finally:
+            engine.close()
+
+    def test_shadow_free_state_still_attaches(
+        self, small_tree, shardable_config, clock
+    ):
+        session = DetectionSession(
+            small_tree, shardable_config, clock=clock, name="ok"
+        )
+        session.ingest_batch(records_for(small_tree, 4))
+        with ShardedDetectionEngine(num_workers=1) as engine:
+            engine.attach_session_state(session.state_dict())
+            assert "ok" in engine
+
+
+# ----------------------------------------------------------------------
+# Introspection surfaces of a subtree-sharded session
+# ----------------------------------------------------------------------
+class TestIntrospectionSurfaces:
+    def test_timing_profile_and_layout(self, small_tree, shardable_config, clock):
+        with ShardedDetectionEngine(num_workers=2, transport="shm") as engine:
+            engine.add_session(
+                "s", small_tree, shardable_config, clock=clock, subtree_shards=2
+            )
+            engine.process_stream(records_for(small_tree, 6))
+            stage = engine.stage_seconds()["s"]
+            profile = engine.close_profile()["s"]
+            info = engine.sharding_info()
+            stats = engine.transport_stats()
+        assert stage and all(value >= 0 for value in stage.values())
+        assert profile
+        assert info["transport"] == "shm"
+        assert info["num_workers"] == 2
+        assert info["sessions"]["s"]["kind"] == "subtree"
+        assert info["sessions"]["s"]["workers"] == [0, 1]
+        assert stats["transport"] == "shm" and stats["connected"] is True
+        assert stats["ship_serialized_bytes"] < stats["ship_bytes"]

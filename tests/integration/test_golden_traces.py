@@ -99,6 +99,37 @@ def test_golden_trace_fused_matches_staged(golden_spec, golden_trace_loader):
     )
 
 
+def test_golden_trace_depth2_sharded_matches_serial(golden_spec, golden_trace_loader):
+    """Depth-2 cuts on the golden workloads, against a serial run of the
+    SAME ``min_heavy_depth=2`` config (not the committed digests — raising
+    the heavy-hitter floor legitimately changes which nodes can detect)."""
+    tree, clock, records = golden_trace_loader(golden_spec)
+    config = golden_spec.detector_config().replace(min_heavy_depth=2)
+    serial = DetectionEngine()
+    serial.add_session(
+        golden_spec.name, tree, config, algorithm=golden_spec.algorithm, clock=clock
+    )
+    serial_results = serial.process_stream(records)[golden_spec.name]
+    with ShardedDetectionEngine(num_workers=2) as engine:
+        engine.add_session(
+            golden_spec.name,
+            tree,
+            config,
+            algorithm=golden_spec.algorithm,
+            clock=clock,
+            subtree_shards=3,
+            subtree_depth=2,
+        )
+        sharded_results = engine.process_stream(records, batch_size=512)[
+            golden_spec.name
+        ]
+        sharded_anomalies = engine.anomalies()[golden_spec.name]
+    assert sharded_results == serial_results
+    assert [a.to_dict() for a in sharded_anomalies] == [
+        a.to_dict() for a in serial.anomalies()[golden_spec.name]
+    ]
+
+
 def test_golden_trace_sharded_path_matches(golden_spec, golden_trace_loader):
     tree, clock, records = golden_trace_loader(golden_spec)
     record_results, record_anomalies = run_serial(golden_spec, golden_trace_loader)

@@ -12,10 +12,16 @@ produce identical results:
 ``out_of_order_policy`` edge cases are part of the space: ``drop`` and
 ``clamp`` must agree bit-for-bit on late records, and ``raise`` must raise
 :class:`OutOfOrderRecordError` from every path.
+
+``REPRO_SHARD_TRANSPORT`` (``pipe``/``shm``/``tcp``, default ``pipe``)
+steers every sharded engine this module builds — the CI
+``sharded-transports`` job runs the whole suite once per transport to pin
+the transport-independence guarantee.
 """
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -32,6 +38,9 @@ from repro.streaming.clock import SimulationClock
 from repro.streaming.record import OperationalRecord
 
 DELTA = 600.0
+
+#: Transport every sharded engine in this module runs on (CI matrixes it).
+DEFAULT_TRANSPORT = os.environ.get("REPRO_SHARD_TRANSPORT", "pipe")
 
 
 def make_workload(seed: int, lateness: float):
@@ -104,11 +113,26 @@ def run_batch_path(tree, clock, config, algorithm, records, batch_size):
 
 
 def run_sharded_path(
-    tree, clock, config, algorithm, records, batch_size, workers, shards
+    tree,
+    clock,
+    config,
+    algorithm,
+    records,
+    batch_size,
+    workers,
+    shards,
+    depth=1,
+    transport=DEFAULT_TRANSPORT,
 ):
-    with ShardedDetectionEngine(num_workers=workers) as engine:
+    with ShardedDetectionEngine(num_workers=workers, transport=transport) as engine:
         engine.add_session(
-            "p", tree, config, algorithm=algorithm, clock=clock, subtree_shards=shards
+            "p",
+            tree,
+            config,
+            algorithm=algorithm,
+            clock=clock,
+            subtree_shards=shards,
+            subtree_depth=depth,
         )
         results = engine.process_stream(records, batch_size=batch_size)["p"]
         return results, [a.to_dict() for a in engine.anomalies()["p"]]
@@ -182,6 +206,148 @@ def test_seeded_matrix_agrees(algorithm, policy):
         assert sharded_out[1] == record_out[1]
 
 
+@pytest.mark.parametrize("workers", [1, 2, 4])
+@pytest.mark.parametrize("depth", [1, 2, 3])
+def test_depth_k_matrix_agrees(depth, workers):
+    """Depth-k cuts at every worker count, drop and clamp policies.
+
+    The workload's leaves sit at depth 3, so ``depth=3`` cuts at the leaves
+    themselves; every depth needs ``min_heavy_depth >= depth`` (a config the
+    serial baseline runs identically).
+    """
+    for policy in ("drop", "clamp"):
+        seed = 31 + depth
+        tree, clock, records = make_workload(seed, lateness=0.05)
+        config = make_config(seed, policy).replace(min_heavy_depth=depth)
+        record_out = run_record_path(tree, clock, config, "ada", records)
+        sharded_out = run_sharded_path(
+            tree,
+            clock,
+            config,
+            "ada",
+            records,
+            128,
+            workers=workers,
+            shards=3,
+            depth=depth,
+        )
+        assert sharded_out[0] == record_out[0]
+        assert sharded_out[1] == record_out[1]
+
+
+def test_raise_policy_raises_at_depth2():
+    for seed in range(20):  # first seed whose workload is actually late
+        tree, clock, records = make_workload(seed, lateness=0.3)
+        has_late = any(
+            clock.timeunit_of(b.timestamp) < clock.timeunit_of(a.timestamp)
+            for a, b in zip(records, records[1:])
+        )
+        if has_late:
+            break
+    else:  # pragma: no cover - seeds above always generate lateness
+        pytest.fail("no late workload generated")
+    config = make_config(seed, "raise").replace(min_heavy_depth=2)
+    with pytest.raises(OutOfOrderRecordError):
+        run_sharded_path(
+            tree, clock, config, "ada", records, 64, workers=2, shards=2, depth=2
+        )
+
+
+@pytest.mark.parametrize("transport", ["pipe", "shm", "tcp"])
+def test_transports_agree_with_serial(transport):
+    tree, clock, records = make_workload(3, lateness=0.05)
+    config = make_config(3, "drop")
+    record_out = run_record_path(tree, clock, config, "ada", records)
+    sharded_out = run_sharded_path(
+        tree,
+        clock,
+        config,
+        "ada",
+        records,
+        128,
+        workers=2,
+        shards=2,
+        transport=transport,
+    )
+    assert sharded_out[0] == record_out[0]
+    assert sharded_out[1] == record_out[1]
+
+
+def test_midstream_rebalance_keeps_equivalence():
+    """A forced cut-unit migration halfway through the stream changes the
+    layout but not a single detection, result or report."""
+    for seed in range(40):  # need >= 4 top-level units so a group owns two
+        tree, clock, records = make_workload(seed, lateness=0.0)
+        if len({leaf[0] for leaf in tree.leaf_paths()}) >= 4:
+            break
+    else:  # pragma: no cover - seeds above always produce such a tree
+        pytest.fail("no workload with >= 4 top-level subtrees generated")
+    config = make_config(seed, "drop")
+    record_out = run_record_path(tree, clock, config, "ada", records)
+    with ShardedDetectionEngine(num_workers=2, transport=DEFAULT_TRANSPORT) as engine:
+        engine.add_session("p", tree, config, clock=clock, subtree_shards=3)
+        results = []
+        batches = list(iter_record_batches(iter(records), 150))
+        for i, batch in enumerate(batches):
+            results.extend(engine.ingest_record_batch(batch)["p"])
+            if i == len(batches) // 2:
+                report = engine.rebalance_session("p", churn_threshold=0.0)
+                assert report["moved"] is not None
+        results.extend(engine.flush()["p"])
+        anomalies = [a.to_dict() for a in engine.anomalies()["p"]]
+        assert engine.adaptation_stats()["p"]["rebalances"] == 1
+    assert results == record_out[0]
+    assert anomalies == record_out[1]
+
+
+@pytest.mark.parametrize("depth", [1, 2])
+def test_serial_and_depth_k_checkpoints_cross_restore(depth):
+    """Serial half-run -> sharded resume, and sharded half-run -> serial
+    resume, both finish exactly like an uninterrupted serial run."""
+    tree, clock, records = make_workload(23, lateness=0.0)
+    config = make_config(23, "drop").replace(min_heavy_depth=depth)
+    cut = len(records) // 2
+    head, tail = records[:cut], records[cut:]
+
+    reference = run_record_path(tree, clock, config, "ada", records)
+
+    # Leg 1: serial head, checkpoint, sharded depth-k tail.
+    serial = DetectionEngine()
+    serial.add_session("p", tree, config, clock=clock)
+    results = []
+    for batch in iter_record_batches(iter(head), 128):
+        results.extend(serial.ingest_record_batch(batch)["p"])
+    with ShardedDetectionEngine.from_state_dict(
+        serial.state_dict(),
+        num_workers=2,
+        subtree_shards=3,
+        subtree_depth=depth,
+        transport=DEFAULT_TRANSPORT,
+    ) as engine:
+        for batch in iter_record_batches(iter(tail), 128):
+            results.extend(engine.ingest_record_batch(batch)["p"])
+        results.extend(engine.flush()["p"])
+        anomalies = [a.to_dict() for a in engine.anomalies()["p"]]
+    assert results == reference[0]
+    assert anomalies == reference[1]
+
+    # Leg 2: sharded depth-k head, merged checkpoint, serial tail.
+    results = []
+    with ShardedDetectionEngine(num_workers=2, transport=DEFAULT_TRANSPORT) as engine:
+        engine.add_session(
+            "p", tree, config, clock=clock, subtree_shards=3, subtree_depth=depth
+        )
+        for batch in iter_record_batches(iter(head), 128):
+            results.extend(engine.ingest_record_batch(batch)["p"])
+        state = engine.state_dict()
+    serial = DetectionEngine.from_state_dict(state)
+    for batch in iter_record_batches(iter(tail), 128):
+        results.extend(serial.ingest_record_batch(batch)["p"])
+    results.extend(serial.flush()["p"])
+    assert results == reference[0]
+    assert [a.to_dict() for a in serial.anomalies()["p"]] == reference[1]
+
+
 def test_sharded_end_state_matches_serial_checkpoint():
     """After a full run, the merged sharded state equals the serial state."""
     import json
@@ -192,7 +358,7 @@ def test_sharded_end_state_matches_serial_checkpoint():
     serial.add_session("p", tree, config, clock=clock)
     serial.process_batches(iter_record_batches(records, 200))
     serial_state = serial.state_dict()["sessions"][0]
-    with ShardedDetectionEngine(num_workers=2) as engine:
+    with ShardedDetectionEngine(num_workers=2, transport=DEFAULT_TRANSPORT) as engine:
         engine.add_session("p", tree, config, clock=clock, subtree_shards=2)
         engine.process_batches(iter_record_batches(records, 200))
         sharded_state = engine.merged_session_state("p")
