@@ -18,6 +18,13 @@ worker processes with ``subprocess`` — fresh interpreters, no inherited
 state, exactly like remote hosts — ingests a CCD workload through them,
 and asserts the detections and the merged checkpoint equal a serial run.
 
+``--mode kill-smoke`` is the fault-tolerance variant CI's chaos job runs:
+it SIGKILLs one live worker process at a seeded point mid-stream, launches
+a replacement that dials back in, and asserts the supervisor's recovery
+(respawn + snapshot restore + batch replay) still produces detections
+bit-identical to a serial run.  The fault seed is printed so any failure
+is reproducible with ``--fault-seed``.
+
 Run the one-command smoke::
 
     python examples/remote_workers.py
@@ -33,6 +40,7 @@ or play coordinator/worker by hand in three terminals::
 from __future__ import annotations
 
 import argparse
+import random
 import subprocess
 import sys
 import time
@@ -108,24 +116,18 @@ def run_coordinator(host: str, port: int, workers: int, quiet: bool = False):
     return results, anomalies, state
 
 
+def _launch_worker(port: int) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, __file__, "--mode", "worker", "--port", str(port)]
+    )
+
+
 def run_smoke(workers: int) -> None:
     """Cross-process proof: subprocess workers, serial-equality asserts."""
     transport = TcpTransport(spawn_workers=False)
     port = transport.listen()
     print(f"smoke: coordinator listening on 127.0.0.1:{port}")
-    procs = [
-        subprocess.Popen(
-            [
-                sys.executable,
-                __file__,
-                "--mode",
-                "worker",
-                "--port",
-                str(port),
-            ]
-        )
-        for _ in range(workers)
-    ]
+    procs = [_launch_worker(port) for _ in range(workers)]
     try:
         dataset, config = make_workload()
         records = dataset.record_list()  # resamples per call — take one draw
@@ -167,13 +169,99 @@ def run_smoke(workers: int) -> None:
     )
 
 
+def run_kill_smoke(workers: int, seed: int) -> None:
+    """Worker-kill proof: SIGKILL a live worker mid-stream, recover, compare.
+
+    The fault point is drawn from ``seed`` (victim process + batch ordinal)
+    and printed up front, so a red CI leg is reproducible verbatim with
+    ``--mode kill-smoke --fault-seed N``.
+    """
+    rng = random.Random(seed)
+    victim_index = rng.randrange(workers)
+    kill_before_batch = rng.randrange(3, 9)
+    print(
+        f"kill-smoke: fault seed={seed} -> SIGKILL worker process "
+        f"#{victim_index} before batch {kill_before_batch}"
+    )
+    transport = TcpTransport(spawn_workers=False, accept_timeout=30.0)
+    port = transport.listen()
+    print(f"kill-smoke: coordinator listening on 127.0.0.1:{port}")
+    procs = [_launch_worker(port) for _ in range(workers)]
+
+    dataset, config = make_workload()
+    records = dataset.record_list()  # resamples per call — take one draw
+
+    def batches_with_fault():
+        for index, batch in enumerate(iter_record_batches(records, 1024)):
+            if index == kill_before_batch:
+                victim = procs[victim_index]
+                victim.kill()
+                victim.wait()
+                # The replacement dials in while the supervisor's respawn
+                # waits on the listener — exactly how an external fleet
+                # replaces a crashed host.
+                procs.append(_launch_worker(port))
+                print(f"kill-smoke: worker pid {victim.pid} killed, "
+                      f"replacement launched")
+            yield batch
+
+    try:
+        with ShardedDetectionEngine(
+            num_workers=workers, transport=transport
+        ) as engine:
+            engine.add_session(
+                "ccd",
+                dataset.tree,
+                config,
+                clock=dataset.clock,
+                subtree_shards=workers,
+            )
+            results = engine.process_batches(batches_with_fault())["ccd"]
+            anomalies = [a.to_dict() for a in engine.anomalies()["ccd"]]
+            state = engine.state_dict()
+            recoveries = engine.recoveries_total
+            replayed = engine.replayed_batches_total
+            info = engine.sharding_info()["supervision"]
+    finally:
+        deadline = time.monotonic() + 10
+        for proc in procs:
+            if proc.poll() is None:
+                try:
+                    proc.wait(timeout=max(0.1, deadline - time.monotonic()))
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+
+    assert recoveries >= 1, "the kill never triggered a recovery!"
+    assert info["enabled"] and not info["recovering"]
+
+    serial = DetectionEngine()
+    serial.add_session("ccd", dataset.tree, config, clock=dataset.clock)
+    serial_results = serial.process_batches(
+        iter_record_batches(records, 1024)
+    )["ccd"]
+    serial_anomalies = [a.to_dict() for a in serial.anomalies()["ccd"]]
+
+    assert results == serial_results, "post-recovery detections diverged!"
+    assert anomalies == serial_anomalies, "post-recovery anomalies diverged!"
+    resumed = DetectionEngine.from_state_dict(state)
+    assert "ccd" in resumed.session_names
+    print(
+        f"kill-smoke OK: seed={seed}, {recoveries} recovery(ies), "
+        f"{replayed} batch(es) replayed — detections identical to serial, "
+        f"checkpoint loads serially"
+    )
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--mode",
-        choices=("smoke", "coordinator", "worker"),
+        choices=("smoke", "kill-smoke", "coordinator", "worker"),
         default="smoke",
-        help="smoke = coordinator + subprocess workers + equality asserts",
+        help="smoke = coordinator + subprocess workers + equality asserts; "
+        "kill-smoke = same, but SIGKILL one worker mid-stream and assert "
+        "supervised recovery",
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument(
@@ -181,6 +269,12 @@ def main() -> None:
         "worker: the coordinator's port (required)"
     )
     parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=1729,
+        help="kill-smoke: seed for the victim/batch fault point (printed)",
+    )
     args = parser.parse_args()
     if args.mode == "worker":
         if not args.port:
@@ -188,6 +282,8 @@ def main() -> None:
         run_worker(args.host, args.port)
     elif args.mode == "coordinator":
         run_coordinator(args.host, args.port, args.workers)
+    elif args.mode == "kill-smoke":
+        run_kill_smoke(args.workers, args.fault_seed)
     else:
         run_smoke(args.workers)
 

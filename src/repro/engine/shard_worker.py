@@ -137,9 +137,30 @@ def worker_handle(units: dict, verb: str, ops: Any) -> Any:
     raise ShardingError(f"unknown worker verb {verb!r}")
 
 
-def handle_message(units: dict, verb: str, ops: Any) -> tuple:
+def _maybe_worker_fault(worker_id: "int | None", verb: str) -> None:
+    """Apply any armed ``worker_exit`` fault for this message.
+
+    The fault plan reaches worker processes through the ``REPRO_FAULT_PLAN``
+    environment variable (see :mod:`repro.testing.faults`); a hit hard-exits
+    the process *before* replying, simulating a worker that dies
+    mid-command.  The lazy import keeps the zero-plan hot path free of any
+    testing-module dependency.
+    """
+    from repro.testing.faults import worker_message_fault
+
+    spec = worker_message_fault(worker_id, verb)
+    if spec is not None:  # pragma: no cover - exits the worker process
+        import os
+
+        os._exit(23)
+
+
+def handle_message(
+    units: dict, verb: str, ops: Any, worker_id: "int | None" = None
+) -> tuple:
     """Run one verb and wrap the outcome as an ``("ok"|"error", ...)`` reply."""
     try:
+        _maybe_worker_fault(worker_id, verb)
         return ("ok", worker_handle(units, verb, ops))
     except BaseException as exc:  # noqa: BLE001 - forwarded to coordinator
         return (

@@ -75,6 +75,7 @@ other shards in the same round may already have been ingested.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from collections import deque
 from typing import Any, Iterable, Mapping, Sequence
 
@@ -88,12 +89,14 @@ from repro.engine.hooks import EngineObserver
 from repro.engine.session import DetectionSession
 from repro.engine.shadow import ShadowStateError
 from repro.engine.shard_worker import revive_exception
+from repro.engine.supervisor import ShardSupervisor
 from repro.engine.transport import ShardTransport, make_transport
 from repro.exceptions import (
     CheckpointError,
     ConfigurationError,
     ShardingError,
     StreamError,
+    WorkerFailureError,
 )
 from repro.hierarchy.tree import HierarchyTree
 from repro.io.checkpoint import (
@@ -293,6 +296,8 @@ class _WholeUnit:
         )
         self.handle.units_processed = int(state["units_processed"])
         self.warmup_announced = bool(state["warmup_announced"])
+        #: Times this unit's worker was respawned and rebuilt after a failure.
+        self.recoveries = 0
 
 
 class _SubtreeUnit:
@@ -371,6 +376,8 @@ class _SubtreeUnit:
             )
         #: Times this unit's layout was migrated by churn-driven rebalancing.
         self.rebalances = 0
+        #: Times one of this unit's workers was respawned and rebuilt.
+        self.recoveries = 0
         #: timeunit -> {gid: (result, local band raw-weight tuple)}
         self.buffer: dict[int, dict[int, tuple[TimeunitResult, tuple]]] = {}
 
@@ -445,6 +452,26 @@ class ShardedDetectionEngine:
         a :class:`~repro.engine.transport.tcp.TcpTransport` in external mode
         for remote workers).  Results are transport-independent; see
         :mod:`repro.engine.transport`.
+    supervision / op_timeout / replay_buffer_ops / max_recovery_attempts:
+        With ``supervision=True`` (the default) every ship/collect runs
+        through a :class:`~repro.engine.supervisor.ShardSupervisor` with a
+        per-operation deadline of ``op_timeout`` seconds, and the
+        coordinator keeps what exact recovery needs: a per-unit state
+        snapshot plus a bounded per-worker op log (at most
+        ``replay_buffer_ops`` mutating rounds; beyond that the snapshot is
+        refreshed from the worker and the log cleared).  When a worker
+        dies, stalls past its deadline, or its channel breaks, the
+        coordinator respawns it, restores its shard units from the
+        snapshots and replays the log — up to ``max_recovery_attempts``
+        times — so a recovered run is bit-identical to an uninterrupted
+        one.  Snapshots and the log cost memory proportional to the session
+        states plus the buffered batches; ``supervision=False`` restores
+        the fail-fast behaviour (a dead worker raises
+        :class:`~repro.exceptions.WorkerFailureError` and the engine state
+        is unrecoverable).
+    fault_plan:
+        Optional :class:`repro.testing.faults.FaultPlan` injected at the
+        supervisor seam (tests); defaults to the process-wide active plan.
 
     Workers start lazily on first use; call :meth:`close` (or use the engine
     as a context manager) to terminate them.  Ingestion is batch-oriented:
@@ -460,6 +487,11 @@ class ShardedDetectionEngine:
         start_method: "str | None" = None,
         transport: "str | ShardTransport" = "pipe",
         transport_options: "Mapping[str, Any] | None" = None,
+        supervision: bool = True,
+        op_timeout: float = 60.0,
+        replay_buffer_ops: int = 64,
+        max_recovery_attempts: int = 2,
+        fault_plan: Any = None,
     ):
         if unknown_stream not in UNKNOWN_STREAM_POLICIES:
             raise ConfigurationError(
@@ -479,6 +511,33 @@ class ShardedDetectionEngine:
         self._transport: ShardTransport = make_transport(
             transport, transport_options
         )
+        if float(op_timeout) <= 0:
+            raise ConfigurationError(f"op_timeout must be > 0, got {op_timeout}")
+        if int(replay_buffer_ops) < 1:
+            raise ConfigurationError(
+                f"replay_buffer_ops must be >= 1, got {replay_buffer_ops}"
+            )
+        if int(max_recovery_attempts) < 1:
+            raise ConfigurationError(
+                f"max_recovery_attempts must be >= 1, got {max_recovery_attempts}"
+            )
+        self.supervision = bool(supervision)
+        self.op_timeout = float(op_timeout)
+        self.replay_buffer_ops = int(replay_buffer_ops)
+        self.max_recovery_attempts = int(max_recovery_attempts)
+        self._supervisor: "ShardSupervisor | None" = (
+            ShardSupervisor(self._transport, self.op_timeout, fault_plan)
+            if self.supervision
+            else None
+        )
+        #: key -> serial-format state at that worker's op-log start.
+        self._snapshots: dict[Any, dict[str, Any]] = {}
+        #: worker -> [(verb, ops)] mutating rounds since the last snapshot.
+        self._oplog: dict[int, list[tuple[str, Any]]] = {}
+        self._recoveries_total = 0
+        self._replayed_batches_total = 0
+        self._recovering_depth = 0
+        self._last_recovery_unix: "float | None" = None
         self._units: dict[str, "_WholeUnit | _SubtreeUnit"] = {}
         self._observers: list[EngineObserver] = []
         self._started = False
@@ -641,35 +700,195 @@ class ShardedDetectionEngine:
             self._ship_unit(unit)
 
     def _ship_unit(self, unit: "_WholeUnit | _SubtreeUnit") -> None:
+        # Under supervision the shipped states are retained as recovery
+        # snapshots: a respawned worker is rebuilt from them plus the
+        # bounded op log.  "add" rounds are deliberately *not* logged — the
+        # snapshot taken here plays that role during replay.
         if unit.kind == "whole":
             assert unit.state is not None
+            if self._supervisor is not None:
+                self._snapshots[unit.key] = unit.state
             self._roundtrip({unit.worker: [(unit.key, unit.state, 0)]}, "add")
             unit.state = None  # the worker owns the live state from here on
         else:
             assert unit.sub_states is not None
             ops: dict[int, list] = {}
             for gid, worker in enumerate(unit.workers):
+                if self._supervisor is not None:
+                    self._snapshots[unit.keys[gid]] = unit.sub_states[gid]
                 ops.setdefault(worker, []).append(
                     (unit.keys[gid], unit.sub_states[gid], unit.depth)
                 )
             self._roundtrip(ops, "add")
             unit.sub_states = None
 
+    #: Verbs whose rounds must be replayed to rebuild a worker exactly.
+    #: ("add" is covered by snapshots; "remove" only occurs inside
+    #: rebalancing, which refreshes the involved workers around it.)
+    _LOGGED_VERBS = frozenset({"ingest", "flush"})
+
+    def _ship(self, worker_id: int, verb: str, ops: Any) -> None:
+        if self._supervisor is not None:
+            self._supervisor.ship(worker_id, verb, ops)
+        else:
+            self._transport.ship(worker_id, verb, ops)
+
+    def _collect_reply(self, worker_id: int) -> tuple:
+        if self._supervisor is not None:
+            return self._supervisor.collect(worker_id)
+        return self._transport.collect(worker_id)
+
     def _roundtrip(self, ops_by_worker: Mapping[int, Any], verb: str) -> dict[int, Any]:
-        """Send one message per involved worker; collect replies determinately."""
-        for worker_id in sorted(ops_by_worker):
-            self._transport.ship(worker_id, verb, ops_by_worker[worker_id])
+        """Send one message per involved worker; collect replies determinately.
+
+        Under supervision a :class:`~repro.exceptions.WorkerFailureError`
+        on either leg triggers in-place recovery (respawn + snapshot
+        restore + op-log replay + re-ship of the in-flight round), so the
+        round completes with exactly the replies an uninterrupted run would
+        have produced.
+        """
+        workers = sorted(ops_by_worker)
+        for worker_id in workers:
+            try:
+                self._ship(worker_id, verb, ops_by_worker[worker_id])
+            except WorkerFailureError as exc:
+                self._recover_worker(worker_id, exc)
+                self._ship(worker_id, verb, ops_by_worker[worker_id])
         replies: dict[int, Any] = {}
         failure: "tuple[BaseException | None, str, str, str] | None" = None
-        for worker_id in sorted(ops_by_worker):
-            status, payload = self._transport.collect(worker_id)
+        log = self._supervisor is not None and verb in self._LOGGED_VERBS
+        for worker_id in workers:
+            try:
+                status, payload = self._collect_reply(worker_id)
+            except WorkerFailureError as exc:
+                self._recover_worker(worker_id, exc)
+                # The rebuilt worker never saw the in-flight round: re-ship
+                # it and take the reply an uninterrupted run would have had.
+                self._ship(worker_id, verb, ops_by_worker[worker_id])
+                status, payload = self._collect_reply(worker_id)
             if status == "error" and failure is None:
                 failure = payload
             elif status == "ok":
                 replies[worker_id] = payload
+                if log:
+                    self._oplog.setdefault(worker_id, []).append(
+                        (verb, ops_by_worker[worker_id])
+                    )
         if failure is not None:
             raise revive_exception(*failure)
+        if log:
+            for worker_id in workers:
+                if len(self._oplog.get(worker_id, ())) > self.replay_buffer_ops:
+                    self._refresh_worker(worker_id)
         return replies
+
+    # ------------------------------------------------------------------
+    # Worker recovery
+    # ------------------------------------------------------------------
+    def _keys_on_worker(self, worker_id: int) -> list[tuple[Any, int]]:
+        """``(key, capture_depth)`` of every shard unit hosted by a worker."""
+        out: list[tuple[Any, int]] = []
+        for unit in self._units.values():
+            if unit.kind == "whole":
+                if unit.worker == worker_id:
+                    out.append((unit.key, 0))
+            else:
+                for gid, worker in enumerate(unit.workers):
+                    if worker == worker_id:
+                        out.append((unit.keys[gid], unit.depth))
+        out.sort(key=lambda item: item[0])
+        return out
+
+    def _refresh_worker(self, worker_id: int) -> None:
+        """Re-anchor a worker's recovery baseline: snapshot now, clear log.
+
+        Fetches the current state of every unit on the worker (through the
+        supervised path, so the refresh itself is recoverable) and replaces
+        the snapshots; the op log — now folded into the snapshots — is
+        dropped.  This is what bounds both replay time and log memory.
+        """
+        keyed = self._keys_on_worker(worker_id)
+        if keyed:
+            replies = self._roundtrip(
+                {worker_id: [key for key, _ in keyed]}, "state"
+            )
+            states = dict(replies[worker_id])
+            for key, _depth in keyed:
+                self._snapshots[key] = states[key]
+        self._oplog[worker_id] = []
+
+    def _recover_worker(self, worker_id: int, cause: WorkerFailureError) -> None:
+        """Respawn ``worker_id`` and rebuild it bit-identically, or raise."""
+        if self._supervisor is None:
+            raise cause
+        last_error: BaseException = cause
+        self._recovering_depth += 1
+        try:
+            for _attempt in range(self.max_recovery_attempts):
+                try:
+                    self._attempt_recovery(worker_id)
+                except WorkerFailureError as exc:
+                    last_error = exc
+                    continue
+                self._recoveries_total += 1
+                self._last_recovery_unix = time.time()
+                for unit in self._units.values():
+                    hosted = (
+                        unit.worker == worker_id
+                        if unit.kind == "whole"
+                        else worker_id in unit.workers
+                    )
+                    if hosted:
+                        unit.recoveries += 1
+                return
+        finally:
+            self._recovering_depth -= 1
+        raise ShardingError(
+            f"shard worker {worker_id} could not be recovered after "
+            f"{self.max_recovery_attempts} attempts: {last_error}"
+        ) from last_error
+
+    def _attempt_recovery(self, worker_id: int) -> None:
+        assert self._supervisor is not None
+        self._supervisor.respawn(worker_id, self.start_method)
+        add_ops: list[tuple[Any, dict[str, Any], int]] = []
+        for key, depth in self._keys_on_worker(worker_id):
+            state = self._snapshots.get(key)
+            if state is None:
+                raise ShardingError(
+                    f"no recovery snapshot for shard unit {key!r}; worker "
+                    f"{worker_id} cannot be rebuilt"
+                )
+            add_ops.append((key, state, depth))
+        if add_ops:
+            self._replay(worker_id, "add", add_ops)
+        replayed = 0
+        for verb, ops in list(self._oplog.get(worker_id, ())):
+            self._replay(worker_id, verb, ops)
+            replayed += 1
+        self._replayed_batches_total += replayed
+
+    def _replay(self, worker_id: int, verb: str, ops: Any) -> None:
+        """One raw replay round against a freshly rebuilt worker.
+
+        Replies are discarded — the original replies were already merged
+        before the failure, and worker sessions are deterministic, so the
+        replay only rebuilds state.  Raw transport is used on purpose: a
+        replay must not consume fault-plan ordinals.
+        """
+        try:
+            self._transport.ship(worker_id, verb, ops)
+            status, _payload = self._transport.collect(
+                worker_id, timeout=self.op_timeout
+            )
+        except WorkerFailureError:
+            raise
+        except ShardingError as exc:
+            raise WorkerFailureError(worker_id, "replay", str(exc)) from exc
+        if status != "ok":
+            raise WorkerFailureError(
+                worker_id, "replay", f"worker rejected a replayed {verb!r} round"
+            )
 
     def close(self) -> None:
         """Stop every worker process.  Idempotent."""
@@ -1074,6 +1293,12 @@ class ShardedDetectionEngine:
             return report
         moved = max(unit.partition.groups[donor])
         merged = self.merged_session_state(name)
+        if self._supervisor is not None:
+            # Re-anchor recovery baselines before mutating the layout: the
+            # old op logs reference the pre-rebalance shard sessions and
+            # must never be replayed onto the re-split ones.
+            for worker_id in sorted(set(unit.workers)):
+                self._refresh_worker(worker_id)
         new_groups = [list(group) for group in unit.partition.groups]
         new_groups[donor].remove(moved)
         new_groups[receiver].append(moved)
@@ -1100,6 +1325,7 @@ class ShardedDetectionEngine:
         new_unit.reports = unit.reports
         new_unit.warmup_announced = unit.warmup_announced
         new_unit.rebalances = unit.rebalances + 1
+        new_unit.recoveries = unit.recoveries
         self._units[name] = new_unit
         self._ship_unit(new_unit)
         self._rebalances_total += 1
@@ -1181,11 +1407,16 @@ class ShardedDetectionEngine:
         out: dict[str, dict] = {}
         for name, unit in self._units.items():
             if unit.kind == "whole":
-                out[name] = per_key[unit.key]
+                stats = dict(per_key[unit.key] or {})
+                if unit.recoveries:
+                    stats["recoveries"] = unit.recoveries
+                out[name] = stats
                 continue
             merged = _merge_numeric_dicts(per_key.get(key) for key in unit.keys)
             if merged or unit.rebalances:
                 merged["rebalances"] = unit.rebalances
+            if unit.recoveries:
+                merged["recoveries"] = unit.recoveries
             out[name] = merged
         return out
 
@@ -1236,7 +1467,11 @@ class ShardedDetectionEngine:
         sessions: dict[str, Any] = {}
         for name, unit in self._units.items():
             if unit.kind == "whole":
-                sessions[name] = {"kind": "whole", "worker": unit.worker}
+                sessions[name] = {
+                    "kind": "whole",
+                    "worker": unit.worker,
+                    "recoveries": unit.recoveries,
+                }
             else:
                 sessions[name] = {
                     "kind": "subtree",
@@ -1247,13 +1482,43 @@ class ShardedDetectionEngine:
                     ],
                     "workers": list(unit.workers),
                     "rebalances": unit.rebalances,
+                    "recoveries": unit.recoveries,
                 }
-        return {
+        info: dict[str, Any] = {
             "transport": self._transport.name,
             "num_workers": self.num_workers,
             "rebalances": self._rebalances_total,
             "sessions": sessions,
+            "supervision": {
+                "enabled": self.supervision,
+                "op_timeout": self.op_timeout,
+                "recovering": self.recovering,
+                "recoveries": self._recoveries_total,
+                "replayed_batches": self._replayed_batches_total,
+                "last_recovery_unix": self._last_recovery_unix,
+            },
         }
+        if self._supervisor is not None:
+            info["supervision"].update(
+                failures=self._supervisor.failures_total,
+                faults_injected=self._supervisor.faults_injected,
+            )
+        return info
+
+    @property
+    def recovering(self) -> bool:
+        """True while a worker rebuild is in progress (degraded mode)."""
+        return self._recovering_depth > 0
+
+    @property
+    def recoveries_total(self) -> int:
+        """Workers successfully respawned and rebuilt over this engine's life."""
+        return self._recoveries_total
+
+    @property
+    def replayed_batches_total(self) -> int:
+        """Op-log rounds replayed onto rebuilt workers."""
+        return self._replayed_batches_total
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -1328,6 +1593,11 @@ class ShardedDetectionEngine:
         subtree_depth: "int | Mapping[str, int]" = 1,
         transport: "str | ShardTransport" = "pipe",
         transport_options: "Mapping[str, Any] | None" = None,
+        supervision: bool = True,
+        op_timeout: float = 60.0,
+        replay_buffer_ops: int = 64,
+        max_recovery_attempts: int = 2,
+        fault_plan: Any = None,
     ) -> "ShardedDetectionEngine":
         """Rebuild a sharded engine from a (serial-format) engine snapshot."""
         _check_header(state)
@@ -1340,6 +1610,11 @@ class ShardedDetectionEngine:
             start_method=start_method,
             transport=transport,
             transport_options=transport_options,
+            supervision=supervision,
+            op_timeout=op_timeout,
+            replay_buffer_ops=replay_buffer_ops,
+            max_recovery_attempts=max_recovery_attempts,
+            fault_plan=fault_plan,
         )
         for session_state in state["sessions"]:
             session_name = str(session_state["name"])
@@ -1369,6 +1644,11 @@ class ShardedDetectionEngine:
         subtree_depth: "int | Mapping[str, int]" = 1,
         transport: "str | ShardTransport" = "pipe",
         transport_options: "Mapping[str, Any] | None" = None,
+        supervision: bool = True,
+        op_timeout: float = 60.0,
+        replay_buffer_ops: int = 64,
+        max_recovery_attempts: int = 2,
+        fault_plan: Any = None,
     ) -> "ShardedDetectionEngine":
         """Restore a sharded engine from any engine checkpoint file."""
         return cls.from_state_dict(
@@ -1380,6 +1660,11 @@ class ShardedDetectionEngine:
             subtree_depth=subtree_depth,
             transport=transport,
             transport_options=transport_options,
+            supervision=supervision,
+            op_timeout=op_timeout,
+            replay_buffer_ops=replay_buffer_ops,
+            max_recovery_attempts=max_recovery_attempts,
+            fault_plan=fault_plan,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -6,6 +6,15 @@ is pickled whole — record batches included — and sent over a
 timestamp and category of every shipped batch, which is exactly the
 overhead the shared-memory transport avoids (and the
 ``--check-shard-overhead`` benchmark gate quantifies).
+
+Supervision: :meth:`collect` accepts a per-operation deadline and polls the
+pipe in short slices, checking worker liveness between slices, so a dead or
+wedged worker surfaces as a typed
+:class:`~repro.exceptions.WorkerFailureError` instead of a hang.
+:meth:`kill_worker` / :meth:`respawn` replace a worker in place (fresh
+process, fresh pipe, same worker id) for the supervisor's exact-recovery
+path, and :meth:`close` escalates ``join`` → ``terminate`` → ``kill`` so a
+wedged worker can never block shutdown.
 """
 
 from __future__ import annotations
@@ -16,6 +25,11 @@ from typing import Any
 
 from repro.engine.shard_worker import handle_message
 from repro.engine.transport.base import ShardTransport
+from repro.exceptions import ShardingError, WorkerFailureError
+
+#: Poll slice while waiting under a collect deadline; short enough that
+#: worker death is noticed promptly, long enough to stay off the CPU.
+_POLL_SLICE = 0.05
 
 
 def _pipe_worker_main(conn, worker_id: int) -> None:  # pragma: no cover - subprocess
@@ -35,7 +49,7 @@ def _pipe_worker_main(conn, worker_id: int) -> None:  # pragma: no cover - subpr
             except (BrokenPipeError, OSError):
                 pass
             return
-        reply = handle_message(units, verb, ops)
+        reply = handle_message(units, verb, ops, worker_id=worker_id)
         try:
             conn.send_bytes(pickle.dumps(reply, protocol=pickle.HIGHEST_PROTOCOL))
         except (BrokenPipeError, OSError):
@@ -47,44 +61,110 @@ class PipeTransport(ShardTransport):
 
     name = "pipe"
 
+    #: Worker entry point; subclasses swap in their own loop and inherit the
+    #: spawn/supervision machinery unchanged.
+    _worker_main = staticmethod(_pipe_worker_main)
+
     def __init__(self) -> None:
         super().__init__()
         self._procs: "list[Any] | None" = None
         self._conns: "list[Any] | None" = None
+        self._start_method: "str | None" = None
+
+    def _spawn_worker(self, ctx, worker_id: int) -> tuple:
+        """Start one worker process; returns ``(process, parent_conn)``."""
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        process = ctx.Process(
+            target=type(self)._worker_main,
+            args=(child_conn, worker_id),
+            name=f"repro-shard-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return process, parent_conn
 
     def connect(self, num_workers: int, start_method: "str | None" = None) -> None:
+        self._start_method = start_method
         ctx = multiprocessing.get_context(start_method)
         self._procs, self._conns = [], []
         for worker_id in range(num_workers):
-            parent_conn, child_conn = ctx.Pipe(duplex=True)
-            process = ctx.Process(
-                target=_pipe_worker_main,
-                args=(child_conn, worker_id),
-                name=f"repro-shard-{worker_id}",
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
+            process, conn = self._spawn_worker(ctx, worker_id)
             self._procs.append(process)
-            self._conns.append(parent_conn)
+            self._conns.append(conn)
 
-    def ship(self, worker_id: int, verb: str, ops: Any) -> None:
+    def ship(
+        self, worker_id: int, verb: str, ops: Any, *, corrupt: bool = False
+    ) -> None:
         start = self._clock()
         data = pickle.dumps((verb, ops), protocol=pickle.HIGHEST_PROTOCOL)
+        if corrupt:
+            data = self._mangle(data)
         try:
             self._conns[worker_id].send_bytes(data)
         except (BrokenPipeError, OSError) as exc:
-            raise self._dead(worker_id, exc) from exc
+            raise self._dead(worker_id, exc, "ship") from exc
         self._note_ship(len(data), len(data), self._clock() - start)
 
-    def collect(self, worker_id: int) -> tuple:
+    def collect(self, worker_id: int, timeout: "float | None" = None) -> tuple:
         start = self._clock()
+        conn = self._conns[worker_id]
+        if timeout is not None:
+            deadline = start + timeout
+            try:
+                while not conn.poll(_POLL_SLICE):
+                    alive = self.is_alive(worker_id)
+                    # A dead worker may still have flushed its final reply
+                    # into the pipe; only fail once the pipe is drained too.
+                    if alive is False and not conn.poll(0):
+                        raise self._dead(
+                            worker_id, EOFError("worker process exited"), "collect"
+                        )
+                    if self._clock() >= deadline:
+                        raise WorkerFailureError(
+                            worker_id,
+                            "collect",
+                            f"no reply within the {timeout:.3f}s deadline",
+                        )
+            except (OSError, ValueError) as exc:
+                raise self._dead(worker_id, exc, "collect") from exc
         try:
-            data = self._conns[worker_id].recv_bytes()
+            data = conn.recv_bytes()
         except (EOFError, OSError) as exc:
-            raise self._dead(worker_id, exc) from exc
+            raise self._dead(worker_id, exc, "collect") from exc
         self._note_collect(len(data), self._clock() - start)
         return pickle.loads(data)
+
+    # -- supervision ----------------------------------------------------
+    def is_alive(self, worker_id: int) -> "bool | None":
+        if self._procs is None:
+            return False
+        process = self._procs[worker_id]
+        return process is not None and process.is_alive()
+
+    def kill_worker(self, worker_id: int) -> None:
+        if self._procs is None:
+            return
+        process = self._procs[worker_id]
+        if process is not None and process.is_alive():
+            process.kill()
+            process.join(timeout=5)
+        # Sever the channel so in-flight ships/collects fail fast instead of
+        # buffering against a corpse.
+        try:
+            self._conns[worker_id].close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def respawn(self, worker_id: int, start_method: "str | None" = None) -> None:
+        if self._procs is None:
+            raise ShardingError("transport is not connected; cannot respawn")
+        self.kill_worker(worker_id)
+        ctx = multiprocessing.get_context(start_method or self._start_method)
+        process, conn = self._spawn_worker(ctx, worker_id)
+        self._procs[worker_id] = process
+        self._conns[worker_id] = conn
+        self.respawns += 1
 
     def close(self) -> None:
         if self._procs is None:
@@ -96,14 +176,17 @@ class PipeTransport(ShardTransport):
             except (BrokenPipeError, OSError):
                 pass
         for process, conn in zip(self._procs, self._conns):
+            # Bounded wait for the stop ack — a wedged worker must not be
+            # able to hang shutdown; _reap escalates to terminate/kill.
             try:
-                conn.recv_bytes()
+                if conn.poll(5):
+                    conn.recv_bytes()
             except (EOFError, OSError):
                 pass
-            conn.close()
-            process.join(timeout=5)
-            if process.is_alive():  # pragma: no cover - defensive
-                process.terminate()
-                process.join(timeout=5)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            self._reap(process)
         self._procs = None
         self._conns = None

@@ -18,6 +18,15 @@ created; the worker notices the new name in the notify and re-attaches.
 Replies flow back pickled over the control pipe: they are small (closed
 timeunit results, state dicts at checkpoint time) and carry no record
 columns.
+
+Supervision is inherited from :class:`~repro.engine.transport.pipe.PipeTransport`
+(deadline-aware collects, kill/respawn, escalating shutdown); the one
+shm-specific wrinkle is that :meth:`respawn` must also reset the replaced
+worker's coordinator-side :class:`~repro.engine.transport.wire.DictEncoder`,
+because the fresh worker process starts with an empty decoder mirror.
+Every frame carries a crc32 (see :mod:`~repro.engine.transport.wire`), so a
+corrupted segment is detected worker-side and fails loudly rather than
+feeding garbage into a session.
 """
 
 from __future__ import annotations
@@ -87,7 +96,7 @@ def _shm_worker_main(conn, worker_id: int) -> None:  # pragma: no cover - subpro
             attached = (segment_name, _attach_untracked(segment_name))
         frame = attached[1].buf[:frame_len]
         verb, ops = decode_frame(frame, decoder)
-        reply = handle_message(units, verb, ops)
+        reply = handle_message(units, verb, ops, worker_id=worker_id)
         # Decoded columns may be views into the mapping; drop them before
         # acknowledging so the coordinator is free to rewrite the segment.
         del verb, ops, frame
@@ -107,6 +116,8 @@ class SharedMemoryTransport(PipeTransport):
 
     name = "shm"
 
+    _worker_main = staticmethod(_shm_worker_main)
+
     def __init__(self, segment_bytes: int = DEFAULT_SEGMENT_BYTES) -> None:
         super().__init__()
         self._segment_bytes = max(int(segment_bytes), 4096)
@@ -114,28 +125,24 @@ class SharedMemoryTransport(PipeTransport):
         self._encoders: list[DictEncoder] = []
 
     def connect(self, num_workers: int, start_method: "str | None" = None) -> None:
-        import multiprocessing
-
-        ctx = multiprocessing.get_context(start_method)
-        self._procs, self._conns = [], []
         self._segments = [None] * num_workers
         self._encoders = [DictEncoder() for _ in range(num_workers)]
-        for worker_id in range(num_workers):
-            parent_conn, child_conn = ctx.Pipe(duplex=True)
-            process = ctx.Process(
-                target=_shm_worker_main,
-                args=(child_conn, worker_id),
-                name=f"repro-shard-{worker_id}",
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
-            self._procs.append(process)
-            self._conns.append(parent_conn)
+        super().connect(num_workers, start_method)
 
-    def ship(self, worker_id: int, verb: str, ops: Any) -> None:
+    def respawn(self, worker_id: int, start_method: "str | None" = None) -> None:
+        super().respawn(worker_id, start_method)
+        # The replacement worker starts with an empty delta-dictionary
+        # mirror; restart the coordinator-side encoder in lockstep or every
+        # subsequent frame would reference dictionary codes it never saw.
+        self._encoders[worker_id] = DictEncoder()
+
+    def ship(
+        self, worker_id: int, verb: str, ops: Any, *, corrupt: bool = False
+    ) -> None:
         start = self._clock()
         frame, serialized = encode_frame((verb, ops), self._encoders[worker_id])
+        if corrupt:
+            frame = self._mangle(frame)
         segment = self._segments[worker_id]
         if segment is None or segment.size < len(frame):
             wanted = max(
@@ -154,7 +161,7 @@ class SharedMemoryTransport(PipeTransport):
         try:
             self._conns[worker_id].send_bytes(notify)
         except (BrokenPipeError, OSError) as exc:
-            raise self._dead(worker_id, exc) from exc
+            raise self._dead(worker_id, exc, "ship") from exc
         # Only the notify and the frame's skeleton pass through pickle; the
         # batch columns live in the segment as raw buffers.
         self._note_ship(

@@ -20,6 +20,17 @@ Two modes:
 Worker ids are assigned in connection-arrival order.  That order is
 nondeterministic, but shard placement affects only *where* a unit runs,
 never its results — the engine's merge discipline is id-independent.
+
+Supervision: every ship and collect runs under a socket deadline, so a
+dead or black-holed remote surfaces as a typed
+:class:`~repro.exceptions.WorkerFailureError` instead of blocking the
+coordinator forever.  :meth:`kill_worker` severs a worker's connection
+(the portable "kill" for a peer that may live on another host) and
+:meth:`respawn` re-accepts a replacement on the retained listener with a
+capped-exponential accept loop — self-spawn mode dials the replacement
+itself; external mode waits for the operator (or orchestrator) to start
+one.  Frames carry a crc32, so corruption on the wire fails loudly
+worker-side.
 """
 
 from __future__ import annotations
@@ -38,16 +49,28 @@ from repro.engine.transport.wire import (
     decode_frame,
     encode_frame,
 )
-from repro.exceptions import ShardingError
+from repro.exceptions import ShardingError, WorkerFailureError
 
 _LEN = struct.Struct("<Q")
 
 
-def _recv_exact(sock: socket.socket, nbytes: int) -> bytes:
+def _recv_exact(
+    sock: socket.socket, nbytes: int, deadline: "float | None" = None
+) -> bytes:
+    """Read exactly ``nbytes``, honouring an absolute monotonic deadline.
+
+    The deadline bounds the *whole* read, not each chunk, so a peer
+    trickling bytes cannot stretch one logical receive indefinitely.
+    """
     buf = bytearray(nbytes)
     view = memoryview(buf)
     got = 0
     while got < nbytes:
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise socket.timeout("shard reply deadline expired")
+            sock.settimeout(remaining)
         n = sock.recv_into(view[got:], nbytes - got)
         if n == 0:
             raise EOFError("peer closed the shard connection")
@@ -65,15 +88,17 @@ def send_frame(
 
 
 def recv_frame(
-    sock: socket.socket, decoder: "DictDecoder | None" = None
+    sock: socket.socket,
+    decoder: "DictDecoder | None" = None,
+    deadline: "float | None" = None,
 ) -> tuple[Any, int]:
     """Receive one framed object; returns (object, wire bytes)."""
-    (length,) = _LEN.unpack(_recv_exact(sock, _LEN.size))
-    data = _recv_exact(sock, length)
+    (length,) = _LEN.unpack(_recv_exact(sock, _LEN.size, deadline))
+    data = _recv_exact(sock, length, deadline)
     return decode_frame(data, decoder), _LEN.size + length
 
 
-def serve_connection(sock: socket.socket) -> None:
+def serve_connection(sock: socket.socket, worker_id: "int | None" = None) -> None:
     """Serve one coordinator connection until a stop verb or disconnect."""
     units: dict[Any, Any] = {}
     decoder = DictDecoder()  # cumulative delta-dictionary mirror (see wire.py)
@@ -88,7 +113,7 @@ def serve_connection(sock: socket.socket) -> None:
             except OSError:
                 pass
             return
-        reply = handle_message(units, verb, ops)
+        reply = handle_message(units, verb, ops, worker_id=worker_id)
         try:
             send_frame(sock, reply)
         except OSError:
@@ -96,7 +121,12 @@ def serve_connection(sock: socket.socket) -> None:
 
 
 def run_worker(
-    host: str, port: int, *, retries: int = 40, retry_delay: float = 0.25
+    host: str,
+    port: int,
+    *,
+    retries: int = 40,
+    retry_delay: float = 0.25,
+    worker_id: "int | None" = None,
 ) -> None:
     """Dial a sharded-engine coordinator and serve until stopped.
 
@@ -104,7 +134,9 @@ def run_worker(
     wraps it in a CLI): run it once per worker, pointing at the
     coordinator's listen address, *before* the coordinator engine first
     ingests.  Connection attempts retry briefly so worker and coordinator
-    processes can start in any order.
+    processes can start in any order.  ``worker_id`` is advisory (external
+    workers are identified by arrival order, not by this value); it scopes
+    worker-side fault injection in the chaos suite.
     """
     last_error: "OSError | None" = None
     for _ in range(max(1, retries)):
@@ -120,11 +152,13 @@ def run_worker(
         )
     with sock:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        serve_connection(sock)
+        serve_connection(sock, worker_id)
 
 
-def _tcp_worker_main(host: str, port: int) -> None:  # pragma: no cover - subprocess
-    run_worker(host, port)
+def _tcp_worker_main(
+    host: str, port: int, worker_id: "int | None" = None
+) -> None:  # pragma: no cover - subprocess
+    run_worker(host, port, worker_id=worker_id)
 
 
 class TcpTransport(ShardTransport):
@@ -138,12 +172,15 @@ class TcpTransport(ShardTransport):
         port: int = 0,
         spawn_workers: bool = True,
         accept_timeout: float = 60.0,
+        op_timeout: float = 60.0,
     ) -> None:
         super().__init__()
         self.host = host
         self.port = int(port)  # 0 until connect() binds
         self.spawn_workers = bool(spawn_workers)
         self.accept_timeout = float(accept_timeout)
+        #: Deadline for each outbound send; collects take theirs per call.
+        self.op_timeout = float(op_timeout)
         self._listener: "socket.socket | None" = None
         self._socks: "list[socket.socket] | None" = None
         self._procs: list[Any] = []
@@ -163,20 +200,24 @@ class TcpTransport(ShardTransport):
             self._listener = listener
         return self.port
 
+    def _spawn_worker_proc(self, worker_id: int, start_method: "str | None") -> None:
+        ctx = multiprocessing.get_context(start_method)
+        process = ctx.Process(
+            target=_tcp_worker_main,
+            args=(self.host, self.port, worker_id),
+            name=f"repro-shard-tcp-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        self._procs.append(process)
+
     def connect(self, num_workers: int, start_method: "str | None" = None) -> None:
         self.listen()
-        self._listener.listen(num_workers)
+        # Backlog covers initial connects plus any future respawn dials.
+        self._listener.listen(max(num_workers, 8))
         if self.spawn_workers:
-            ctx = multiprocessing.get_context(start_method)
             for worker_id in range(num_workers):
-                process = ctx.Process(
-                    target=_tcp_worker_main,
-                    args=(self.host, self.port),
-                    name=f"repro-shard-tcp-{worker_id}",
-                    daemon=True,
-                )
-                process.start()
-                self._procs.append(process)
+                self._spawn_worker_proc(worker_id, start_method)
         self._listener.settimeout(self.accept_timeout)
         self._socks = []
         self._encoders = [DictEncoder() for _ in range(num_workers)]
@@ -192,31 +233,116 @@ class TcpTransport(ShardTransport):
                 f"{self.accept_timeout:.0f}s"
             ) from exc
 
-    def ship(self, worker_id: int, verb: str, ops: Any) -> None:
+    def ship(
+        self, worker_id: int, verb: str, ops: Any, *, corrupt: bool = False
+    ) -> None:
         start = self._clock()
+        sock = self._socks[worker_id]
         try:
-            nbytes, serialized = send_frame(
-                self._socks[worker_id], (verb, ops), self._encoders[worker_id]
-            )
+            sock.settimeout(self.op_timeout)
+            frame, serialized = encode_frame((verb, ops), self._encoders[worker_id])
+            if corrupt:
+                frame = self._mangle(frame)
+            sock.sendall(_LEN.pack(len(frame)) + frame)
+            sock.settimeout(None)
+        except socket.timeout as exc:
+            raise WorkerFailureError(
+                worker_id,
+                "ship",
+                f"send stalled past the {self.op_timeout:.3f}s deadline",
+            ) from exc
         except OSError as exc:
-            raise self._dead(worker_id, exc) from exc
-        self._note_ship(nbytes, serialized, self._clock() - start)
+            raise self._dead(worker_id, exc, "ship") from exc
+        self._note_ship(
+            _LEN.size + len(frame), _LEN.size + serialized, self._clock() - start
+        )
 
-    def collect(self, worker_id: int) -> tuple:
+    def collect(self, worker_id: int, timeout: "float | None" = None) -> tuple:
         start = self._clock()
+        sock = self._socks[worker_id]
+        deadline = None if timeout is None else time.monotonic() + timeout
         try:
-            reply, nbytes = recv_frame(self._socks[worker_id])
+            if deadline is None:
+                sock.settimeout(None)
+            reply, nbytes = recv_frame(sock, deadline=deadline)
+        except socket.timeout as exc:
+            raise WorkerFailureError(
+                worker_id,
+                "collect",
+                f"no reply within the {timeout:.3f}s deadline",
+            ) from exc
         except (EOFError, ConnectionError, OSError) as exc:
-            raise self._dead(worker_id, exc) from exc
+            raise self._dead(worker_id, exc, "collect") from exc
+        finally:
+            try:
+                sock.settimeout(None)
+            except OSError:  # pragma: no cover - socket already dead
+                pass
         self._note_collect(nbytes, self._clock() - start)
         return reply
+
+    # -- supervision ----------------------------------------------------
+    def kill_worker(self, worker_id: int) -> None:
+        """Sever the worker's connection (idempotent).
+
+        For a peer that may live on another host, closing the socket *is*
+        the kill: the worker's serve loop sees EOF and exits.  Self-spawned
+        worker processes terminate themselves the same way.
+        """
+        if self._socks is None:
+            return
+        sock = self._socks[worker_id]
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def respawn(self, worker_id: int, start_method: "str | None" = None) -> None:
+        if self._socks is None or self._listener is None:
+            raise ShardingError("transport is not connected; cannot respawn")
+        self.kill_worker(worker_id)
+        if self.spawn_workers:
+            self._spawn_worker_proc(worker_id, start_method)
+        # Accept the replacement with capped-exponential waits so external
+        # deployments get time to start one, without ever blocking past
+        # accept_timeout in total.
+        deadline = time.monotonic() + self.accept_timeout
+        wait = 0.1
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise WorkerFailureError(
+                    worker_id,
+                    "respawn",
+                    f"no replacement worker dialed in within "
+                    f"{self.accept_timeout:.0f}s",
+                )
+            self._listener.settimeout(min(wait, remaining))
+            try:
+                sock, _addr = self._listener.accept()
+                break
+            except socket.timeout:
+                wait = min(wait * 2, 2.0)
+            except OSError as exc:
+                raise WorkerFailureError(
+                    worker_id, "respawn", f"listener failed ({exc!r})"
+                ) from exc
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._socks[worker_id] = sock
+        # The replacement's decoder starts empty; restart its encoder too.
+        self._encoders[worker_id] = DictEncoder()
+        self.respawns += 1
 
     def close(self) -> None:
         if self._socks is not None:
             for sock in self._socks:
                 try:
-                    send_frame(sock, ("stop", None))
                     sock.settimeout(5.0)
+                    send_frame(sock, ("stop", None))
                     recv_frame(sock)
                 except (EOFError, ConnectionError, OSError):
                     pass
@@ -232,8 +358,5 @@ class TcpTransport(ShardTransport):
                 pass
             self._listener = None
         for process in self._procs:
-            process.join(timeout=5)
-            if process.is_alive():  # pragma: no cover - defensive
-                process.terminate()
-                process.join(timeout=5)
+            self._reap(process)
         self._procs = []

@@ -39,8 +39,16 @@ list, so those caches hit every time.
 
 Frame layout (all integers little-endian)::
 
-    b"RSF1" | <I skeleton_len> | <I ncols> | ncols * <Q col_len>
+    b"RSF2" | <I crc32> | <I skeleton_len> | <I ncols> | ncols * <Q col_len>
     | skeleton | [pad to 8] col_0 | [pad to 8] col_1 | ...
+
+``crc32`` (:func:`zlib.crc32`) covers every byte after the checksum field.
+Frames are coordinator<->worker internal — shared memory mappings and
+sockets — so the check exists to *fail loudly*: a corrupted frame (bit
+rot, a torn segment, an injected ``corrupt_frame`` fault) raises
+:class:`~repro.exceptions.ShardingError` at decode instead of feeding
+garbage records into detection, and the supervised engine treats the
+resulting worker death as a recoverable fault.
 
 The shared-memory transport writes frames into a
 ``multiprocessing.shared_memory`` segment (the worker decodes straight out
@@ -55,6 +63,7 @@ from __future__ import annotations
 import pickle
 import struct
 import sys
+import zlib
 from array import array
 from typing import Any
 
@@ -66,7 +75,8 @@ try:  # pragma: no cover - exercised implicitly by the whole suite
 except ImportError:  # pragma: no cover - minimal installs
     _np = None
 
-_MAGIC = b"RSF1"
+_MAGIC = b"RSF2"
+_CRC = struct.Struct("<I")
 _HEADER = struct.Struct("<II")
 _COL_LEN = struct.Struct("<Q")
 
@@ -314,13 +324,14 @@ def encode_frame(
     skeleton = pickle.dumps(
         _strip(obj, columns, encoder), protocol=pickle.HIGHEST_PROTOCOL
     )
+    # Everything after the checksum field; the crc is computed over these
+    # parts incrementally, so the frame is still joined exactly once.
     parts = [
-        _MAGIC,
         _HEADER.pack(len(skeleton), len(columns)),
         b"".join(_COL_LEN.pack(len(col)) for col in columns),
         skeleton,
     ]
-    offset = sum(len(part) for part in parts)
+    offset = len(_MAGIC) + _CRC.size + sum(len(part) for part in parts)
     for col in columns:
         pad = (-offset) % 8
         if pad:
@@ -328,7 +339,10 @@ def encode_frame(
             offset += pad
         parts.append(col)
         offset += len(col)
-    return b"".join(parts), len(skeleton)
+    crc = 0
+    for part in parts:
+        crc = zlib.crc32(part, crc)
+    return b"".join([_MAGIC, _CRC.pack(crc)] + parts), len(skeleton)
 
 
 def decode_frame(buf: Any, decoder: "DictDecoder | None" = None) -> Any:
@@ -346,8 +360,16 @@ def decode_frame(buf: Any, decoder: "DictDecoder | None" = None) -> Any:
     view = memoryview(buf)
     if bytes(view[: len(_MAGIC)]) != _MAGIC:
         raise ShardingError("corrupt shard frame: bad magic")
-    skeleton_len, ncols = _HEADER.unpack_from(view, len(_MAGIC))
-    offset = len(_MAGIC) + _HEADER.size
+    (expected_crc,) = _CRC.unpack_from(view, len(_MAGIC))
+    body = view[len(_MAGIC) + _CRC.size :]
+    actual_crc = zlib.crc32(body)
+    if actual_crc != expected_crc:
+        raise ShardingError(
+            f"corrupt shard frame: checksum mismatch (expected "
+            f"{expected_crc:#010x}, got {actual_crc:#010x})"
+        )
+    skeleton_len, ncols = _HEADER.unpack_from(view, len(_MAGIC) + _CRC.size)
+    offset = len(_MAGIC) + _CRC.size + _HEADER.size
     col_lens = [
         _COL_LEN.unpack_from(view, offset + i * _COL_LEN.size)[0]
         for i in range(ncols)

@@ -63,6 +63,32 @@ class ShardingError(ReproError):
     """
 
 
+class WorkerFailureError(ShardingError):
+    """A shard worker died, stalled past its deadline, or lost its channel.
+
+    Raised by the transports (per-operation deadlines and liveness checks)
+    and by :class:`repro.engine.supervisor.ShardSupervisor` instead of
+    blocking forever on a dead peer.  Under a supervised engine this is a
+    *recoverable* condition: the coordinator respawns the worker, restores
+    its shard units from the last barrier snapshot and replays the bounded
+    op log, producing results bit-identical to an uninterrupted run.
+
+    Picklable (``__reduce__``), so it crosses process boundaries intact.
+    """
+
+    def __init__(self, worker_id: int, op: str = "", detail: str = ""):
+        self.worker_id = int(worker_id)
+        self.op = str(op)
+        self.detail = str(detail)
+        message = f"shard worker {self.worker_id} failed during {self.op or 'an operation'}"
+        if detail:
+            message = f"{message}: {self.detail}"
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (type(self), (self.worker_id, self.op, self.detail))
+
+
 class ForecastingError(ReproError):
     """A forecasting model was used before initialization or with bad input."""
 
@@ -92,6 +118,31 @@ class DataGenerationError(ReproError):
 
 class CheckpointError(ReproError):
     """A checkpoint file is malformed, incompatible, or cannot be restored."""
+
+
+class CheckpointReadError(CheckpointError):
+    """A checkpoint file exists but cannot be read, parsed, or validated.
+
+    Distinguishes *torn or corrupt files* (truncated JSON after a crash,
+    bit rot, a half-written file from a foreign writer) from the semantic
+    checkpoint errors :class:`CheckpointError` also covers.  The service's
+    rolling-retention activation path catches this, quarantines the bad
+    file (``.corrupt`` rename) and falls back to the newest valid retained
+    checkpoint, counting ``checkpoint_fallbacks_total`` in ``/metrics``.
+
+    Picklable (``__reduce__``), so it crosses process boundaries intact.
+    """
+
+    def __init__(self, path: str, detail: str = ""):
+        self.path = str(path)
+        self.detail = str(detail)
+        message = f"cannot read checkpoint {self.path}"
+        if detail:
+            message = f"{message}: {self.detail}"
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (type(self), (self.path, self.detail))
 
 
 class CheckpointWriteError(CheckpointError):

@@ -41,14 +41,16 @@ consumers must not rely on entry order, only on per-path content.
 
 from __future__ import annotations
 
+import errno as _errno
 import json
 import os
+import shutil
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from repro.core.config import ForecastConfig, TiresiasConfig
 from repro.core.detector import Anomaly
-from repro.exceptions import CheckpointError, CheckpointWriteError
+from repro.exceptions import CheckpointError, CheckpointReadError, CheckpointWriteError
 from repro.hierarchy.tree import HierarchyTree
 from repro.streaming.clock import SimulationClock
 
@@ -834,6 +836,16 @@ def _write_json(document: Mapping[str, Any], path: "str | Path") -> None:
     payload = json.dumps(document)
     try:
         with open(tmp, "w", encoding="utf-8") as handle:
+            fault = _checkpoint_write_fault(path)
+            if fault is not None:
+                # Injected ENOSPC (see repro.testing.faults): leave a torn
+                # half-write in the temp file, then fail exactly where a
+                # full disk would — the cleanup below must still hold.
+                handle.write(payload[: max(1, len(payload) // 2)])
+                handle.flush()
+                raise OSError(
+                    _errno.ENOSPC, "no space left on device (injected fault)"
+                )
             handle.write(payload)
             handle.flush()
             os.fsync(handle.fileno())
@@ -860,8 +872,100 @@ def _write_json(document: Mapping[str, Any], path: "str | Path") -> None:
         os.close(dir_fd)
 
 
+def _checkpoint_write_fault(path: Path):
+    """Deterministic-fault hook: the spec to inject for this write, if any.
+
+    Imported lazily so checkpoint IO has no testing-module dependency until
+    a fault plan is actually in play; with no plan active this is one
+    dictionary lookup.
+    """
+    from repro.testing.faults import checkpoint_write_fault
+
+    return checkpoint_write_fault(path)
+
+
 def _read_json(path: "str | Path") -> Any:
     try:
         return json.loads(Path(path).read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
-        raise CheckpointError(f"checkpoint {path} is not valid JSON: {exc}") from exc
+        # Torn or corrupt file (crash mid-write by a foreign writer, bit
+        # rot): typed so retention-aware callers can quarantine and fall
+        # back to an older retained checkpoint.
+        raise CheckpointReadError(
+            str(path), f"not valid JSON: {exc}"
+        ) from exc
+
+
+def retained_checkpoint_path(path: "str | Path", age: int) -> Path:
+    """Path of the ``age``-th retained predecessor of ``path``.
+
+    ``age == 0`` is the primary file itself; ``age >= 1`` appends ``.{age}``
+    (``tenant.ckpt.json.1`` is the previous checkpoint, ``.2`` the one
+    before, ...).
+    """
+    path = Path(path)
+    if age < 0:
+        raise ValueError(f"retention age must be >= 0, got {age}")
+    return path if age == 0 else path.with_name(f"{path.name}.{age}")
+
+
+def rotate_retained_checkpoints(path: "str | Path", keep: int) -> None:
+    """Shift the retained-checkpoint chain of ``path`` one step down.
+
+    ``.{keep-1}`` → ``.{keep}`` … ``.1`` → ``.2``, then the primary is
+    *hard-linked* to ``.1``: the subsequent :func:`_write_json` replaces the
+    primary's directory entry with a new inode, so ``.1`` keeps the old
+    bytes without ever copying them, and at every instant of the sequence
+    either the primary or ``.1`` names a complete, valid checkpoint (crash
+    windows included).  Filesystems without hard links fall back to a copy.
+    Entries beyond ``keep`` are deleted.
+    """
+    path = Path(path)
+    keep = int(keep)
+    if keep < 1:
+        raise ValueError(f"retention keep must be >= 1, got {keep}")
+    if not path.exists():
+        return
+    # Ages kept after the upcoming write: 0 (new primary) .. keep-1.  The
+    # current ``.{keep-1}`` would shift past the window — drop it (and any
+    # stale deeper entries left by a larger previous retention setting).
+    for age in range(keep - 1, keep + 2):
+        if age < 1:
+            continue
+        try:
+            retained_checkpoint_path(path, age).unlink()
+        except OSError:
+            pass
+    for age in range(keep - 2, 0, -1):
+        source = retained_checkpoint_path(path, age)
+        if source.exists():
+            try:
+                os.replace(source, retained_checkpoint_path(path, age + 1))
+            except OSError:  # pragma: no cover - racing cleanup
+                pass
+    if keep < 2:
+        return
+    slot_one = retained_checkpoint_path(path, 1)
+    try:
+        os.link(path, slot_one)
+    except OSError:  # pragma: no cover - no-hardlink filesystem
+        try:
+            shutil.copy2(path, slot_one)
+        except OSError:
+            pass
+
+
+def save_session_checkpoint_rolling(
+    session, path: "str | Path", keep: int = 3
+) -> None:
+    """:func:`save_session_checkpoint` with rolling retention.
+
+    Keeps the last ``keep`` checkpoints: the fresh primary plus up to
+    ``keep - 1`` predecessors at ``.1`` … ``.{keep-1}``.  The rotation runs
+    *before* the atomic write, so a crash — or a full disk — at any point
+    leaves at least one complete, loadable checkpoint on disk (the
+    pre-write primary survives as both the primary and ``.1`` hard link
+    until the final ``os.replace`` commits the new bytes).
+    """
+    rotate_retained_checkpoints(path, keep)
+    save_session_checkpoint(session, path)

@@ -6,16 +6,19 @@ in-process ``on_anomaly`` hook into operational outputs:
 
 * :class:`JsonlAlertSink` appends one JSON line per anomaly to a file —
   the durable, replayable alert log;
-* :class:`WebhookAlertSink` POSTs each anomaly to an HTTP endpoint — a
-  deliberately minimal webhook *stub* (synchronous, best-effort, short
-  timeout) marking the seam where a production deployment would plug in its
-  paging/queueing integration.
+* :class:`WebhookAlertSink` POSTs each anomaly to an HTTP endpoint.  The
+  first attempt runs inline (one short-timeout request); failed deliveries
+  move to a *bounded* retry queue drained by a background thread under
+  capped exponential backoff with deterministic jitter, so an unreachable
+  receiver never stalls multi-tenant detection and never grows memory
+  without bound (the oldest queued alert is dropped — and counted — when
+  the queue is full).
 
 Both run on the ingest worker thread, inside the detection close.  The JSONL
-sink is cheap (one buffered write).  The webhook stub swallows delivery
-failures by default (``failed_total`` / ``last_error`` surface them in
-``/metrics``): hooks propagate exceptions by design, and an unreachable
-alert receiver must not stall multi-tenant detection.
+sink is cheap (one buffered write).  Webhook delivery failures surface in
+``/metrics`` (``failed_total`` / ``retried_total`` / ``dropped_total`` /
+``last_error``) rather than as exceptions: hooks propagate exceptions by
+design, and alerting must not take down detection.
 """
 
 from __future__ import annotations
@@ -25,8 +28,10 @@ import threading
 import time
 import urllib.error
 import urllib.request
+from collections import deque
 from pathlib import Path
-from typing import TYPE_CHECKING, Any
+from random import Random
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.engine.hooks import EngineObserver
 
@@ -70,43 +75,176 @@ class JsonlAlertSink(EngineObserver):
 
 
 class WebhookAlertSink(EngineObserver):
-    """POST each reported anomaly to an HTTP endpoint (best-effort stub)."""
+    """POST each reported anomaly to an HTTP endpoint, with bounded retries.
+
+    Delivery policy:
+
+    * the **first attempt** runs inline on the ingest thread (one request,
+      ``timeout`` seconds) — fast receivers see alerts with no added
+      latency, and ``raise_on_error=True`` keeps its old fail-loud
+      semantics for that first attempt;
+    * a failed first attempt **enqueues** the payload on a bounded retry
+      queue (``retry_queue_max``; when full, the *oldest* queued alert is
+      dropped and ``dropped_total`` incremented — detection never blocks on
+      alerting);
+    * a lazily started daemon thread drains the queue under **capped
+      exponential backoff** — attempt *k* waits
+      ``min(backoff_cap, backoff_base * 2**(k-1))`` plus up to 10%
+      jitter — giving up after ``max_retries`` retries
+      (``retries_exhausted_total``).
+
+    ``sleep`` and ``rng`` are injectable so tests drive the backoff schedule
+    deterministically (the default rng is seeded, making jitter reproducible
+    within a process).
+    """
 
     def __init__(
         self,
         url: str,
         timeout: float = 2.0,
         raise_on_error: bool = False,
+        max_retries: int = 4,
+        backoff_base: float = 0.25,
+        backoff_cap: float = 30.0,
+        retry_queue_max: int = 256,
+        sleep: "Callable[[float], None] | None" = None,
+        rng: "Random | None" = None,
     ):
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_queue_max < 1:
+            raise ValueError(f"retry_queue_max must be >= 1, got {retry_queue_max}")
         self.url = url
         self.timeout = timeout
         self.raise_on_error = raise_on_error
+        self.max_retries = int(max_retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.retry_queue_max = int(retry_queue_max)
+        self._sleep = time.sleep if sleep is None else sleep
+        self._rng = Random(1729) if rng is None else rng
         self.delivered_total = 0
         self.failed_total = 0
+        self.retried_total = 0
+        self.retries_exhausted_total = 0
+        self.dropped_total = 0
         self.last_error: str | None = None
+        self._queue: "deque[tuple[bytes, int]]" = deque()
+        self._cond = threading.Condition()
+        self._thread: "threading.Thread | None" = None
+        self._inflight = 0
+        self._stopped = False
 
-    def on_anomaly(self, session: "DetectionSession", anomaly: "Anomaly") -> None:
-        payload = json.dumps(_alert_document(session, anomaly)).encode("utf-8")
+    # ------------------------------------------------------------------
+    def _post(self, payload: bytes) -> None:
+        """One delivery attempt; raises on failure (overridable in tests)."""
         request = urllib.request.Request(
             self.url,
             data=payload,
             headers={"Content-Type": "application/json"},
             method="POST",
         )
+        with urllib.request.urlopen(request, timeout=self.timeout):
+            pass
+
+    def _backoff_delay(self, attempt: int) -> float:
+        delay = min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+        return delay + self._rng.uniform(0.0, 0.1 * delay)
+
+    def on_anomaly(self, session: "DetectionSession", anomaly: "Anomaly") -> None:
+        payload = json.dumps(_alert_document(session, anomaly)).encode("utf-8")
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout):
-                pass
+            self._post(payload)
             self.delivered_total += 1
         except (urllib.error.URLError, OSError, ValueError) as exc:
             self.failed_total += 1
             self.last_error = repr(exc)
             if self.raise_on_error:
                 raise
+            if self.max_retries > 0:
+                self._enqueue(payload, attempt=1)
+
+    # ------------------------------------------------------------------
+    # Retry queue
+    # ------------------------------------------------------------------
+    def _enqueue(self, payload: bytes, attempt: int) -> None:
+        with self._cond:
+            if self._stopped:
+                return
+            while len(self._queue) >= self.retry_queue_max:
+                self._queue.popleft()
+                self.dropped_total += 1
+            self._queue.append((payload, attempt))
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._retry_loop,
+                    name="repro-webhook-retry",
+                    daemon=True,
+                )
+                self._thread.start()
+            self._cond.notify()
+
+    def _retry_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._stopped:
+                    self._cond.wait()
+                if self._stopped and not self._queue:
+                    return
+                payload, attempt = self._queue.popleft()
+                self._inflight += 1
+            try:
+                self._sleep(self._backoff_delay(attempt))
+                try:
+                    self._post(payload)
+                except (urllib.error.URLError, OSError, ValueError) as exc:
+                    self.failed_total += 1
+                    self.last_error = repr(exc)
+                    if attempt >= self.max_retries:
+                        self.retries_exhausted_total += 1
+                    else:
+                        self._enqueue(payload, attempt + 1)
+                else:
+                    self.delivered_total += 1
+                    self.retried_total += 1
+            finally:
+                with self._cond:
+                    self._inflight -= 1
+                    self._cond.notify_all()
+
+    def wait_idle(self, timeout: float = 5.0) -> bool:
+        """Block until the retry queue is drained (tests/shutdown); True if idle."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self._queue or self._inflight:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+            return True
+
+    def close(self) -> None:
+        """Stop the retry thread; queued-but-undelivered alerts are dropped."""
+        with self._cond:
+            self._stopped = True
+            dropped = len(self._queue)
+            self._queue.clear()
+            self.dropped_total += dropped
+            thread = self._thread
+            self._cond.notify_all()
+        if thread is not None:
+            thread.join(timeout=5.0)
 
     def counters(self) -> dict[str, Any]:
+        with self._cond:
+            queue_depth = len(self._queue) + self._inflight
         return {
             "url": self.url,
             "delivered_total": self.delivered_total,
             "failed_total": self.failed_total,
+            "retried_total": self.retried_total,
+            "retries_exhausted_total": self.retries_exhausted_total,
+            "dropped_total": self.dropped_total,
+            "retry_queue_depth": queue_depth,
             "last_error": self.last_error,
         }

@@ -149,6 +149,10 @@ class ServiceConfig:
     #: Rolling checkpoint cadence in seconds; 0 disables the timer (explicit
     #: ``POST /checkpoint`` and graceful shutdown still checkpoint).
     checkpoint_interval: float = 30.0
+    #: Rolling checkpoints kept per tenant (primary plus ``.1`` ... ``.N-1``
+    #: predecessors).  A corrupt newest checkpoint is quarantined on
+    #: activation and the newest valid predecessor loads instead.
+    checkpoint_retention: int = 3
     #: Bound of the ingest queue, in batches.  A full queue is the
     #: backpressure signal: HTTP ingestion returns 429, the socket path
     #: stops reading.
@@ -180,6 +184,8 @@ class ServiceConfig:
             raise ConfigurationError("max_active_sessions must be >= 1 or None")
         if self.checkpoint_interval < 0:
             raise ConfigurationError("checkpoint_interval must be >= 0")
+        if self.checkpoint_retention < 1:
+            raise ConfigurationError("checkpoint_retention must be >= 1")
         if self.default_tenant is None and len(self.tenants) == 1:
             object.__setattr__(self, "default_tenant", self.tenants[0].name)
         if self.default_tenant is not None and self.default_tenant not in names:
@@ -211,6 +217,7 @@ class ServiceConfig:
             "socket_port": self.socket_port,
             "checkpoint_dir": str(self.checkpoint_dir),
             "checkpoint_interval": self.checkpoint_interval,
+            "checkpoint_retention": self.checkpoint_retention,
             "queue_max_batches": self.queue_max_batches,
             "ingest_batch_size": self.ingest_batch_size,
             "max_active_sessions": self.max_active_sessions,
@@ -238,6 +245,7 @@ class ServiceConfig:
                 port=int(data.get("port", 8787)),
                 socket_port=None if socket_port is None else int(socket_port),
                 checkpoint_interval=float(data.get("checkpoint_interval", 30.0)),
+                checkpoint_retention=int(data.get("checkpoint_retention", 3)),
                 queue_max_batches=int(data.get("queue_max_batches", 64)),
                 ingest_batch_size=int(data.get("ingest_batch_size", 4096)),
                 max_active_sessions=None if max_active is None else int(max_active),

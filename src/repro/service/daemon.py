@@ -76,6 +76,7 @@ class DetectionService:
             config.checkpoint_dir,
             max_active=config.max_active_sessions,
             observers=observers,
+            checkpoint_retention=config.checkpoint_retention,
         )
         self.worker = IngestWorker(self.manager, config.queue_max_batches)
         self.http = HttpFrontend(self)
@@ -110,7 +111,7 @@ class DetectionService:
             "tenants": {
                 name: {
                     "active": name in active,
-                    "resumable": self.manager.checkpoint_path(name).exists(),
+                    "resumable": self.manager.has_checkpoint(name),
                     "configured": any(
                         spec.name == name for spec in self.config.tenants
                     ),
@@ -194,6 +195,11 @@ class DetectionService:
                 self.counters.inc("worker_stop_timeouts_total")
         if self.jsonl_sink is not None:
             self.jsonl_sink.close()
+        if self.webhook_sink is not None:
+            # Stops the retry thread; alerts still queued for retry are
+            # dropped (and counted) — shutdown does not wait on a dead
+            # receiver's backoff schedule.
+            self.webhook_sink.close()
 
     # ------------------------------------------------------------------
     # Serving loops

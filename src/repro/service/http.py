@@ -24,7 +24,11 @@ HTTP endpoints (``Connection: close``; one request per connection):
     Barrier: closes the pending timeunit of one (``?tenant=``) or all
     active sessions (end-of-stream semantics; never implicit).
 ``GET /healthz`` / ``GET /metrics``
-    See :mod:`repro.service.metrics`.
+    See :mod:`repro.service.metrics`.  ``/healthz`` reads only lock-free
+    state and includes a ``degraded`` flag (plus ``recovering_tenants``)
+    that is true while a sharded tenant is respawning/replaying a failed
+    worker; ``/metrics`` adds worker-recovery, checkpoint-retention and
+    webhook-retry counters.
 ``GET /anomalies?tenant=NAME``
     All reported anomalies of a tenant (activates it from checkpoint if
     needed).

@@ -26,6 +26,7 @@ activates tenants for queries.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -35,11 +36,12 @@ from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 from repro.core.results import TimeunitResult
 from repro.engine.hooks import EngineObserver
 from repro.engine.session import DetectionSession
-from repro.exceptions import ConfigurationError
+from repro.exceptions import CheckpointError, CheckpointReadError, ConfigurationError
 from repro.io.checkpoint import (
     load_session_checkpoint,
     load_session_checkpoint_state,
-    save_session_checkpoint,
+    retained_checkpoint_path,
+    save_session_checkpoint_rolling,
 )
 from repro.service.config import TenantSpec, validate_tenant_name
 
@@ -66,6 +68,12 @@ class SessionManager:
     observers:
         Lifecycle observers (alert sinks, counters) subscribed to every
         session on activation — fresh or resumed.
+    checkpoint_retention:
+        Rolling checkpoints kept per tenant (the fresh primary plus up to
+        ``checkpoint_retention - 1`` predecessors at ``.1``, ``.2``, ...).
+        On activation a corrupt newest checkpoint is quarantined
+        (``.corrupt`` rename) and the newest valid predecessor loads
+        instead, so one torn write never strands a tenant.
     """
 
     def __init__(
@@ -74,6 +82,7 @@ class SessionManager:
         checkpoint_dir: "str | Path",
         max_active: int | None = None,
         observers: Sequence[EngineObserver] = (),
+        checkpoint_retention: int = 3,
     ):
         self._specs: dict[str, TenantSpec] = {}
         for spec in specs:
@@ -82,9 +91,12 @@ class SessionManager:
             self._specs[spec.name] = spec
         if max_active is not None and max_active < 1:
             raise ConfigurationError("max_active must be >= 1 or None")
+        if int(checkpoint_retention) < 1:
+            raise ConfigurationError("checkpoint_retention must be >= 1")
         self.checkpoint_dir = Path(checkpoint_dir)
         self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
         self.max_active = max_active
+        self.checkpoint_retention = int(checkpoint_retention)
         self._observers = list(observers)
         self._active: "OrderedDict[str, DetectionSession]" = OrderedDict()
         self._lock = threading.RLock()
@@ -98,7 +110,11 @@ class SessionManager:
         self.shadows_stopped_total = 0
         self.shadows_promoted_total = 0
         self.checkpoints_written_total = 0
+        self.checkpoint_fallbacks_total = 0
+        self.checkpoint_write_failures_total = 0
         self.last_checkpoint_unix: float | None = None
+        self.last_checkpoint_error: str | None = None
+        self.last_checkpoint_fallback: dict[str, Any] | None = None
         self._records_ingested: dict[str, int] = {}
         self._units_closed: dict[str, int] = {}
         self._anomalies_total: dict[str, int] = {}
@@ -110,25 +126,94 @@ class SessionManager:
         validate_tenant_name(name)
         return self.checkpoint_dir / f"{name}{CHECKPOINT_SUFFIX}"
 
+    def retained_checkpoint_paths(self, name: str) -> list[Path]:
+        """Existing checkpoints for ``name``, newest first (primary, .1, ...)."""
+        primary = self.checkpoint_path(name)
+        paths = []
+        for age in range(self.checkpoint_retention + 1):
+            candidate = retained_checkpoint_path(primary, age)
+            if candidate.exists():
+                paths.append(candidate)
+        return paths
+
+    def has_checkpoint(self, name: str) -> bool:
+        return bool(self.retained_checkpoint_paths(name))
+
     def known_tenants(self) -> list[str]:
         """Configured tenants plus tenants that left a checkpoint behind."""
         with self._lock:
             names = set(self._specs)
-            for path in self.checkpoint_dir.glob(f"*{CHECKPOINT_SUFFIX}"):
-                names.add(path.name[: -len(CHECKPOINT_SUFFIX)])
+            # Retained predecessors (``.1``, ``.2``, ...) keep a tenant
+            # known even while its primary is quarantined as corrupt.
+            for path in self.checkpoint_dir.glob(f"*{CHECKPOINT_SUFFIX}*"):
+                stem, _, tail = path.name.partition(CHECKPOINT_SUFFIX)
+                if tail == "" or tail.lstrip(".").isdigit():
+                    names.add(stem)
             return sorted(names)
 
     def active_tenants(self) -> list[str]:
         with self._lock:
             return list(self._active)
 
+    def active_count(self) -> int:
+        """Number of materialized sessions — deliberately lock-free.
+
+        ``/healthz`` calls this while the ingest thread may be holding the
+        manager lock through a multi-second worker recovery; a ``len`` on
+        the dict is atomic and never blocks the probe.
+        """
+        return len(self._active)
+
     def is_known(self, name: str) -> bool:
         with self._lock:
-            return name in self._specs or self.checkpoint_path(name).exists()
+            return name in self._specs or self.has_checkpoint(name)
 
     # ------------------------------------------------------------------
     # Activation / eviction
     # ------------------------------------------------------------------
+    def _quarantine(self, path: Path, error: CheckpointReadError) -> None:
+        """Move a corrupt checkpoint aside (``.corrupt``) and record the event."""
+        quarantined = path.with_name(f"{path.name}.corrupt")
+        try:
+            os.replace(path, quarantined)
+        except OSError:  # pragma: no cover - racing cleanup
+            pass
+        self.checkpoint_fallbacks_total += 1
+        self.last_checkpoint_fallback = {
+            "path": str(path),
+            "quarantined_as": str(quarantined),
+            "error": str(error),
+            "unix": time.time(),
+        }
+
+    def _load_with_fallback(self, name: str, sharding) -> "DetectionSession | None":
+        """Load the newest *valid* retained checkpoint, quarantining corrupt ones.
+
+        Walks primary → ``.1`` → ``.2`` ... newest first.  A file that fails
+        to parse (torn write, bit rot) is renamed to ``.corrupt`` and counted
+        in ``checkpoint_fallbacks_total``; the walk continues to the next
+        predecessor.  Returns ``None`` when no checkpoint exists at all;
+        raises the *first* :class:`CheckpointReadError` when every retained
+        copy is corrupt and no spec can cover a fresh start.
+        """
+        first_error: "CheckpointReadError | None" = None
+        for path in self.retained_checkpoint_paths(name):
+            try:
+                if sharding is not None:
+                    from repro.service.sharded_adapter import ShardedSessionAdapter
+
+                    return ShardedSessionAdapter.from_session_state(
+                        load_session_checkpoint_state(path), sharding
+                    )
+                return load_session_checkpoint(path)
+            except CheckpointReadError as exc:
+                if first_error is None:
+                    first_error = exc
+                self._quarantine(path, exc)
+        if first_error is not None and name not in self._specs:
+            raise first_error
+        return None
+
     def session(self, name: str) -> DetectionSession:
         """The tenant's live session; activates (resume or fresh) on demand."""
         with self._lock:
@@ -136,18 +221,10 @@ class SessionManager:
             if session is not None:
                 self._active.move_to_end(name)
                 return session
-            path = self.checkpoint_path(name)
             spec = self._specs.get(name)
             sharding = None if spec is None else spec.sharding
-            if path.exists():
-                if sharding is not None:
-                    from repro.service.sharded_adapter import ShardedSessionAdapter
-
-                    session = ShardedSessionAdapter.from_session_state(
-                        load_session_checkpoint_state(path), sharding
-                    )
-                else:
-                    session = load_session_checkpoint(path)
+            session = self._load_with_fallback(name, sharding)
+            if session is not None:
                 self.resumes_total += 1
             elif spec is not None:
                 if sharding is not None:
@@ -190,7 +267,9 @@ class SessionManager:
             except KeyError:
                 raise ConfigurationError(f"tenant {name!r} is not active") from None
             path = self.checkpoint_path(name)
-            save_session_checkpoint(session, path)
+            save_session_checkpoint_rolling(
+                session, path, keep=self.checkpoint_retention
+            )
             self.checkpoints_written_total += 1
             self.last_checkpoint_unix = time.time()
             self.evictions_total += 1
@@ -275,16 +354,36 @@ class SessionManager:
             )
 
     def checkpoint_all(self) -> dict[str, str]:
-        """Atomically checkpoint every active session; tenant -> file path."""
+        """Checkpoint every active session (rolling); tenant -> file path.
+
+        One tenant's write failure (e.g. a full disk) no longer abandons the
+        rest of the fleet: every tenant is attempted, failures are counted in
+        ``checkpoint_write_failures_total``, and the first error re-raises
+        after the sweep so callers (timer loop, ``POST /checkpoint``) still
+        see it.  The rolling writer guarantees the tenant's previous
+        checkpoint survives any failed attempt intact.
+        """
         with self._lock:
             written: dict[str, str] = {}
-            for name, session in self._active.items():
+            first_error: "Exception | None" = None
+            for name, session in list(self._active.items()):
                 path = self.checkpoint_path(name)
-                save_session_checkpoint(session, path)
+                try:
+                    save_session_checkpoint_rolling(
+                        session, path, keep=self.checkpoint_retention
+                    )
+                except (CheckpointError, OSError) as exc:
+                    self.checkpoint_write_failures_total += 1
+                    self.last_checkpoint_error = f"{name}: {exc}"
+                    if first_error is None:
+                        first_error = exc
+                    continue
                 self.checkpoints_written_total += 1
                 written[name] = str(path)
             if written:
                 self.last_checkpoint_unix = time.time()
+            if first_error is not None:
+                raise first_error
             return written
 
     def anomalies(self, name: str) -> list[dict[str, Any]]:
@@ -358,10 +457,48 @@ class SessionManager:
                     1 for session in self._active.values() if session.has_shadow
                 ),
                 "checkpoints_written_total": self.checkpoints_written_total,
+                "checkpoint_fallbacks_total": self.checkpoint_fallbacks_total,
+                "checkpoint_write_failures_total": (
+                    self.checkpoint_write_failures_total
+                ),
+                "checkpoint_retention": self.checkpoint_retention,
                 "last_checkpoint_unix": self.last_checkpoint_unix,
+                "last_checkpoint_error": self.last_checkpoint_error,
+                "last_checkpoint_fallback": self.last_checkpoint_fallback,
                 "active_sessions": len(self._active),
                 "known_tenants": len(self.known_tenants()),
             }
+
+    def degraded_tenants(self) -> list[str]:
+        """Tenants whose sharded session is mid-recovery right now.
+
+        Deliberately lock-free: recovery runs on the ingest thread *while it
+        holds the manager lock*, and this is exactly when ``/healthz`` needs
+        to report degraded mode — taking the lock here would deadlock the
+        probe against the recovery it is trying to observe.  Reads a list
+        snapshot of the active table plus a boolean attribute, both safe
+        against concurrent mutation.
+        """
+        degraded = []
+        for name, session in list(self._active.items()):
+            if getattr(session, "recovering", False):
+                degraded.append(name)
+        return sorted(degraded)
+
+    def recovery_counters(self) -> dict[str, int]:
+        """Aggregate worker-recovery counters across active sharded tenants.
+
+        Lock-free for the same reason as :meth:`degraded_tenants`.
+        """
+        recoveries = 0
+        replayed = 0
+        for session in list(self._active.values()):
+            recoveries += int(getattr(session, "recoveries_total", 0) or 0)
+            replayed += int(getattr(session, "replayed_batches_total", 0) or 0)
+        return {
+            "worker_recoveries_total": recoveries,
+            "replayed_batches_total": replayed,
+        }
 
     def tenant_snapshot(self) -> dict[str, dict[str, Any]]:
         """Per-tenant metrics document (the ``tenants`` section of /metrics).
@@ -377,7 +514,7 @@ class SessionManager:
                 session = self._active.get(name)
                 entry: dict[str, Any] = {
                     "active": session is not None,
-                    "resumable": self.checkpoint_path(name).exists(),
+                    "resumable": self.has_checkpoint(name),
                     "records_ingested": self._records_ingested.get(name, 0),
                     "units_closed": self._units_closed.get(name, 0),
                     "anomalies_total": self._anomalies_total.get(name, 0),

@@ -7,8 +7,12 @@ parts of a :class:`~repro.service.daemon.DetectionService`:
 * ``queue`` — the backpressure picture: depth vs. capacity, high-water
   mark, admitted/rejected batch totals, socket-path read pauses,
   worker errors;
-* ``checkpoint`` — cadence, totals, last-write time, resume/eviction
-  counters (the eviction lifecycle is observable here);
+* ``checkpoint`` — cadence, retention depth, totals, last-write time,
+  corrupt-checkpoint fallbacks (``checkpoint_fallbacks_total``), write
+  failures, resume/eviction counters (the eviction lifecycle is
+  observable here);
+* ``recovery`` — sharded worker-supervision counters (worker recoveries,
+  replayed batches, tenants currently degraded);
 * ``reconfiguration`` — online config swaps and shadow-experiment
   lifecycle counters (started/stopped/promoted/active);
 * ``alerts`` — egress delivery counters per sink;
@@ -52,14 +56,23 @@ class Counters:
 
 
 def healthz_document(service: "DetectionService") -> dict[str, Any]:
-    """The ``GET /healthz`` body: liveness + the drain state of the queue."""
+    """The ``GET /healthz`` body: liveness + drain state + degraded mode.
+
+    ``degraded`` is true while any sharded tenant is mid worker-recovery
+    (respawn + state replay).  Everything here reads lock-free manager
+    accessors: recovery runs on the ingest thread *holding* the manager
+    lock, and the health probe must keep answering exactly then.
+    """
     worker = service.worker
+    degraded = service.manager.degraded_tenants()
     return {
         "status": "ok" if worker.running else "stopped",
         "drained": worker.drained(),
         "queue_depth": worker.depth(),
-        "active_sessions": len(service.manager.active_tenants()),
+        "active_sessions": service.manager.active_count(),
         "uptime_seconds": service.uptime_seconds(),
+        "degraded": bool(degraded),
+        "recovering_tenants": degraded,
     }
 
 
@@ -90,12 +103,25 @@ def metrics_document(service: "DetectionService") -> dict[str, Any]:
         "checkpoint": {
             "dir": str(manager.checkpoint_dir),
             "interval_seconds": service.config.checkpoint_interval,
+            "retention": manager_counters["checkpoint_retention"],
             "written_total": manager_counters["checkpoints_written_total"],
+            "checkpoint_fallbacks_total": (
+                manager_counters["checkpoint_fallbacks_total"]
+            ),
+            "write_failures_total": (
+                manager_counters["checkpoint_write_failures_total"]
+            ),
             "last_write_unix": manager_counters["last_checkpoint_unix"],
+            "last_error": manager_counters["last_checkpoint_error"],
+            "last_fallback": manager_counters["last_checkpoint_fallback"],
             "activations_total": manager_counters["activations_total"],
             "resumes_total": manager_counters["resumes_total"],
             "fresh_starts_total": manager_counters["fresh_starts_total"],
             "evictions_total": manager_counters["evictions_total"],
+        },
+        "recovery": {
+            **manager.recovery_counters(),
+            "degraded_tenants": manager.degraded_tenants(),
         },
         "reconfiguration": {
             "reconfigures_total": manager_counters["reconfigures_total"],

@@ -180,8 +180,22 @@ class ShardedSessionAdapter:
             "transport": info["transport"],
             "num_workers": info["num_workers"],
             "session": info["sessions"][self.name],
+            "supervision": info.get("supervision"),
             "transport_stats": self._engine.transport_stats(),
         }
+
+    @property
+    def recovering(self) -> bool:
+        """True while a failed worker is being respawned/replayed."""
+        return self._engine.recovering
+
+    @property
+    def recoveries_total(self) -> int:
+        return self._engine.recoveries_total
+
+    @property
+    def replayed_batches_total(self) -> int:
+        return self._engine.replayed_batches_total
 
     def rebalance(self, churn_threshold: float = 2.0) -> dict[str, Any]:
         """Churn-driven shard rebalancing for this tenant (state-preserving)."""

@@ -1,0 +1,344 @@
+"""Deterministic fault injection for the sharded engine and checkpoint IO.
+
+A :class:`FaultPlan` is a small, JSON-serializable list of
+:class:`FaultSpec` events — *kill worker k before its n-th ship*, *drop the
+n-th frame to worker k*, *corrupt a wire frame*, *exit worker-side before
+replying*, *ENOSPC the n-th checkpoint write* — consulted at the library's
+own seams:
+
+* :class:`~repro.engine.supervisor.ShardSupervisor` asks
+  :meth:`FaultPlan.next_transport_action` before every ship/collect;
+* worker loops ask :meth:`FaultPlan.next_worker_message` before handling
+  each message (``worker_exit`` faults, armed through the environment so
+  they fire inside the worker *process*);
+* the atomic checkpoint writer asks :func:`checkpoint_write_fault` before
+  committing bytes.
+
+Activation is explicit — :func:`activate` / :func:`deactivate` (or the
+:func:`active` context manager) for in-process runs, or the
+``REPRO_FAULT_PLAN`` env var carrying ``plan.to_env()`` for subprocesses —
+so no test ever monkeypatches transport or checkpoint internals.  With no
+plan active every hook is a near-free dictionary lookup.
+
+Determinism: specs trigger on exact per-(op, worker) operation ordinals,
+and :meth:`FaultPlan.seeded_kill` derives the victim worker and barrier
+ordinal from a single integer seed, so a failing chaos run reproduces from
+its printed seed alone.  Every triggered spec is appended to
+:attr:`FaultPlan.fired`, letting tests assert the fault actually happened.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from random import Random
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.exceptions import ConfigurationError
+
+#: Environment variable carrying a JSON fault plan into worker subprocesses.
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: Recognised fault kinds (see class docstrings for trigger semantics).
+FAULT_KINDS = frozenset(
+    {
+        "kill_worker",
+        "delay_frame",
+        "drop_frame",
+        "corrupt_frame",
+        "worker_exit",
+        "checkpoint_enospc",
+    }
+)
+
+_TRANSPORT_KINDS = frozenset(
+    {"kill_worker", "delay_frame", "drop_frame", "corrupt_frame"}
+)
+
+
+class FaultSpec:
+    """One planned fault event.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    worker:
+        Target worker id; ``None`` matches any worker (each candidate op is
+        still counted per worker, so the *first* worker to reach ordinal
+        ``n`` triggers it).
+    op:
+        ``"ship"`` or ``"collect"`` — which transport operation the ordinal
+        counts (transport kinds only).
+    n:
+        1-based ordinal of the matching operation/message/write at which
+        the fault fires.  Each spec fires exactly once.
+    seconds:
+        Injected delay for ``delay_frame``.
+    path_substring:
+        For ``checkpoint_enospc``: only writes whose target path contains
+        this substring count (empty = every write).
+    """
+
+    __slots__ = ("kind", "worker", "op", "n", "seconds", "path_substring", "fired", "_seen")
+
+    def __init__(
+        self,
+        kind: str,
+        worker: "int | None" = None,
+        op: str = "ship",
+        n: int = 1,
+        seconds: float = 0.0,
+        path_substring: str = "",
+    ):
+        if kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {kind!r}; recognised: {sorted(FAULT_KINDS)}"
+            )
+        if op not in ("ship", "collect"):
+            raise ConfigurationError(f"fault op must be 'ship' or 'collect', got {op!r}")
+        if int(n) < 1:
+            raise ConfigurationError(f"fault ordinal n must be >= 1, got {n}")
+        self.kind = kind
+        self.worker = None if worker is None else int(worker)
+        self.op = op
+        self.n = int(n)
+        self.seconds = float(seconds)
+        self.path_substring = str(path_substring)
+        self.fired = False
+        #: per-spec count of matching candidate events seen so far
+        self._seen = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "worker": self.worker,
+            "op": self.op,
+            "n": self.n,
+            "seconds": self.seconds,
+            "path_substring": self.path_substring,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        return cls(
+            kind=str(data["kind"]),
+            worker=data.get("worker"),
+            op=str(data.get("op", "ship")),
+            n=int(data.get("n", 1)),
+            seconds=float(data.get("seconds", 0.0)),
+            path_substring=str(data.get("path_substring", "")),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FaultSpec(kind={self.kind!r}, worker={self.worker}, "
+            f"op={self.op!r}, n={self.n}, fired={self.fired})"
+        )
+
+
+class FaultPlan:
+    """A deterministic, single-shot-per-spec schedule of fault events."""
+
+    def __init__(self, faults: Iterable["FaultSpec | Mapping[str, Any]"] = (), seed: "int | None" = None):
+        self.seed = seed
+        self.faults: list[FaultSpec] = [
+            spec if isinstance(spec, FaultSpec) else FaultSpec.from_dict(spec)
+            for spec in faults
+        ]
+        #: Triggered specs in firing order (dict snapshots, for assertions).
+        self.fired: list[dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def seeded_kill(
+        cls,
+        seed: int,
+        num_workers: int,
+        max_ordinal: int = 10,
+        op: str = "ship",
+    ) -> "FaultPlan":
+        """A single-kill plan fully derived from ``seed``.
+
+        Kills one worker (picked by the seed) before its n-th ``op``
+        (ordinal picked by the seed, 1..``max_ordinal``) — the chaos
+        matrix's way of killing "each worker at random barriers" while
+        staying exactly reproducible from the printed seed.
+        """
+        rng = Random(int(seed))
+        worker = rng.randrange(max(1, int(num_workers)))
+        ordinal = rng.randint(1, max(1, int(max_ordinal)))
+        return cls(
+            [FaultSpec("kill_worker", worker=worker, op=op, n=ordinal)],
+            seed=int(seed),
+        )
+
+    # ------------------------------------------------------------------
+    # Event hooks
+    # ------------------------------------------------------------------
+    def _note_fired(self, spec: FaultSpec, **context: Any) -> FaultSpec:
+        spec.fired = True
+        event = spec.to_dict()
+        event.update(context)
+        self.fired.append(event)
+        return spec
+
+    def next_transport_action(self, op: str, worker_id: int) -> "FaultSpec | None":
+        """Spec to apply before the coordinator's next ``op`` to ``worker_id``.
+
+        Counts every candidate operation per spec and fires on the n-th
+        match; at most one spec fires per call (the first in plan order).
+        """
+        hit: "FaultSpec | None" = None
+        for spec in self.faults:
+            if spec.fired or spec.kind not in _TRANSPORT_KINDS or spec.op != op:
+                continue
+            if spec.worker is not None and spec.worker != worker_id:
+                continue
+            spec._seen += 1
+            if hit is None and spec._seen == spec.n:
+                hit = self._note_fired(spec, at=op, worker_id=worker_id)
+        return hit
+
+    def next_worker_message(self, worker_id: "int | None", verb: str) -> "FaultSpec | None":
+        """Spec to apply before a worker handles its next message.
+
+        Called *inside* worker processes (the plan having crossed through
+        the environment).  ``worker_id`` may be ``None`` for transports
+        whose workers do not know their id (external TCP workers); a spec
+        with ``worker=None`` matches those too.
+        """
+        hit: "FaultSpec | None" = None
+        for spec in self.faults:
+            if spec.fired or spec.kind != "worker_exit":
+                continue
+            if (
+                spec.worker is not None
+                and worker_id is not None
+                and spec.worker != worker_id
+            ):
+                continue
+            spec._seen += 1
+            if hit is None and spec._seen == spec.n:
+                hit = self._note_fired(spec, at="worker_message", verb=verb, worker_id=worker_id)
+        return hit
+
+    def next_checkpoint_write(self, path: Any) -> "FaultSpec | None":
+        """Spec to apply before the checkpoint writer commits ``path``."""
+        hit: "FaultSpec | None" = None
+        text = str(path)
+        for spec in self.faults:
+            if spec.fired or spec.kind != "checkpoint_enospc":
+                continue
+            if spec.path_substring and spec.path_substring not in text:
+                continue
+            spec._seen += 1
+            if hit is None and spec._seen == spec.n:
+                hit = self._note_fired(spec, at="checkpoint_write", path=text)
+        return hit
+
+    # ------------------------------------------------------------------
+    # Serialization (env hook for subprocesses)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {"seed": self.seed, "faults": [spec.to_dict() for spec in self.faults]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        return cls(faults=data.get("faults", ()), seed=data.get("seed"))
+
+    def to_env(self) -> str:
+        """Compact JSON for the ``REPRO_FAULT_PLAN`` environment variable."""
+        return json.dumps(self.to_dict(), separators=(",", ":"), sort_keys=True)
+
+    @classmethod
+    def from_env(cls, raw: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(raw))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FaultPlan(seed={self.seed}, faults={self.faults!r})"
+
+
+# ----------------------------------------------------------------------
+# Activation
+# ----------------------------------------------------------------------
+_ACTIVE: "FaultPlan | None" = None
+# Parsed-plan cache keyed on the raw env string: per-spec ordinal counters
+# must persist across hook calls within one process, and tests must be able
+# to swap the env var without any monkeypatching.
+_ENV_CACHE: "tuple[str, FaultPlan] | None" = None
+
+
+def activate(plan: FaultPlan) -> FaultPlan:
+    """Install ``plan`` process-wide (coordinator-side hooks see it)."""
+    global _ACTIVE
+    _ACTIVE = plan
+    return plan
+
+
+def deactivate() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def active(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """``with active(plan):`` — activate for a block, always deactivate."""
+    activate(plan)
+    try:
+        yield plan
+    finally:
+        deactivate()
+
+
+@contextmanager
+def disarmed() -> Iterator[None]:
+    """Temporarily hide any active plan — module-level *and* env hook.
+
+    The supervisor respawns workers under this guard: a replacement worker
+    must not inherit still-armed faults (it would re-count message ordinals
+    from zero and crash-loop forever).  Faults are one-shot per *original*
+    arming by construction.
+    """
+    global _ACTIVE
+    saved_active = _ACTIVE
+    saved_env = os.environ.pop(ENV_VAR, None)
+    _ACTIVE = None
+    try:
+        yield
+    finally:
+        _ACTIVE = saved_active
+        if saved_env is not None:
+            os.environ[ENV_VAR] = saved_env
+
+
+def active_fault_plan() -> "FaultPlan | None":
+    """The currently active plan: programmatic first, then the env hook."""
+    if _ACTIVE is not None:
+        return _ACTIVE
+    raw = os.environ.get(ENV_VAR)
+    if not raw:
+        return None
+    global _ENV_CACHE
+    if _ENV_CACHE is None or _ENV_CACHE[0] != raw:
+        _ENV_CACHE = (raw, FaultPlan.from_env(raw))
+    return _ENV_CACHE[1]
+
+
+def checkpoint_write_fault(path: Any) -> "FaultSpec | None":
+    """Hook for :mod:`repro.io.checkpoint`: fault to inject for this write."""
+    plan = active_fault_plan()
+    if plan is None:
+        return None
+    return plan.next_checkpoint_write(path)
+
+
+def worker_message_fault(worker_id: "int | None", verb: str) -> "FaultSpec | None":
+    """Hook for worker loops: ``worker_exit`` fault to apply, if any."""
+    plan = active_fault_plan()
+    if plan is None:
+        return None
+    return plan.next_worker_message(worker_id, verb)
