@@ -94,6 +94,10 @@ class AnomalyInjector:
                     f"anomaly node {anomaly.node_path!r} is not in the hierarchy"
                 )
 
+    def reset_rng(self) -> None:
+        """Rewind the injection RNG so the next trace replay is identical."""
+        self._rng = random.Random(self.seed)
+
     def add(self, anomaly: InjectedAnomaly) -> None:
         if tuple(anomaly.node_path) not in self.tree:
             raise DataGenerationError(

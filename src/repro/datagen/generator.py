@@ -65,6 +65,9 @@ class TraceGenerator:
         self._injector = AnomalyInjector(
             self.tree, list(self.anomalies), seed=self.seed + 1
         )
+        # Every generate() call replays from this state, so repeated calls
+        # yield the identical trace instead of continuing the RNG stream.
+        self._generate_state = self._rng.getstate()
 
     # ------------------------------------------------------------------
     # Leaf popularity
@@ -109,13 +112,21 @@ class TraceGenerator:
     # Generation
     # ------------------------------------------------------------------
     def generate(self, duration: float) -> Iterator[OperationalRecord]:
-        """Yield records in time order for ``duration`` seconds of trace."""
+        """Yield records in time order for ``duration`` seconds of trace.
+
+        The trace is a pure function of the generator's construction
+        parameters: every call replays the same seeded RNG stream, so calling
+        ``generate`` (or :meth:`generate_list`) repeatedly yields bit-identical
+        traces.
+        """
         if duration <= 0:
             raise DataGenerationError("duration must be positive")
         delta = self.clock.delta
         num_units = int(duration // delta)
         if num_units < 1:
             raise DataGenerationError("duration must cover at least one timeunit")
+        self._rng.setstate(self._generate_state)
+        self._injector.reset_rng()
         for unit in range(num_units):
             unit_start = self.clock.epoch + unit * delta
             yield from self._generate_unit(unit_start)

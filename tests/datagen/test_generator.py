@@ -56,6 +56,17 @@ class TestGeneration:
             (r.timestamp, r.category) for r in b
         ]
 
+    def test_repeated_calls_replay_identical_trace(self, tree, clock):
+        anomaly = InjectedAnomaly(
+            node_path=("a",), start=HOUR, duration=HOUR, extra_rate=0.05
+        )
+        generator = make_generator(tree, clock, anomalies=(anomaly,))
+        first = generator.generate_list(4 * HOUR)
+        second = generator.generate_list(4 * HOUR)
+        assert [(r.timestamp, r.category, dict(r.attributes)) for r in first] == [
+            (r.timestamp, r.category, dict(r.attributes)) for r in second
+        ]
+
     def test_volume_tracks_rate(self, tree, clock):
         generator = make_generator(tree, clock)
         records = generator.generate_list(12 * HOUR)
